@@ -1,0 +1,1 @@
+"""Benchmark/reproduction harness — one module per paper table/figure."""

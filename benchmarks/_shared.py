@@ -1,0 +1,31 @@
+"""Helpers shared by the benchmark/reproduction harness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils.textable import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a reproduced table/figure and persist it under results/.
+
+    EXPERIMENTS.md points at these files; printing as well makes ``-s``
+    runs self-contained.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+def record_table(name: str, headers, rows, title: str | None = None) -> str:
+    text = render_table(headers, rows, title=title)
+    record(name, text)
+    return text
+
+
+def sci(x: float) -> str:
+    """Scientific-notation cell, matching the paper's table style."""
+    return f"{x:.2e}"

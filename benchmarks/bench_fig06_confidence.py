@@ -1,0 +1,50 @@
+"""Figure 6 — number of rules vs Conf_min for three SP_min values.
+
+Paper: dataset A, W = 60 s; the rule count decreases as Conf_min rises and
+as SP_min rises (200-600 rules at their template population; ours is
+smaller, the *shape* is the reproduction target).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from repro.mining.rules import RuleMiner
+from repro.mining.transactions import transaction_stats
+
+WINDOW = 60.0
+SP_MINS = (0.001, 0.0005, 0.0001)
+CONF_MINS = (0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9)
+
+
+def test_fig06_rules_vs_confidence(benchmark, plus_events_a):
+    stats = benchmark.pedantic(
+        transaction_stats, args=(plus_events_a, WINDOW), rounds=1, iterations=1
+    )
+    curves: dict[float, list[int]] = {}
+    for sp_min in SP_MINS:
+        counts = []
+        for conf_min in CONF_MINS:
+            miner = RuleMiner(
+                window=WINDOW, sp_min=sp_min, conf_min=conf_min
+            )
+            counts.append(miner.rules_from_stats(stats).n_rules)
+        curves[sp_min] = counts
+
+    rows = [
+        (conf,) + tuple(curves[sp][i] for sp in SP_MINS)
+        for i, conf in enumerate(CONF_MINS)
+    ]
+    record_table(
+        "fig06_rules_vs_confidence",
+        ["Confmin"] + [f"#rules SPmin={sp:g}" for sp in SP_MINS],
+        rows,
+        title="Figure 6: rules vs Confmin, dataset A, W=60s "
+        "(paper: decreasing in Confmin; higher SPmin -> fewer rules)",
+    )
+
+    for sp_min, counts in curves.items():
+        assert counts == sorted(counts, reverse=True), sp_min
+        assert counts[0] > 0
+    # Higher SP_min never yields more rules at the same confidence.
+    for i in range(len(CONF_MINS)):
+        assert curves[0.001][i] <= curves[0.0001][i]

@@ -1,0 +1,63 @@
+"""Figure 8 — rule knowledge base over 12 weekly updates, dataset A.
+
+Paper: total rules grow as new behaviours appear, then stabilize around
+week 6, with added/deleted near zero afterwards.  Our dataset phases in
+new scenario kinds through week 5 to drive the same dynamics.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from benchmarks.conftest import WINDOW_A
+from repro.mining.rules import RuleMiner
+from repro.mining.rulestore import RuleStore
+from repro.netsim.datasets import LEARNING_START
+from repro.utils.timeutils import DAY
+
+N_WEEKS = 12
+
+
+def weekly_rule_history(plus_events, window):
+    store = RuleStore(
+        miner=RuleMiner(window=window, sp_min=0.0005, conf_min=0.8)
+    )
+    rows = []
+    for week in range(N_WEEKS):
+        start = LEARNING_START + week * 7 * DAY
+        end = start + 7 * DAY
+        week_events = [e for e in plus_events if start <= e[0] < end]
+        delta = store.update(week_events)
+        rows.append(
+            (week + 1, delta.total_after, len(delta.added), len(delta.deleted))
+        )
+    return rows
+
+
+def test_fig08_weekly_rules_dataset_a(benchmark, plus_events_a):
+    rows = benchmark.pedantic(
+        weekly_rule_history,
+        args=(plus_events_a, WINDOW_A),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig08_weekly_rules_a",
+        ["week", "total rules", "added", "deleted"],
+        rows,
+        title="Figure 8: weekly rule updates, dataset A "
+        "(paper: stabilizes around week 6)",
+    )
+
+    totals = [r[1] for r in rows]
+    added = [r[2] for r in rows]
+    deleted = [r[3] for r in rows]
+    # Growth phase: the phase-ins (scans week 2, environment alarms week
+    # 4) enlarge the base over the first six weeks.
+    assert totals[5] > totals[0]
+    # Stability phase: weekly churn after week 6 is small relative to the
+    # base (the paper's bars hover near zero).
+    late_churn = max(
+        a + d for a, d in zip(added[6:], deleted[6:])
+    )
+    assert late_churn <= max(3, int(0.3 * totals[-1]))
+    assert totals[-1] > 0

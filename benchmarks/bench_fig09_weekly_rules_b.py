@@ -1,0 +1,39 @@
+"""Figure 9 — rule knowledge base over 12 weekly updates, dataset B.
+
+Paper: same dynamics as Figure 8 but stabilizing later (around week 8);
+dataset B's latest scenario kinds phase in through week 7.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from benchmarks.bench_fig08_weekly_rules_a import weekly_rule_history
+from benchmarks.conftest import WINDOW_B
+
+
+def test_fig09_weekly_rules_dataset_b(benchmark, plus_events_b):
+    rows = benchmark.pedantic(
+        weekly_rule_history,
+        args=(plus_events_b, WINDOW_B),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "fig09_weekly_rules_b",
+        ["week", "total rules", "added", "deleted"],
+        rows,
+        title="Figure 9: weekly rule updates, dataset B "
+        "(paper: stabilizes around week 8)",
+    )
+
+    totals = [r[1] for r in rows]
+    added = [r[2] for r in rows]
+    assert totals[-1] > 0
+    # Dataset B keeps growing later than A: the login scans (week 5) and
+    # port alarms (week 7) still add rules mid-period...
+    assert sum(added[4:8]) > 0
+    assert totals[7] > totals[2]
+    # ...and the final weeks are quieter than the growth phase.
+    growth_added = sum(added[1:8])
+    late_added = sum(added[9:])
+    assert late_added <= max(2, growth_added)

@@ -1,0 +1,54 @@
+"""Figure 11 — compression ratio vs beta at the fitted alphas.
+
+Paper: the ratio decreases in beta with diminishing returns; they settle
+on beta = 5 for both datasets.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table, sci
+from benchmarks.bench_fig10_alpha import key_series
+from repro.mining.fit import compression_ratio
+from repro.mining.temporal import TemporalParams
+
+BETAS = (2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+
+def test_fig11_beta_sweep(benchmark, system_a, live_a, system_b, live_b):
+    series_a = key_series(system_a, live_a)
+    series_b = key_series(system_b, live_b)
+    alpha_a = system_a.kb.temporal.alpha
+    alpha_b = system_b.kb.temporal.alpha
+
+    def sweep():
+        curve_a = [
+            compression_ratio(series_a, TemporalParams(alpha=alpha_a, beta=b))
+            for b in BETAS
+        ]
+        curve_b = [
+            compression_ratio(series_b, TemporalParams(alpha=alpha_b, beta=b))
+            for b in BETAS
+        ]
+        return curve_a, curve_b
+
+    curve_a, curve_b = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        (beta, sci(a), sci(b))
+        for beta, a, b in zip(BETAS, curve_a, curve_b)
+    ]
+    record_table(
+        "fig11_beta",
+        [f"beta (alpha A={alpha_a:g}, B={alpha_b:g})", "ratio (A)", "ratio (B)"],
+        rows,
+        title="Figure 11: compression ratio vs beta "
+        "(paper: monotone improvement, diminishing returns -> beta=5)",
+    )
+
+    for curve in (curve_a, curve_b):
+        assert all(
+            a >= b - 1e-12 for a, b in zip(curve, curve[1:])
+        ), "ratio must not worsen as beta grows"
+        # Diminishing returns: the last step improves less than the first.
+        first_gain = curve[0] - curve[1]
+        last_gain = curve[-2] - curve[-1]
+        assert last_gain <= first_gain + 1e-12

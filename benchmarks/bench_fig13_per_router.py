@@ -1,0 +1,53 @@
+"""Figure 13 — per-router raw messages vs digest events (dataset A).
+
+Paper observations we verify:
+* the event distribution across routers is less skewed than the message
+  distribution;
+* routers with more messages tend to compress better, the best
+  compression landing on the busiest router.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table, sci
+from repro.utils.stats import gini
+
+
+def test_fig13_per_router(benchmark, digest_a):
+    per_router = benchmark.pedantic(
+        digest_a.per_router, rounds=1, iterations=1
+    )
+    ordered = sorted(
+        per_router.items(), key=lambda kv: -kv[1]["messages"]
+    )
+    rows = [
+        (
+            router,
+            counts["messages"],
+            counts["events"],
+            sci(counts["events"] / max(counts["messages"], 1)),
+        )
+        for router, counts in ordered
+    ]
+    message_gini = gini([c["messages"] for c in per_router.values()])
+    event_gini = gini([c["events"] for c in per_router.values()])
+    rows.append(("(gini)", f"{message_gini:.3f}", f"{event_gini:.3f}", ""))
+    record_table(
+        "fig13_per_router",
+        ["router", "#messages", "#events", "ratio"],
+        rows,
+        title="Figure 13: per-router messages vs events, dataset A "
+        "(paper: events less skewed; busiest router compresses best)",
+    )
+
+    # Events are spread more evenly than raw messages.
+    assert event_gini < message_gini
+    # The busiest routers compress better than the median router.
+    ratios = [
+        counts["events"] / counts["messages"]
+        for _, counts in ordered
+        if counts["messages"] > 0
+    ]
+    busiest_ratio = ratios[0]
+    median_ratio = sorted(ratios)[len(ratios) // 2]
+    assert busiest_ratio <= median_ratio

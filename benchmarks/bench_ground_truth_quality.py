@@ -1,0 +1,87 @@
+"""Grouping quality against ground truth — beyond the paper.
+
+The paper validated its digests by expert inspection and ticket matching;
+with a simulator we can score grouping exactly:
+
+* **fragmentation** — how many digest events one injected network
+  condition is split across (1 is perfect);
+* **purity** — how many distinct injected conditions one digest event
+  mixes together (1 is perfect);
+* per-scenario-kind breakdown, since cascades differ wildly in shape.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from benchmarks._shared import record_table
+from repro.utils.stats import mean
+
+
+def test_ground_truth_grouping_quality(benchmark, digest_a, live_a):
+    def score():
+        event_of_index = {}
+        for event_no, event in enumerate(digest_a.events):
+            for i in event.indices:
+                event_of_index[i] = event_no
+
+        events_of_incident: dict[str, set[int]] = defaultdict(set)
+        kind_of_incident: dict[str, str] = {}
+        incidents_of_event: dict[int, set[str]] = defaultdict(set)
+        for i, lm in enumerate(live_a.messages):
+            if lm.event_id is None:
+                continue
+            events_of_incident[lm.event_id].add(event_of_index[i])
+            kind_of_incident[lm.event_id] = lm.event_id.split("-", 1)[1]
+            incidents_of_event[event_of_index[i]].add(lm.event_id)
+
+        per_kind: dict[str, list[int]] = defaultdict(list)
+        for event_id, event_set in events_of_incident.items():
+            per_kind[kind_of_incident[event_id]].append(len(event_set))
+        purity = Counter(
+            len(ids) for ids in incidents_of_event.values()
+        )
+        return per_kind, purity
+
+    per_kind, purity = benchmark.pedantic(score, rounds=1, iterations=1)
+
+    rows = []
+    for kind in sorted(per_kind):
+        splits = per_kind[kind]
+        rows.append(
+            (
+                kind,
+                len(splits),
+                f"{mean([float(s) for s in splits]):.2f}",
+                max(splits),
+            )
+        )
+    all_splits = [s for splits in per_kind.values() for s in splits]
+    rows.append(
+        (
+            "(all)",
+            len(all_splits),
+            f"{mean([float(s) for s in all_splits]):.2f}",
+            max(all_splits),
+        )
+    )
+    record_table(
+        "ground_truth_quality",
+        ["scenario kind", "#incidents", "mean events/incident", "worst"],
+        rows,
+        title="Grouping fidelity vs ground truth, dataset A "
+        "(1.00 events/incident is perfect)",
+    )
+    pure = purity.get(1, 0)
+    total_events_with_truth = sum(purity.values())
+    record_table(
+        "ground_truth_purity",
+        ["incidents mixed in one event", "#events"],
+        sorted(purity.items()),
+        title=f"Event purity: {pure}/{total_events_with_truth} events "
+        "contain exactly one injected condition",
+    )
+
+    overall = mean([float(s) for s in all_splits])
+    assert overall <= 5.0, "incidents shattered across too many events"
+    assert pure / total_events_with_truth >= 0.6, "too many mixed events"

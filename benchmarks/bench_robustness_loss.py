@@ -1,0 +1,60 @@
+"""Robustness — grouping under collector loss, duplication and jitter.
+
+Not in the paper, but implicit in its operational setting: syslog rides
+UDP, so the collector sees a degraded stream.  We sweep loss rates and
+measure how the compression ratio and ground-truth fragmentation respond.
+The system should degrade gracefully: missing messages shrink events but
+must not shatter them.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table, sci
+from repro.core.pipeline import SyslogDigest
+from repro.evaluation.quality import grouping_quality
+from repro.syslog.collector import CollectorProfile, degrade_labeled
+
+LOSS_RATES = (0.0, 0.02, 0.05, 0.1, 0.2)
+
+
+def test_robustness_under_collector_loss(benchmark, system_a, live_a):
+    def sweep():
+        rows = []
+        for loss in LOSS_RATES:
+            profile = CollectorProfile(
+                loss_rate=loss, duplicate_rate=0.01, max_jitter=1.0, seed=11
+            )
+            degraded = degrade_labeled(live_a.messages, profile)
+            result = SyslogDigest(system_a.kb, system_a.config).digest(
+                m.message for m in degraded
+            )
+            truth = [lm.event_id for lm in degraded]
+            quality = grouping_quality(result.events, truth)
+            rows.append(
+                (
+                    loss,
+                    len(degraded),
+                    result.n_events,
+                    result.compression_ratio,
+                    quality.mean_fragmentation,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_table(
+        "robustness_loss",
+        ["loss", "#messages", "#events", "ratio", "mean events/incident"],
+        [
+            (f"{loss:.0%}", n, events, sci(ratio), f"{frag:.2f}")
+            for loss, n, events, ratio, frag in rows
+        ],
+        title="Robustness: digesting a lossy/jittery collector feed",
+    )
+
+    clean_ratio = rows[0][3]
+    for loss, _n, _events, ratio, frag in rows:
+        # Graceful degradation: the ratio stays within 3x of clean and
+        # incidents do not shatter.
+        assert ratio < 3 * clean_ratio + 1e-6, loss
+        assert frag < 8.0, loss

@@ -1,0 +1,48 @@
+"""Table 6 — the parameter settings the offline stage converges on.
+
+Paper: alpha = 0.05 (A) / 0.075 (B), beta = 5, W = 120 s (A) / 40 s (B),
+SP_min = 5e-4, Conf_min = 0.8.  Here alpha/beta come out of the actual
+fitting sweep on each dataset's history.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from benchmarks.conftest import WINDOW_A, WINDOW_B
+
+
+def test_table6_parameter_settings(benchmark, system_a, system_b):
+    def collect():
+        return [
+            (
+                "A",
+                system_a.kb.temporal.alpha,
+                system_a.kb.temporal.beta,
+                int(WINDOW_A),
+                system_a.kb.rules.miner.sp_min,
+                system_a.kb.rules.miner.conf_min,
+            ),
+            (
+                "B",
+                system_b.kb.temporal.alpha,
+                system_b.kb.temporal.beta,
+                int(WINDOW_B),
+                system_b.kb.rules.miner.sp_min,
+                system_b.kb.rules.miner.conf_min,
+            ),
+        ]
+
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    record_table(
+        "table6_params",
+        ["Dataset", "alpha", "beta", "W (s)", "SPmin", "Confmin"],
+        rows,
+        title="Table 6: fitted/configured parameters "
+        "(paper: 0.05/0.075, 5, 120/40, 5e-4, 0.8)",
+    )
+
+    for _, alpha, beta, _w, sp_min, conf_min in rows:
+        assert 0.0 < alpha <= 0.2  # small-but-nonzero, as in the paper
+        assert 2.0 <= beta <= 7.0
+        assert sp_min == 0.0005
+        assert conf_min == 0.8

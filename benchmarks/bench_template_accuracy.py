@@ -1,0 +1,64 @@
+"""Section 5.2.1 — learned templates vs ground truth (paper: 94% match).
+
+The paper compared learned templates against hand-coded vendor knowledge;
+our generator's catalog *is* that ground truth, so the metric is exact.
+The expected mismatches are the narrow-value-pool fields (the paper's
+"GigabitEthernet" caveat): the config-session username in A and the
+scanner usernames in B.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from repro.netsim.catalog import CATALOG_V1, CATALOG_V2
+from repro.templates.evaluate import template_accuracy
+from repro.templates.learner import TemplateLearner
+
+
+def test_template_accuracy_both_datasets(
+    benchmark, system_a, history_a, system_b, history_b
+):
+    def evaluate():
+        acc_a = template_accuracy(
+            system_a.kb.templates, CATALOG_V1, history_a.messages
+        )
+        acc_b = template_accuracy(
+            system_b.kb.templates, CATALOG_V2, history_b.messages
+        )
+        return acc_a, acc_b
+
+    acc_a, acc_b = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    combined = (acc_a.n_matched + acc_b.n_matched) / (
+        acc_a.n_true + acc_b.n_true
+    )
+    rows = [
+        ("A", acc_a.n_true, acc_a.n_matched, f"{acc_a.accuracy:.1%}",
+         ", ".join(acc_a.mismatches)),
+        ("B", acc_b.n_true, acc_b.n_matched, f"{acc_b.accuracy:.1%}",
+         ", ".join(acc_b.mismatches)),
+        ("A+B", acc_a.n_true + acc_b.n_true,
+         acc_a.n_matched + acc_b.n_matched, f"{combined:.1%}", ""),
+    ]
+    record_table(
+        "template_accuracy",
+        ["dataset", "true templates", "matched", "accuracy", "mismatches"],
+        rows,
+        title="Section 5.2.1: template identification accuracy (paper: 94%)",
+    )
+
+    # At REPRO_BENCH_SCALE=1.0 this lands at the paper's ~94%; smaller
+    # scales shrink some variable-value pools below the sub-type-tree
+    # prune threshold (the GigabitEthernet effect), costing a few
+    # templates.
+    assert combined >= 0.80
+    # Every learner we evaluated saw a substantial template population.
+    assert acc_a.n_true >= 15
+    assert acc_b.n_true >= 12
+
+
+def test_learning_throughput(benchmark, history_a):
+    """How fast template learning chews through a history stream."""
+    messages = [m.message for m in history_a.messages[:60000]]
+    learner = TemplateLearner()
+    result = benchmark(lambda: learner.learn(messages))
+    assert len(result) > 10

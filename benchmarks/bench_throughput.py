@@ -1,0 +1,59 @@
+"""Throughput — does online digesting keep up with an operational feed?
+
+Paper: "it generally takes less than one hour to digest one day's syslog".
+We measure batch digest and streaming-push throughput on a live day and
+compare against the generation rate.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from repro.core.pipeline import SyslogDigest
+from repro.core.stream import DigestStream
+from repro.netsim.datasets import ONLINE_START
+from repro.utils.timeutils import DAY
+
+
+def _one_day(live):
+    return [
+        m.message
+        for m in live.messages
+        if m.timestamp < ONLINE_START + DAY
+    ]
+
+
+def test_throughput_batch_digest(benchmark, system_a, live_a):
+    messages = _one_day(live_a)
+    result = benchmark(
+        lambda: SyslogDigest(system_a.kb, system_a.config).digest(messages)
+    )
+    per_message_us = benchmark.stats.stats.mean / len(messages) * 1e6
+    record_table(
+        "throughput_batch",
+        ["metric", "value"],
+        [
+            ("messages in one day", len(messages)),
+            ("digest wall time (s)", f"{benchmark.stats.stats.mean:.2f}"),
+            ("per message (us)", f"{per_message_us:.0f}"),
+            ("events", result.n_events),
+        ],
+        title="Throughput: batch digest of one day "
+        "(paper: < 1 hour per day of syslog)",
+    )
+    # Digesting a day must take far less than a day (paper: < 1 h).
+    assert benchmark.stats.stats.mean < 3600.0
+
+
+def test_throughput_streaming_push(benchmark, system_a, live_a):
+    messages = _one_day(live_a)
+
+    def run():
+        stream = DigestStream(system_a.kb, system_a.config)
+        events = []
+        for message in messages:
+            events.extend(stream.push(message))
+        events.extend(stream.close())
+        return events
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events

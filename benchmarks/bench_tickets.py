@@ -1,0 +1,71 @@
+"""Section 6.2 — trouble-ticket correlation.
+
+Paper: rank tickets by investigation/update count, take the top 30 for
+dataset B, match each against the digests (duration covers ticket
+creation, state-level location consistent); all 30 matched events ranked
+top-5% or higher.  We reproduce the protocol exactly on synthetic tickets
+derived from ground-truth incidents.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import record_table
+from repro.apps.ticket_match import match_tickets
+from repro.netsim.tickets import derive_tickets
+
+TOP_TICKETS = 30
+
+
+def test_sec62_ticket_correlation(benchmark, system_b, live_b, digest_b):
+    tickets = derive_tickets(live_b.incidents, seed=8)[:TOP_TICKETS]
+    assert len(tickets) >= 10, "too few tickets derived"
+
+    report = benchmark.pedantic(
+        match_tickets,
+        args=(tickets, digest_b.events, system_b.kb.dictionary),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for match in report.matches:
+        pct = (
+            f"{(match.event_rank + 1) / report.n_events:.1%}"
+            if match.event_rank is not None
+            else "UNMATCHED"
+        )
+        rows.append(
+            (
+                match.ticket.ticket_id,
+                match.ticket.kind,
+                match.ticket.n_updates,
+                match.ticket.state,
+                match.event_rank + 1 if match.event_rank is not None else "-",
+                pct,
+            )
+        )
+    worst = report.worst_rank_percentile()
+    rows.append(
+        (
+            "(summary)",
+            f"{report.n_matched}/{len(tickets)} matched",
+            "",
+            "",
+            "",
+            f"worst {worst:.1%}" if worst else "-",
+        )
+    )
+    record_table(
+        "sec62_tickets",
+        ["ticket", "kind", "updates", "state", "event rank", "rank pct"],
+        rows,
+        title=f"Section 6.2: top-{len(tickets)} tickets vs digest "
+        "(paper: all matched within top 5%)",
+    )
+
+    # No important incident missed.
+    assert report.match_fraction == 1.0
+    # All matches rank prominently.  The paper reports top-5% on a far
+    # larger event population; we assert the same qualitative claim with
+    # headroom for the smaller denominator.
+    assert worst is not None and worst <= 0.35

@@ -1,0 +1,70 @@
+"""A morning operations review: timelines, day-over-day diff, trends.
+
+Combines the monitoring tools on two consecutive days of traffic:
+what ran hot overnight, what is new versus yesterday, and which message
+types shifted their baseline frequency.
+
+    python examples/operations_review.py
+"""
+
+from repro import SyslogDigest, dataset_a, generate_dataset
+from repro.apps.digest_diff import diff_digests, render_delta
+from repro.apps.timeline import TimelineOptions, render_event_strip, render_timeline
+from repro.apps.trending import detect_shifts
+from repro.core.syslogplus import Augmenter
+from repro.utils.timeutils import DAY
+
+data = generate_dataset(dataset_a(), scale=0.3)
+history = data.generate(start_ts=0.0, days=14)
+system = SyslogDigest.learn(
+    [m.message for m in history.messages],
+    list(data.configs.values()),
+)
+
+live = data.generate(start_ts=14 * DAY, days=2, phase_origin=0.0)
+yesterday = [m.message for m in live.messages if m.timestamp < 15 * DAY]
+today = [m.message for m in live.messages if m.timestamp >= 15 * DAY]
+digest_yesterday = system.digest(yesterday)
+digest_today = system.digest(today)
+
+print("=" * 70)
+print("overnight timeline (today, by router)")
+print("=" * 70)
+print(
+    render_timeline(
+        digest_today.events,
+        window_start=15 * DAY,
+        window_end=16 * DAY,
+        options=TimelineOptions(max_routers=8),
+    )
+)
+
+print()
+print("=" * 70)
+print("largest event, message arrivals per router")
+print("=" * 70)
+biggest = max(digest_today.events, key=lambda e: e.n_messages)
+print(render_event_strip(biggest))
+
+print()
+print("=" * 70)
+print("changes vs yesterday")
+print("=" * 70)
+delta = diff_digests(digest_yesterday.events, digest_today.events)
+print(render_delta(delta, top=6))
+
+print()
+print("=" * 70)
+print("template frequency level shifts over the learning period")
+print("=" * 70)
+augmenter = Augmenter(system.kb.templates, system.kb.dictionary)
+stream = augmenter.augment_all(m.message for m in history.messages)
+shifts = detect_shifts(stream, origin=0.0, n_days=14, min_factor=3.0)
+if not shifts:
+    print("no level shifts detected")
+for shift in shifts[:8]:
+    print(
+        f"{shift.router:<16} {shift.template_key:<34} day {shift.day:>2} "
+        f"{shift.direction:<4} {shift.before_mean:7.2f} -> "
+        f"{shift.after_mean:7.2f} ({shift.describe_factor()})"
+    )

@@ -1,0 +1,46 @@
+"""Quickstart: learn from history, digest a live stream, read the events.
+
+Runs in under a minute on a laptop:
+
+    python examples/quickstart.py
+"""
+
+from repro import SyslogDigest, dataset_a, generate_dataset
+from repro.utils.timeutils import DAY
+
+# 1. A synthetic ISP-backbone dataset (stands in for the paper's
+#    proprietary tier-1 feed).  scale=0.3 shrinks it to laptop size.
+data = generate_dataset(dataset_a(), scale=0.3)
+
+# 2. Offline domain-knowledge learning on two weeks of history plus the
+#    router configs: templates, locations, temporal parameters, rules.
+history = data.generate(start_ts=0.0, days=14)
+system = SyslogDigest.learn(
+    [m.message for m in history.messages],
+    list(data.configs.values()),
+)
+kb = system.kb
+print(
+    f"learned {len(kb.templates)} templates, {len(kb.rules)} association "
+    f"rules, alpha={kb.temporal.alpha:g}, beta={kb.temporal.beta:g}"
+)
+
+# 3. Online digesting of the next two days.
+live = data.generate(start_ts=14 * DAY, days=2)
+digest = system.digest(m.message for m in live.messages)
+print(
+    f"\n{digest.n_messages} raw messages -> {digest.n_events} events "
+    f"(compression ratio {digest.compression_ratio:.2e})\n"
+)
+
+# 4. The prioritized digest: one line per event, most important first.
+print(digest.render(top=10))
+
+# 5. Drill into the top event's raw messages via its index field.
+top = digest.events[0]
+raw = [m.message for m in live.messages]
+print(f"\ntop event '{top.label}' backed by {top.n_messages} raw messages:")
+for index in top.indices[:5]:
+    print("  " + raw[index].render())
+if top.n_messages > 5:
+    print(f"  ... and {top.n_messages - 5} more")

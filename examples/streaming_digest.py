@@ -1,0 +1,42 @@
+"""Online, message-by-message digesting with DigestStream.
+
+The batch API is convenient for studies; an operational deployment
+consumes the collector feed as it arrives.  DigestStream finalizes an
+event once no grouping horizon can still extend it.
+
+    python examples/streaming_digest.py
+"""
+
+from repro import DigestStream, SyslogDigest, dataset_a, generate_dataset
+from repro.core.present import present_event
+from repro.utils.timeutils import DAY, format_ts
+
+data = generate_dataset(dataset_a(), scale=0.25)
+history = data.generate(start_ts=0.0, days=10)
+system = SyslogDigest.learn(
+    [m.message for m in history.messages],
+    list(data.configs.values()),
+    fit_temporal=False,
+)
+
+live = data.generate(start_ts=10 * DAY, days=1)
+stream = DigestStream(system.kb, system.config)
+print(
+    f"pushing {len(live.messages)} messages; events finalize after "
+    f"{stream.flush_after / 3600:.1f} h of group inactivity\n"
+)
+
+finalized = 0
+for lm in live.messages:
+    for event in stream.push(lm.message):
+        finalized += 1
+        print(f"[{format_ts(lm.timestamp)}] finalized:")
+        print("   " + present_event(event))
+
+remaining = stream.close()
+print(
+    f"\nstream closed: {finalized} events finalized live, "
+    f"{len(remaining)} still open at close"
+)
+for event in sorted(remaining, key=lambda e: -e.score)[:5]:
+    print("   " + present_event(event))

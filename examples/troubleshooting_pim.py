@@ -1,0 +1,84 @@
+"""The Section 6.1 case study: troubleshooting a PIM neighbor-loss event.
+
+An IPTV backbone protects each multicast link with a secondary MPLS path;
+PIM should only break on a dual failure.  When a PIM session dropped after
+a *single* link failure, the digest's event signature exposed the real
+story: the secondary path had been failing to set up and retrying every
+five minutes all along.
+
+    python examples/troubleshooting_pim.py
+"""
+
+from repro import SyslogDigest, dataset_b, generate_dataset
+from repro.apps.troubleshoot import EventBrowser
+from repro.utils.timeutils import DAY
+
+data = generate_dataset(dataset_b(), scale=0.4)
+# A solid month of history so the rare PIM/MPLS associations are learned.
+history = data.generate(start_ts=0.0, days=30)
+system = SyslogDigest.learn(
+    [m.message for m in history.messages],
+    list(data.configs.values()),
+)
+
+live = data.generate(start_ts=30 * DAY, days=3)
+live_messages = [m.message for m in live.messages]
+
+# Make sure the window contains the incident of interest: inject one PIM
+# dual-failure cascade (the scenario the paper's operators investigated).
+import random
+
+from repro.netsim.events import b_pim_cascade
+
+cascade = b_pim_cascade(
+    data.network, random.Random(42), "demo-cascade", 31 * DAY
+)
+live_messages = sorted(
+    live_messages + [m.message for m in cascade.messages],
+    key=lambda m: m.timestamp,
+)
+
+digest = system.digest(live_messages)
+browser = EventBrowser(events=digest.events, raw_messages=live_messages)
+
+# Find the PIM neighbor-loss event an operator would be paged about.
+pim_events = [
+    e
+    for e in digest.events
+    if any("pimNbrLoss" in code for code in e.error_codes)
+]
+event = max(pim_events, key=lambda e: e.n_messages)
+
+print("=== the page: PIM neighbor loss ===")
+print(f"event label : {event.label}")
+print(f"routers     : {', '.join(event.routers)}")
+print(f"error codes : {len(event.error_codes)} distinct")
+for code in event.error_codes:
+    print(f"  - {code}")
+
+# The signature exposes the broken secondary path (lspPathRetry).
+if any("lspPathRetry" in code for code in event.error_codes):
+    print(
+        "\n>>> signature includes MPLS-MINOR-lspPathRetry: the secondary "
+        "path was failing to set up — the 'protected' link was not "
+        "protected.  Root cause found without any manual log grep."
+    )
+
+# Contrast with what a naive time-window grep would offer.
+router = event.routers[0]
+for half_width in (60.0, 3600.0):
+    count = browser.naive_window_message_count(
+        event.start_ts, half_width, router
+    )
+    print(
+        f"naive +/-{int(half_width)}s grep on {router}: {count} raw "
+        "messages to read"
+    )
+print(
+    f"digest event: {event.n_messages} messages, already grouped and "
+    "cross-referenced"
+)
+
+print("\n=== full investigation report (truncated) ===")
+report = browser.investigation_report(event)
+print("\n".join(report.splitlines()[:30]))

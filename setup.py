@@ -1,0 +1,9 @@
+"""Shim so legacy editable installs work without the `wheel` package.
+
+The pyproject.toml carries all metadata; this file only enables
+``pip install -e . --no-use-pep517`` on environments lacking wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""SyslogDigest: mining network events from router syslogs.
+
+Reproduction of Qiu et al., "What Happened in my Network? Mining Network
+Events from Router Syslogs" (IMC 2010).  The package bundles:
+
+* the SyslogDigest system itself (:mod:`repro.core`): offline domain
+  knowledge learning and online digesting of syslog streams into
+  prioritized network events;
+* its substrates: template mining (:mod:`repro.templates`), location
+  learning (:mod:`repro.locations`), association-rule and temporal mining
+  (:mod:`repro.mining`), syslog parsing (:mod:`repro.syslog`);
+* a network/workload simulator replacing the paper's proprietary ISP data
+  (:mod:`repro.netsim`), applications (:mod:`repro.apps`) and baselines
+  (:mod:`repro.baselines`).
+
+Quickstart::
+
+    from repro import SyslogDigest, dataset_a, generate_dataset
+
+    data = generate_dataset(dataset_a(), scale=0.3)
+    history = data.generate(start_ts=0.0, days=14)
+    system = SyslogDigest.learn(
+        [m.message for m in history.messages], list(data.configs.values())
+    )
+    live = data.generate(start_ts=14 * 86400.0, days=1)
+    digest = system.digest(m.message for m in live.messages)
+    print(digest.render(top=10))
+"""
+
+from repro.core import (
+    DigestConfig,
+    DigestResult,
+    KnowledgeBase,
+    NetworkEvent,
+    SyslogDigest,
+)
+from repro.core.stream import DigestStream
+from repro.netsim import dataset_a, dataset_b, generate_dataset
+from repro.syslog import SyslogMessage, parse_line
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DigestConfig",
+    "DigestResult",
+    "DigestStream",
+    "KnowledgeBase",
+    "NetworkEvent",
+    "SyslogDigest",
+    "SyslogMessage",
+    "__version__",
+    "dataset_a",
+    "dataset_b",
+    "generate_dataset",
+    "parse_line",
+]

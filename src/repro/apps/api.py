@@ -1,0 +1,53 @@
+"""JSON-friendly views of digest output, for integration.
+
+Downstream systems (ticketing, dashboards, alert buses) want structured
+events, not rendered text.  These converters produce plain dict/JSON forms
+of events and digests with stable field names.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.events import NetworkEvent
+from repro.core.pipeline import DigestResult
+from repro.utils.timeutils import format_ts
+
+
+def event_to_dict(event: NetworkEvent, include_indices: bool = True) -> dict:
+    """A stable, JSON-serializable view of one event."""
+    out = {
+        "start": format_ts(event.start_ts),
+        "end": format_ts(event.end_ts),
+        "start_ts": event.start_ts,
+        "end_ts": event.end_ts,
+        "label": event.label,
+        "score": round(event.score, 3),
+        "n_messages": event.n_messages,
+        "routers": list(event.routers),
+        "error_codes": list(event.error_codes),
+        "templates": list(event.template_keys),
+        "locations": [str(loc) for loc in event.location_summary()],
+    }
+    if include_indices:
+        out["message_indices"] = list(event.indices)
+    return out
+
+
+def digest_to_dict(
+    result: DigestResult, top: int | None = None
+) -> dict:
+    """The whole digest as one JSON-serializable document."""
+    events = result.events if top is None else result.events[:top]
+    return {
+        "n_messages": result.n_messages,
+        "n_events": result.n_events,
+        "compression_ratio": result.compression_ratio,
+        "active_rules": sorted(list(p) for p in result.active_rules),
+        "events": [event_to_dict(e) for e in events],
+    }
+
+
+def digest_to_json(result: DigestResult, top: int | None = None) -> str:
+    """JSON text of :func:`digest_to_dict`."""
+    return json.dumps(digest_to_dict(result, top), indent=1)

@@ -1,0 +1,99 @@
+"""Comparing two digest runs: what changed since yesterday?
+
+Operators track evolution ("tracking the appearance and evolvement of
+network events" — Section 1): which event signatures are new today, which
+disappeared, which changed volume.  Events are keyed by their template
+signature plus router set, the stable identity of a *kind of trouble at a
+place*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import NetworkEvent
+
+SignatureKey = tuple[tuple[str, ...], tuple[str, ...]]
+
+
+def _key(event: NetworkEvent) -> SignatureKey:
+    return (event.template_keys, event.routers)
+
+
+@dataclass(frozen=True)
+class DigestDelta:
+    """Difference between a baseline digest and a current one."""
+
+    appeared: tuple[SignatureKey, ...]
+    disappeared: tuple[SignatureKey, ...]
+    persisted: tuple[SignatureKey, ...]
+    # message-count change for persisted signatures: key -> (before, after)
+    volume_changes: dict[SignatureKey, tuple[int, int]]
+
+    @property
+    def churn(self) -> int:
+        """Total signatures that appeared or disappeared."""
+        return len(self.appeared) + len(self.disappeared)
+
+    def grown(self, factor: float = 2.0) -> list[SignatureKey]:
+        """Persisted signatures whose volume grew by at least ``factor``."""
+        return [
+            key
+            for key, (before, after) in self.volume_changes.items()
+            if before > 0 and after >= factor * before
+        ]
+
+
+def diff_digests(
+    baseline: list[NetworkEvent], current: list[NetworkEvent]
+) -> DigestDelta:
+    """Compare two digests by event signature identity."""
+    base_counts: dict[SignatureKey, int] = {}
+    for event in baseline:
+        key = _key(event)
+        base_counts[key] = base_counts.get(key, 0) + event.n_messages
+    curr_counts: dict[SignatureKey, int] = {}
+    for event in current:
+        key = _key(event)
+        curr_counts[key] = curr_counts.get(key, 0) + event.n_messages
+
+    appeared = tuple(
+        sorted(set(curr_counts) - set(base_counts))
+    )
+    disappeared = tuple(
+        sorted(set(base_counts) - set(curr_counts))
+    )
+    persisted = tuple(sorted(set(base_counts) & set(curr_counts)))
+    return DigestDelta(
+        appeared=appeared,
+        disappeared=disappeared,
+        persisted=persisted,
+        volume_changes={
+            key: (base_counts[key], curr_counts[key]) for key in persisted
+        },
+    )
+
+
+def render_delta(delta: DigestDelta, top: int = 10) -> str:
+    """Human-readable change report."""
+    lines = [
+        f"appeared: {len(delta.appeared)}  disappeared: "
+        f"{len(delta.disappeared)}  persisted: {len(delta.persisted)}"
+    ]
+    for key in delta.appeared[:top]:
+        templates, routers = key
+        lines.append(
+            f"  + {', '.join(routers)}: {', '.join(templates[:4])}"
+        )
+    for key in delta.disappeared[:top]:
+        templates, routers = key
+        lines.append(
+            f"  - {', '.join(routers)}: {', '.join(templates[:4])}"
+        )
+    for key in delta.grown()[:top]:
+        before, after = delta.volume_changes[key]
+        _templates, routers = key
+        lines.append(
+            f"  ^ {', '.join(routers)}: volume {before} -> {after}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Figure-ready data export: CSV series behind every reproduced figure.
+
+The bench harness records human-readable tables; downstream users often
+want the raw series to plot themselves.  These helpers turn digest results
+and sweep curves into plain CSV text (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+from repro.core.pipeline import DigestResult
+
+
+def _csv(rows: Sequence[Sequence[object]], header: Sequence[str]) -> str:
+    out = io.StringIO()
+    out.write(",".join(header) + "\n")
+    for row in rows:
+        out.write(",".join(str(cell) for cell in row) + "\n")
+    return out.getvalue()
+
+
+def daily_counts_csv(result: DigestResult, origin: float) -> str:
+    """Figure 12 series: day, messages, events, ratio."""
+    per_day = result.per_day(origin)
+    rows = [
+        (
+            day,
+            counts["messages"],
+            counts["events"],
+            counts["events"] / max(counts["messages"], 1),
+        )
+        for day, counts in sorted(per_day.items())
+    ]
+    return _csv(rows, ["day", "messages", "events", "ratio"])
+
+
+def per_router_csv(result: DigestResult) -> str:
+    """Figure 13 series: router, messages, events, ratio."""
+    per_router = result.per_router()
+    rows = [
+        (
+            router,
+            counts["messages"],
+            counts["events"],
+            counts["events"] / max(counts["messages"], 1),
+        )
+        for router, counts in sorted(
+            per_router.items(), key=lambda kv: -kv[1]["messages"]
+        )
+    ]
+    return _csv(rows, ["router", "messages", "events", "ratio"])
+
+
+def sweep_csv(
+    curve: Sequence[tuple[float, float]], x_name: str, y_name: str
+) -> str:
+    """Generic parameter-sweep series (Figures 6, 7, 10, 11)."""
+    return _csv(list(curve), [x_name, y_name])
+
+
+def events_csv(result: DigestResult, top: int | None = None) -> str:
+    """The ranked digest as machine-readable rows."""
+    events = result.events if top is None else result.events[:top]
+    rows = [
+        (
+            f"{event.start_ts:.0f}",
+            f"{event.end_ts:.0f}",
+            ";".join(event.routers),
+            event.label.replace(",", ";"),
+            event.n_messages,
+            f"{event.score:.2f}",
+        )
+        for event in events
+    ]
+    return _csv(
+        rows, ["start_ts", "end_ts", "routers", "label", "messages", "score"]
+    )

@@ -1,0 +1,92 @@
+"""Network health visualization (Section 6.2, Figures 14/15).
+
+The paper's map draws one circle per router, sized by how much is going on
+there; the point of Figure 14 vs 15 is that sizing by *digested events*
+shows the real trouble while sizing by *raw messages* misleads operators
+toward chatty-but-fine routers.  We render the same comparison as a text
+map: routers bucketed by site, with a bar per router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.events import NetworkEvent
+from repro.syslog.message import SyslogMessage
+from repro.utils.timeutils import format_ts
+
+
+@dataclass
+class HealthMap:
+    """Counts per router for one observation window."""
+
+    window_start: float
+    window_end: float
+    event_counts: dict[str, int] = field(default_factory=dict)
+    message_counts: dict[str, int] = field(default_factory=dict)
+    event_labels: dict[str, list[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        events: list[NetworkEvent],
+        raw_messages: list[SyslogMessage],
+        window_start: float,
+        window_end: float,
+    ) -> HealthMap:
+        """Count events/messages per router inside the window."""
+        health = cls(window_start=window_start, window_end=window_end)
+        for event in events:
+            if event.end_ts < window_start or event.start_ts > window_end:
+                continue
+            for router in event.routers:
+                health.event_counts[router] = (
+                    health.event_counts.get(router, 0) + 1
+                )
+                health.event_labels.setdefault(router, []).append(event.label)
+        for message in raw_messages:
+            if window_start <= message.timestamp <= window_end:
+                health.message_counts[message.router] = (
+                    health.message_counts.get(message.router, 0) + 1
+                )
+        return health
+
+    def most_loaded(self, by_events: bool) -> list[tuple[str, int]]:
+        """Routers sorted by the chosen count, heaviest first."""
+        counts = self.event_counts if by_events else self.message_counts
+        return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def _bar(count: int, scale_max: int, width: int = 30) -> str:
+    if scale_max <= 0:
+        return ""
+    filled = max(1, round(width * count / scale_max)) if count else 0
+    return "o" * filled
+
+
+def render_health_map(
+    health: HealthMap, by_events: bool, top: int = 12
+) -> str:
+    """Render the text "map": one bar per router, biggest circles first.
+
+    ``by_events=True`` is the Figure 14 view (digest events),
+    ``by_events=False`` the Figure 15 view (raw messages).
+    """
+    loaded = health.most_loaded(by_events)[:top]
+    unit = "events" if by_events else "messages"
+    title = (
+        f"network status {format_ts(health.window_start)} .. "
+        f"{format_ts(health.window_end)} (circle size = {unit})"
+    )
+    if not loaded:
+        return title + "\n(no activity)"
+    scale_max = loaded[0][1]
+    lines = [title]
+    for router, count in loaded:
+        bar = _bar(count, scale_max)
+        annotation = ""
+        if by_events:
+            labels = sorted(set(health.event_labels.get(router, [])))[:3]
+            annotation = "  [" + "; ".join(labels) + "]" if labels else ""
+        lines.append(f"{router:<16} {count:>6} {bar}{annotation}")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Daily operations report over a digest run (feeds Figures 12/13)."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import DigestResult
+from repro.utils.stats import gini
+from repro.utils.textable import render_table
+
+
+def daily_report(result: DigestResult, origin: float) -> str:
+    """Messages/events per day plus per-router skew, as a text report."""
+    per_day = result.per_day(origin)
+    rows = [
+        (
+            day,
+            counts["messages"],
+            counts["events"],
+            f"{counts['events'] / max(counts['messages'], 1):.2e}",
+        )
+        for day, counts in sorted(per_day.items())
+    ]
+    day_table = render_table(
+        ["day", "messages", "events", "ratio"], rows, title="per-day digest"
+    )
+
+    per_router = result.per_router()
+    router_rows = sorted(
+        per_router.items(), key=lambda kv: -kv[1]["messages"]
+    )[:15]
+    router_table = render_table(
+        ["router", "messages", "events"],
+        [(r, c["messages"], c["events"]) for r, c in router_rows],
+        title="busiest routers",
+    )
+    message_skew = gini([c["messages"] for c in per_router.values()])
+    event_skew = gini([c["events"] for c in per_router.values()])
+    skew_line = (
+        f"per-router skew (gini): messages={message_skew:.3f} "
+        f"events={event_skew:.3f}"
+    )
+    return "\n\n".join([day_table, router_table, skew_line])

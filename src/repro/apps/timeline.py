@@ -1,0 +1,110 @@
+"""ASCII event timelines: per-router swimlanes for a window or an event.
+
+Troubleshooting often starts with "what happened around then?"; a timeline
+of digest events per router answers it in a terminal, complementing the
+health map (which aggregates) and the event browser (which drills down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import NetworkEvent
+from repro.utils.timeutils import format_ts
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering knobs."""
+
+    width: int = 72
+    max_routers: int = 12
+    label_width: int = 18
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(value, hi))
+
+
+def render_timeline(
+    events: list[NetworkEvent],
+    window_start: float,
+    window_end: float,
+    options: TimelineOptions = TimelineOptions(),
+) -> str:
+    """Swimlane view: one row per router, one span per event.
+
+    Events overlapping the window are drawn as ``[====]`` spans on each
+    router they touch; overlapping events on one router merge visually
+    (the drill-down is the event browser's job).
+    """
+    if window_end <= window_start:
+        raise ValueError("window_end must be after window_start")
+    span = window_end - window_start
+    visible = [
+        e
+        for e in events
+        if e.end_ts >= window_start and e.start_ts <= window_end
+    ]
+    by_router: dict[str, list[NetworkEvent]] = {}
+    for event in visible:
+        for router in event.routers:
+            by_router.setdefault(router, []).append(event)
+
+    header = (
+        f"{format_ts(window_start)}  ..  {format_ts(window_end)} "
+        f"({len(visible)} events)"
+    )
+    lines = [header]
+    ordered = sorted(
+        by_router.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    )[: options.max_routers]
+    for router, router_events in ordered:
+        cells = [" "] * options.width
+        for event in router_events:
+            lo = _clamp(
+                int((event.start_ts - window_start) / span * options.width),
+                0,
+                options.width - 1,
+            )
+            hi = _clamp(
+                int((event.end_ts - window_start) / span * options.width),
+                lo,
+                options.width - 1,
+            )
+            cells[lo] = "["
+            cells[hi] = "]"
+            for i in range(lo + 1, hi):
+                if cells[i] == " ":
+                    cells[i] = "="
+        label = router[: options.label_width].ljust(options.label_width)
+        lines.append(f"{label}|{''.join(cells)}|")
+    if len(by_router) > options.max_routers:
+        lines.append(f"(+{len(by_router) - options.max_routers} more routers)")
+    return "\n".join(lines)
+
+
+def render_event_strip(
+    event: NetworkEvent, options: TimelineOptions = TimelineOptions()
+) -> str:
+    """Message-arrival strip for one event, one row per router."""
+    start, end = event.start_ts, max(event.end_ts, event.start_ts + 1.0)
+    span = end - start
+    lines = [
+        f"{event.label or 'event'}: {event.n_messages} messages, "
+        f"{format_ts(start)} .. {format_ts(event.end_ts)}"
+    ]
+    for router in event.routers[: options.max_routers]:
+        cells = [" "] * options.width
+        for plus in event.messages:
+            if plus.router != router:
+                continue
+            idx = _clamp(
+                int((plus.timestamp - start) / span * (options.width - 1)),
+                0,
+                options.width - 1,
+            )
+            cells[idx] = "|"
+        label = router[: options.label_width].ljust(options.label_width)
+        lines.append(f"{label}{''.join(cells)}")
+    return "\n".join(lines)

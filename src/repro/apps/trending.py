@@ -1,0 +1,137 @@
+"""MERCURY-style trend detection over template frequencies.
+
+The paper's introduction points at MERCURY [15], which finds network
+behaviour changes (e.g. after upgrades) as *level shifts* in the daily
+frequency of individual syslog types — and argues SyslogDigest's template
+relationships make such results more meaningful.  This module provides
+that capability on top of learned templates: per-(router, template) daily
+series, a rank-free level-shift test, and a report of which templates
+changed behaviour and when.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.syslogplus import SyslogPlus
+from repro.utils.stats import mean
+from repro.utils.timeutils import DAY
+
+
+@dataclass(frozen=True)
+class LevelShift:
+    """A detected persistent change in a template's daily frequency."""
+
+    router: str
+    template_key: str
+    day: int  # first day of the new level (0-based)
+    before_mean: float
+    after_mean: float
+
+    @property
+    def factor(self) -> float:
+        """Magnitude of the shift (>= 1); infinite for appear/disappear."""
+        lo = min(self.before_mean, self.after_mean)
+        hi = max(self.before_mean, self.after_mean)
+        if lo == 0.0:
+            return float("inf")
+        return hi / lo
+
+    @property
+    def direction(self) -> str:
+        """``up`` or ``down``."""
+        return "up" if self.after_mean > self.before_mean else "down"
+
+    def describe_factor(self) -> str:
+        """Display form: ``x3.2``, or ``new``/``gone`` for zero baselines."""
+        if self.factor == float("inf"):
+            return "new" if self.direction == "up" else "gone"
+        return f"x{self.factor:.1f}"
+
+
+def daily_series(
+    stream: Sequence[SyslogPlus], origin: float, n_days: int
+) -> dict[tuple[str, str], list[int]]:
+    """Daily (router, template) counts over ``n_days`` from ``origin``."""
+    series: dict[tuple[str, str], list[int]] = {}
+    for plus in stream:
+        day = int((plus.timestamp - origin) // DAY)
+        if not 0 <= day < n_days:
+            continue
+        key = (plus.router, plus.template_key)
+        counts = series.get(key)
+        if counts is None:
+            counts = [0] * n_days
+            series[key] = counts
+        counts[day] += 1
+    return series
+
+
+def detect_level_shift(
+    counts: Sequence[int],
+    min_window: int = 3,
+    min_factor: float = 3.0,
+    min_level: float = 1.0,
+) -> tuple[int, float, float] | None:
+    """Best split day where the mean level changes by >= ``min_factor``.
+
+    Both sides need at least ``min_window`` days and the larger side's
+    mean must reach ``min_level`` (a shift between 0.001 and 0.003 is
+    noise, not behaviour change).  Returns (day, before_mean, after_mean)
+    or ``None``.
+    """
+    n = len(counts)
+    best: tuple[int, float, float] | None = None
+    best_factor = min_factor
+    for day in range(min_window, n - min_window + 1):
+        before = mean([float(c) for c in counts[:day]])
+        after = mean([float(c) for c in counts[day:]])
+        hi, lo = max(before, after), min(before, after)
+        if hi < min_level:
+            continue
+        factor = hi / max(lo, 1e-9) if lo > 0 else float("inf")
+        # Guard against a single spike: the medians of the two sides must
+        # separate in the same direction as the means, by at least half
+        # the factor bar.  A lone outlier day moves the mean but not the
+        # median.
+        med_before = float(sorted(counts[:day])[day // 2])
+        med_after = float(sorted(counts[day:])[(n - day) // 2])
+        med_hi = max(med_before, med_after)
+        med_lo = min(med_before, med_after)
+        if med_hi < (min_factor / 2) * max(med_lo, 1e-9):
+            continue
+        if (after > before) != (med_after > med_before):
+            continue
+        if factor >= best_factor:
+            best_factor = factor
+            best = (day, before, after)
+    return best
+
+
+def detect_shifts(
+    stream: Sequence[SyslogPlus],
+    origin: float,
+    n_days: int,
+    min_factor: float = 3.0,
+) -> list[LevelShift]:
+    """All per-(router, template) level shifts in a Syslog+ stream."""
+    shifts: list[LevelShift] = []
+    for (router, template_key), counts in sorted(
+        daily_series(stream, origin, n_days).items()
+    ):
+        found = detect_level_shift(counts, min_factor=min_factor)
+        if found is None:
+            continue
+        day, before, after = found
+        shifts.append(
+            LevelShift(
+                router=router,
+                template_key=template_key,
+                day=day,
+                before_mean=before,
+                after_mean=after,
+            )
+        )
+    shifts.sort(key=lambda s: -s.factor)
+    return shifts

@@ -1,0 +1,117 @@
+"""A Drain-style online template miner (He et al., ICWS 2017), simplified.
+
+Later log-parsing work converged on fixed-depth parse trees: route a
+message by token count, then by its first ``depth`` tokens (a token
+becomes ``<*>`` once too many distinct values pass through), then match
+against leaf clusters by token-wise similarity.  Included as a baseline so
+the ablation bench can compare template quality against the paper's
+frequent-word sub-type trees on the same ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.syslog.message import SyslogMessage
+from repro.templates.tokenize import tokenize
+
+_WILDCARD = "<*>"
+
+
+@dataclass
+class _Cluster:
+    """One leaf cluster: a token pattern with wildcards."""
+
+    tokens: list[str]
+
+    def similarity(self, tokens: tuple[str, ...]) -> float:
+        """Token-wise similarity of ``tokens`` to this cluster."""
+        same = sum(
+            1
+            for a, b in zip(self.tokens, tokens)
+            if a == b or a == _WILDCARD
+        )
+        return same / len(self.tokens) if self.tokens else 1.0
+
+    def absorb(self, tokens: tuple[str, ...]) -> None:
+        """Fold ``tokens`` in, wildcarding positions that differ."""
+        for i, (a, b) in enumerate(zip(self.tokens, tokens)):
+            if a != b:
+                self.tokens[i] = _WILDCARD
+
+    def pattern(self) -> str:
+        """The cluster's token pattern with ``<*>`` wildcards."""
+        return " ".join(self.tokens)
+
+
+@dataclass
+class DrainMiner:
+    """Fixed-depth-tree online template miner.
+
+    Parameters
+    ----------
+    depth:
+        Number of leading tokens used for routing.
+    sim_threshold:
+        Minimum token-wise similarity to join an existing cluster.
+    max_children:
+        Per-node branching cap; overflowing tokens route to a wildcard
+        child (Drain's guard against variable leading tokens).
+    """
+
+    depth: int = 3
+    sim_threshold: float = 0.5
+    max_children: int = 24
+    _tree: dict = field(default_factory=dict)
+
+    def fit(self, messages) -> None:
+        """Route a whole stream of messages through the tree."""
+        for message in messages:
+            self.add(message)
+
+    def add(self, message: SyslogMessage) -> str:
+        """Route one message; returns the cluster pattern it joined."""
+        tokens = (message.error_code,) + tokenize(message.detail)
+        node = self._tree.setdefault(len(tokens), {})
+        for token in tokens[: self.depth]:
+            children = node.setdefault("children", {})
+            if token in children:
+                node = children[token]
+            elif len(children) < self.max_children:
+                children[token] = {}
+                node = children[token]
+            else:
+                node = children.setdefault(_WILDCARD, {})
+        clusters: list[_Cluster] = node.setdefault("clusters", [])
+        best: _Cluster | None = None
+        best_sim = self.sim_threshold
+        for cluster in clusters:
+            if len(cluster.tokens) != len(tokens):
+                continue
+            sim = cluster.similarity(tokens)
+            if sim >= best_sim:
+                best, best_sim = cluster, sim
+        if best is None:
+            best = _Cluster(tokens=list(tokens))
+            clusters.append(best)
+        else:
+            best.absorb(tokens)
+        return best.pattern()
+
+    def clusters(self) -> list[str]:
+        """All cluster patterns mined so far."""
+        out: list[str] = []
+
+        def walk(node: dict) -> None:
+            out.extend(c.pattern() for c in node.get("clusters", []))
+            for child in node.get("children", {}).values():
+                walk(child)
+
+        for root in self._tree.values():
+            walk(root)
+        return sorted(out)
+
+    def constant_words_of(self, pattern: str) -> tuple[str, ...]:
+        """Constant words of a cluster pattern (drops the error code)."""
+        words = pattern.split()[1:]
+        return tuple(w for w in words if w != _WILDCARD)

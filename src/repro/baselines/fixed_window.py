@@ -1,0 +1,37 @@
+"""Naive fixed-inactivity-gap grouping baseline.
+
+Groups messages of the same (router, error code) whenever consecutive
+messages are closer than a fixed gap.  No templates, no locations, no
+learned rhythm — the scripting-level triage SyslogDigest replaces.  Used
+by the ablation bench to show what the EWMA model and the rule/cross
+passes buy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.syslog.message import SyslogMessage
+
+
+def fixed_window_groups(
+    messages: Iterable[SyslogMessage], gap: float = 300.0
+) -> list[list[SyslogMessage]]:
+    """Group by (router, error_code) with a fixed inactivity gap."""
+    if gap < 0:
+        raise ValueError("gap must be non-negative")
+    ordered = sorted(messages, key=lambda m: m.timestamp)
+    open_groups: dict[tuple[str, str], list[SyslogMessage]] = {}
+    done: list[list[SyslogMessage]] = []
+    for message in ordered:
+        key = (message.router, message.error_code)
+        group = open_groups.get(key)
+        if group is not None and message.timestamp - group[-1].timestamp <= gap:
+            group.append(message)
+        else:
+            if group is not None:
+                done.append(group)
+            open_groups[key] = [message]
+    done.extend(open_groups.values())
+    done.sort(key=lambda g: g[0].timestamp)
+    return done

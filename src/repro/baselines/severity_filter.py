@@ -1,0 +1,29 @@
+"""Vendor-severity triage baseline.
+
+Keeps only messages at or above a vendor severity level — the practice
+Section 2 of the paper criticizes: vendor severities rank local element
+impact, not network impact (a CPU threshold beats a link down in some
+router OSes), so filtering by them both floods and misses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.syslog.message import SyslogMessage
+
+
+def severity_filter(
+    messages: Iterable[SyslogMessage], max_severity: int = 3
+) -> list[SyslogMessage]:
+    """Messages whose vendor severity is ``<= max_severity`` (more severe).
+
+    Messages without a parseable severity are dropped, as a
+    severity-driven monitoring system would drop them.
+    """
+    out = []
+    for message in messages:
+        severity = message.severity
+        if severity is not None and severity <= max_severity:
+            out.append(message)
+    return out

@@ -1,0 +1,208 @@
+"""Command-line interface: ``syslogdigest <generate|learn|digest|report>``.
+
+A thin operational wrapper over the library so the full workflow runs from
+a shell::
+
+    syslogdigest generate --dataset A --days 14 --scale 0.3 --out work/
+    syslogdigest learn --log work/history.log --configs work/configs --kb work/kb.json
+    syslogdigest digest --log work/online.log --kb work/kb.json --top 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import DigestConfig
+from repro.core.knowledge import KnowledgeBase
+from repro.core.pipeline import SyslogDigest
+from repro.netsim.datasets import dataset_a, dataset_b, generate_dataset
+from repro.syslog.stream import read_log, write_log
+from repro.utils.timeutils import DAY, parse_ts
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = dataset_a(args.seed) if args.dataset.upper() == "A" else dataset_b(args.seed)
+    data = generate_dataset(spec, scale=args.scale)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    start = parse_ts(args.start)
+    result = data.generate(start, args.days)
+    n = write_log(out / "syslog.log", result.raw_messages())
+    config_dir = out / "configs"
+    config_dir.mkdir(exist_ok=True)
+    for router, text in data.configs.items():
+        (config_dir / f"{router}.cfg").write_text(text, encoding="utf-8")
+    print(
+        f"wrote {n} messages ({len(result.incidents)} injected conditions) "
+        f"to {out / 'syslog.log'}, {len(data.configs)} configs to {config_dir}"
+    )
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    messages = list(read_log(args.log))
+    configs = [
+        path.read_text(encoding="utf-8")
+        for path in sorted(Path(args.configs).glob("*.cfg"))
+    ]
+    if not configs:
+        print(f"no *.cfg files under {args.configs}", file=sys.stderr)
+        return 1
+    system = SyslogDigest.learn(
+        messages, configs, DigestConfig(), fit_temporal=not args.no_fit
+    )
+    system.kb.save(args.kb)
+    stats = system.kb.dictionary.stats()
+    print(
+        f"learned {len(system.kb.templates)} templates, "
+        f"{len(system.kb.rules)} rules, "
+        f"alpha={system.kb.temporal.alpha} beta={system.kb.temporal.beta}, "
+        f"{stats['components']} locations -> {args.kb}"
+    )
+    return 0
+
+
+def _cmd_digest(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase.load(args.kb)
+    system = SyslogDigest(kb, DigestConfig())
+    messages = list(read_log(args.log))
+    result = system.digest(messages)
+    print(
+        f"# {result.n_messages} messages -> {result.n_events} events "
+        f"(ratio {result.compression_ratio:.2e})"
+    )
+    print(result.render(top=args.top))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.apps.reportgen import daily_report
+
+    kb = KnowledgeBase.load(args.kb)
+    system = SyslogDigest(kb, DigestConfig())
+    messages = list(read_log(args.log))
+    result = system.digest(messages)
+    origin = messages[0].timestamp - (messages[0].timestamp % DAY)
+    print(daily_report(result, origin))
+    return 0
+
+
+def _augmented(kb_path: str, log_path: str):
+    from repro.core.syslogplus import Augmenter
+
+    kb = KnowledgeBase.load(kb_path)
+    messages = list(read_log(log_path))
+    augmenter = Augmenter(kb.templates, kb.dictionary)
+    return messages, augmenter.augment_all(messages)
+
+
+def _cmd_trends(args: argparse.Namespace) -> int:
+    from repro.apps.trending import detect_shifts
+
+    messages, stream = _augmented(args.kb, args.log)
+    if not messages:
+        print("empty log", file=sys.stderr)
+        return 1
+    origin = messages[0].timestamp - (messages[0].timestamp % DAY)
+    n_days = int((messages[-1].timestamp - origin) // DAY) + 1
+    shifts = detect_shifts(
+        stream, origin, n_days, min_factor=args.min_factor
+    )
+    if not shifts:
+        print("no level shifts detected")
+        return 0
+    for shift in shifts[: args.top]:
+        print(
+            f"{shift.router:<18} {shift.template_key:<36} "
+            f"day {shift.day:>3} {shift.direction:<4} "
+            f"{shift.before_mean:8.2f} -> {shift.after_mean:8.2f} "
+            f"({shift.describe_factor()})"
+        )
+    return 0
+
+
+def _cmd_rhythms(args: argparse.Namespace) -> int:
+    from repro.mining.periodicity import rhythm_report
+
+    _messages, stream = _augmented(args.kb, args.log)
+    series: dict[tuple, list[float]] = {}
+    for plus in stream:
+        key = (plus.router, plus.template_key)
+        series.setdefault(key, []).append(plus.timestamp)
+    for (router, template), profile in rhythm_report(series, top=args.top):
+        period = (
+            f"period={profile.period:7.1f}s"
+            if profile.period is not None
+            else "period=      -"
+        )
+        print(
+            f"{router:<18} {template:<36} {profile.kind.value:<9} "
+            f"n={profile.n:<6} {period}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="syslogdigest",
+        description="SyslogDigest: mine network events from router syslogs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic dataset")
+    p.add_argument("--dataset", choices=["A", "B", "a", "b"], default="A")
+    p.add_argument("--days", type=float, default=14.0)
+    p.add_argument("--scale", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--start", default="2009-12-01 00:00:00")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("learn", help="offline domain-knowledge learning")
+    p.add_argument("--log", required=True)
+    p.add_argument("--configs", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument("--no-fit", action="store_true", help="skip alpha/beta sweep")
+    p.set_defaults(fn=_cmd_learn)
+
+    p = sub.add_parser("digest", help="digest a log with a learned kb")
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(fn=_cmd_digest)
+
+    p = sub.add_parser("report", help="daily/per-router digest report")
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "trends", help="MERCURY-style template frequency level shifts"
+    )
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument("--min-factor", type=float, default=3.0)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(fn=_cmd_trends)
+
+    p = sub.add_parser(
+        "rhythms", help="temporal rhythm profile per (router, template)"
+    )
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.set_defaults(fn=_cmd_rhythms)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

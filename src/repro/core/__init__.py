@@ -1,0 +1,33 @@
+"""SyslogDigest core: the paper's primary contribution.
+
+Offline, :func:`SyslogDigest.learn` builds a
+:class:`~repro.core.knowledge.KnowledgeBase` (templates, locations,
+temporal parameters, association rules, historical frequencies) from
+historical syslog plus router configs.  Online, :class:`SyslogDigest`
+augments the live stream into Syslog+, applies temporal / rule-based /
+cross-router grouping, and emits prioritized :class:`NetworkEvent` digests.
+"""
+
+from repro.core.config import DigestConfig
+from repro.core.events import NetworkEvent
+from repro.core.grouping import GroupingEngine
+from repro.core.knowledge import KnowledgeBase
+from repro.core.pipeline import DigestResult, SyslogDigest
+from repro.core.present import LabelRegistry, present_event
+from repro.core.refresh import KnowledgeRefresher, RefreshReport
+from repro.core.syslogplus import Augmenter, SyslogPlus
+
+__all__ = [
+    "Augmenter",
+    "DigestConfig",
+    "DigestResult",
+    "GroupingEngine",
+    "KnowledgeBase",
+    "KnowledgeRefresher",
+    "LabelRegistry",
+    "RefreshReport",
+    "NetworkEvent",
+    "SyslogDigest",
+    "SyslogPlus",
+    "present_event",
+]

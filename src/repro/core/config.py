@@ -1,0 +1,58 @@
+"""All tunables of the SyslogDigest pipeline in one place (paper Table 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.mining.temporal import TemporalParams
+from repro.utils.timeutils import HOUR
+
+
+@dataclass(frozen=True)
+class DigestConfig:
+    """Pipeline configuration.
+
+    Defaults follow the paper's Table 6 (dataset A column); per-dataset
+    values are produced by the offline fitting steps.
+    """
+
+    # Template learning.
+    tree_k: int = 10
+    tree_min_support: int = 3
+    max_messages_per_code: int | None = 4000
+
+    # Association-rule mining.
+    window: float = 120.0
+    sp_min: float = 0.0005
+    conf_min: float = 0.8
+
+    # Temporal grouping.
+    temporal: TemporalParams = field(default_factory=TemporalParams)
+
+    # Cross-router grouping: max timestamp skew between two ends of a
+    # link/session observing the same condition.
+    cross_router_window: float = 1.0
+
+    # Grouping-pass toggles (Table 7 rows: T, T+R, T+R+C).
+    enable_temporal: bool = True
+    enable_rules: bool = True
+    enable_cross_router: bool = True
+
+    # Online mode: a group with no new message for this long is finalized.
+    # Must be at least s_max or open temporal groups could still grow.
+    idle_flush: float = 3 * HOUR
+
+    def with_temporal(self, params: TemporalParams) -> DigestConfig:
+        """Copy with different temporal-grouping parameters."""
+        return replace(self, temporal=params)
+
+    def only_passes(
+        self, temporal: bool = True, rules: bool = True, cross: bool = True
+    ) -> DigestConfig:
+        """Copy with a subset of grouping passes enabled."""
+        return replace(
+            self,
+            enable_temporal=temporal,
+            enable_rules=rules,
+            enable_cross_router=cross,
+        )

@@ -1,0 +1,96 @@
+"""Network events: the digest's output unit."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.syslogplus import SyslogPlus
+from repro.locations.model import Location
+
+
+@dataclass
+class NetworkEvent:
+    """One digested network event (a group of related Syslog+ messages).
+
+    ``score`` is filled in by prioritization; ``label`` by presentation.
+    """
+
+    messages: list[SyslogPlus]
+    score: float = 0.0
+    label: str = ""
+    _location_summary: list[Location] | None = field(
+        init=False, default=None, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise ValueError("an event needs at least one message")
+        self.messages.sort(key=lambda p: (p.timestamp, p.index))
+
+    @property
+    def start_ts(self) -> float:
+        """Timestamp of the first message."""
+        return self.messages[0].timestamp
+
+    @property
+    def end_ts(self) -> float:
+        """Timestamp of the last message."""
+        return self.messages[-1].timestamp
+
+    @property
+    def n_messages(self) -> int:
+        """Number of raw messages grouped into this event."""
+        return len(self.messages)
+
+    @property
+    def routers(self) -> tuple[str, ...]:
+        """Routers the event touches, sorted."""
+        return tuple(sorted({p.router for p in self.messages}))
+
+    @property
+    def template_keys(self) -> tuple[str, ...]:
+        """Distinct template keys in the event, sorted."""
+        return tuple(sorted({p.template_key for p in self.messages}))
+
+    @property
+    def error_codes(self) -> tuple[str, ...]:
+        """Distinct error codes in the event, sorted."""
+        return tuple(sorted({p.message.error_code for p in self.messages}))
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        """Raw-message indices, the paper's retrieval handle."""
+        return tuple(p.index for p in self.messages)
+
+    def location_summary(self) -> list[Location]:
+        """Per router, the most common highest-level location (Section 4.2.4)."""
+        if self._location_summary is not None:
+            return self._location_summary
+        per_router: dict[str, Counter[Location]] = {}
+        for plus in self.messages:
+            per_router.setdefault(plus.router, Counter())[
+                plus.primary_location
+            ] += 1
+        summary: list[Location] = []
+        for router in sorted(per_router):
+            counter = per_router[router]
+            best_level = max(loc.level for loc in counter)
+            candidates = [
+                (count, loc)
+                for loc, count in counter.items()
+                if loc.level == best_level
+            ]
+            candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+            summary.append(candidates[0][1])
+        self._location_summary = summary
+        return summary
+
+    def states(self, dictionary) -> tuple[str, ...]:
+        """States of the involved routers, for ticket correlation."""
+        out = {
+            site
+            for router in self.routers
+            if (site := dictionary.site_of(router)) is not None
+        }
+        return tuple(sorted(out))

@@ -1,0 +1,151 @@
+"""The three grouping passes and their union-find merge (Section 4.2).
+
+Messages related by *any* pass end up in one group: relations are edges
+over message indices and the final groups are the connected components.
+That construction is what makes the result independent of the order the
+passes run in (Section 4.2.3) — a property the ablation benches verify.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.config import DigestConfig
+from repro.core.knowledge import KnowledgeBase
+from repro.core.syslogplus import SyslogPlus
+from repro.locations.spatial import spatially_matched
+from repro.mining.temporal import TemporalSplitter
+from repro.utils.unionfind import UnionFind
+
+
+@dataclass
+class GroupingOutcome:
+    """Groups plus bookkeeping for reporting."""
+
+    groups: list[list[SyslogPlus]]
+    active_rules: set[tuple[str, str]]  # rules that actually fired
+
+
+class GroupingEngine:
+    """Batch grouping of a time-sorted Syslog+ stream."""
+
+    def __init__(self, kb: KnowledgeBase, config: DigestConfig) -> None:
+        self._kb = kb
+        self._config = config
+        self._rule_pairs = kb.rule_pairs()
+
+    def group(self, stream: list[SyslogPlus]) -> GroupingOutcome:
+        """Group the whole stream; input must be time-sorted."""
+        uf: UnionFind = UnionFind(range(len(stream)))
+        active_rules: set[tuple[str, str]] = set()
+        if self._config.enable_temporal:
+            self._temporal_pass(stream, uf)
+        if self._config.enable_rules:
+            self._rule_pass(stream, uf, active_rules)
+        if self._config.enable_cross_router:
+            self._cross_router_pass(stream, uf)
+
+        members: dict[int, list[SyslogPlus]] = {}
+        for i, plus in enumerate(stream):
+            members.setdefault(uf.find(i), []).append(plus)
+        groups = sorted(
+            members.values(), key=lambda g: (g[0].timestamp, g[0].index)
+        )
+        return GroupingOutcome(groups=groups, active_rules=active_rules)
+
+    # ------------------------------------------------------------- temporal
+
+    def _temporal_pass(
+        self, stream: list[SyslogPlus], uf: UnionFind
+    ) -> None:
+        """Same template + same location, periodic in time (Section 4.2.1)."""
+        splitters: dict[tuple, TemporalSplitter] = {}
+        last_member: dict[tuple, int] = {}  # (key, group) -> last index
+        for i, plus in enumerate(stream):
+            key = (
+                plus.router,
+                plus.template_key,
+                plus.primary_location.key(),
+            )
+            splitter = splitters.get(key)
+            if splitter is None:
+                splitter = TemporalSplitter(self._kb.temporal)
+                splitters[key] = splitter
+            group = splitter.observe(plus.timestamp)
+            group_key = (key, group)
+            if group_key in last_member:
+                uf.union(last_member[group_key], i)
+            last_member[group_key] = i
+
+    # ------------------------------------------------------------- rule-based
+
+    def _rule_pass(
+        self,
+        stream: list[SyslogPlus],
+        uf: UnionFind,
+        active_rules: set[tuple[str, str]],
+    ) -> None:
+        """Different templates, same router, spatially matched, within W."""
+        window = self._config.window
+        recent: dict[str, deque[tuple[float, int]]] = {}
+        for i, plus in enumerate(stream):
+            queue = recent.setdefault(plus.router, deque())
+            while queue and queue[0][0] < plus.timestamp - window:
+                queue.popleft()
+            for _ts, j in queue:
+                other = stream[j]
+                if other.template_key == plus.template_key:
+                    continue
+                pair = tuple(sorted((other.template_key, plus.template_key)))
+                if pair not in self._rule_pairs:
+                    continue
+                if spatially_matched(
+                    self._kb.dictionary,
+                    other.primary_location,
+                    plus.primary_location,
+                ):
+                    uf.union(i, j)
+                    active_rules.add(pair)  # type: ignore[arg-type]
+            queue.append((plus.timestamp, i))
+
+    # ------------------------------------------------------------- cross-router
+
+    def _cross_router_pass(
+        self, stream: list[SyslogPlus], uf: UnionFind
+    ) -> None:
+        """Same template on connected locations, almost simultaneous."""
+        window = self._config.cross_router_window
+        recent: deque[tuple[float, int]] = deque()
+        for i, plus in enumerate(stream):
+            while recent and recent[0][0] < plus.timestamp - window:
+                recent.popleft()
+            for _ts, j in recent:
+                other = stream[j]
+                if other.template_key != plus.template_key:
+                    continue
+                if other.router == plus.router:
+                    continue
+                if self._related_across_routers(other, plus):
+                    uf.union(i, j)
+            recent.append((plus.timestamp, i))
+
+    def _related_across_routers(
+        self, a: SyslogPlus, b: SyslogPlus
+    ) -> bool:
+        """True when any known locations of the two messages touch.
+
+        Covers the two ends of one link/session (``connected`` in the
+        dictionary) and a message naming the far router's component
+        directly (e.g. a BGP neighbor IP resolving to the peer's
+        interface).
+        """
+        dictionary = self._kb.dictionary
+        for loc_a in a.local_locations():
+            for loc_b in b.local_locations():
+                if loc_a.router == loc_b.router:
+                    if spatially_matched(dictionary, loc_a, loc_b):
+                        return True
+                elif dictionary.connected(loc_a, loc_b):
+                    return True
+        return False

@@ -1,0 +1,189 @@
+"""The end-to-end SyslogDigest pipeline (Figure 1).
+
+Offline: :meth:`SyslogDigest.learn` runs signature identification, location
+extraction from configs, temporal-pattern fitting and association-rule
+mining over historical data, producing a :class:`KnowledgeBase`.
+
+Online: :meth:`SyslogDigest.digest` augments a real-time stream into
+Syslog+, applies the three grouping passes, and returns prioritized
+events.  For message-by-message processing use
+:class:`repro.core.stream.DigestStream`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import DigestConfig
+from repro.core.events import NetworkEvent
+from repro.core.grouping import GroupingEngine
+from repro.core.knowledge import KnowledgeBase
+from repro.core.present import event_label, present_digest
+from repro.core.priority import Prioritizer
+from repro.core.syslogplus import Augmenter
+from repro.locations.configparse import parse_configs
+from repro.mining.fit import fit_temporal_params
+from repro.mining.rules import RuleMiner
+from repro.mining.rulestore import RuleStore
+from repro.mining.temporal import TemporalParams
+from repro.syslog.message import SyslogMessage
+from repro.syslog.stream import sort_messages
+from repro.templates.learner import TemplateLearner
+from repro.utils.timeutils import DAY
+
+
+@dataclass
+class DigestResult:
+    """Output of one online digest run."""
+
+    events: list[NetworkEvent]  # ranked, most important first
+    n_messages: int
+    active_rules: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def n_events(self) -> int:
+        """Number of digested events."""
+        return len(self.events)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Events divided by raw messages — the paper's headline metric."""
+        if self.n_messages == 0:
+            return 1.0
+        return self.n_events / self.n_messages
+
+    def per_day(self, origin: float) -> dict[int, dict[str, int]]:
+        """Per-day message/event counts (events counted at start day)."""
+        out: dict[int, dict[str, int]] = {}
+        for event in self.events:
+            day = int((event.start_ts - origin) // DAY)
+            bucket = out.setdefault(day, {"events": 0, "messages": 0})
+            bucket["events"] += 1
+            bucket["messages"] += event.n_messages
+        return out
+
+    def per_router(self) -> dict[str, dict[str, int]]:
+        """Per-router message/event counts (an event counts once on every
+        router it touches, mirroring Figure 13's per-router view)."""
+        out: dict[str, dict[str, int]] = {}
+        for event in self.events:
+            for router in event.routers:
+                bucket = out.setdefault(
+                    router, {"events": 0, "messages": 0}
+                )
+                bucket["events"] += 1
+            for plus in event.messages:
+                out[plus.router]["messages"] += 1
+        return out
+
+    def render(self, top: int | None = 20) -> str:
+        """The human-facing digest text."""
+        return present_digest(self.events, top)
+
+
+class SyslogDigest:
+    """The assembled system: a knowledge base plus the online machinery."""
+
+    def __init__(
+        self, kb: KnowledgeBase, config: DigestConfig | None = None
+    ) -> None:
+        self.kb = kb
+        self.config = config or DigestConfig()
+        if self.config.temporal != kb.temporal:
+            # The knowledge base carries the fitted parameters; make the
+            # config agree so grouping uses what offline learning chose.
+            self.config = self.config.with_temporal(kb.temporal)
+
+    # ----------------------------------------------------------------- offline
+
+    @classmethod
+    def learn(
+        cls,
+        historical: Iterable[SyslogMessage],
+        configs: Sequence[str],
+        config: DigestConfig | None = None,
+        fit_temporal: bool = True,
+    ) -> SyslogDigest:
+        """Offline domain-knowledge learning over historical syslog + configs.
+
+        ``historical`` need not be sorted; ``configs`` are raw router
+        config texts.  Set ``fit_temporal=False`` to keep the configured
+        alpha/beta instead of sweeping them (faster; used by tests).
+        """
+        cfg = config or DigestConfig()
+        messages = sort_messages(historical)
+        if not messages:
+            raise ValueError("cannot learn from an empty history")
+
+        learner = TemplateLearner(
+            k=cfg.tree_k,
+            max_messages_per_code=cfg.max_messages_per_code,
+            min_subtype_support=cfg.tree_min_support,
+        )
+        templates = learner.learn(messages)
+        dictionary = parse_configs(configs)
+        augmenter = Augmenter(templates, dictionary)
+        plus_stream = augmenter.augment_all(messages)
+
+        # Temporal parameter fitting over per-key interarrival series.
+        series: dict[tuple, list[float]] = {}
+        for plus in plus_stream:
+            key = (
+                plus.router,
+                plus.template_key,
+                plus.primary_location.key(),
+            )
+            series.setdefault(key, []).append(plus.timestamp)
+        temporal = cfg.temporal
+        if fit_temporal:
+            fit = fit_temporal_params(list(series.values()), base=cfg.temporal)
+            temporal = fit.params
+
+        # Association rules over the whole history (weekly incremental
+        # updates are exercised separately by the Figure 8/9 benches).
+        miner = RuleMiner(
+            window=cfg.window, sp_min=cfg.sp_min, conf_min=cfg.conf_min
+        )
+        store = RuleStore(miner=miner)
+        store.update(
+            [(p.timestamp, p.router, p.template_key) for p in plus_stream]
+        )
+
+        frequencies: dict[tuple[str, str], int] = {}
+        for plus in plus_stream:
+            key2 = (plus.router, plus.template_key)
+            frequencies[key2] = frequencies.get(key2, 0) + 1
+        span_days = max(
+            (messages[-1].timestamp - messages[0].timestamp) / DAY, 1e-6
+        )
+
+        kb = KnowledgeBase(
+            templates=templates,
+            dictionary=dictionary,
+            temporal=temporal,
+            rules=store,
+            frequencies=frequencies,
+            history_days=span_days,
+        )
+        return cls(kb, cfg.with_temporal(temporal))
+
+    # ------------------------------------------------------------------ online
+
+    def digest(self, messages: Iterable[SyslogMessage]) -> DigestResult:
+        """Digest a batch of real-time messages into ranked events."""
+        stream = sort_messages(messages)
+        augmenter = Augmenter(self.kb.templates, self.kb.dictionary)
+        plus_stream = augmenter.augment_all(stream)
+        outcome = GroupingEngine(self.kb, self.config).group(plus_stream)
+        events = [NetworkEvent(messages=group) for group in outcome.groups]
+        ranked = Prioritizer(self.kb).rank(events)
+        for event in ranked:
+            event.label = event_label(
+                [plus.template for plus in event.messages]
+            )
+        return DigestResult(
+            events=ranked,
+            n_messages=len(plus_stream),
+            active_rules=outcome.active_rules,
+        )

@@ -1,0 +1,160 @@
+"""Digest presentation (Section 4.2.4).
+
+Each event becomes one well-formatted line:
+
+    ``start | end | locations | event type``
+
+The event-type field synthesizes a friendly name from the signatures in
+the group — e.g. a group containing both the down and up sub-types of
+``LINK-3-UPDOWN`` reads "link flap" — falling back to the raw signature
+patterns, which a domain expert could later name (the paper makes expert
+naming optional).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.events import NetworkEvent
+from repro.templates.signature import Template
+from repro.utils.timeutils import format_ts
+
+_DOWNISH = re.compile(
+    r"\b(down|Down|DOWN|lost|loss|failed|failure|Idle|removed|not)\b"
+)
+_UPISH = re.compile(
+    r"\b(up|Up|UP|established|Established|recovered|operational|inserted)\b"
+)
+
+# Friendly names for error-code families (vendor mnemonics).
+_FAMILY_NAMES = {
+    "LINK": "link",
+    "LINEPROTO": "line protocol",
+    "CONTROLLER": "controller",
+    "BGP": "BGP session",
+    "OSPF": "OSPF adjacency",
+    "ISIS": "ISIS adjacency",
+    "PIM": "PIM neighbor",
+    "SNMP-WARNING-LINKDOWN": "link",
+    "SVCMGR": "SAP status",
+    "MPLS": "LSP",
+    "OIR": "line card",
+    "CHASSIS": "chassis MDA",
+    "SYS": "system",
+    "SYSTEM": "system",
+    "ENVM": "environment",
+    "TCP": "TCP authentication",
+    "SEC": "access list",
+    "SECURITY": "login",
+    "NTP": "NTP",
+    "PORT": "port alarm",
+}
+
+
+# Codes whose facility prefix is misleading (SNMP traps describe links).
+_CODE_OVERRIDES = {
+    "SNMP-WARNING-linkDown": "link",
+    "SNMP-WARNING-linkup": "link",
+    "SNMP-3-AUTHFAIL": "SNMP authentication",
+}
+
+
+def _family(error_code: str) -> str:
+    override = _CODE_OVERRIDES.get(error_code)
+    if override is not None:
+        return override
+    head = error_code.split("-", 1)[0]
+    return _FAMILY_NAMES.get(head, head.lower())
+
+
+class LabelRegistry:
+    """Operator-assigned names for event signatures.
+
+    The paper makes expert naming optional ("Domain experts can certainly
+    assign a name for each type of event").  A registered name applies
+    when every required error-code fragment appears among the event's
+    codes; the most specific (most fragments) match wins, and unmatched
+    events fall back to the synthesized :func:`event_label`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[str, frozenset[str]]] = []
+
+    def register(self, name: str, required_code_fragments: set[str]) -> None:
+        """Name events whose codes contain all the given fragments."""
+        if not required_code_fragments:
+            raise ValueError("a label needs at least one code fragment")
+        self._entries.append((name, frozenset(required_code_fragments)))
+        self._entries.sort(key=lambda e: -len(e[1]))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def label_for(self, error_codes: tuple[str, ...]) -> str | None:
+        """The most specific registered name matching these codes."""
+        for name, fragments in self._entries:
+            if all(
+                any(fragment in code for code in error_codes)
+                for fragment in fragments
+            ):
+                return name
+        return None
+
+    def label_event(self, event: NetworkEvent) -> str:
+        """Registered name, or the synthesized fallback label."""
+        named = self.label_for(event.error_codes)
+        if named is not None:
+            return named
+        return event_label([plus.template for plus in event.messages])
+
+
+def event_label(templates: list[Template]) -> str:
+    """Synthesize the event-type field from the group's templates.
+
+    Families present with both a down-ish and an up-ish sub-type are named
+    "<family> flap"; one-sided families keep the direction.
+    """
+    directions: dict[str, set[str]] = {}
+    for template in templates:
+        text = " ".join(template.words) or template.error_code
+        family = _family(template.error_code)
+        bucket = directions.setdefault(family, set())
+        if _DOWNISH.search(text):
+            bucket.add("down")
+        if _UPISH.search(text):
+            bucket.add("up")
+        if not bucket:
+            bucket.add("event")
+    parts = []
+    for family in sorted(directions):
+        seen = directions[family]
+        if {"down", "up"} <= seen:
+            parts.append(f"{family} flap")
+        elif "down" in seen:
+            parts.append(f"{family} down")
+        elif "up" in seen:
+            parts.append(f"{family} up")
+        else:
+            parts.append(f"{family} event")
+    return ", ".join(parts)
+
+
+def present_event(event: NetworkEvent, max_locations: int = 4) -> str:
+    """Render the one-line digest form of an event."""
+    locations = event.location_summary()
+    shown = " ".join(str(loc) for loc in locations[:max_locations])
+    if len(locations) > max_locations:
+        shown += f" (+{len(locations) - max_locations} more)"
+    label = event.label or event_label(
+        [plus.template for plus in event.messages]
+    )
+    return (
+        f"{format_ts(event.start_ts)}|{format_ts(event.end_ts)}|"
+        f"{shown}|{label}|{event.n_messages} msgs|score={event.score:.1f}"
+    )
+
+
+def present_digest(events: list[NetworkEvent], top: int | None = None) -> str:
+    """Render the ranked digest, one line per event."""
+    selected = events if top is None else events[:top]
+    return "\n".join(present_event(e) for e in selected)

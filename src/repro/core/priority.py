@@ -1,0 +1,55 @@
+"""Event prioritization (Section 4.2.4).
+
+``score = sum over messages m of  l_m / log(f_m)``
+
+* ``l_m`` — location weight: 10x per hierarchy level, so a router-level
+  symptom outweighs an interface-level one;
+* ``f_m`` — historical frequency of the message's signature on its router:
+  rare signatures matter more; the logarithm keeps very rare ones from
+  utterly dominating the ranking.
+
+Deviation from the paper noted in DESIGN.md: ``log(f_m)`` is non-positive
+for ``f_m <= 1``, so we use ``log(e + f_m)`` which is >= 1 and preserves
+monotonicity.  Operators can reweigh via ``template_weights``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.events import NetworkEvent
+from repro.core.knowledge import KnowledgeBase
+
+
+@dataclass
+class Prioritizer:
+    """Scores and ranks events against learned historical frequencies."""
+
+    kb: KnowledgeBase
+    # Optional operator overrides: template_key -> multiplicative weight.
+    template_weights: dict[str, float] = field(default_factory=dict)
+
+    def message_weight(self, router: str, template_key: str, level: int) -> float:
+        """Contribution of one message to its event's score."""
+        frequency = self.kb.frequency(router, template_key)
+        location_weight = 10.0 ** (level - 1)
+        operator_weight = self.template_weights.get(template_key, 1.0)
+        return operator_weight * location_weight / math.log(math.e + frequency)
+
+    def score(self, event: NetworkEvent) -> float:
+        """The paper's additive score over the event's messages."""
+        return sum(
+            self.message_weight(
+                plus.router, plus.template_key, plus.primary_location.level
+            )
+            for plus in event.messages
+        )
+
+    def rank(self, events: list[NetworkEvent]) -> list[NetworkEvent]:
+        """Fill in scores and return events sorted most-important-first."""
+        for event in events:
+            event.score = self.score(event)
+        return sorted(
+            events, key=lambda e: (-e.score, e.start_ts, e.indices[:1])
+        )

@@ -1,0 +1,126 @@
+"""Periodic knowledge refresh — the offline loop of Figure 1.
+
+"The above domain knowledge learning process will be periodically run
+(offline) to incorporate the latest changes to router hardware and
+software configurations."  :class:`KnowledgeRefresher` implements that
+loop over an existing :class:`KnowledgeBase`:
+
+* templates: learn from the new period and merge — previously unseen
+  error codes gain templates, known codes keep their established ones
+  (stable template keys are what historical frequencies hang off);
+* rules: one conservative :meth:`RuleStore.update` per period;
+* frequencies: exponentially decayed so old behaviour fades at a
+  configurable half life;
+* configs: re-parsed when provided (links move, routers appear).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.knowledge import KnowledgeBase
+from repro.core.syslogplus import Augmenter
+from repro.locations.configparse import parse_configs
+from repro.mining.rulestore import RuleUpdateDelta
+from repro.syslog.message import SyslogMessage
+from repro.syslog.stream import sort_messages
+from repro.templates.learner import TemplateLearner
+from repro.utils.timeutils import DAY
+
+
+@dataclass(frozen=True)
+class RefreshReport:
+    """What one refresh period changed."""
+
+    n_messages: int
+    new_template_codes: tuple[str, ...]
+    rules: RuleUpdateDelta
+    decay_applied: float
+
+
+@dataclass
+class KnowledgeRefresher:
+    """Applies periodic offline refreshes to a knowledge base in place.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base to maintain.
+    learner:
+        Template learner used for codes the base has never seen.
+    frequency_half_life_days:
+        Half life of the historical frequency counts.  ``None`` disables
+        decay (frequencies keep accumulating, as a pure count would).
+    """
+
+    kb: KnowledgeBase
+    learner: TemplateLearner = TemplateLearner()
+    frequency_half_life_days: float | None = 56.0
+
+    def refresh(
+        self,
+        period_messages: Iterable[SyslogMessage],
+        configs: Sequence[str] | None = None,
+    ) -> RefreshReport:
+        """Fold one period (typically a week) of history into the base."""
+        messages = sort_messages(period_messages)
+        if not messages:
+            return RefreshReport(
+                n_messages=0,
+                new_template_codes=(),
+                rules=RuleUpdateDelta((), (), len(self.kb.rules)),
+                decay_applied=1.0,
+            )
+        if configs is not None:
+            self.kb.dictionary = parse_configs(configs)
+
+        # Templates for codes the base has never seen.
+        known_codes = set(self.kb.templates.by_code)
+        unseen = [m for m in messages if m.error_code not in known_codes]
+        new_codes: tuple[str, ...] = ()
+        if unseen:
+            learned = self.learner.learn(unseen)
+            new_codes = tuple(sorted(learned.by_code))
+            self.kb.templates.merge(learned)
+
+        # Augment with the (possibly grown) template set.
+        augmenter = Augmenter(self.kb.templates, self.kb.dictionary)
+        plus_stream = augmenter.augment_all(messages)
+
+        # Conservative rule update.
+        delta = self.kb.rules.update(
+            [(p.timestamp, p.router, p.template_key) for p in plus_stream]
+        )
+
+        # Frequency decay + accumulation.
+        span_days = max(
+            (messages[-1].timestamp - messages[0].timestamp) / DAY, 1e-6
+        )
+        decay = 1.0
+        if self.frequency_half_life_days is not None:
+            decay = math.pow(
+                0.5, span_days / self.frequency_half_life_days
+            )
+            for key in list(self.kb.frequencies):
+                decayed = self.kb.frequencies[key] * decay
+                if decayed < 0.01:
+                    del self.kb.frequencies[key]
+                else:
+                    self.kb.frequencies[key] = decayed
+            self.kb.history_days = (
+                self.kb.history_days * decay + span_days
+            )
+        else:
+            self.kb.history_days += span_days
+        for plus in plus_stream:
+            key = (plus.router, plus.template_key)
+            self.kb.frequencies[key] = self.kb.frequencies.get(key, 0) + 1
+
+        return RefreshReport(
+            n_messages=len(messages),
+            new_template_codes=new_codes,
+            rules=delta,
+            decay_applied=decay,
+        )

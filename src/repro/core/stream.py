@@ -1,0 +1,189 @@
+"""Incremental, message-by-message digesting.
+
+:class:`DigestStream` maintains the grouping state machines online and
+finalizes a group once it has been idle longer than every horizon that
+could still attach a message to it (``s_max`` for temporal grouping, ``W``
+for rules, the cross-router skew).  Batch :meth:`SyslogDigest.digest` and a
+push-everything-then-close stream produce identical groupings; a test pins
+that equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.config import DigestConfig
+from repro.core.events import NetworkEvent
+from repro.core.knowledge import KnowledgeBase
+from repro.core.present import event_label
+from repro.core.priority import Prioritizer
+from repro.core.syslogplus import Augmenter, SyslogPlus
+from repro.locations.spatial import spatially_matched
+from repro.mining.temporal import TemporalSplitter
+from repro.syslog.message import SyslogMessage
+from repro.utils.unionfind import UnionFind
+
+
+class DigestStream:
+    """Online digester: ``push`` messages in time order, collect events."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: DigestConfig | None = None,
+        sweep_interval: float = 300.0,
+    ) -> None:
+        self._kb = kb
+        self._config = config or DigestConfig()
+        if self._config.temporal != kb.temporal:
+            self._config = self._config.with_temporal(kb.temporal)
+        self._augmenter = Augmenter(kb.templates, kb.dictionary)
+        self._prioritizer = Prioritizer(kb)
+        self._rule_pairs = kb.rule_pairs()
+
+        self._uf: UnionFind = UnionFind()
+        self._open: dict[int, SyslogPlus] = {}  # index -> message
+        self._last_ts: float | None = None
+        self._last_sweep: float | None = None
+        self._sweep_interval = sweep_interval
+
+        self._splitters: dict[tuple, TemporalSplitter] = {}
+        self._temporal_tail: dict[tuple, int] = {}  # (key, group) -> index
+        self._rule_window: dict[str, deque[tuple[float, int]]] = {}
+        self._cross_window: deque[tuple[float, int]] = deque()
+
+    @property
+    def flush_after(self) -> float:
+        """Idle horizon after which a group can no longer grow."""
+        return max(
+            self._config.idle_flush,
+            self._config.temporal.s_max
+            + self._config.window
+            + self._config.cross_router_window,
+        )
+
+    def push(self, message: SyslogMessage) -> list[NetworkEvent]:
+        """Process one message; return any events finalized by its arrival."""
+        if self._last_ts is not None and message.timestamp < self._last_ts:
+            raise ValueError(
+                "messages must be pushed in non-decreasing time order"
+            )
+        self._last_ts = message.timestamp
+        plus = self._augmenter.augment(message)
+        index = plus.index
+        self._uf.add(index)
+        self._open[index] = plus
+
+        if self._config.enable_temporal:
+            self._temporal_step(plus)
+        if self._config.enable_rules:
+            self._rule_step(plus)
+        if self._config.enable_cross_router:
+            self._cross_step(plus)
+
+        if (
+            self._last_sweep is None
+            or message.timestamp - self._last_sweep >= self._sweep_interval
+        ):
+            self._last_sweep = message.timestamp
+            return self._finalize_idle(message.timestamp)
+        return []
+
+    def close(self) -> list[NetworkEvent]:
+        """Finalize and return all remaining open groups."""
+        events = self._collect_groups(lambda _last: True)
+        return events
+
+    # ------------------------------------------------------------- internals
+
+    def _temporal_step(self, plus: SyslogPlus) -> None:
+        key = (plus.router, plus.template_key, plus.primary_location.key())
+        splitter = self._splitters.get(key)
+        if splitter is None:
+            splitter = TemporalSplitter(self._config.temporal)
+            self._splitters[key] = splitter
+        group = splitter.observe(plus.timestamp)
+        group_key = (key, group)
+        tail = self._temporal_tail.get(group_key)
+        if tail is not None:
+            self._uf.union(tail, plus.index)
+        self._temporal_tail[group_key] = plus.index
+
+    def _rule_step(self, plus: SyslogPlus) -> None:
+        window = self._config.window
+        queue = self._rule_window.setdefault(plus.router, deque())
+        while queue and queue[0][0] < plus.timestamp - window:
+            queue.popleft()
+        for _ts, j in queue:
+            other = self._open.get(j)
+            if other is None or other.template_key == plus.template_key:
+                continue
+            pair = tuple(sorted((other.template_key, plus.template_key)))
+            if pair not in self._rule_pairs:
+                continue
+            if spatially_matched(
+                self._kb.dictionary,
+                other.primary_location,
+                plus.primary_location,
+            ):
+                self._uf.union(plus.index, j)
+        queue.append((plus.timestamp, plus.index))
+
+    def _cross_step(self, plus: SyslogPlus) -> None:
+        window = self._config.cross_router_window
+        while (
+            self._cross_window
+            and self._cross_window[0][0] < plus.timestamp - window
+        ):
+            self._cross_window.popleft()
+        for _ts, j in self._cross_window:
+            other = self._open.get(j)
+            if (
+                other is None
+                or other.template_key != plus.template_key
+                or other.router == plus.router
+            ):
+                continue
+            if self._related(other, plus):
+                self._uf.union(plus.index, j)
+        self._cross_window.append((plus.timestamp, plus.index))
+
+    def _related(self, a: SyslogPlus, b: SyslogPlus) -> bool:
+        dictionary = self._kb.dictionary
+        for loc_a in a.local_locations():
+            for loc_b in b.local_locations():
+                if loc_a.router == loc_b.router:
+                    if spatially_matched(dictionary, loc_a, loc_b):
+                        return True
+                elif dictionary.connected(loc_a, loc_b):
+                    return True
+        return False
+
+    def _finalize_idle(self, now: float) -> list[NetworkEvent]:
+        horizon = now - self.flush_after
+        return self._collect_groups(lambda last: last < horizon)
+
+    def _collect_groups(self, should_close) -> list[NetworkEvent]:
+        by_root: dict[int, list[SyslogPlus]] = {}
+        for index, plus in self._open.items():
+            by_root.setdefault(self._uf.find(index), []).append(plus)
+        events: list[NetworkEvent] = []
+        for members in by_root.values():
+            last = max(p.timestamp for p in members)
+            if not should_close(last):
+                continue
+            for plus in members:
+                del self._open[plus.index]
+            event = NetworkEvent(messages=members)
+            event.score = self._prioritizer.score(event)
+            event.label = event_label([p.template for p in members])
+            events.append(event)
+        # Drop temporal tails pointing at finalized messages so the dict
+        # does not grow without bound.
+        self._temporal_tail = {
+            key: idx
+            for key, idx in self._temporal_tail.items()
+            if idx in self._open
+        }
+        events.sort(key=lambda e: (e.start_ts, e.indices[:1]))
+        return events

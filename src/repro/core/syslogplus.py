@@ -1,0 +1,90 @@
+"""Syslog+ — raw messages augmented with template and location (Section 3.1).
+
+The augmentation is the same offline (preparing historical Syslog+ for
+mining) and online (feeding the groupers), so both share this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.locations.dictionary import LocationDictionary
+from repro.locations.extract import ExtractedLocation, LocationExtractor
+from repro.locations.model import Location
+from repro.syslog.message import SyslogMessage
+from repro.templates.learner import TemplateSet
+from repro.templates.signature import Template
+
+
+@dataclass(frozen=True)
+class SyslogPlus:
+    """One augmented message.
+
+    ``index`` is the message's position in the processed stream; digests
+    carry index lists so the raw messages of an event can be retrieved
+    (the paper's "index field").
+    """
+
+    index: int
+    message: SyslogMessage
+    template: Template
+    locations: tuple[ExtractedLocation, ...]
+    primary_location: Location
+
+    @property
+    def timestamp(self) -> float:
+        """The raw message's timestamp."""
+        return self.message.timestamp
+
+    @property
+    def router(self) -> str:
+        """The raw message's originating router."""
+        return self.message.router
+
+    @property
+    def template_key(self) -> str:
+        """Key of the matched template."""
+        return self.template.key
+
+    def local_locations(self) -> tuple[Location, ...]:
+        """Locations owned by the originating router or a direct neighbor."""
+        return tuple(
+            item.location
+            for item in self.locations
+            if item.role in ("local", "neighbor", "router")
+        )
+
+
+class Augmenter:
+    """Signature matching + location parsing -> Syslog+ stream."""
+
+    def __init__(
+        self, templates: TemplateSet, dictionary: LocationDictionary
+    ) -> None:
+        self._templates = templates
+        self._extractor = LocationExtractor(dictionary)
+        self._counter = 0
+
+    def augment(self, message: SyslogMessage) -> SyslogPlus:
+        """Augment one message, assigning the next stream index."""
+        template = self._templates.match(message)
+        locations = tuple(
+            self._extractor.extract(message.router, message.detail)
+        )
+        primary = next(
+            (i.location for i in locations if i.role == "local"),
+            Location.router_level(message.router),
+        )
+        plus = SyslogPlus(
+            index=self._counter,
+            message=message,
+            template=template,
+            locations=locations,
+            primary_location=primary,
+        )
+        self._counter += 1
+        return plus
+
+    def augment_all(self, messages) -> list[SyslogPlus]:
+        """Augment a whole (time-sorted) sequence."""
+        return [self.augment(m) for m in messages]

@@ -1,0 +1,15 @@
+"""Evaluation metrics against labelled ground truth.
+
+The paper validated digests by expert inspection; with labelled data
+(synthetic, or hand-labelled operational incidents) grouping quality can
+be *measured*.  These metrics are what the reproduction benches report and
+are exposed here for downstream users with their own labels.
+"""
+
+from repro.evaluation.quality import (
+    GroupingQuality,
+    IncidentOutcome,
+    grouping_quality,
+)
+
+__all__ = ["GroupingQuality", "IncidentOutcome", "grouping_quality"]

@@ -1,0 +1,123 @@
+"""Grouping-quality metrics: fragmentation and purity.
+
+Given a digest (events referencing message indices) and per-index ground
+truth (which injected/labelled condition caused each message, ``None`` for
+noise):
+
+* **fragmentation** of a condition = number of digest events its messages
+  are spread across (1 is perfect: the whole condition is one event);
+* **purity** of an event = number of distinct conditions it mixes
+  (1 is perfect: the event is exactly one condition, possibly plus noise).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.events import NetworkEvent
+from repro.utils.stats import mean
+
+
+@dataclass(frozen=True)
+class IncidentOutcome:
+    """How one labelled condition fared in the digest."""
+
+    event_id: str
+    kind: str | None
+    n_messages: int
+    n_events: int  # fragmentation
+    event_indices: tuple[int, ...]  # positions in the ranked digest
+
+
+@dataclass
+class GroupingQuality:
+    """Aggregate grouping-quality report."""
+
+    incidents: list[IncidentOutcome] = field(default_factory=list)
+    purity_histogram: Counter = field(default_factory=Counter)
+    n_noise_only_events: int = 0
+
+    @property
+    def mean_fragmentation(self) -> float:
+        """Mean digest events per labelled condition (1.0 is perfect)."""
+        if not self.incidents:
+            return 1.0
+        return mean([float(i.n_events) for i in self.incidents])
+
+    @property
+    def worst_fragmentation(self) -> int:
+        """Largest events-per-condition split observed."""
+        return max((i.n_events for i in self.incidents), default=0)
+
+    @property
+    def pure_event_fraction(self) -> float:
+        """Share of truth-bearing events holding exactly one condition."""
+        total = sum(self.purity_histogram.values())
+        if total == 0:
+            return 1.0
+        return self.purity_histogram.get(1, 0) / total
+
+    def per_kind(self) -> dict[str, list[IncidentOutcome]]:
+        """Incident outcomes bucketed by scenario kind."""
+        out: dict[str, list[IncidentOutcome]] = {}
+        for incident in self.incidents:
+            out.setdefault(incident.kind or "unknown", []).append(incident)
+        return out
+
+
+def grouping_quality(
+    events: Sequence[NetworkEvent],
+    truth: Sequence[str | None],
+    kind_of: dict[str, str] | None = None,
+) -> GroupingQuality:
+    """Score a digest against per-message ground truth.
+
+    ``truth[i]`` is the condition id of message index ``i`` (or ``None``
+    for noise); ``kind_of`` optionally maps condition ids to scenario
+    kinds for the per-kind breakdown.  Condition ids of the form
+    ``...-<kind>`` fall back to that suffix when ``kind_of`` is absent.
+    """
+    event_of_index: dict[int, int] = {}
+    for event_no, event in enumerate(events):
+        for index in event.indices:
+            event_of_index[index] = event_no
+
+    events_of_incident: dict[str, set[int]] = {}
+    messages_of_incident: Counter = Counter()
+    incidents_of_event: dict[int, set[str]] = {}
+    noise_only = set(range(len(events)))
+    for index, event_id in enumerate(truth):
+        event_no = event_of_index.get(index)
+        if event_no is None:
+            raise ValueError(
+                f"message index {index} appears in no digest event"
+            )
+        if event_id is None:
+            continue
+        noise_only.discard(event_no)
+        events_of_incident.setdefault(event_id, set()).add(event_no)
+        messages_of_incident[event_id] += 1
+        incidents_of_event.setdefault(event_no, set()).add(event_id)
+
+    quality = GroupingQuality()
+    for event_id, event_set in sorted(events_of_incident.items()):
+        if kind_of is not None:
+            kind = kind_of.get(event_id)
+        else:
+            kind = event_id.rsplit("-", 1)[-1] if "-" in event_id else None
+        quality.incidents.append(
+            IncidentOutcome(
+                event_id=event_id,
+                kind=kind,
+                n_messages=messages_of_incident[event_id],
+                n_events=len(event_set),
+                event_indices=tuple(sorted(event_set)),
+            )
+        )
+    quality.purity_histogram = Counter(
+        len(ids) for ids in incidents_of_event.values()
+    )
+    quality.n_noise_only_events = len(noise_only)
+    return quality

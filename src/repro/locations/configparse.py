@@ -1,0 +1,167 @@
+"""Router config parsing into location dictionaries.
+
+Configs are far better structured than syslog text (Section 4.1.2), so the
+dictionary is learned from them.  The grammar we parse is a compact
+IOS-flavoured subset — the same one :mod:`repro.netsim.configgen` emits —
+with stanzas separated by ``!``:
+
+    hostname ar1.atlga
+    site GA
+    !
+    card 1 type linecard-16
+    !
+    controller Serial1/0
+    !
+    interface Serial1/0/10:0
+     description to ar2.chiil Serial2/1/5:0
+     ip address 10.0.12.1 255.255.255.252
+    !
+    interface Multilink3
+     multilink-group member Serial1/0/10:0
+    !
+    router bgp 7018
+     neighbor 10.0.12.2 remote-as 7018
+
+Cross-router information (link far ends from descriptions, BGP sessions from
+neighbor IPs) can only be resolved after all configs are parsed; use
+:func:`parse_configs` for a whole network.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.locations.dictionary import LocationDictionary, build_dictionary
+from repro.locations.hierarchy import parse_interface_name
+from repro.locations.model import Location, LocationKind
+
+_DESCRIPTION = re.compile(r"^description to (\S+) (\S+)$")
+_IP_ADDRESS = re.compile(r"^ip address (\d+\.\d+\.\d+\.\d+) (\d+\.\d+\.\d+\.\d+)$")
+_NEIGHBOR = re.compile(r"^neighbor (\d+\.\d+\.\d+\.\d+) remote-as (\d+)")
+_MEMBER = re.compile(r"^multilink-group member (\S+)$")
+
+
+class ConfigParseError(ValueError):
+    """Raised on a config the parser cannot understand."""
+
+
+def _stanzas(text: str) -> Iterable[list[str]]:
+    """Split config text into stanzas (lists of stripped non-empty lines)."""
+    current: list[str] = []
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if line.strip() == "!":
+            if current:
+                yield current
+                current = []
+            continue
+        if line.strip():
+            current.append(line)
+    if current:
+        yield current
+
+
+def parse_config(text: str) -> LocationDictionary:
+    """Parse one router's config into a (partial) location dictionary.
+
+    BGP neighbor IPs are stored as pending session endpoints resolved during
+    :func:`parse_configs`; here we record them under the private attribute
+    the merger reads.
+    """
+    dictionary = LocationDictionary()
+    hostname: str | None = None
+    site: str | None = None
+    bgp_neighbors: list[str] = []
+
+    for stanza in _stanzas(text):
+        head = stanza[0].strip()
+        if head.startswith("hostname "):
+            # hostname and site share the header stanza.
+            for line in stanza:
+                stripped = line.strip()
+                if stripped.startswith("hostname "):
+                    hostname = stripped.split(None, 1)[1]
+                elif stripped.startswith("site "):
+                    site = stripped.split(None, 1)[1]
+        elif head.startswith("site "):
+            site = head.split(None, 1)[1]
+        elif head.startswith("card "):
+            if hostname is None:
+                raise ConfigParseError("card stanza before hostname")
+            slot = head.split()[1]
+            dictionary.add_router(hostname, site)
+            dictionary._components[hostname].add(
+                Location(hostname, LocationKind.SLOT, slot)
+            )
+        elif head.startswith("controller "):
+            if hostname is None:
+                raise ConfigParseError("controller stanza before hostname")
+            dictionary.add_router(hostname, site)
+            dictionary.add_component(hostname, head.split(None, 1)[1])
+        elif head.startswith("interface "):
+            if hostname is None:
+                raise ConfigParseError("interface stanza before hostname")
+            dictionary.add_router(hostname, site)
+            _parse_interface_stanza(dictionary, hostname, stanza)
+        elif head.startswith("router bgp"):
+            for line in stanza[1:]:
+                match = _NEIGHBOR.match(line.strip())
+                if match:
+                    bgp_neighbors.append(match.group(1))
+
+    if hostname is None:
+        raise ConfigParseError("config has no hostname")
+    dictionary.add_router(hostname, site)
+    # Stash BGP neighbor IPs for cross-config resolution.
+    dictionary._bgp_neighbor_ips = [(hostname, ip) for ip in bgp_neighbors]  # type: ignore[attr-defined]
+    return dictionary
+
+
+def _parse_interface_stanza(
+    dictionary: LocationDictionary, hostname: str, stanza: list[str]
+) -> None:
+    name = stanza[0].strip().split(None, 1)[1]
+    location = dictionary.add_component(hostname, name)
+    for line in stanza[1:]:
+        stripped = line.strip()
+        match = _IP_ADDRESS.match(stripped)
+        if match:
+            dictionary.set_ip(location, match.group(1))
+            continue
+        match = _DESCRIPTION.match(stripped)
+        if match:
+            dictionary.add_pending_link(
+                hostname, match.group(1), name, match.group(2)
+            )
+            continue
+        match = _MEMBER.match(stripped)
+        if match:
+            member_name = match.group(1)
+            member = dictionary.add_component(hostname, member_name)
+            parsed = parse_interface_name(name)
+            if parsed and parsed.kind is LocationKind.MULTILINK:
+                dictionary.add_multilink_member(location, member)
+
+
+def parse_configs(texts: Iterable[str]) -> LocationDictionary:
+    """Parse all router configs of a network and resolve cross-router data.
+
+    Links come from matching interface descriptions against the far router's
+    inventory; BGP sessions come from resolving neighbor IPs through the
+    merged IP map — both are only possible with the full set of configs,
+    which is why the paper runs this as an offline batch step.
+    """
+    parts = [parse_config(text) for text in texts]
+    merged = build_dictionary(parts)
+    for part in parts:
+        for hostname, neighbor_ip in getattr(part, "_bgp_neighbor_ips", ()):
+            far = merged.location_of_ip(neighbor_ip)
+            if far is None or far.router == hostname:
+                continue
+            near = Location.router_level(hostname)
+            # A BGP session connects the local router to the far interface's
+            # router; register at router<->interface granularity so both
+            # hierarchy climbs can find it.
+            merged.add_link(near, far)
+    return merged

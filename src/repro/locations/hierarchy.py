@@ -1,0 +1,135 @@
+"""Interface-name grammar and structural hierarchy climbing.
+
+Both vendors name components with slash-separated position digits:
+
+* vendor V1 (IOS-like): ``Serial1/0/10:0`` — type prefix, then
+  ``slot/port[/channel][:sub]``; controllers look like ``Serial1/0``.
+* vendor V2 (TiMOS-like): ``1/1/1`` ports and ``0/0/1`` interfaces — same
+  digits without a type prefix; SAPs append ``:svc``.
+
+The paper's spatial-matching example maps interface ``2/0/0:1`` up to slot
+``2`` by reading the digit before the first slash; :func:`ancestors_of_name`
+generalizes that climb.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.locations.model import Location, LocationKind
+
+_IF_NAME = re.compile(
+    r"^(?P<type>[A-Za-z][A-Za-z-]*)?"
+    r"(?P<slot>\d+)/(?P<port>\d+)"
+    r"(?:/(?P<chan>\d+))?"
+    r"(?::(?P<sub>\d+))?$"
+)
+
+_MULTILINK = re.compile(r"^(?P<type>Multilink|Bundle-Ether|lag)-?(?P<id>\d+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class InterfaceName:
+    """Decomposed component name.
+
+    ``kind`` is inferred from which positional fields are present:
+    slot/port -> PORT, slot/port/chan -> PHYS_IF, any ``:sub`` suffix ->
+    LOGICAL_IF, and Multilink/Bundle/lag names -> MULTILINK.
+    """
+
+    raw: str
+    if_type: str
+    slot: int | None
+    port: int | None
+    channel: int | None
+    sub: int | None
+    kind: LocationKind
+
+    @property
+    def port_name(self) -> str | None:
+        """Name of the enclosing port (``slot/port``), if positional."""
+        if self.slot is None or self.port is None:
+            return None
+        return f"{self.slot}/{self.port}"
+
+    @property
+    def physical_name(self) -> str | None:
+        """Name of the enclosing physical interface, if any."""
+        if self.kind is LocationKind.LOGICAL_IF:
+            return self.raw.rsplit(":", 1)[0]
+        if self.kind is LocationKind.PHYS_IF:
+            return self.raw
+        return None
+
+
+def parse_interface_name(name: str) -> InterfaceName | None:
+    """Parse a component name; return ``None`` when not interface-like."""
+    ml = _MULTILINK.match(name)
+    if ml:
+        return InterfaceName(
+            raw=name,
+            if_type=ml.group("type"),
+            slot=None,
+            port=None,
+            channel=None,
+            sub=None,
+            kind=LocationKind.MULTILINK,
+        )
+    match = _IF_NAME.match(name)
+    if not match:
+        return None
+    slot = int(match.group("slot"))
+    port = int(match.group("port"))
+    chan = match.group("chan")
+    sub = match.group("sub")
+    if sub is not None:
+        kind = LocationKind.LOGICAL_IF
+    elif chan is not None:
+        kind = LocationKind.PHYS_IF
+    else:
+        kind = LocationKind.PORT
+    return InterfaceName(
+        raw=name,
+        if_type=match.group("type") or "",
+        slot=slot,
+        port=port,
+        channel=int(chan) if chan is not None else None,
+        sub=int(sub) if sub is not None else None,
+        kind=kind,
+    )
+
+
+def ancestors_of_name(router: str, name: str) -> list[Location]:
+    """Structural ancestors of component ``name`` on ``router``.
+
+    Returned bottom-up, starting with the component itself and ending at the
+    router level.  Multilinks have no positional parent — their physical
+    members are recorded in the location dictionary instead — so their only
+    structural ancestor is the router.
+    """
+    parsed = parse_interface_name(name)
+    router_loc = Location.router_level(router)
+    if parsed is None:
+        # Unrecognized component (e.g. a process name): router-level only.
+        return [router_loc]
+    chain = [Location(router, parsed.kind, parsed.raw)]
+    if parsed.kind is LocationKind.MULTILINK:
+        chain.append(router_loc)
+        return chain
+    if parsed.kind is LocationKind.LOGICAL_IF and parsed.physical_name:
+        phys = parse_interface_name(parsed.physical_name)
+        if phys is not None and phys.kind is LocationKind.PHYS_IF:
+            chain.append(Location(router, LocationKind.PHYS_IF, phys.raw))
+    if parsed.port_name and parsed.kind in (
+        LocationKind.LOGICAL_IF,
+        LocationKind.PHYS_IF,
+        LocationKind.PORT,
+    ):
+        port_loc = Location(router, LocationKind.PORT, parsed.port_name)
+        if port_loc != chain[-1]:
+            chain.append(port_loc)
+    if parsed.slot is not None:
+        chain.append(Location(router, LocationKind.SLOT, str(parsed.slot)))
+    chain.append(router_loc)
+    return chain

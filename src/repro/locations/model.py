@@ -1,0 +1,87 @@
+"""Location model: kinds, hierarchy levels, and the Location value type.
+
+Figure 3 of the paper defines the physical hierarchy
+``router -> slot/linecard -> port -> physical L3 interface -> logical L3
+interface`` plus logical configurations (multilink/bundle) that map onto
+physical components.  Each kind carries a *level*; prioritization weighs a
+message location as ``10 ** (level - 1)`` so an event one level up the
+hierarchy is an order of magnitude more important (Section 4.2.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LocationKind(enum.IntEnum):
+    """Kind of network location.
+
+    The :attr:`level` property gives the hierarchy level (1 = logical
+    interface ... 5 = router).  MULTILINK is a logical configuration that
+    maps onto several physical interfaces and is weighted at
+    physical-interface level.
+    """
+
+    LOGICAL_IF = 1
+    PHYS_IF = 2
+    PORT = 3
+    SLOT = 4
+    ROUTER = 5
+    MULTILINK = 6
+
+    @property
+    def level(self) -> int:
+        """Hierarchy level used for importance weighting."""
+        if self is LocationKind.MULTILINK:
+            return int(LocationKind.PHYS_IF)
+        return int(self)
+
+    @property
+    def weight(self) -> float:
+        """Importance weight ``l_m`` used by the prioritization score."""
+        return 10.0 ** (self.level - 1)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Location:
+    """One network location: a component of one router.
+
+    ``name`` is the component name within the router, e.g. ``Serial1/0/10:0``
+    for an interface, ``1/0`` for a port, ``1`` for a slot, and the router
+    name itself for router-level locations.
+    """
+
+    router: str
+    kind: LocationKind
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.router:
+            raise ValueError("router must be non-empty")
+        if not self.name:
+            raise ValueError("name must be non-empty")
+
+    @property
+    def level(self) -> int:
+        """Hierarchy level of this location's kind."""
+        return self.kind.level
+
+    @property
+    def weight(self) -> float:
+        """Importance weight ``l_m`` of this location's kind."""
+        return self.kind.weight
+
+    def key(self) -> str:
+        """Canonical string key, e.g. ``ar1.atlga|PHYS_IF|Serial1/0/10``."""
+        return f"{self.router}|{self.kind.name}|{self.name}"
+
+    @classmethod
+    def router_level(cls, router: str) -> Location:
+        """Convenience constructor for a router-level location."""
+        return cls(router=router, kind=LocationKind.ROUTER, name=router)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.kind is LocationKind.ROUTER:
+            return self.router
+        return f"{self.router} {self.kind.name.lower()} {self.name}"

@@ -1,0 +1,100 @@
+"""Router-level graph views over the location dictionary.
+
+Cross-router grouping relates "two ends of one link, session, or *path*"
+(Section 4.2.3).  Links and BGP sessions come straight from configs; paths
+(e.g. MPLS tunnels) are provisioned objects whose route is not in any one
+config, so operators register them explicitly.  This module provides the
+graph utilities for that: adjacency extraction, shortest paths over the
+learned topology, and path registration so tunnel endpoints become
+``connected`` for grouping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.locations.dictionary import LocationDictionary
+from repro.locations.model import Location
+
+
+def adjacency_graph(
+    dictionary: LocationDictionary,
+) -> dict[str, set[str]]:
+    """Router-to-router adjacency implied by all registered links."""
+    graph: dict[str, set[str]] = {r: set() for r in dictionary.routers}
+    for a, b in dictionary.all_links():
+        graph.setdefault(a.router, set()).add(b.router)
+        graph.setdefault(b.router, set()).add(a.router)
+    return graph
+
+
+def shortest_path(
+    dictionary: LocationDictionary, src: str, dst: str
+) -> list[str] | None:
+    """BFS shortest router path, or ``None`` when disconnected."""
+    if src == dst:
+        return [src]
+    graph = adjacency_graph(dictionary)
+    if src not in graph or dst not in graph:
+        return None
+    parent: dict[str, str] = {}
+    queue: deque[str] = deque([src])
+    seen = {src}
+    while queue:
+        current = queue.popleft()
+        for neighbor in sorted(graph.get(current, ())):
+            if neighbor in seen:
+                continue
+            parent[neighbor] = current
+            if neighbor == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parent[path[-1]])
+                return list(reversed(path))
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return None
+
+
+def register_path(
+    dictionary: LocationDictionary, routers: list[str]
+) -> None:
+    """Register a provisioned multi-hop path (e.g. an MPLS tunnel).
+
+    The endpoints become ``connected`` at router level, so same-template
+    messages on the two ends group cross-router even though no single
+    link joins them — the paper's "tunnels (a path) between different
+    routers".
+    """
+    if len(routers) < 2:
+        raise ValueError("a path needs at least two routers")
+    unknown = [r for r in routers if r not in dictionary.routers]
+    if unknown:
+        raise ValueError(f"unknown routers in path: {unknown}")
+    dictionary.add_link(
+        Location.router_level(routers[0]),
+        Location.router_level(routers[-1]),
+    )
+
+
+def connected_components(
+    dictionary: LocationDictionary,
+) -> list[set[str]]:
+    """Router partitions of the topology (healthy networks have one)."""
+    graph = adjacency_graph(dictionary)
+    seen: set[str] = set()
+    components: list[set[str]] = []
+    for start in sorted(graph):
+        if start in seen:
+            continue
+        component = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph[current]:
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        seen |= component
+        components.append(component)
+    return components

@@ -1,0 +1,49 @@
+"""Spatial matching of locations (Section 4.2).
+
+Two locations are *spatially matched* when they can be mapped to the same
+location in the hierarchy of Figure 3 — e.g. a message on slot ``2`` matches
+a message on interface ``Serial2/0/0:1`` of the same router because the
+interface maps upwards to slot ``2``.  Multilink membership participates in
+the climb through the dictionary's ancestor expansion.
+"""
+
+from __future__ import annotations
+
+from repro.locations.dictionary import LocationDictionary
+from repro.locations.model import Location
+
+
+def spatially_matched(
+    dictionary: LocationDictionary, a: Location, b: Location
+) -> bool:
+    """True when ``a`` and ``b`` map to a common hierarchy location.
+
+    Router-level locations match everything on the same router (a message
+    with no finer location is about the router as a whole).
+    """
+    if a.router != b.router:
+        return False
+    if a == b:
+        return True
+    ups_a = set(dictionary.ancestors(a))
+    ups_b = set(dictionary.ancestors(b))
+    # One is an ancestor of the other, or they share a sub-router ancestor
+    # (e.g. two channels of the same port, two members of one bundle).
+    common = ups_a & ups_b
+    non_router_common = {loc for loc in common if loc.kind.name != "ROUTER"}
+    if a in ups_b or b in ups_a:
+        return True
+    return bool(non_router_common)
+
+
+def common_ancestor(
+    dictionary: LocationDictionary, a: Location, b: Location
+) -> Location | None:
+    """Lowest common ancestor of two locations on the same router, if any."""
+    if a.router != b.router:
+        return None
+    ups_b = set(dictionary.ancestors(b))
+    for candidate in dictionary.ancestors(a):  # bottom-up order
+        if candidate in ups_b:
+            return candidate
+    return None

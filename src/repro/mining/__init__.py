@@ -1,0 +1,41 @@
+"""Offline mining: association rules between templates, temporal patterns."""
+
+from repro.mining.periodicity import (
+    RhythmKind,
+    RhythmProfile,
+    analyze_rhythm,
+    rhythm_report,
+)
+from repro.mining.rules import (
+    AssociationRule,
+    RuleMiner,
+    RuleMiningResult,
+)
+from repro.mining.rulestore import RuleStore, RuleUpdateDelta
+from repro.mining.temporal import TemporalParams, TemporalSplitter
+from repro.mining.fit import fit_alpha, fit_beta, fit_temporal_params
+from repro.mining.transactions import (
+    TransactionStats,
+    iter_transactions,
+    transaction_stats,
+)
+
+__all__ = [
+    "AssociationRule",
+    "RhythmKind",
+    "RhythmProfile",
+    "analyze_rhythm",
+    "rhythm_report",
+    "RuleMiner",
+    "RuleMiningResult",
+    "RuleStore",
+    "RuleUpdateDelta",
+    "TemporalParams",
+    "TemporalSplitter",
+    "TransactionStats",
+    "fit_alpha",
+    "fit_beta",
+    "fit_temporal_params",
+    "iter_transactions",
+    "transaction_stats",
+]

@@ -1,0 +1,107 @@
+"""Offline fitting of the temporal parameters alpha and beta.
+
+The paper picks alpha and beta per dataset by sweeping them over historical
+data and taking the values that optimize the temporal-grouping compression
+ratio (Figures 10 and 11), with diminishing-returns judgement on beta.
+``fit_temporal_params`` automates exactly that procedure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.mining.temporal import TemporalParams, n_groups
+
+DEFAULT_ALPHAS = (0.01, 0.025, 0.05, 0.075, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+DEFAULT_BETAS = (2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+
+@dataclass(frozen=True)
+class TemporalFit:
+    """Result of a parameter sweep."""
+
+    params: TemporalParams
+    alpha_curve: tuple[tuple[float, float], ...]  # (alpha, ratio)
+    beta_curve: tuple[tuple[float, float], ...]  # (beta, ratio)
+
+
+def compression_ratio(
+    series: Sequence[Sequence[float]], params: TemporalParams
+) -> float:
+    """Temporal compression ratio: groups / messages over all key series.
+
+    ``series`` holds one sorted timestamp list per (router, template,
+    location) key — the unit temporal grouping operates on.
+    """
+    total_messages = sum(len(s) for s in series)
+    if total_messages == 0:
+        return 1.0
+    total_groups = sum(n_groups(list(s), params) for s in series)
+    return total_groups / total_messages
+
+
+def fit_alpha(
+    series: Sequence[Sequence[float]],
+    beta: float = 2.0,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    base: TemporalParams = TemporalParams(),
+) -> tuple[float, list[tuple[float, float]]]:
+    """Sweep alpha at fixed beta; return (best_alpha, curve)."""
+    curve = []
+    for alpha in alphas:
+        params = TemporalParams(
+            alpha=alpha, beta=beta, s_min=base.s_min, s_max=base.s_max
+        )
+        curve.append((alpha, compression_ratio(series, params)))
+    best_alpha = min(curve, key=lambda p: p[1])[0]
+    return best_alpha, curve
+
+
+def fit_beta(
+    series: Sequence[Sequence[float]],
+    alpha: float,
+    betas: Sequence[float] = DEFAULT_BETAS,
+    base: TemporalParams = TemporalParams(),
+    improvement_floor: float = 0.02,
+) -> tuple[float, list[tuple[float, float]]]:
+    """Sweep beta at fixed alpha; pick the diminishing-returns knee.
+
+    The ratio decreases monotonically in beta, so instead of the raw
+    minimum we pick the smallest beta whose relative improvement over the
+    previous point drops below ``improvement_floor`` — the paper's "the
+    improvement of compression diminishes, thus we set beta = 5".
+    """
+    curve = []
+    for beta in betas:
+        params = TemporalParams(
+            alpha=alpha, beta=beta, s_min=base.s_min, s_max=base.s_max
+        )
+        curve.append((beta, compression_ratio(series, params)))
+    best_beta = curve[-1][0]
+    for i in range(1, len(curve)):
+        prev_ratio, ratio = curve[i - 1][1], curve[i][1]
+        if prev_ratio == 0:
+            break
+        if (prev_ratio - ratio) / prev_ratio < improvement_floor:
+            best_beta = curve[i][0]
+            break
+    return best_beta, curve
+
+
+def fit_temporal_params(
+    series: Sequence[Sequence[float]],
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    betas: Sequence[float] = DEFAULT_BETAS,
+    base: TemporalParams = TemporalParams(),
+) -> TemporalFit:
+    """Full two-stage sweep: alpha at beta=2, then beta at the best alpha."""
+    best_alpha, alpha_curve = fit_alpha(series, 2.0, alphas, base)
+    best_beta, beta_curve = fit_beta(series, best_alpha, betas, base)
+    return TemporalFit(
+        params=TemporalParams(
+            alpha=best_alpha, beta=best_beta, s_min=base.s_min, s_max=base.s_max
+        ),
+        alpha_curve=tuple(alpha_curve),
+        beta_curve=tuple(beta_curve),
+    )

@@ -1,0 +1,128 @@
+"""Pairwise association-rule mining between message templates.
+
+Following Agrawal-style association mining specialized as the paper does:
+items are message templates, transactions come from a sliding window ``W``
+(:mod:`repro.mining.transactions`), rules are pairwise only
+(``|X| = |Y| = 1``) and kept when ``supp(X) >= SP_min`` and
+``conf(X => Y) >= Conf_min``.  Pairwise rules are cheap to mine and easy
+for a domain expert to eyeball; transitive grouping later merges more than
+two templates into one event anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mining.transactions import TransactionStats, transaction_stats
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """A directed rule ``x => y`` with its mined statistics."""
+
+    x: str
+    y: str
+    support_x: float
+    support_pair: float
+    confidence: float
+
+    def undirected_key(self) -> tuple[str, str]:
+        """Canonical unordered pair, used by rule-based grouping."""
+        return (self.x, self.y) if self.x <= self.y else (self.y, self.x)
+
+
+@dataclass
+class RuleMiningResult:
+    """Everything one mining pass produced."""
+
+    rules: list[AssociationRule]
+    stats: TransactionStats
+    eligible_items: set[str] = field(default_factory=set)
+
+    @property
+    def n_rules(self) -> int:
+        """Number of directed rules mined."""
+        return len(self.rules)
+
+    def undirected_pairs(self) -> set[tuple[str, str]]:
+        """Unordered template pairs covered by at least one rule."""
+        return {rule.undirected_key() for rule in self.rules}
+
+    def eligible_fraction(self) -> float:
+        """Fraction of template types meeting SP_min (Table 5 "top %")."""
+        n_types = len(self.stats.item_messages)
+        if n_types == 0:
+            return 0.0
+        return len(self.eligible_items) / n_types
+
+    def coverage(self) -> float:
+        """Message coverage of the eligible types (Table 5 "coverage")."""
+        return self.stats.coverage_of(self.eligible_items)
+
+
+@dataclass(frozen=True)
+class RuleMiner:
+    """Association-rule miner with the paper's three parameters.
+
+    Parameters
+    ----------
+    window:
+        Sliding window ``W`` in seconds.
+    sp_min:
+        Minimum support of the antecedent item.
+    conf_min:
+        Minimum rule confidence.
+    """
+
+    window: float = 120.0
+    sp_min: float = 0.0005
+    conf_min: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 <= self.sp_min <= 1.0:
+            raise ValueError("sp_min must be in [0, 1]")
+        if not 0.0 <= self.conf_min <= 1.0:
+            raise ValueError("conf_min must be in [0, 1]")
+
+    def mine(
+        self, events: list[tuple[float, str, str]]
+    ) -> RuleMiningResult:
+        """Mine rules from (timestamp, router, template_key) events."""
+        stats = transaction_stats(events, self.window)
+        return self.rules_from_stats(stats)
+
+    def rules_from_stats(self, stats: TransactionStats) -> RuleMiningResult:
+        """Derive the rule set from precomputed support statistics.
+
+        Splitting this out lets parameter sweeps (Figures 6/7) reuse one
+        expensive counting pass across many (sp_min, conf_min) settings.
+        """
+        eligible = {
+            item
+            for item in stats.item_positions
+            if stats.support(item) >= self.sp_min
+        }
+        rules: list[AssociationRule] = []
+        for (a, b), pair_count in stats.pair_positions.items():
+            if pair_count == 0:
+                continue
+            for x, y in ((a, b), (b, a)):
+                if x not in eligible or y not in eligible:
+                    continue
+                confidence = pair_count / stats.item_positions[x]
+                if confidence >= self.conf_min:
+                    rules.append(
+                        AssociationRule(
+                            x=x,
+                            y=y,
+                            support_x=stats.support(x),
+                            support_pair=pair_count / max(stats.n_transactions, 1),
+                            confidence=confidence,
+                        )
+                    )
+        rules.sort(key=lambda r: (-r.confidence, r.x, r.y))
+        return RuleMiningResult(
+            rules=rules, stats=stats, eligible_items=eligible
+        )

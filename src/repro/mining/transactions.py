@@ -1,0 +1,141 @@
+"""Sliding-window transactions over Syslog+ streams (Section 4.1.4).
+
+Each message template is one *item*.  A window ``W`` slides message by
+message over the (per-router, time-sorted) stream; the distinct templates
+inside the window form one transaction per message position.  Confining
+transactions to a single router implements the "close in time *and at
+related locations*" rule of thumb — cross-router relations are handled by
+the location dictionary, not by rule mining.
+
+Transactions at consecutive positions are usually identical during bursts,
+so the iterator emits (itemset, multiplicity) pairs — an exact run-length
+compression, not an approximation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransactionStats:
+    """Support statistics over one mining run."""
+
+    n_transactions: int
+    n_messages: int
+    item_positions: dict[str, int]  # transactions containing the item
+    item_messages: dict[str, int]  # raw messages carrying the item
+    pair_positions: dict[tuple[str, str], int]  # unordered template pairs
+
+    def support(self, item: str) -> float:
+        """supp(X): fraction of transactions containing item X."""
+        if self.n_transactions == 0:
+            return 0.0
+        return self.item_positions.get(item, 0) / self.n_transactions
+
+    def pair_support(self, x: str, y: str) -> float:
+        """supp(X ∪ Y) for a template pair."""
+        if self.n_transactions == 0:
+            return 0.0
+        key = (x, y) if x <= y else (y, x)
+        return self.pair_positions.get(key, 0) / self.n_transactions
+
+    def confidence(self, x: str, y: str) -> float:
+        """conf(X ⇒ Y) = supp(X ∪ Y) / supp(X)."""
+        supp_x = self.item_positions.get(x, 0)
+        if supp_x == 0:
+            return 0.0
+        key = (x, y) if x <= y else (y, x)
+        return self.pair_positions.get(key, 0) / supp_x
+
+    def coverage_of(self, items: set[str]) -> float:
+        """Fraction of raw messages whose template is in ``items``.
+
+        This is the "coverage" column of the paper's Table 5.
+        """
+        if self.n_messages == 0:
+            return 0.0
+        covered = sum(
+            count
+            for item, count in self.item_messages.items()
+            if item in items
+        )
+        return covered / self.n_messages
+
+
+def iter_transactions(
+    events: list[tuple[float, str, str]],
+    window: float,
+) -> Iterator[tuple[frozenset[str], int]]:
+    """Yield (itemset, multiplicity) transactions from one router's stream.
+
+    ``events`` are (timestamp, router, template_key), time-sorted; the
+    router field is ignored here (callers pre-partition by router).  The
+    transaction anchored at message ``i`` contains the templates of all
+    messages in ``[t_i, t_i + W]``.
+    """
+    n = len(events)
+    if n == 0:
+        return
+    in_window: Counter[str] = Counter()
+    j = 0  # exclusive end of the window
+    prev_set: frozenset[str] | None = None
+    multiplicity = 0
+    for i in range(n):
+        t_i = events[i][0]
+        while j < n and events[j][0] <= t_i + window:
+            in_window[events[j][2]] += 1
+            j += 1
+        if i > 0:
+            prev_template = events[i - 1][2]
+            in_window[prev_template] -= 1
+            if in_window[prev_template] == 0:
+                del in_window[prev_template]
+        current = frozenset(in_window)
+        if current == prev_set:
+            multiplicity += 1
+        else:
+            if prev_set is not None and multiplicity:
+                yield prev_set, multiplicity
+            prev_set = current
+            multiplicity = 1
+    if prev_set is not None and multiplicity:
+        yield prev_set, multiplicity
+
+
+def transaction_stats(
+    events: list[tuple[float, str, str]],
+    window: float,
+) -> TransactionStats:
+    """Compute item/pair support counts over a multi-router stream.
+
+    ``events`` are (timestamp, router, template_key) in any order; they are
+    partitioned per router and time-sorted internally.
+    """
+    by_router: dict[str, list[tuple[float, str, str]]] = {}
+    item_messages: Counter[str] = Counter()
+    for event in events:
+        by_router.setdefault(event[1], []).append(event)
+        item_messages[event[2]] += 1
+
+    n_transactions = 0
+    item_positions: Counter[str] = Counter()
+    pair_positions: Counter[tuple[str, str]] = Counter()
+    for router_events in by_router.values():
+        router_events.sort(key=lambda e: e[0])
+        for itemset, mult in iter_transactions(router_events, window):
+            n_transactions += mult
+            items = sorted(itemset)
+            for a_idx, a in enumerate(items):
+                item_positions[a] += mult
+                for b in items[a_idx + 1:]:
+                    pair_positions[(a, b)] += mult
+    return TransactionStats(
+        n_transactions=n_transactions,
+        n_messages=len(events),
+        item_positions=dict(item_positions),
+        item_messages=dict(item_messages),
+        pair_positions=dict(pair_positions),
+    )

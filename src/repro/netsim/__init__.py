@@ -1,0 +1,51 @@
+"""Synthetic network + syslog workload generator.
+
+This package replaces the paper's proprietary inputs (tier-1 ISP and IPTV
+backbone syslog feeds, router configs, trouble tickets) with a simulator
+that produces the same *statistical structure* the mining algorithms
+exploit, plus ground-truth labels the paper could only approximate with
+human validation.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.netsim.catalog import CATALOG_V1, CATALOG_V2, MessageDef, catalog_for
+from repro.netsim.configgen import render_config, render_configs
+from repro.netsim.datasets import (
+    DatasetSpec,
+    dataset_a,
+    dataset_b,
+    generate_dataset,
+)
+from repro.netsim.generator import WorkloadEngine, WorkloadMix
+from repro.netsim.tickets import TroubleTicket, derive_tickets
+from repro.netsim.traces import export_trace, import_trace
+from repro.netsim.topology import (
+    Interface,
+    Link,
+    Network,
+    RouterNode,
+    build_network,
+)
+
+__all__ = [
+    "CATALOG_V1",
+    "CATALOG_V2",
+    "DatasetSpec",
+    "Interface",
+    "Link",
+    "MessageDef",
+    "Network",
+    "RouterNode",
+    "TroubleTicket",
+    "WorkloadEngine",
+    "WorkloadMix",
+    "build_network",
+    "catalog_for",
+    "dataset_a",
+    "dataset_b",
+    "derive_tickets",
+    "export_trace",
+    "import_trace",
+    "generate_dataset",
+    "render_config",
+    "render_configs",
+]

@@ -1,0 +1,270 @@
+"""Vendor message catalogs: every message shape the simulator can emit.
+
+Each :class:`MessageDef` is one true (generator-side) template: an error
+code plus a detail format string whose ``{placeholders}`` are the variable
+fields.  The masked form (placeholders replaced by ``*``) is the ground
+truth that Section 5.2.1's template-accuracy evaluation compares learned
+templates against.
+
+Catalog V1 is IOS-flavoured (dataset A, tier-1 ISP backbone); catalog V2 is
+TiMOS-flavoured (dataset B, IPTV backbone).  The two deliberately share *no*
+error codes: the paper stresses that both the types and the signatures
+differ entirely between the two networks.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from dataclasses import dataclass
+
+_FIELD = string.Formatter()
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """One true message template.
+
+    Attributes
+    ----------
+    template_id:
+        Stable generator-side identifier, e.g. ``v1.link_down``.
+    error_code:
+        The message type / error code field.
+    detail_fmt:
+        ``str.format`` template of the detail text.
+    vendor:
+        ``"V1"`` or ``"V2"``.
+    """
+
+    template_id: str
+    error_code: str
+    detail_fmt: str
+    vendor: str
+
+    def render(self, **fields: object) -> str:
+        """Fill the detail template; raises ``KeyError`` on missing fields."""
+        return self.detail_fmt.format(**fields)
+
+    def field_names(self) -> tuple[str, ...]:
+        """Placeholder names appearing in the detail template."""
+        return tuple(
+            name
+            for _, name, _, _ in _FIELD.parse(self.detail_fmt)
+            if name is not None
+        )
+
+    def masked_detail(self) -> str:
+        """Detail with every variable field replaced by ``*``."""
+        return re.sub(r"\{[^{}]*\}", "*", self.detail_fmt)
+
+    def constant_words(self) -> tuple[str, ...]:
+        """Whitespace words of the masked detail that contain no ``*``.
+
+        This is the ground-truth "signature" a learned template should
+        recover: the frequent constant words, with variable positions
+        excluded.
+        """
+        return tuple(
+            w for w in self.masked_detail().split() if "*" not in w
+        )
+
+
+def _catalog(defs: list[MessageDef]) -> dict[str, MessageDef]:
+    out: dict[str, MessageDef] = {}
+    for d in defs:
+        if d.template_id in out:
+            raise ValueError(f"duplicate template id {d.template_id}")
+        out[d.template_id] = d
+    return out
+
+
+CATALOG_V1: dict[str, MessageDef] = _catalog([
+    # --- layer 1/2 interface state -------------------------------------
+    MessageDef(
+        "v1.link_down", "LINK-3-UPDOWN",
+        "Interface {iface}, changed state to down", "V1"),
+    MessageDef(
+        "v1.link_up", "LINK-3-UPDOWN",
+        "Interface {iface}, changed state to up", "V1"),
+    MessageDef(
+        "v1.lineproto_down", "LINEPROTO-5-UPDOWN",
+        "Line protocol on Interface {iface}, changed state to down", "V1"),
+    MessageDef(
+        "v1.lineproto_up", "LINEPROTO-5-UPDOWN",
+        "Line protocol on Interface {iface}, changed state to up", "V1"),
+    MessageDef(
+        "v1.controller_down", "CONTROLLER-2-UPDOWN",
+        "Controller {ctrl}, changed state to down", "V1"),
+    MessageDef(
+        "v1.controller_up", "CONTROLLER-2-UPDOWN",
+        "Controller {ctrl}, changed state to up", "V1"),
+    # --- multilink bundles -----------------------------------------------
+    MessageDef(
+        "v1.mlp_degraded", "MLPPP-4-DEGRADED",
+        "Bundle {bundle} degraded, member link down", "V1"),
+    MessageDef(
+        "v1.mlp_restored", "MLPPP-5-RESTORED",
+        "Bundle {bundle} restored, all member links active", "V1"),
+    # --- line cards ------------------------------------------------------
+    MessageDef(
+        "v1.card_removed", "OIR-6-REMCARD",
+        "Card removed from slot {slot}, interfaces disabled", "V1"),
+    MessageDef(
+        "v1.card_inserted", "OIR-6-INSCARD",
+        "Card inserted in slot {slot}, interfaces administratively shut down",
+        "V1"),
+    # --- BGP (the Table 3/4 sub-type family) ----------------------------
+    MessageDef(
+        "v1.bgp_up", "BGP-5-ADJCHANGE",
+        "neighbor {ip} vpn vrf {vrf} Up", "V1"),
+    MessageDef(
+        "v1.bgp_down_ifflap", "BGP-5-ADJCHANGE",
+        "neighbor {ip} vpn vrf {vrf} Down Interface flap", "V1"),
+    MessageDef(
+        "v1.bgp_down_sent", "BGP-5-ADJCHANGE",
+        "neighbor {ip} vpn vrf {vrf} Down BGP Notification sent", "V1"),
+    MessageDef(
+        "v1.bgp_down_received", "BGP-5-ADJCHANGE",
+        "neighbor {ip} vpn vrf {vrf} Down BGP Notification received", "V1"),
+    MessageDef(
+        "v1.bgp_down_peerclosed", "BGP-5-ADJCHANGE",
+        "neighbor {ip} vpn vrf {vrf} Down Peer closed the session", "V1"),
+    # --- IGP -------------------------------------------------------------
+    MessageDef(
+        "v1.ospf_down", "OSPF-5-ADJCHG",
+        "Process 100, Nbr {ip} on {iface} from FULL to DOWN, Neighbor Down:"
+        " Interface down or detached", "V1"),
+    MessageDef(
+        "v1.ospf_up", "OSPF-5-ADJCHG",
+        "Process 100, Nbr {ip} on {iface} from LOADING to FULL, Loading Done",
+        "V1"),
+    MessageDef(
+        "v1.isis_down", "ISIS-4-ADJCHANGE",
+        "Adjacency to {neighbor} ({iface}) Down, interface state down", "V1"),
+    MessageDef(
+        "v1.isis_up", "ISIS-4-ADJCHANGE",
+        "Adjacency to {neighbor} ({iface}) Up, new adjacency", "V1"),
+    MessageDef(
+        "v1.pim_nbr_down", "PIM-5-NBRCHG",
+        "neighbor {ip} DOWN on interface {iface} DR", "V1"),
+    MessageDef(
+        "v1.pim_nbr_up", "PIM-5-NBRCHG",
+        "neighbor {ip} UP on interface {iface} DR", "V1"),
+    # --- platform health -------------------------------------------------
+    MessageDef(
+        "v1.cpu_rising", "SYS-1-CPURISINGTHRESHOLD",
+        "Threshold: Total CPU Utilization(Total/Intr): {total}%/{intr}%,"
+        " Top 3 processes (Pid/Util): {p1}/{u1}%, {p2}/{u2}%, {p3}/{u3}%",
+        "V1"),
+    MessageDef(
+        "v1.cpu_falling", "SYS-1-CPUFALLINGTHRESHOLD",
+        "Threshold: Total CPU Utilization(Total/Intr) {total}%/{intr}%.",
+        "V1"),
+    MessageDef(
+        "v1.env_temp", "ENVM-2-TEMPALARM",
+        "Slot {slot} temperature {temp}C exceeds warning threshold", "V1"),
+    MessageDef(
+        "v1.env_fan", "ENVM-2-FANALARM",
+        "Slot {slot} fan speed {rpm} RPM below minimum", "V1"),
+    # --- security / management chatter ----------------------------------
+    MessageDef(
+        "v1.tcp_badauth", "TCP-6-BADAUTH",
+        "Invalid MD5 digest from {src_ip}:{src_port} to {dst_ip}:179", "V1"),
+    MessageDef(
+        "v1.acl_deny", "SEC-6-IPACCESSLOGP",
+        "list 199 denied tcp {src_ip}({src_port}) -> {dst_ip}({dst_port}),"
+        " 1 packet", "V1"),
+    MessageDef(
+        "v1.config_change", "SYS-5-CONFIG_I",
+        "Configured from console by {user} on vty0 ({ip})", "V1"),
+    MessageDef(
+        "v1.ntp_sync", "NTP-6-PEERSYNC",
+        "NTP synchronized to peer {ip}", "V1"),
+    MessageDef(
+        "v1.snmp_auth", "SNMP-3-AUTHFAIL",
+        "Authentication failure for SNMP request from host {ip}", "V1"),
+])
+
+
+CATALOG_V2: dict[str, MessageDef] = _catalog([
+    # --- ports and interfaces -------------------------------------------
+    MessageDef(
+        "v2.link_down", "SNMP-WARNING-linkDown",
+        "Interface {port} is not operational", "V2"),
+    MessageDef(
+        "v2.link_up", "SNMP-WARNING-linkup",
+        "Interface {port} is operational", "V2"),
+    MessageDef(
+        "v2.sap_change", "SVCMGR-MAJOR-sapPortStateChangeProcessed",
+        "The status of all affected SAPs on port {port} has been updated.",
+        "V2"),
+    MessageDef(
+        "v2.port_degraded", "PORT-MINOR-etherAlarm",
+        "Port {port} ethernet alarm raised: remote fault", "V2"),
+    MessageDef(
+        "v2.port_cleared", "PORT-MINOR-etherAlarmClear",
+        "Port {port} ethernet alarm cleared: remote fault", "V2"),
+    # --- chassis ----------------------------------------------------------
+    MessageDef(
+        "v2.mda_fail", "CHASSIS-MAJOR-mdaFailure",
+        "MDA {slot}/{mda} failed, all ports on MDA are down", "V2"),
+    MessageDef(
+        "v2.mda_clear", "CHASSIS-MAJOR-mdaFailureClear",
+        "MDA {slot}/{mda} recovered", "V2"),
+    MessageDef(
+        "v2.cpu_high", "SYSTEM-MAJOR-cpuHigh",
+        "CPU utilization {pct} percent exceeds high watermark", "V2"),
+    MessageDef(
+        "v2.cpu_clear", "SYSTEM-MAJOR-cpuHighClear",
+        "CPU utilization {pct} percent below high watermark", "V2"),
+    # --- multicast / MPLS (the Section 6.1 cascade) ----------------------
+    MessageDef(
+        "v2.pim_nbr_loss", "PIM-MAJOR-pimNbrLoss",
+        "PIM neighbor {ip} on interface {port} lost", "V2"),
+    MessageDef(
+        "v2.pim_nbr_up", "PIM-MINOR-pimNbrUp",
+        "PIM neighbor {ip} on interface {port} established", "V2"),
+    MessageDef(
+        "v2.frr_switch", "MPLS-MINOR-frrProtectionSwitch",
+        "FRR protection switch on LSP {lsp} from primary to secondary", "V2"),
+    MessageDef(
+        "v2.lsp_down", "MPLS-MAJOR-lspDown",
+        "LSP {lsp} changed state to down", "V2"),
+    MessageDef(
+        "v2.lsp_up", "MPLS-MINOR-lspUp",
+        "LSP {lsp} changed state to up", "V2"),
+    MessageDef(
+        "v2.lsp_retry", "MPLS-MINOR-lspPathRetry",
+        "LSP {lsp} secondary path setup retry attempt {attempt} failed",
+        "V2"),
+    # --- BGP ---------------------------------------------------------------
+    MessageDef(
+        "v2.bgp_down", "BGP-MAJOR-bgpPeerDown",
+        "BGP peer {ip} moved from Established to Idle", "V2"),
+    MessageDef(
+        "v2.bgp_up", "BGP-MINOR-bgpPeerUp",
+        "BGP peer {ip} moved from Idle to Established", "V2"),
+    # --- security / management chatter ----------------------------------
+    MessageDef(
+        "v2.ftp_fail", "SECURITY-MINOR-ftpLoginFailure",
+        "FTP login failed for user {user} from host {ip}", "V2"),
+    MessageDef(
+        "v2.ssh_fail", "SECURITY-MINOR-sshLoginFailure",
+        "SSH login failed for user {user} from host {ip}", "V2"),
+    MessageDef(
+        "v2.tod_sync", "SYSTEM-INFO-todSync",
+        "Time of day synchronized from NTP server {ip}", "V2"),
+    MessageDef(
+        "v2.config_save", "SYSTEM-INFO-configSave",
+        "Configuration saved by user {user}", "V2"),
+])
+
+
+def catalog_for(vendor: str) -> dict[str, MessageDef]:
+    """The catalog for a vendor tag (``V1``/``V2``)."""
+    if vendor == "V1":
+        return CATALOG_V1
+    if vendor == "V2":
+        return CATALOG_V2
+    raise KeyError(f"unknown vendor {vendor!r}")

@@ -1,0 +1,80 @@
+"""Router config generation.
+
+Emits the config grammar :mod:`repro.locations.configparse` understands.
+The simulator never hands its internal topology to the mining pipeline —
+the pipeline learns locations exclusively by parsing these configs, which
+keeps the two-sided contract of the paper's Section 4.1.2 honest.
+"""
+
+from __future__ import annotations
+
+from repro.locations.hierarchy import parse_interface_name
+from repro.netsim.topology import Network, RouterNode
+
+_NETMASK_P2P = "255.255.255.252"
+_NETMASK_HOST = "255.255.255.255"
+
+
+def render_config(network: Network, router: RouterNode) -> str:
+    """Render one router's configuration text."""
+    lines: list[str] = [f"hostname {router.name}", f"site {router.site}", "!"]
+
+    used_slots = sorted(
+        {
+            parsed.slot
+            for ifname in router.interfaces
+            if (parsed := parse_interface_name(ifname)) is not None
+            and parsed.slot is not None
+        }
+    )
+    for slot in used_slots:
+        lines.append(f"card {slot} type linecard-16")
+        lines.append("!")
+
+    controllers = sorted(
+        {
+            ctrl
+            for ifname in router.interfaces
+            if (ctrl := router.controller_of(ifname)) is not None
+        }
+    )
+    for ctrl in controllers:
+        lines.append(f"controller {ctrl}")
+        lines.append("!")
+
+    bundle_members = {
+        bundle.end_for(router.name)[0]: bundle.end_for(router.name)[1]
+        for bundle in network.bundles
+        if router.name in (bundle.router_a, bundle.router_b)
+    }
+    for ifname in sorted(router.interfaces):
+        iface = router.interfaces[ifname]
+        lines.append(f"interface {ifname}")
+        if iface.peer_router and iface.peer_ifname:
+            lines.append(f" description to {iface.peer_router} {iface.peer_ifname}")
+        mask = _NETMASK_HOST if iface.is_loopback else _NETMASK_P2P
+        lines.append(f" ip address {iface.ip} {mask}")
+        for member in bundle_members.get(ifname, ()):
+            lines.append(f" multilink-group member {member}")
+        lines.append("!")
+
+    neighbors = sorted(
+        network.routers[peer].loopback_ip
+        for a, b in network.bgp_sessions
+        for peer in ((b,) if a == router.name else (a,) if b == router.name else ())
+    )
+    if neighbors:
+        lines.append("router bgp 7018")
+        for ip in neighbors:
+            lines.append(f" neighbor {ip} remote-as 7018")
+        lines.append("!")
+
+    return "\n".join(lines) + "\n"
+
+
+def render_configs(network: Network) -> dict[str, str]:
+    """Configs for every router, keyed by router name."""
+    return {
+        name: render_config(network, node)
+        for name, node in network.routers.items()
+    }

@@ -1,0 +1,909 @@
+"""Injectable network conditions (fault scenarios).
+
+Each scenario renders one *network condition* into the cascade of syslog
+messages a real network would log for it — across time (flapping,
+retries), protocol layers (layer-1 link, line protocol, IGP, BGP, PIM,
+MPLS) and routers (both ends of a link, routers along a protection path).
+That many-messages-per-condition structure is precisely what SyslogDigest
+mines back out; the ground-truth ``event_id`` on every message lets the
+evaluation score how well it does.
+
+Scenario functions all share the signature
+``(network, rng, event_id, start_ts) -> Incident``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.locations.hierarchy import parse_interface_name
+from repro.locations.model import Location, LocationKind
+from repro.netsim.catalog import catalog_for
+from repro.netsim.topology import Link, Network
+from repro.syslog.message import LabeledMessage, SyslogMessage
+from repro.utils.timeutils import HOUR, MINUTE
+
+
+@dataclass
+class Incident:
+    """Ground truth for one injected network condition."""
+
+    event_id: str
+    kind: str
+    start_ts: float
+    end_ts: float
+    routers: tuple[str, ...]
+    states: tuple[str, ...]
+    messages: list[LabeledMessage] = field(default_factory=list)
+
+    @property
+    def n_messages(self) -> int:
+        """Number of syslog messages this condition produced."""
+        return len(self.messages)
+
+
+class _Emitter:
+    """Accumulates a scenario's messages with shared labels."""
+
+    def __init__(self, network: Network, event_id: str, kind: str) -> None:
+        self._network = network
+        self._catalog = catalog_for(network.vendor)
+        self._event_id = event_id
+        self._kind = kind
+        self._messages: list[LabeledMessage] = []
+        self._routers: set[str] = set()
+
+    def emit(
+        self,
+        template_id: str,
+        ts: float,
+        router: str,
+        locations: tuple[Location, ...] = (),
+        **fields: object,
+    ) -> None:
+        """Render one catalog message at ``ts`` on ``router``."""
+        spec = self._catalog[template_id]
+        self._routers.add(router)
+        self._messages.append(
+            LabeledMessage(
+                message=SyslogMessage(
+                    timestamp=ts,
+                    router=router,
+                    error_code=spec.error_code,
+                    detail=spec.render(**fields),
+                    vendor=spec.vendor,
+                ),
+                event_id=self._event_id,
+                template_id=template_id,
+                locations=tuple(loc.key() for loc in locations),
+            )
+        )
+
+    def finish(self) -> Incident:
+        """Package the accumulated messages as a ground-truth incident."""
+        msgs = sorted(self._messages, key=lambda m: m.timestamp)
+        states = tuple(
+            sorted(
+                {
+                    self._network.routers[r].site
+                    for r in self._routers
+                    if r in self._network.routers
+                }
+            )
+        )
+        return Incident(
+            event_id=self._event_id,
+            kind=self._kind,
+            start_ts=msgs[0].timestamp if msgs else 0.0,
+            end_ts=msgs[-1].timestamp if msgs else 0.0,
+            routers=tuple(sorted(self._routers)),
+            states=states,
+            messages=msgs,
+        )
+
+
+def _iface_loc(router: str, ifname: str) -> Location:
+    parsed = parse_interface_name(ifname)
+    kind = parsed.kind if parsed else LocationKind.ROUTER
+    return Location(router, kind, ifname)
+
+
+def _pick_link(network: Network, rng: random.Random) -> Link:
+    weights = [
+        network.routers[link.router_a].activity
+        + network.routers[link.router_b].activity
+        for link in network.links
+    ]
+    return rng.choices(network.links, weights=weights, k=1)[0]
+
+
+def _pick_router(network: Network, rng: random.Random) -> str:
+    names = list(network.routers)
+    weights = [network.routers[n].activity for n in names]
+    return rng.choices(names, weights=weights, k=1)[0]
+
+
+def _flap_count(rng: random.Random, mean: float) -> int:
+    """Heavy-tailed repeat count.
+
+    Geometric with the given mean, but a small fraction of conditions are
+    *chronic* — an unstable component repeating its symptom for hours
+    (the paper's Figure 4 controller) — which multiplies the count.  The
+    chronic tail is what pushes the mean messages-per-event high enough
+    for the three-orders-of-magnitude compression the paper reports.
+    """
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    count = 1
+    while rng.random() > p and count < 400:
+        count += 1
+    if rng.random() < 0.08:
+        count = min(count * rng.randint(8, 25), 2000)
+    return count
+
+
+def _random_external_ip(rng: random.Random) -> str:
+    return (
+        f"{rng.randrange(11, 100)}.{rng.randrange(256)}"
+        f".{rng.randrange(256)}.{rng.randrange(1, 255)}"
+    )
+
+
+# --------------------------------------------------------------------------
+# Dataset A (vendor V1) scenarios
+# --------------------------------------------------------------------------
+
+
+def link_flap(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """A link flapping a few times: the paper's Table 2 running example.
+
+    Each flap produces LINK down/up and LINEPROTO down/up on both ends;
+    sustained flapping also takes the IGP adjacency and (sometimes) the BGP
+    session down.
+    """
+    em = _Emitter(network, event_id, "link_flap")
+    link = _pick_link(network, rng)
+    n_flaps = _flap_count(rng, mean=22.0)
+    period = rng.uniform(8.0, 45.0)
+    ts = start_ts
+    igp_involved = n_flaps >= 3 and rng.random() < 0.7
+    use_isis = rng.random() < 0.4
+
+    for flap in range(n_flaps):
+        down_ts = ts
+        up_ts = ts + period * rng.uniform(0.3, 0.6)
+        for router, ifname, _ip in link.ends():
+            loc = _iface_loc(router, ifname)
+            skew = rng.uniform(0.0, 0.9)
+            em.emit("v1.link_down", down_ts + skew, router, (loc,), iface=ifname)
+            em.emit(
+                "v1.lineproto_down", down_ts + skew + rng.uniform(0.1, 1.0),
+                router, (loc,), iface=ifname,
+            )
+            em.emit("v1.link_up", up_ts + skew, router, (loc,), iface=ifname)
+            em.emit(
+                "v1.lineproto_up", up_ts + skew + rng.uniform(0.1, 1.0),
+                router, (loc,), iface=ifname,
+            )
+        if igp_involved and flap == 0:
+            for router, ifname, _ip in link.ends():
+                loc = _iface_loc(router, ifname)
+                far = link.far_ip(router)
+                if use_isis:
+                    peer = (
+                        link.router_b if router == link.router_a
+                        else link.router_a
+                    )
+                    em.emit(
+                        "v1.isis_down", down_ts + rng.uniform(1.0, 3.0),
+                        router, (loc,), neighbor=peer, iface=ifname,
+                    )
+                else:
+                    em.emit(
+                        "v1.ospf_down", down_ts + rng.uniform(1.0, 3.0),
+                        router, (loc,), ip=far, iface=ifname,
+                    )
+        ts += period
+    if igp_involved:
+        final_up = ts - period + period * rng.uniform(0.3, 0.6)
+        for router, ifname, _ip in link.ends():
+            loc = _iface_loc(router, ifname)
+            far = link.far_ip(router)
+            if use_isis:
+                peer = (
+                    link.router_b if router == link.router_a else link.router_a
+                )
+                em.emit(
+                    "v1.isis_up", final_up + rng.uniform(2.0, 8.0),
+                    router, (loc,), neighbor=peer, iface=ifname,
+                )
+            else:
+                em.emit(
+                    "v1.ospf_up", final_up + rng.uniform(2.0, 8.0),
+                    router, (loc,), ip=far, iface=ifname,
+                )
+    return em.finish()
+
+
+def controller_instability(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """An unstable controller going up/down many times (Figure 4).
+
+    Long burst of CONTROLLER up/down with short, EWMA-learnable intervals;
+    the channelized interface on that controller flaps along.
+    """
+    em = _Emitter(network, event_id, "controller_instability")
+    router_name = _pick_router(network, rng)
+    node = network.routers[router_name]
+    channelized = [
+        ifname for ifname in node.interfaces if node.controller_of(ifname)
+    ]
+    if not channelized:
+        # Loopback-only router (cannot happen in built networks, but be safe).
+        ifname = next(iter(node.interfaces))
+        em.emit(
+            "v1.link_down", start_ts, router_name,
+            (_iface_loc(router_name, ifname),), iface=ifname,
+        )
+        return em.finish()
+    ifname = rng.choice(channelized)
+    ctrl = node.controller_of(ifname)
+    assert ctrl is not None
+    ctrl_loc = Location(router_name, LocationKind.PORT, ctrl.lstrip("Serial"))
+    if_loc = _iface_loc(router_name, ifname)
+
+    n_cycles = _flap_count(rng, mean=45.0) + 5
+    ts = start_ts
+    for _ in range(n_cycles):
+        em.emit("v1.controller_down", ts, router_name, (ctrl_loc,), ctrl=ctrl)
+        if rng.random() < 0.8:
+            em.emit(
+                "v1.link_down", ts + rng.uniform(0.2, 1.5), router_name,
+                (if_loc,), iface=ifname,
+            )
+            em.emit(
+                "v1.lineproto_down", ts + rng.uniform(0.5, 2.5), router_name,
+                (if_loc,), iface=ifname,
+            )
+        up = ts + rng.uniform(2.0, 20.0)
+        em.emit("v1.controller_up", up, router_name, (ctrl_loc,), ctrl=ctrl)
+        if rng.random() < 0.8:
+            em.emit(
+                "v1.link_up", up + rng.uniform(0.2, 1.5), router_name,
+                (if_loc,), iface=ifname,
+            )
+            em.emit(
+                "v1.lineproto_up", up + rng.uniform(0.5, 2.5), router_name,
+                (if_loc,), iface=ifname,
+            )
+        ts = up + rng.uniform(15.0, 60.0)
+    return em.finish()
+
+
+def linecard_reset(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """A line card removed and re-inserted: every port on the slot flaps,
+    and every far end sees its own link go down."""
+    em = _Emitter(network, event_id, "linecard_reset")
+    router_name = _pick_router(network, rng)
+    node = network.routers[router_name]
+    by_slot: dict[int, list[str]] = {}
+    for ifname in node.interfaces:
+        parsed = parse_interface_name(ifname)
+        if parsed is not None and parsed.slot is not None:
+            by_slot.setdefault(parsed.slot, []).append(ifname)
+    if not by_slot:
+        em.emit(
+            "v1.config_change", start_ts, router_name, (),
+            user="oper", ip="192.168.255.1",
+        )
+        return em.finish()
+    slots = sorted(by_slot)
+    slot = rng.choices(slots, weights=[len(by_slot[s]) for s in slots], k=1)[0]
+    slot_loc = Location(router_name, LocationKind.SLOT, str(slot))
+    outage = rng.uniform(60.0, 600.0)
+
+    em.emit("v1.card_removed", start_ts, router_name, (slot_loc,), slot=slot)
+    for ifname in by_slot[slot]:
+        loc = _iface_loc(router_name, ifname)
+        t_down = start_ts + rng.uniform(0.5, 3.0)
+        em.emit("v1.link_down", t_down, router_name, (loc,), iface=ifname)
+        em.emit(
+            "v1.lineproto_down", t_down + rng.uniform(0.1, 1.0), router_name,
+            (loc,), iface=ifname,
+        )
+        iface = node.interfaces[ifname]
+        if iface.peer_router and iface.peer_ifname:
+            peer_loc = _iface_loc(iface.peer_router, iface.peer_ifname)
+            em.emit(
+                "v1.link_down", t_down + rng.uniform(0.0, 0.9),
+                iface.peer_router, (peer_loc,), iface=iface.peer_ifname,
+            )
+            em.emit(
+                "v1.lineproto_down", t_down + rng.uniform(0.2, 1.5),
+                iface.peer_router, (peer_loc,), iface=iface.peer_ifname,
+            )
+    t_back = start_ts + outage
+    em.emit("v1.card_inserted", t_back, router_name, (slot_loc,), slot=slot)
+    for ifname in by_slot[slot]:
+        loc = _iface_loc(router_name, ifname)
+        t_up = t_back + rng.uniform(5.0, 30.0)
+        em.emit("v1.link_up", t_up, router_name, (loc,), iface=ifname)
+        em.emit(
+            "v1.lineproto_up", t_up + rng.uniform(0.1, 1.0), router_name,
+            (loc,), iface=ifname,
+        )
+        iface = node.interfaces[ifname]
+        if iface.peer_router and iface.peer_ifname:
+            peer_loc = _iface_loc(iface.peer_router, iface.peer_ifname)
+            em.emit(
+                "v1.link_up", t_up + rng.uniform(0.0, 0.9),
+                iface.peer_router, (peer_loc,), iface=iface.peer_ifname,
+            )
+            em.emit(
+                "v1.lineproto_up", t_up + rng.uniform(0.2, 1.5),
+                iface.peer_router, (peer_loc,), iface=iface.peer_ifname,
+            )
+    return em.finish()
+
+
+def bgp_session_reset(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """A BGP storm over many VPN VRFs on one session (Tables 3/4).
+
+    Each VRF logs a Down with a vendor-specific reason sub-type on both
+    ends (sent on one side, received on the other), then an Up.
+    """
+    em = _Emitter(network, event_id, "bgp_session_reset")
+    link = _pick_link(network, rng)
+    n_vrfs = rng.randint(15, 120)
+    vrfs = [f"1000:{1000 + rng.randrange(5000)}" for _ in range(n_vrfs)]
+    down_reason = rng.choice(["sent", "peerclosed", "ifflap"])
+    outage = rng.uniform(30.0, 20 * MINUTE)
+
+    for vrf in vrfs:
+        t = start_ts + rng.uniform(0.0, 10.0)
+        a, b = link.ends()[0], link.ends()[1]
+        loc_a = _iface_loc(a[0], a[1])
+        loc_b = _iface_loc(b[0], b[1])
+        if down_reason == "sent":
+            em.emit(
+                "v1.bgp_down_sent", t, a[0], (loc_a,),
+                ip=link.far_ip(a[0]), vrf=vrf,
+            )
+            em.emit(
+                "v1.bgp_down_received", t + rng.uniform(0.0, 1.0), b[0],
+                (loc_b,), ip=link.far_ip(b[0]), vrf=vrf,
+            )
+        elif down_reason == "ifflap":
+            em.emit(
+                "v1.bgp_down_ifflap", t, a[0], (loc_a,),
+                ip=link.far_ip(a[0]), vrf=vrf,
+            )
+            em.emit(
+                "v1.bgp_down_ifflap", t + rng.uniform(0.0, 1.0), b[0],
+                (loc_b,), ip=link.far_ip(b[0]), vrf=vrf,
+            )
+        else:
+            em.emit(
+                "v1.bgp_down_peerclosed", t, a[0], (loc_a,),
+                ip=link.far_ip(a[0]), vrf=vrf,
+            )
+            em.emit(
+                "v1.bgp_down_peerclosed", t + rng.uniform(0.0, 1.0), b[0],
+                (loc_b,), ip=link.far_ip(b[0]), vrf=vrf,
+            )
+        t_up = start_ts + outage + rng.uniform(0.0, 10.0)
+        em.emit("v1.bgp_up", t_up, a[0], (loc_a,), ip=link.far_ip(a[0]), vrf=vrf)
+        em.emit(
+            "v1.bgp_up", t_up + rng.uniform(0.0, 1.0), b[0], (loc_b,),
+            ip=link.far_ip(b[0]), vrf=vrf,
+        )
+    return em.finish()
+
+
+def cpu_oscillation(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """CPU utilization crossing its threshold repeatedly (Table 1 rows 3-4)."""
+    em = _Emitter(network, event_id, "cpu_oscillation")
+    router_name = _pick_router(network, rng)
+    loc = Location.router_level(router_name)
+    n_cycles = _flap_count(rng, mean=18.0)
+    ts = start_ts
+    for _ in range(n_cycles):
+        pids = rng.sample(range(2, 300), 3)
+        utils = sorted(
+            (rng.randrange(30, 80), rng.randrange(2, 20), rng.randrange(1, 8)),
+            reverse=True,
+        )
+        em.emit(
+            "v1.cpu_rising", ts, router_name, (loc,),
+            total=rng.randrange(85, 100), intr=rng.randrange(0, 5),
+            p1=pids[0], u1=utils[0], p2=pids[1], u2=utils[1],
+            p3=pids[2], u3=utils[2],
+        )
+        fall = ts + rng.uniform(30.0, 8 * MINUTE)
+        em.emit(
+            "v1.cpu_falling", fall, router_name, (loc,),
+            total=rng.randrange(10, 50), intr=rng.randrange(0, 3),
+        )
+        ts = fall + rng.uniform(1 * MINUTE, 10 * MINUTE)
+    return em.finish()
+
+
+def tcp_scan(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """Periodic TCP MD5 bad-auth messages from an outside scanner (Fig 5)."""
+    em = _Emitter(network, event_id, "tcp_scan")
+    router_name = _pick_router(network, rng)
+    loc = Location.router_level(router_name)
+    node = network.routers[router_name]
+    src = _random_external_ip(rng)
+    period = rng.uniform(30.0, 120.0)
+    n_probes = rng.randint(100, 600)
+    ts = start_ts
+    for _ in range(n_probes):
+        em.emit(
+            "v1.tcp_badauth", ts, router_name, (loc,),
+            src_ip=src, src_port=rng.randrange(1024, 65535),
+            dst_ip=node.loopback_ip,
+        )
+        if rng.random() < 0.9:
+            em.emit(
+                "v1.acl_deny", ts + rng.uniform(0.0, 3.0), router_name, (loc,),
+                src_ip=src, src_port=rng.randrange(1024, 65535),
+                dst_ip=node.loopback_ip, dst_port=rng.choice([22, 23, 179]),
+            )
+        ts += period * rng.uniform(0.85, 1.15)
+    return em.finish()
+
+
+def env_temp_alarm(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """Recurring temperature alarms on one slot."""
+    em = _Emitter(network, event_id, "env_temp_alarm")
+    router_name = _pick_router(network, rng)
+    node = network.routers[router_name]
+    slot = rng.randrange(node.n_slots)
+    loc = Location(router_name, LocationKind.SLOT, str(slot))
+    ts = start_ts
+    for _ in range(rng.randint(8, 40)):
+        em.emit(
+            "v1.env_temp", ts, router_name, (loc,),
+            slot=slot, temp=rng.randrange(58, 75),
+        )
+        if rng.random() < 0.8:
+            em.emit(
+                "v1.env_fan", ts + rng.uniform(0.5, 4.0), router_name,
+                (loc,), slot=slot, rpm=rng.randrange(1500, 4000),
+            )
+        ts += rng.uniform(4 * MINUTE, 6 * MINUTE)
+    return em.finish()
+
+
+def config_session(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """An operator config session (a small but operator-caused event)."""
+    em = _Emitter(network, event_id, "config_session")
+    router_name = _pick_router(network, rng)
+    user = rng.choice(["oper1", "oper2", "neteng", "provision"])
+    src = f"192.168.255.{rng.randrange(1, 254)}"
+    ts = start_ts
+    for _ in range(rng.randint(1, 5)):
+        em.emit(
+            "v1.config_change", ts, router_name,
+            (Location.router_level(router_name),), user=user, ip=src,
+        )
+        ts += rng.uniform(20.0, 4 * MINUTE)
+    return em.finish()
+
+
+def bundle_member_flap(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """A member of a multilink bundle flapping.
+
+    Each member flap logs LINK/LINEPROTO on the member interface of both
+    ends plus MLPPP degraded/restored on the *bundle* interface — the
+    logical-configuration case of Figure 3: grouping must relate the
+    member (physical) and bundle (logical) locations through multilink
+    membership.
+    """
+    em = _Emitter(network, event_id, "bundle_member_flap")
+    if not network.bundles:
+        return link_flap(network, rng, event_id, start_ts)
+    bundle = rng.choice(network.bundles)
+    member_idx = rng.randrange(len(bundle.members_a))
+    n_flaps = _flap_count(rng, mean=10.0)
+    period = rng.uniform(15.0, 60.0)
+    ts = start_ts
+    for _ in range(n_flaps):
+        up_ts = ts + period * rng.uniform(0.3, 0.6)
+        for router in (bundle.router_a, bundle.router_b):
+            bname, members = bundle.end_for(router)
+            ifname = members[member_idx]
+            member_loc = _iface_loc(router, ifname)
+            bundle_loc = Location(router, LocationKind.MULTILINK, bname)
+            skew = rng.uniform(0.0, 0.9)
+            em.emit(
+                "v1.link_down", ts + skew, router, (member_loc,),
+                iface=ifname,
+            )
+            em.emit(
+                "v1.lineproto_down", ts + skew + rng.uniform(0.1, 1.0),
+                router, (member_loc,), iface=ifname,
+            )
+            em.emit(
+                "v1.mlp_degraded", ts + skew + rng.uniform(0.5, 2.0),
+                router, (bundle_loc,), bundle=bname,
+            )
+            em.emit(
+                "v1.link_up", up_ts + skew, router, (member_loc,),
+                iface=ifname,
+            )
+            em.emit(
+                "v1.lineproto_up", up_ts + skew + rng.uniform(0.1, 1.0),
+                router, (member_loc,), iface=ifname,
+            )
+            em.emit(
+                "v1.mlp_restored", up_ts + skew + rng.uniform(0.5, 2.0),
+                router, (bundle_loc,), bundle=bname,
+            )
+        ts += period
+    return em.finish()
+
+
+# --------------------------------------------------------------------------
+# Dataset B (vendor V2) scenarios
+# --------------------------------------------------------------------------
+
+
+def b_link_flap(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """IPTV backbone link flap: SNMP linkDown/linkup plus SAP updates."""
+    em = _Emitter(network, event_id, "b_link_flap")
+    link = _pick_link(network, rng)
+    n_flaps = _flap_count(rng, mean=24.0)
+    period = rng.uniform(10.0, 60.0)
+    ts = start_ts
+    for _ in range(n_flaps):
+        up_ts = ts + period * rng.uniform(0.3, 0.6)
+        for router, ifname, _ip in link.ends():
+            loc = _iface_loc(router, ifname)
+            skew = rng.uniform(0.0, 0.9)
+            em.emit("v2.link_down", ts + skew, router, (loc,), port=ifname)
+            em.emit(
+                "v2.sap_change", ts + skew + rng.uniform(0.2, 2.0), router,
+                (loc,), port=ifname,
+            )
+            em.emit("v2.link_up", up_ts + skew, router, (loc,), port=ifname)
+            em.emit(
+                "v2.sap_change", up_ts + skew + rng.uniform(0.2, 2.0), router,
+                (loc,), port=ifname,
+            )
+        ts += period
+    return em.finish()
+
+
+def b_mda_failure(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """An MDA (media dependent adapter) failing: all its ports go down."""
+    em = _Emitter(network, event_id, "b_mda_failure")
+    router_name = _pick_router(network, rng)
+    node = network.routers[router_name]
+    by_mda: dict[tuple[int, int], list[str]] = {}
+    for ifname in node.interfaces:
+        parsed = parse_interface_name(ifname)
+        if parsed is not None and parsed.slot is not None and parsed.port is not None:
+            by_mda.setdefault((parsed.slot, parsed.port), []).append(ifname)
+    if not by_mda:
+        em.emit(
+            "v2.config_save", start_ts, router_name,
+            (Location.router_level(router_name),), user="admin",
+        )
+        return em.finish()
+    mdas = sorted(by_mda)
+    slot, mda = rng.choices(
+        mdas, weights=[len(by_mda[m]) for m in mdas], k=1
+    )[0]
+    ports = by_mda[(slot, mda)]
+    slot_loc = Location(router_name, LocationKind.SLOT, str(slot))
+    outage = rng.uniform(2 * MINUTE, 30 * MINUTE)
+
+    em.emit(
+        "v2.mda_fail", start_ts, router_name, (slot_loc,), slot=slot, mda=mda
+    )
+    for ifname in ports:
+        loc = _iface_loc(router_name, ifname)
+        t = start_ts + rng.uniform(0.5, 3.0)
+        em.emit("v2.link_down", t, router_name, (loc,), port=ifname)
+        em.emit(
+            "v2.sap_change", t + rng.uniform(0.2, 2.0), router_name, (loc,),
+            port=ifname,
+        )
+        iface = node.interfaces[ifname]
+        if iface.peer_router and iface.peer_ifname:
+            em.emit(
+                "v2.link_down", t + rng.uniform(0.0, 0.9), iface.peer_router,
+                (_iface_loc(iface.peer_router, iface.peer_ifname),),
+                port=iface.peer_ifname,
+            )
+    t_back = start_ts + outage
+    em.emit(
+        "v2.mda_clear", t_back, router_name, (slot_loc,), slot=slot, mda=mda
+    )
+    for ifname in ports:
+        loc = _iface_loc(router_name, ifname)
+        t = t_back + rng.uniform(1.0, 10.0)
+        em.emit("v2.link_up", t, router_name, (loc,), port=ifname)
+        iface = node.interfaces[ifname]
+        if iface.peer_router and iface.peer_ifname:
+            em.emit(
+                "v2.link_up", t + rng.uniform(0.0, 0.9), iface.peer_router,
+                (_iface_loc(iface.peer_router, iface.peer_ifname),),
+                port=iface.peer_ifname,
+            )
+    return em.finish()
+
+
+def b_pim_cascade(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """The Section 6.1 dual-failure PIM neighbor-loss cascade.
+
+    The secondary LSP path has been failing to set up, retrying every five
+    minutes; when the primary link later fails, FRR has nothing to switch
+    to, so the LSP goes down and the PIM neighbor session is lost —
+    messages spanning six protocols and several routers.
+    """
+    em = _Emitter(network, event_id, "b_pim_cascade")
+    if not network.lsp_paths:
+        return b_link_flap(network, rng, event_id, start_ts)
+    path = rng.choice(network.lsp_paths)
+    link = network.links[path.primary_link]
+    src_node = network.routers[path.src]
+    dst_node = network.routers[path.dst]
+
+    # Phase 1: the secondary path quietly failing, retrying every 5 min.
+    retry_period = 5 * MINUTE
+    n_retries = rng.randint(6, 36)
+    ts = start_ts
+    for attempt in range(1, n_retries + 1):
+        em.emit(
+            "v2.lsp_retry", ts, path.src, (Location.router_level(path.src),),
+            lsp=path.name, attempt=attempt,
+        )
+        ts += retry_period * rng.uniform(0.98, 1.02)
+
+    # Phase 2: the primary link fails.
+    fail_ts = ts + rng.uniform(1.0, 60.0)
+    for router, ifname, _ip in link.ends():
+        loc = _iface_loc(router, ifname)
+        skew = rng.uniform(0.0, 0.9)
+        em.emit("v2.link_down", fail_ts + skew, router, (loc,), port=ifname)
+        em.emit(
+            "v2.sap_change", fail_ts + skew + rng.uniform(0.2, 2.0), router,
+            (loc,), port=ifname,
+        )
+    em.emit(
+        "v2.frr_switch", fail_ts + rng.uniform(0.1, 1.0), path.src,
+        (Location.router_level(path.src),), lsp=path.name,
+    )
+    em.emit(
+        "v2.lsp_down", fail_ts + rng.uniform(1.0, 3.0), path.src,
+        (Location.router_level(path.src),), lsp=path.name,
+    )
+    # The failed switch-over immediately re-signals the secondary path: a
+    # quick burst of retries right after the FRR event.  This is what lets
+    # rule mining associate the retry template with the cascade, so the
+    # digest event signature exposes the broken secondary path — the crux
+    # of the paper's Section 6.1 troubleshooting story.
+    for burst in range(rng.randint(2, 4)):
+        attempt_ts = fail_ts + rng.uniform(2.0, 25.0) + burst * rng.uniform(3.0, 8.0)
+        em.emit(
+            "v2.lsp_retry", attempt_ts, path.src,
+            (Location.router_level(path.src),),
+            lsp=path.name, attempt=n_retries + 1 + burst,
+        )
+    # PIM session between the ends dies; BGP follows.
+    pim_ts = fail_ts + rng.uniform(2.0, 5.0)
+    em.emit(
+        "v2.pim_nbr_loss", pim_ts, path.src,
+        (_iface_loc(path.src, link.ifname_a),),
+        ip=dst_node.loopback_ip, port=link.ifname_a,
+    )
+    em.emit(
+        "v2.pim_nbr_loss", pim_ts + rng.uniform(0.0, 1.0), path.dst,
+        (_iface_loc(path.dst, link.ifname_b),),
+        ip=src_node.loopback_ip, port=link.ifname_b,
+    )
+    em.emit(
+        "v2.bgp_down", pim_ts + rng.uniform(5.0, 30.0), path.src,
+        (Location.router_level(path.src),), ip=dst_node.loopback_ip,
+    )
+    em.emit(
+        "v2.bgp_down", pim_ts + rng.uniform(5.0, 30.0), path.dst,
+        (Location.router_level(path.dst),), ip=src_node.loopback_ip,
+    )
+    # More retries while the link is out.
+    repair_ts = fail_ts + rng.uniform(10 * MINUTE, 2 * HOUR)
+    t = fail_ts + retry_period
+    attempt = n_retries + 1
+    while t < repair_ts:
+        em.emit(
+            "v2.lsp_retry", t, path.src, (Location.router_level(path.src),),
+            lsp=path.name, attempt=attempt,
+        )
+        attempt += 1
+        t += retry_period * rng.uniform(0.98, 1.02)
+
+    # Phase 3: repair.
+    for router, ifname, _ip in link.ends():
+        loc = _iface_loc(router, ifname)
+        skew = rng.uniform(0.0, 0.9)
+        em.emit("v2.link_up", repair_ts + skew, router, (loc,), port=ifname)
+    em.emit(
+        "v2.lsp_up", repair_ts + rng.uniform(1.0, 5.0), path.src,
+        (Location.router_level(path.src),), lsp=path.name,
+    )
+    up_ts = repair_ts + rng.uniform(3.0, 10.0)
+    em.emit(
+        "v2.pim_nbr_up", up_ts, path.src,
+        (_iface_loc(path.src, link.ifname_a),),
+        ip=dst_node.loopback_ip, port=link.ifname_a,
+    )
+    em.emit(
+        "v2.pim_nbr_up", up_ts + rng.uniform(0.0, 1.0), path.dst,
+        (_iface_loc(path.dst, link.ifname_b),),
+        ip=src_node.loopback_ip, port=link.ifname_b,
+    )
+    em.emit(
+        "v2.bgp_up", up_ts + rng.uniform(10.0, 60.0), path.src,
+        (Location.router_level(path.src),), ip=dst_node.loopback_ip,
+    )
+    em.emit(
+        "v2.bgp_up", up_ts + rng.uniform(10.0, 60.0), path.dst,
+        (Location.router_level(path.dst),), ip=src_node.loopback_ip,
+    )
+    return em.finish()
+
+
+def b_login_scan(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """Paired FTP/SSH login-failure probes ~35 s apart.
+
+    Reproduces the dataset-B association the paper reports appearing only
+    once the mining window reaches 30-40 s.
+    """
+    em = _Emitter(network, event_id, "b_login_scan")
+    router_name = _pick_router(network, rng)
+    loc = Location.router_level(router_name)
+    src = _random_external_ip(rng)
+    user = rng.choice(["root", "admin", "test", "ubnt"])
+    ts = start_ts
+    for _ in range(rng.randint(30, 160)):
+        em.emit("v2.ftp_fail", ts, router_name, (loc,), user=user, ip=src)
+        em.emit(
+            "v2.ssh_fail", ts + rng.uniform(30.0, 40.0), router_name, (loc,),
+            user=user, ip=src,
+        )
+        ts += rng.uniform(60.0, 180.0)
+    return em.finish()
+
+
+def b_bgp_flap(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """A BGP peer bouncing between Established and Idle."""
+    em = _Emitter(network, event_id, "b_bgp_flap")
+    link = _pick_link(network, rng)
+    a_name, b_name = link.router_a, link.router_b
+    a_loop = network.routers[a_name].loopback_ip
+    b_loop = network.routers[b_name].loopback_ip
+    n_cycles = _flap_count(rng, mean=16.0)
+    ts = start_ts
+    for _ in range(n_cycles):
+        em.emit(
+            "v2.bgp_down", ts, a_name, (Location.router_level(a_name),),
+            ip=b_loop,
+        )
+        em.emit(
+            "v2.bgp_down", ts + rng.uniform(0.0, 1.0), b_name,
+            (Location.router_level(b_name),), ip=a_loop,
+        )
+        up = ts + rng.uniform(30.0, 5 * MINUTE)
+        em.emit(
+            "v2.bgp_up", up, a_name, (Location.router_level(a_name),),
+            ip=b_loop,
+        )
+        em.emit(
+            "v2.bgp_up", up + rng.uniform(0.0, 1.0), b_name,
+            (Location.router_level(b_name),), ip=a_loop,
+        )
+        ts = up + rng.uniform(MINUTE, 15 * MINUTE)
+    return em.finish()
+
+
+def b_cpu_high(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """CPU high-watermark oscillation on an IPTV router."""
+    em = _Emitter(network, event_id, "b_cpu_high")
+    router_name = _pick_router(network, rng)
+    loc = Location.router_level(router_name)
+    ts = start_ts
+    for _ in range(_flap_count(rng, mean=18.0)):
+        em.emit(
+            "v2.cpu_high", ts, router_name, (loc,), pct=rng.randrange(85, 100)
+        )
+        clear = ts + rng.uniform(30.0, 6 * MINUTE)
+        em.emit(
+            "v2.cpu_clear", clear, router_name, (loc,),
+            pct=rng.randrange(40, 80),
+        )
+        ts = clear + rng.uniform(MINUTE, 8 * MINUTE)
+    return em.finish()
+
+
+def b_port_alarm(
+    network: Network, rng: random.Random, event_id: str, start_ts: float
+) -> Incident:
+    """Ethernet remote-fault alarms raising and clearing on one port."""
+    em = _Emitter(network, event_id, "b_port_alarm")
+    link = _pick_link(network, rng)
+    router, ifname, _ip = link.ends()[rng.randrange(2)]
+    loc = _iface_loc(router, ifname)
+    ts = start_ts
+    for _ in range(_flap_count(rng, mean=24.0)):
+        em.emit("v2.port_degraded", ts, router, (loc,), port=ifname)
+        clear = ts + rng.uniform(5.0, 35.0)
+        em.emit("v2.port_cleared", clear, router, (loc,), port=ifname)
+        ts = clear + rng.uniform(20.0, 5 * MINUTE)
+    return em.finish()
+
+
+SCENARIOS_V1 = {
+    "bundle_member_flap": bundle_member_flap,
+    "link_flap": link_flap,
+    "controller_instability": controller_instability,
+    "linecard_reset": linecard_reset,
+    "bgp_session_reset": bgp_session_reset,
+    "cpu_oscillation": cpu_oscillation,
+    "tcp_scan": tcp_scan,
+    "env_temp_alarm": env_temp_alarm,
+    "config_session": config_session,
+}
+
+SCENARIOS_V2 = {
+    "b_link_flap": b_link_flap,
+    "b_mda_failure": b_mda_failure,
+    "b_pim_cascade": b_pim_cascade,
+    "b_login_scan": b_login_scan,
+    "b_bgp_flap": b_bgp_flap,
+    "b_cpu_high": b_cpu_high,
+    "b_port_alarm": b_port_alarm,
+}
+
+
+def scenarios_for(vendor: str):
+    """Scenario registry for a vendor tag."""
+    if vendor == "V1":
+        return SCENARIOS_V1
+    if vendor == "V2":
+        return SCENARIOS_V2
+    raise KeyError(f"unknown vendor {vendor!r}")

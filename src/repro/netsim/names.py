@@ -1,0 +1,52 @@
+"""Router naming: site pools and per-dataset naming conventions.
+
+Router names carry a metro/state suffix (``ar3.atlga`` = aggregation router
+3 in Atlanta, GA) so trouble-ticket correlation can match digests at the
+state level the way Section 6.2 of the paper does.
+"""
+
+from __future__ import annotations
+
+import random
+
+# (metro code, state code) pools, loosely North-American like the paper's
+# two networks.
+SITES: list[tuple[str, str]] = [
+    ("atlga", "GA"),
+    ("chiil", "IL"),
+    ("dllstx", "TX"),
+    ("hstntx", "TX"),
+    ("kscymo", "MO"),
+    ("laxca", "CA"),
+    ("miafl", "FL"),
+    ("nycny", "NY"),
+    ("orldfl", "FL"),
+    ("phlpa", "PA"),
+    ("phnxaz", "AZ"),
+    ("sttlwa", "WA"),
+    ("snjsca", "CA"),
+    ("washdc", "DC"),
+    ("dnvrco", "CO"),
+    ("bstnma", "MA"),
+]
+
+STATE_OF_METRO: dict[str, str] = dict(SITES)
+
+
+def router_names(
+    prefix: str, count: int, rng: random.Random
+) -> list[tuple[str, str]]:
+    """Generate ``count`` (router_name, state) pairs.
+
+    Routers are spread round-robin over a shuffled site pool; numbering is
+    per-site (``ar1.atlga``, ``ar2.atlga`` ...).
+    """
+    sites = SITES[:]
+    rng.shuffle(sites)
+    per_site_counter: dict[str, int] = {}
+    out: list[tuple[str, str]] = []
+    for i in range(count):
+        metro, state = sites[i % len(sites)]
+        per_site_counter[metro] = per_site_counter.get(metro, 0) + 1
+        out.append((f"{prefix}{per_site_counter[metro]}.{metro}", state))
+    return out

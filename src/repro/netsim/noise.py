@@ -1,0 +1,107 @@
+"""Background chatter: syslog messages not caused by any network condition.
+
+Section 1 notes that many syslog messages are pure debugging output with no
+service implication.  The noise generator emits per-router timer-driven
+chatter (NTP sync, config autosaves, stray SNMP auth failures and ACL
+denies) labelled with ``event_id=None`` so the evaluation can check that
+SyslogDigest neither loses real events among the chatter nor inflates the
+event count with it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.locations.model import Location
+from repro.netsim.catalog import catalog_for
+from repro.netsim.topology import Network
+from repro.syslog.message import LabeledMessage, SyslogMessage
+from repro.utils.timeutils import HOUR
+
+
+def _emit(
+    network: Network,
+    template_id: str,
+    ts: float,
+    router: str,
+    **fields: object,
+) -> LabeledMessage:
+    spec = catalog_for(network.vendor)[template_id]
+    return LabeledMessage(
+        message=SyslogMessage(
+            timestamp=ts,
+            router=router,
+            error_code=spec.error_code,
+            detail=spec.render(**fields),
+            vendor=spec.vendor,
+        ),
+        event_id=None,
+        template_id=template_id,
+        locations=(Location.router_level(router).key(),),
+    )
+
+
+def generate_noise(
+    network: Network,
+    rng: random.Random,
+    start_ts: float,
+    duration: float,
+    intensity: float = 1.0,
+) -> list[LabeledMessage]:
+    """Timer chatter for every router over ``[start_ts, start_ts+duration)``.
+
+    ``intensity`` scales all noise rates together.  Chatter volume per
+    router scales mildly with its activity weight so busy routers are also
+    chattier (part of the Figure 13 skew).
+    """
+    out: list[LabeledMessage] = []
+    if intensity <= 0.0:
+        return out
+    v1 = network.vendor == "V1"
+    for name, node in network.routers.items():
+        scale = max(0.3, min(node.activity, 3.0)) * intensity
+        # NTP/ToD sync roughly every 1-3 hours, independent of activity.
+        period = rng.uniform(1.0, 3.0) * HOUR / max(intensity, 0.01)
+        ts = start_ts + rng.uniform(0.0, period)
+        while ts < start_ts + duration:
+            # The router re-selects within an anycast pool per sync; the
+            # pool is wider than the sub-type-tree prune threshold so the
+            # server IP is always learned as a variable field.
+            server = "192.168.254." + str(rng.randrange(1, 24))
+            if v1:
+                out.append(_emit(network, "v1.ntp_sync", ts, name, ip=server))
+            else:
+                out.append(_emit(network, "v2.tod_sync", ts, name, ip=server))
+            ts += period * rng.uniform(0.95, 1.05)
+        # Sporadic management chatter (Poisson, a few per week per router).
+        rate_per_sec = 0.1 * scale / (24 * HOUR)
+        ts = start_ts + rng.expovariate(rate_per_sec)
+        while ts < start_ts + duration:
+            if v1:
+                if rng.random() < 0.5:
+                    out.append(
+                        _emit(
+                            network, "v1.snmp_auth", ts, name,
+                            ip=f"172.16.{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                        )
+                    )
+                else:
+                    out.append(
+                        _emit(
+                            network, "v1.acl_deny", ts, name,
+                            src_ip=f"{rng.randrange(11, 200)}.{rng.randrange(256)}"
+                            f".{rng.randrange(256)}.{rng.randrange(1, 255)}",
+                            src_port=rng.randrange(1024, 65535),
+                            dst_ip=node.loopback_ip,
+                            dst_port=rng.choice([22, 23, 80, 179]),
+                        )
+                    )
+            else:
+                out.append(
+                    _emit(
+                        network, "v2.config_save", ts, name,
+                        user=f"oper{rng.randrange(1, 40)}",
+                    )
+                )
+            ts += rng.expovariate(rate_per_sec)
+    return out

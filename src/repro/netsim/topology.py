@@ -1,0 +1,390 @@
+"""Network topology model and random backbone builder.
+
+A :class:`Network` holds routers (with slots, ports, interfaces and
+loopbacks), point-to-point links with /30 subnets, iBGP sessions between
+loopbacks, and (dataset B) primary/secondary LSP path pairs used by the
+Section 6.1 PIM fail-over cascade.
+
+The builder produces a connected random backbone: a random spanning tree
+plus extra chords, which yields the mix of degree-1 access routers and
+high-degree hubs that drives the Figure 13 per-router volume skew.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netsim.names import router_names
+
+
+@dataclass
+class Interface:
+    """A configured logical interface (one end of a link, or a loopback)."""
+
+    router: str
+    name: str
+    ip: str
+    peer_router: str | None = None
+    peer_ifname: str | None = None
+
+    @property
+    def is_loopback(self) -> bool:
+        """True for the router's Loopback interface."""
+        return self.name.startswith("Loopback")
+
+
+@dataclass
+class RouterNode:
+    """One router: identity, hardware inventory, and configured interfaces."""
+
+    name: str
+    site: str
+    vendor: str
+    n_slots: int
+    loopback_ip: str
+    interfaces: dict[str, Interface] = field(default_factory=dict)
+    # Relative propensity to host injected conditions (heavy-tailed).
+    activity: float = 1.0
+    # Per-slot port allocation cursor: (slot, port, channel) next free.
+    _next_port: dict[int, int] = field(default_factory=dict)
+
+    def allocate_ifname(self, rng: random.Random) -> str:
+        """Allocate the next free interface name on a random slot.
+
+        Vendor V1 uses ``Serial{slot}/{port}/{chan}:0`` (logical channel on
+        a channelized physical interface); vendor V2 uses bare
+        ``{slot}/{mda}/{port}`` port names.
+        """
+        slot = rng.randrange(self.n_slots)
+        port = self._next_port.get(slot, 0)
+        self._next_port[slot] = port + 1
+        if self.vendor == "V1":
+            return f"Serial{slot}/{port}/10:0"
+        return f"{slot}/{port % 2 + 1}/{port // 2 + 1}"
+
+    def controller_of(self, ifname: str) -> str | None:
+        """Controller (port-level) name for a V1 channelized interface."""
+        if self.vendor != "V1" or "/" not in ifname:
+            return None
+        head = ifname.split(":", 1)[0]
+        parts = head.split("/")
+        if len(parts) < 2:
+            return None
+        return "/".join(parts[:2])
+
+
+@dataclass
+class Link:
+    """A point-to-point link between two router interfaces."""
+
+    router_a: str
+    ifname_a: str
+    ip_a: str
+    router_b: str
+    ifname_b: str
+    ip_b: str
+
+    def ends(self) -> tuple[tuple[str, str, str], tuple[str, str, str]]:
+        """Both (router, ifname, local_ip) ends."""
+        return (
+            (self.router_a, self.ifname_a, self.ip_a),
+            (self.router_b, self.ifname_b, self.ip_b),
+        )
+
+    def far_ip(self, router: str) -> str:
+        """IP of the end *not* on ``router``."""
+        if router == self.router_a:
+            return self.ip_b
+        if router == self.router_b:
+            return self.ip_a
+        raise ValueError(f"{router} is not an end of this link")
+
+
+@dataclass
+class Bundle:
+    """A multilink bundle: parallel member links aggregated logically.
+
+    Members are parallel: ``members_a[i]`` connects to ``members_b[i]``.
+    The bundle interface itself (``Multilink<n>``) carries the layer-3
+    address; Figure 3's "logical configuration" arm of the hierarchy.
+    """
+
+    router_a: str
+    name_a: str
+    members_a: list[str]
+    router_b: str
+    name_b: str
+    members_b: list[str]
+
+    def end_for(self, router: str) -> tuple[str, list[str]]:
+        """(bundle name, member interface names) on ``router``."""
+        if router == self.router_a:
+            return self.name_a, self.members_a
+        if router == self.router_b:
+            return self.name_b, self.members_b
+        raise ValueError(f"{router} is not an end of this bundle")
+
+
+@dataclass
+class LspPath:
+    """A primary/secondary LSP pair between two routers (dataset B).
+
+    ``primary_link`` is the index of the direct link; ``secondary_via`` is
+    the intermediate router of the protection path.
+    """
+
+    name: str
+    src: str
+    dst: str
+    primary_link: int
+    secondary_via: str | None
+
+
+@dataclass
+class Network:
+    """The full simulated network."""
+
+    vendor: str
+    routers: dict[str, RouterNode]
+    links: list[Link]
+    bgp_sessions: list[tuple[str, str]]
+    lsp_paths: list[LspPath] = field(default_factory=list)
+    bundles: list[Bundle] = field(default_factory=list)
+
+    def bundle_of_interface(self, router: str, ifname: str) -> Bundle | None:
+        """The bundle containing member ``ifname`` on ``router``, if any."""
+        for bundle in self.bundles:
+            if router == bundle.router_a and ifname in bundle.members_a:
+                return bundle
+            if router == bundle.router_b and ifname in bundle.members_b:
+                return bundle
+        return None
+
+    def link_between(self, a: str, b: str) -> Link | None:
+        """The first direct link between routers ``a`` and ``b``, if any."""
+        for link in self.links:
+            if {link.router_a, link.router_b} == {a, b}:
+                return link
+        return None
+
+    def links_of(self, router: str) -> list[Link]:
+        """All links with one end on ``router``."""
+        return [
+            link
+            for link in self.links
+            if router in (link.router_a, link.router_b)
+        ]
+
+    def neighbors_of(self, router: str) -> list[str]:
+        """Directly linked routers."""
+        out = []
+        for link in self.links_of(router):
+            out.append(
+                link.router_b if link.router_a == router else link.router_a
+            )
+        return out
+
+
+class _IpAllocator:
+    """Sequential allocator: /30 link subnets and /32 loopbacks."""
+
+    def __init__(self, link_base: str = "10.0.0.0", loop_base: str = "192.168.0.0"):
+        self._link_counter = 0
+        self._loop_counter = 0
+        self._link_base = self._to_int(link_base)
+        self._loop_base = self._to_int(loop_base)
+
+    @staticmethod
+    def _to_int(ip: str) -> int:
+        a, b, c, d = (int(x) for x in ip.split("."))
+        return (a << 24) | (b << 16) | (c << 8) | d
+
+    @staticmethod
+    def _to_str(value: int) -> str:
+        return ".".join(
+            str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+        )
+
+    def link_pair(self) -> tuple[str, str]:
+        """Two usable addresses of the next /30."""
+        base = self._link_base + self._link_counter * 4
+        self._link_counter += 1
+        return self._to_str(base + 1), self._to_str(base + 2)
+
+    def loopback(self) -> str:
+        """Allocate the next /32 loopback address."""
+        self._loop_counter += 1
+        return self._to_str(self._loop_base + self._loop_counter)
+
+
+def build_network(
+    vendor: str,
+    n_routers: int,
+    seed: int,
+    router_prefix: str | None = None,
+    extra_link_fraction: float = 0.5,
+    pareto_shape: float = 1.2,
+) -> Network:
+    """Build a connected random backbone.
+
+    Parameters
+    ----------
+    vendor:
+        ``"V1"`` (dataset A style) or ``"V2"`` (dataset B style).
+    n_routers:
+        Number of routers.
+    seed:
+        RNG seed — networks are fully deterministic given the seed.
+    extra_link_fraction:
+        Chord links added on top of the spanning tree, as a fraction of
+        ``n_routers``.
+    pareto_shape:
+        Shape of the per-router activity weights; smaller = heavier tail.
+    """
+    if n_routers < 2:
+        raise ValueError("need at least two routers")
+    rng = random.Random(seed)
+    prefix = router_prefix or ("ar" if vendor == "V1" else "br")
+    ips = _IpAllocator(
+        link_base="10.0.0.0" if vendor == "V1" else "10.128.0.0",
+        loop_base="192.168.0.0" if vendor == "V1" else "192.168.128.0",
+    )
+
+    routers: dict[str, RouterNode] = {}
+    for name, state in router_names(prefix, n_routers, rng):
+        routers[name] = RouterNode(
+            name=name,
+            site=state,
+            vendor=vendor,
+            n_slots=rng.choice([4, 8, 16]),
+            loopback_ip=ips.loopback(),
+            activity=rng.paretovariate(pareto_shape),
+        )
+
+    names = list(routers)
+    links: list[Link] = []
+    linked_pairs: set[frozenset[str]] = set()
+
+    def connect(a: str, b: str) -> None:
+        pair = frozenset((a, b))
+        if pair in linked_pairs:
+            return
+        linked_pairs.add(pair)
+        if_a = routers[a].allocate_ifname(rng)
+        if_b = routers[b].allocate_ifname(rng)
+        ip_a, ip_b = ips.link_pair()
+        routers[a].interfaces[if_a] = Interface(a, if_a, ip_a, b, if_b)
+        routers[b].interfaces[if_b] = Interface(b, if_b, ip_b, a, if_a)
+        links.append(Link(a, if_a, ip_a, b, if_b, ip_b))
+
+    # Random spanning tree: attach each router to a random earlier one,
+    # biased towards active routers so hubs emerge.
+    for i in range(1, len(names)):
+        weights = [routers[n].activity for n in names[:i]]
+        target = rng.choices(names[:i], weights=weights, k=1)[0]
+        connect(names[i], target)
+    # Extra chords.
+    n_extra = int(extra_link_fraction * n_routers)
+    attempts = 0
+    while n_extra > 0 and attempts < 50 * n_routers:
+        attempts += 1
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) not in linked_pairs:
+            connect(a, b)
+            n_extra -= 1
+
+    # Multilink bundles (vendor V1): a slice of links gets a parallel
+    # member plus a Multilink interface aggregating the two on each end —
+    # the logical-configuration arm of the location hierarchy.
+    bundles: list[Bundle] = []
+    if vendor == "V1" and links:
+        # Bundle a solid share of the backbone links: capacity aggregation
+        # is ubiquitous, and a healthy population of distinct bundle names
+        # is what lets template learning treat the name as a variable.
+        n_bundles = max(2, len(links) // 2)
+        chosen = rng.sample(range(len(links)), min(n_bundles, len(links)))
+        for link_idx in sorted(chosen):
+            first = links[link_idx]
+            a, b = first.router_a, first.router_b
+            # Second parallel member.
+            if_a = routers[a].allocate_ifname(rng)
+            if_b = routers[b].allocate_ifname(rng)
+            ip_a, ip_b = ips.link_pair()
+            routers[a].interfaces[if_a] = Interface(a, if_a, ip_a, b, if_b)
+            routers[b].interfaces[if_b] = Interface(b, if_b, ip_b, a, if_a)
+            links.append(Link(a, if_a, ip_a, b, if_b, ip_b))
+            # The bundle interfaces carrying the aggregate.  Bundle
+            # numbers come from a wide operator-style pool so names are
+            # learned as variables, not absorbed into templates; ids are
+            # globally unique to rule out per-router name clashes.
+            used_ids = {
+                int(b.name_a.removeprefix("Multilink")) for b in bundles
+            }
+            bundle_id = rng.randrange(1, 400)
+            while bundle_id in used_ids:
+                bundle_id = rng.randrange(1, 400)
+            bname_a = f"Multilink{bundle_id}"
+            bname_b = f"Multilink{bundle_id}"
+            bip_a, bip_b = ips.link_pair()
+            routers[a].interfaces[bname_a] = Interface(
+                a, bname_a, bip_a, b, bname_b
+            )
+            routers[b].interfaces[bname_b] = Interface(
+                b, bname_b, bip_b, a, bname_a
+            )
+            bundles.append(
+                Bundle(
+                    router_a=a,
+                    name_a=bname_a,
+                    members_a=[first.ifname_a, if_a],
+                    router_b=b,
+                    name_b=bname_b,
+                    members_b=[first.ifname_b, if_b],
+                )
+            )
+
+    # Loopbacks.
+    for node in routers.values():
+        node.interfaces["Loopback0"] = Interface(
+            node.name, "Loopback0", node.loopback_ip
+        )
+
+    # iBGP sessions between adjacent routers (loopback-to-loopback), the
+    # sessions cross-router grouping can use.
+    bgp_sessions = [
+        (link.router_a, link.router_b) for link in links
+    ]
+
+    # Dataset B: for each link, a protection path through a common neighbor
+    # when one exists (the Section 6.1 primary/secondary pair).
+    lsp_paths: list[LspPath] = []
+    if vendor == "V2":
+        adjacency: dict[str, set[str]] = {name: set() for name in names}
+        for link in links:
+            adjacency[link.router_a].add(link.router_b)
+            adjacency[link.router_b].add(link.router_a)
+        for idx, link in enumerate(links):
+            common = sorted(
+                (adjacency[link.router_a] & adjacency[link.router_b])
+                - {link.router_a, link.router_b}
+            )
+            via = common[0] if common else None
+            lsp_paths.append(
+                LspPath(
+                    name=f"lsp-{link.router_a}-{link.router_b}",
+                    src=link.router_a,
+                    dst=link.router_b,
+                    primary_link=idx,
+                    secondary_via=via,
+                )
+            )
+
+    return Network(
+        vendor=vendor,
+        routers=routers,
+        links=links,
+        bgp_sessions=bgp_sessions,
+        lsp_paths=lsp_paths,
+        bundles=bundles,
+    )

@@ -1,0 +1,100 @@
+"""Dataset sanity validation.
+
+Synthetic data is only as good as its invariants: before trusting an
+experiment, check the generated stream is time-sorted, labels are
+consistent, every labelled message belongs to a real incident, incident
+spans cover their messages, and rates look sane.  ``validate_generation``
+returns a structured report and is cheap enough to run in CI.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.netsim.generator import GenerationResult
+from repro.utils.timeutils import DAY
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of dataset validation."""
+
+    n_messages: int
+    n_incidents: int
+    n_noise: int
+    messages_per_day: float
+    per_kind: dict[str, int] = field(default_factory=dict)
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no structural problem was found."""
+        return not self.problems
+
+
+def validate_generation(result: GenerationResult) -> ValidationReport:
+    """Check a :class:`GenerationResult`'s structural invariants."""
+    problems: list[str] = []
+    messages = result.messages
+
+    # Time-sortedness.
+    for a, b in zip(messages, messages[1:]):
+        if b.timestamp < a.timestamp:
+            problems.append(
+                f"messages out of order at t={a.timestamp}..{b.timestamp}"
+            )
+            break
+
+    # Label consistency: every labelled message maps to a known incident,
+    # and falls inside that incident's span.
+    incidents = {inc.event_id: inc for inc in result.incidents}
+    orphaned = 0
+    out_of_span = 0
+    for lm in messages:
+        if lm.event_id is None:
+            continue
+        incident = incidents.get(lm.event_id)
+        if incident is None:
+            orphaned += 1
+            continue
+        if not (
+            incident.start_ts <= lm.timestamp <= incident.end_ts
+        ):
+            out_of_span += 1
+    if orphaned:
+        problems.append(f"{orphaned} messages cite unknown incidents")
+    if out_of_span:
+        problems.append(f"{out_of_span} messages outside incident spans")
+
+    # Every incident contributed messages, and message counts agree.
+    claimed = sum(inc.n_messages for inc in result.incidents)
+    labelled = sum(1 for lm in messages if lm.event_id is not None)
+    if claimed != labelled:
+        problems.append(
+            f"incident message counts ({claimed}) != labelled messages "
+            f"({labelled})"
+        )
+    empty = [inc.event_id for inc in result.incidents if not inc.messages]
+    if empty:
+        problems.append(f"{len(empty)} incidents emitted no messages")
+
+    # Incident routers recorded correctly.
+    for incident in result.incidents[:200]:
+        routers = {m.router for m in incident.messages}
+        if routers != set(incident.routers):
+            problems.append(
+                f"incident {incident.event_id} router list mismatch"
+            )
+            break
+
+    per_kind = Counter(inc.kind for inc in result.incidents)
+    days = max(result.duration / DAY, 1e-9)
+    return ValidationReport(
+        n_messages=len(messages),
+        n_incidents=len(result.incidents),
+        n_noise=result.n_noise,
+        messages_per_day=len(messages) / days,
+        per_kind=dict(per_kind),
+        problems=problems,
+    )

@@ -1,0 +1,37 @@
+"""Router syslog data model: messages, vendor line formats, streams."""
+
+from repro.syslog.collector import (
+    CollectorProfile,
+    degrade_labeled,
+    degrade_stream,
+)
+from repro.syslog.message import LabeledMessage, SyslogMessage
+from repro.syslog.parse import SyslogParseError, format_line, parse_line
+from repro.syslog.stream import (
+    merge_streams,
+    read_log,
+    sort_messages,
+    split_by_day,
+    write_log,
+)
+from repro.syslog.vendors import VENDOR_V1, VENDOR_V2, VendorProfile, vendor_for
+
+__all__ = [
+    "CollectorProfile",
+    "LabeledMessage",
+    "SyslogMessage",
+    "SyslogParseError",
+    "VENDOR_V1",
+    "VENDOR_V2",
+    "VendorProfile",
+    "format_line",
+    "merge_streams",
+    "parse_line",
+    "read_log",
+    "sort_messages",
+    "split_by_day",
+    "degrade_labeled",
+    "degrade_stream",
+    "vendor_for",
+    "write_log",
+]

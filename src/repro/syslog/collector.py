@@ -1,0 +1,118 @@
+"""Collector-path degradation: loss, jitter, duplication.
+
+Operational syslog rides UDP: the collector's view is the router's view
+minus dropped datagrams, plus occasional duplicates, with reception-time
+jitter.  The mining pipeline must degrade gracefully under all three.
+This module simulates the collector path so robustness can be measured
+(see ``benchmarks/bench_robustness_loss.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.syslog.message import SyslogMessage
+
+
+@dataclass(frozen=True)
+class CollectorProfile:
+    """Degradation parameters of one collector path.
+
+    Attributes
+    ----------
+    loss_rate:
+        Probability an individual message is dropped.
+    duplicate_rate:
+        Probability a message is delivered twice (UDP retransmit quirk).
+    max_jitter:
+        Uniform reception delay added per message, seconds.  Jitter can
+        reorder messages relative to their generation timestamps; the
+        collector stamps *reception* order, so output is re-sorted on the
+        jittered times.
+    seed:
+        RNG seed for reproducibility.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    max_jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        if self.max_jitter < 0:
+            raise ValueError("max_jitter must be non-negative")
+
+
+def _degrade_pairs(
+    pairs: list[tuple[SyslogMessage, object]], profile: CollectorProfile
+) -> list[tuple[SyslogMessage, object]]:
+    """Shared degradation over (message, payload) pairs."""
+    rng = random.Random(profile.seed)
+    out: list[tuple[SyslogMessage, object]] = []
+    for message, payload in pairs:
+        if rng.random() < profile.loss_rate:
+            continue
+        copies = 2 if rng.random() < profile.duplicate_rate else 1
+        for _ in range(copies):
+            jitter = (
+                rng.uniform(0.0, profile.max_jitter)
+                if profile.max_jitter
+                else 0.0
+            )
+            if jitter:
+                message_out = SyslogMessage(
+                    timestamp=message.timestamp + jitter,
+                    router=message.router,
+                    error_code=message.error_code,
+                    detail=message.detail,
+                    vendor=message.vendor,
+                )
+            else:
+                message_out = message
+            out.append((message_out, payload))
+    out.sort(key=lambda p: (p[0].timestamp, p[0].router, p[0].error_code))
+    return out
+
+
+def degrade_stream(
+    messages: Iterable[SyslogMessage], profile: CollectorProfile
+) -> list[SyslogMessage]:
+    """Pass a stream through a lossy/jittery collector path.
+
+    Returns the surviving messages sorted by their jittered reception
+    times (which replace the timestamps — that is what the collector
+    records when router and collector clocks drift).
+    """
+    return [
+        message
+        for message, _ in _degrade_pairs(
+            [(m, None) for m in messages], profile
+        )
+    ]
+
+
+def degrade_labeled(labeled, profile: CollectorProfile):
+    """Degrade a labelled stream, carrying ground truth along.
+
+    Takes and returns :class:`~repro.syslog.message.LabeledMessage`
+    sequences; loss/duplication/jitter decisions are identical to
+    :func:`degrade_stream` for the same profile.
+    """
+    from repro.syslog.message import LabeledMessage
+
+    pairs = _degrade_pairs([(lm.message, lm) for lm in labeled], profile)
+    return [
+        LabeledMessage(
+            message=message,
+            event_id=original.event_id,
+            template_id=original.template_id,
+            locations=original.locations,
+        )
+        for message, original in pairs
+    ]

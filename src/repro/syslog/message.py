@@ -1,0 +1,123 @@
+"""The syslog message model.
+
+Section 2 of the paper observes that a router syslog message has only minimal
+structure: (1) a timestamp, (2) the originating router, (3) a message type /
+error code, and (4) free-form detail text.  :class:`SyslogMessage` captures
+exactly those four fields plus the vendor tag that determines line syntax.
+
+:class:`LabeledMessage` wraps a message with the simulator's ground-truth
+labels (true network-condition id and true template id).  Ground truth never
+flows into the mining pipeline — it exists only so the evaluation harness can
+score template accuracy and grouping quality, replacing the human validation
+the paper used on proprietary data.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.utils.timeutils import format_ts
+
+_SEVERITY_V1 = re.compile(r"^[A-Z0-9_]+-(\d)-[A-Za-z0-9_]+$")
+_SEVERITY_WORDS_V2 = {
+    "CRITICAL": 1,
+    "MAJOR": 2,
+    "MINOR": 3,
+    "WARNING": 4,
+    "INFO": 6,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class SyslogMessage:
+    """One raw router syslog message.
+
+    Attributes
+    ----------
+    timestamp:
+        Epoch seconds (UTC); routers are assumed NTP-synchronized.
+    router:
+        Identifier of the originating router (e.g. ``ar3.atlga``).
+    error_code:
+        Message type, e.g. ``LINK-3-UPDOWN`` (vendor V1) or
+        ``SNMP-WARNING-linkDown`` (vendor V2).
+    detail:
+        Free-form remainder of the line.
+    vendor:
+        Vendor tag controlling line syntax, ``"V1"`` or ``"V2"``.
+    """
+
+    timestamp: float
+    router: str
+    error_code: str
+    detail: str
+    vendor: str = "V1"
+
+    def __post_init__(self) -> None:
+        if not self.router:
+            raise ValueError("router must be non-empty")
+        if not self.error_code:
+            raise ValueError("error_code must be non-empty")
+
+    @property
+    def severity(self) -> int | None:
+        """Vendor-assigned severity (smaller = more severe), if encoded.
+
+        Vendor V1 encodes it as the number between dashes in the error code
+        (``LINK-3-UPDOWN`` -> 3); vendor V2 uses a severity word
+        (``SNMP-WARNING-linkDown`` -> 4).  Section 2 warns this value must
+        not be used for event ranking; we expose it only for baselines.
+        """
+        match = _SEVERITY_V1.match(self.error_code)
+        if match:
+            return int(match.group(1))
+        for word, level in _SEVERITY_WORDS_V2.items():
+            if f"-{word}-" in self.error_code:
+                return level
+        return None
+
+    def words(self) -> tuple[str, ...]:
+        """Whitespace-separated words of the detail text (template input)."""
+        return tuple(self.detail.split())
+
+    def render(self) -> str:
+        """Human-readable one-line form (vendor-neutral)."""
+        return (
+            f"{format_ts(self.timestamp)} {self.router} "
+            f"{self.error_code}: {self.detail}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledMessage:
+    """A syslog message plus simulator ground truth.
+
+    Attributes
+    ----------
+    message:
+        The raw message as the pipeline would see it.
+    event_id:
+        Identifier of the injected network condition that caused the message,
+        or ``None`` for background noise not attributable to any condition.
+    template_id:
+        Identifier of the true (generator-side) message template.
+    locations:
+        Canonical location strings the message refers to, as known to the
+        generator (e.g. ``("ar1.atlga|if|Serial1/0/10:0",)``).
+    """
+
+    message: SyslogMessage
+    event_id: str | None
+    template_id: str
+    locations: tuple[str, ...] = field(default=())
+
+    @property
+    def timestamp(self) -> float:
+        """The wrapped message's timestamp."""
+        return self.message.timestamp
+
+    @property
+    def router(self) -> str:
+        """The wrapped message's originating router."""
+        return self.message.router

@@ -1,0 +1,58 @@
+"""Parsing and rendering of raw syslog lines.
+
+Line format (both vendors, as collected by a syslog server that prepends the
+reception metadata, mirroring Table 1 of the paper):
+
+    ``YYYY-MM-DD HH:MM:SS <router> <error-code>: <detail>``
+
+The error code's internal syntax differs per vendor and is recognized by
+:mod:`repro.syslog.vendors`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.syslog.message import SyslogMessage
+from repro.syslog.vendors import vendor_for
+from repro.utils.timeutils import format_ts, parse_ts
+
+_LINE = re.compile(
+    r"^(?P<ts>\d{4}-\d{2}-\d{2} \d{2}:\d{2}:\d{2})\s+"
+    r"(?P<router>\S+)\s+"
+    r"(?P<code>[A-Z][A-Za-z0-9_-]*):\s?"
+    r"(?P<detail>.*)$"
+)
+
+
+class SyslogParseError(ValueError):
+    """Raised when a line cannot be parsed as a syslog message."""
+
+
+def parse_line(line: str) -> SyslogMessage:
+    """Parse one collector line into a :class:`SyslogMessage`.
+
+    The vendor tag is inferred from the error-code syntax; unknown syntaxes
+    are accepted with vendor ``"unknown"`` (SyslogDigest must not require a
+    vendor catalogue up front).
+    """
+    match = _LINE.match(line.rstrip("\n"))
+    if not match:
+        raise SyslogParseError(f"unparseable syslog line: {line!r}")
+    code = match.group("code")
+    profile = vendor_for(code)
+    return SyslogMessage(
+        timestamp=parse_ts(match.group("ts")),
+        router=match.group("router"),
+        error_code=code,
+        detail=match.group("detail").strip(),
+        vendor=profile.name if profile else "unknown",
+    )
+
+
+def format_line(message: SyslogMessage) -> str:
+    """Render a message back into the collector line format."""
+    return (
+        f"{format_ts(message.timestamp)} {message.router} "
+        f"{message.error_code}: {message.detail}"
+    )

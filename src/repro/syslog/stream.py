@@ -1,0 +1,89 @@
+"""Stream helpers: reading/writing log files, sorting, merging, splitting.
+
+An operational collector receives interleaved feeds from thousands of
+routers; the mining code assumes a single time-sorted stream.  These helpers
+provide that normalization plus the day/week slicing the evaluation uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.syslog.message import SyslogMessage
+from repro.syslog.parse import SyslogParseError, format_line, parse_line
+from repro.utils.timeutils import DAY
+
+
+def sort_messages(messages: Iterable[SyslogMessage]) -> list[SyslogMessage]:
+    """Return messages sorted by (timestamp, router, error_code).
+
+    The secondary keys make ordering deterministic for equal timestamps,
+    which matters for reproducible rule mining.
+    """
+    return sorted(messages, key=lambda m: (m.timestamp, m.router, m.error_code))
+
+
+def merge_streams(
+    streams: Sequence[Iterable[SyslogMessage]],
+) -> Iterator[SyslogMessage]:
+    """Merge per-router streams (each already time-sorted) into one stream."""
+
+    def keyed_iter(idx: int, stream: Iterable[SyslogMessage]):
+        for m in stream:
+            yield (m.timestamp, m.router, m.error_code, idx), m
+
+    merged = heapq.merge(*(keyed_iter(i, s) for i, s in enumerate(streams)))
+    for _, message in merged:
+        yield message
+
+
+def split_by_day(
+    messages: Sequence[SyslogMessage], origin: float | None = None
+) -> dict[int, list[SyslogMessage]]:
+    """Bucket time-sorted messages into whole days since ``origin``.
+
+    ``origin`` defaults to midnight-aligned start of the first message's day.
+    """
+    if not messages:
+        return {}
+    if origin is None:
+        first = messages[0].timestamp
+        origin = first - (first % DAY)
+    buckets: dict[int, list[SyslogMessage]] = {}
+    for message in messages:
+        buckets.setdefault(int((message.timestamp - origin) // DAY), []).append(
+            message
+        )
+    return buckets
+
+
+def write_log(path: str | Path, messages: Iterable[SyslogMessage]) -> int:
+    """Write messages to ``path`` in collector line format; return count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for message in messages:
+            fh.write(format_line(message) + "\n")
+            count += 1
+    return count
+
+
+def read_log(
+    path: str | Path, strict: bool = False
+) -> Iterator[SyslogMessage]:
+    """Yield messages from a collector log file.
+
+    Blank and malformed lines are skipped unless ``strict`` is set, in which
+    case malformed lines raise :class:`SyslogParseError` — real collector
+    feeds always contain some garbage.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                yield parse_line(line)
+            except SyslogParseError:
+                if strict:
+                    raise

@@ -1,0 +1,61 @@
+"""Vendor line-format profiles.
+
+The syslog *transport* is standardized but the message text is not
+(Section 2).  We model the paper's two vendors:
+
+* ``V1`` — Cisco-IOS-like: ``%FACILITY-SEVERITY-MNEMONIC: detail`` where the
+  severity is a digit 0-7 between dashes.
+* ``V2`` — ALU/TiMOS-like: ``FACILITY-SEVERITYWORD-eventName: detail`` using
+  severity words (CRITICAL/MAJOR/MINOR/WARNING/INFO).
+
+A :class:`VendorProfile` knows how to render and recognize its error codes so
+the parser can be vendor independent, as SyslogDigest itself must be.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Line syntax description for one router vendor."""
+
+    name: str
+    error_code_pattern: re.Pattern[str]
+    description: str
+
+    def matches_code(self, error_code: str) -> bool:
+        """True when ``error_code`` follows this vendor's convention."""
+        return bool(self.error_code_pattern.fullmatch(error_code))
+
+
+VENDOR_V1 = VendorProfile(
+    name="V1",
+    error_code_pattern=re.compile(r"[A-Z][A-Z0-9_]*-[0-7]-[A-Z0-9_]+"),
+    description="IOS-style FACILITY-<severity digit>-MNEMONIC",
+)
+
+VENDOR_V2 = VendorProfile(
+    name="V2",
+    error_code_pattern=re.compile(
+        r"[A-Z][A-Z0-9_]*-(CRITICAL|MAJOR|MINOR|WARNING|INFO)-[A-Za-z0-9_]+"
+    ),
+    description="TiMOS-style FACILITY-SEVERITYWORD-eventName",
+)
+
+_PROFILES = {p.name: p for p in (VENDOR_V1, VENDOR_V2)}
+
+
+def vendor_for(error_code: str) -> VendorProfile | None:
+    """Infer the vendor profile from an error code, if recognizable."""
+    for profile in _PROFILES.values():
+        if profile.matches_code(error_code):
+            return profile
+    return None
+
+
+def get_profile(name: str) -> VendorProfile:
+    """Look up a profile by vendor name; raises ``KeyError`` if unknown."""
+    return _PROFILES[name]

@@ -1,0 +1,26 @@
+"""Message template (signature) learning — Section 4.1.1 of the paper.
+
+Raw messages of one error code are decomposed into whitespace words; a
+sub-type tree is grown by repeatedly carving out the most frequent word
+combination (breadth-first, recursively), then pruned: a node with more
+than ``k`` children — the signature of a *variable* field exploding into
+many values — becomes a leaf.  Each root-to-leaf path is a template.
+"""
+
+from repro.templates.evaluate import TemplateAccuracy, template_accuracy
+from repro.templates.learner import TemplateLearner, TemplateSet
+from repro.templates.signature import Template, matches_words
+from repro.templates.tree import SubtypeNode, build_subtype_tree
+from repro.templates.tokenize import tokenize
+
+__all__ = [
+    "SubtypeNode",
+    "Template",
+    "TemplateAccuracy",
+    "TemplateLearner",
+    "TemplateSet",
+    "build_subtype_tree",
+    "matches_words",
+    "template_accuracy",
+    "tokenize",
+]

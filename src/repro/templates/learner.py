@@ -1,0 +1,148 @@
+"""Template learning and matching over whole message streams.
+
+:class:`TemplateLearner` groups historical messages by error code, builds a
+sub-type tree per code, and converts every root-to-leaf path into a
+:class:`~repro.templates.signature.Template`.  :class:`TemplateSet` then
+matches live messages to the most specific learned template — the online
+"signature matching" stage that turns raw syslog into Syslog+.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.syslog.message import SyslogMessage
+from repro.templates.signature import Template
+from repro.templates.tokenize import tokenize
+from repro.templates.tree import SubtypeNode, build_subtype_tree
+
+
+@dataclass
+class TemplateSet:
+    """All templates learned for one network, indexed by error code."""
+
+    by_code: dict[str, list[Template]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return sum(len(ts) for ts in self.by_code.values())
+
+    def all_templates(self) -> list[Template]:
+        """Every learned template, across all error codes."""
+        return [t for ts in self.by_code.values() for t in ts]
+
+    def get(self, key: str) -> Template | None:
+        """Look up a template by its key."""
+        for templates in self.by_code.values():
+            for template in templates:
+                if template.key == key:
+                    return template
+        return None
+
+    def match(self, message: SyslogMessage) -> Template:
+        """Most specific template matching ``message``.
+
+        Messages of an unseen error code, or ones matching no learned
+        sub-type, fall back to a code-level catch-all template (key
+        ``<code>/other``) — online processing must never drop a message
+        just because offline learning had not seen its shape.
+        """
+        words = tokenize(message.detail)
+        best: Template | None = None
+        for template in self.by_code.get(message.error_code, ()):
+            if template.matches(words) and (
+                best is None or template.specificity > best.specificity
+            ):
+                best = template
+        if best is not None:
+            return best
+        return Template(
+            key=f"{message.error_code}/other",
+            error_code=message.error_code,
+            words=(),
+        )
+
+    def merge(self, other: TemplateSet) -> None:
+        """Add templates from ``other`` for codes this set does not know."""
+        for code, templates in other.by_code.items():
+            self.by_code.setdefault(code, list(templates))
+
+
+@dataclass(frozen=True)
+class TemplateLearner:
+    """Offline template learner.
+
+    Parameters
+    ----------
+    k:
+        Sub-type tree prune threshold (paper: 10).
+    max_messages_per_code:
+        Per-code subsample cap; tree construction is superlinear in the
+        message count and a few thousand examples pin down the frequent
+        combinations.  ``None`` disables sampling.
+    seed:
+        Subsampling seed, for reproducibility.
+    """
+
+    k: int = 10
+    max_messages_per_code: int | None = 4000
+    min_subtype_support: int = 3
+    seed: int = 0
+
+    def learn(self, messages: Iterable[SyslogMessage]) -> TemplateSet:
+        """Learn templates from historical messages."""
+        by_code: dict[str, list[tuple[str, ...]]] = {}
+        for message in messages:
+            by_code.setdefault(message.error_code, []).append(
+                tokenize(message.detail)
+            )
+        out = TemplateSet()
+        rng = random.Random(self.seed)
+        for code in sorted(by_code):
+            tokenized = by_code[code]
+            if (
+                self.max_messages_per_code is not None
+                and len(tokenized) > self.max_messages_per_code
+            ):
+                tokenized = rng.sample(tokenized, self.max_messages_per_code)
+            tree = build_subtype_tree(
+                tokenized, k=self.k, min_support=self.min_subtype_support
+            )
+            out.by_code[code] = _templates_from_tree(code, tree, tokenized)
+        return out
+
+
+def _ordered_by_position(
+    words: frozenset[str], representative: Sequence[str]
+) -> tuple[str, ...]:
+    """Order a word set by first occurrence in a representative message."""
+    position = {}
+    for i, word in enumerate(representative):
+        if word in words and word not in position:
+            position[word] = i
+    # Signature words are common to all member messages, so every word has
+    # a position; guard anyway to stay total.
+    return tuple(sorted(words, key=lambda w: position.get(w, len(representative))))
+
+
+def _templates_from_tree(
+    code: str, tree: SubtypeNode, tokenized: list[tuple[str, ...]]
+) -> list[Template]:
+    """One template per leaf path of the sub-type tree."""
+    templates: list[Template] = []
+    counter = 0
+    for node, path_words in tree.walk():
+        if not node.is_leaf or not node.message_ids:
+            continue
+        representative = tokenized[node.message_ids[0]]
+        ordered = _ordered_by_position(path_words, representative)
+        templates.append(
+            Template(key=f"{code}/{counter}", error_code=code, words=ordered)
+        )
+        counter += 1
+    if not templates:
+        templates.append(Template(key=f"{code}/0", error_code=code, words=()))
+    # Most specific first so matching can stop early if desired.
+    templates.sort(key=lambda t: -t.specificity)
+    return templates

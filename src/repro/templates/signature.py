@@ -1,0 +1,43 @@
+"""Template value type and word-sequence matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Template:
+    """A learned message template: error code + ordered signature words.
+
+    ``key`` uniquely identifies the template within a template set, e.g.
+    ``BGP-5-ADJCHANGE/3``.  ``words`` are the constant words of the
+    sub-type, in message order; the variable fields are the gaps between
+    them (rendered as ``*`` by :meth:`pattern`).
+    """
+
+    key: str
+    error_code: str
+    words: tuple[str, ...]
+
+    @property
+    def specificity(self) -> int:
+        """Number of signature words — used to break matching ties."""
+        return len(self.words)
+
+    def pattern(self) -> str:
+        """Human-readable form, e.g. ``neighbor * vpn vrf * Down``."""
+        if not self.words:
+            return f"{self.error_code} *"
+        return f"{self.error_code} " + " ".join(self.words)
+
+    def matches(self, message_words: tuple[str, ...]) -> bool:
+        """True when the signature is an ordered subsequence of the words."""
+        return matches_words(self.words, message_words)
+
+
+def matches_words(
+    signature: tuple[str, ...], message_words: tuple[str, ...]
+) -> bool:
+    """Ordered-subsequence test: every signature word appears, in order."""
+    it = iter(message_words)
+    return all(word in it for word in signature)

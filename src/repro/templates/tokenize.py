@@ -1,0 +1,14 @@
+"""Tokenization of syslog detail text.
+
+The paper decomposes messages into whitespace-separated words and treats
+each word atomically — punctuation stays attached (``down,`` and ``down``
+are different words), which is deliberate: it preserves positional cues in
+printf-style messages without needing any vendor grammar.
+"""
+
+from __future__ import annotations
+
+
+def tokenize(detail: str) -> tuple[str, ...]:
+    """Whitespace-split ``detail`` into words (empty input -> empty tuple)."""
+    return tuple(detail.split())

@@ -1,0 +1,186 @@
+"""Sub-type tree construction (Section 4.1.1, Figure 2).
+
+Given all messages of one error code, grow a tree whose root is the error
+code and whose nodes carry *word combinations*:
+
+1. At a node, among the messages it is associated with (considering only
+   words not already in ancestor signatures), find the most frequent word;
+   the messages containing it form a child whose signature is the set of
+   remaining words common to **all** of them (the "most frequent
+   combination of words ... which can associate with most messages").
+2. Repeat on the leftover messages until every message is associated with
+   a child; then recurse into each child (breadth-first).
+3. Prune: a node with more than ``k`` children is made a leaf (its children
+   discarded) — many children means the distinguishing word is a variable
+   field, not a sub-type.  The paper uses ``k = 10``.
+
+Each root-to-leaf path is one template.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SubtypeNode:
+    """One node of the sub-type tree.
+
+    ``signature`` holds only the words added *at this node*; the full
+    template is the union of signatures along the root path, ordered by
+    position in a representative message.
+    """
+
+    signature: frozenset[str]
+    message_ids: list[int]
+    children: list[SubtypeNode] = field(default_factory=list)
+    pruned: bool = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this node has no children (a template endpoint)."""
+        return not self.children
+
+    def walk(self):
+        """Yield (node, path_signature_words_set) depth-first."""
+        stack: list[tuple[SubtypeNode, frozenset[str]]] = [
+            (self, self.signature)
+        ]
+        while stack:
+            node, acc = stack.pop()
+            yield node, acc
+            for child in node.children:
+                stack.append((child, acc | child.signature))
+
+
+def _most_frequent_word(
+    messages: list[tuple[str, ...]],
+    ids: list[int],
+    excluded: frozenset[str],
+) -> str | None:
+    """Most frequent not-yet-used word among the given messages.
+
+    Frequency is document frequency (message count, not occurrences); ties
+    break lexicographically for determinism.
+    """
+    counter: Counter[str] = Counter()
+    for mid in ids:
+        seen = set(messages[mid]) - excluded
+        counter.update(seen)
+    if not counter:
+        return None
+    best_count = max(counter.values())
+    candidates = [w for w, c in counter.items() if c == best_count]
+    return min(candidates)
+
+
+def _common_words(
+    messages: list[tuple[str, ...]],
+    ids: list[int],
+    excluded: frozenset[str],
+) -> frozenset[str]:
+    """Words (outside ``excluded``) present in every listed message."""
+    common: set[str] | None = None
+    for mid in ids:
+        words = set(messages[mid]) - excluded
+        common = words if common is None else (common & words)
+        if not common:
+            break
+    return frozenset(common or ())
+
+
+def build_subtype_tree(
+    messages: list[tuple[str, ...]],
+    k: int = 10,
+    max_depth: int = 12,
+    min_support: int = 3,
+) -> SubtypeNode:
+    """Build the pruned sub-type tree over tokenized messages.
+
+    Parameters
+    ----------
+    messages:
+        Tokenized details, one tuple of words per message.
+    k:
+        Prune threshold: a node acquiring more than ``k`` children becomes
+        a leaf.
+    max_depth:
+        Safety bound on recursion (real trees are shallow).
+    min_support:
+        A sub-type must be backed by at least this many messages ("usually
+        there would be many more messages associated with each sub type" —
+        §4.1.1); a candidate word rarer than that stops the split.  The
+        bound is relaxed to the node size for very small nodes.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    root = SubtypeNode(
+        signature=frozenset(), message_ids=list(range(len(messages)))
+    )
+    if not messages:
+        return root
+    # Breadth-first expansion, per the paper's construction order.
+    queue: list[tuple[SubtypeNode, frozenset[str], int]] = [
+        (root, frozenset(), 0)
+    ]
+    while queue:
+        node, used_words, depth = queue.pop(0)
+        if depth >= max_depth or len(node.message_ids) == 0:
+            continue
+        children = _expand(messages, node, used_words, k, min_support)
+        if children is None:
+            node.pruned = True
+            continue
+        if not children:
+            continue
+        # A single child carrying no new words would recurse forever.
+        children = [c for c in children if c.signature or len(children) > 1]
+        node.children = children
+        for child in children:
+            queue.append((child, used_words | child.signature, depth + 1))
+    return root
+
+
+def _expand(
+    messages: list[tuple[str, ...]],
+    node: SubtypeNode,
+    used_words: frozenset[str],
+    k: int,
+    min_support: int,
+) -> list[SubtypeNode] | None:
+    """Create children of ``node``; ``None`` means pruned (> k children)."""
+    remaining = list(node.message_ids)
+    children: list[SubtypeNode] = []
+    support_floor = min(min_support, max(1, len(remaining)))
+    while remaining:
+        word = _most_frequent_word(messages, remaining, used_words)
+        if word is None:
+            # All remaining messages consist solely of already-used words:
+            # they stay associated with this node itself.
+            break
+        member_ids = [
+            mid for mid in remaining if word in set(messages[mid]) - used_words
+        ]
+        if len(member_ids) < support_floor:
+            # The best remaining word is too rare to define a sub-type:
+            # we are looking at variable values, stop splitting here.
+            break
+        signature = _common_words(messages, member_ids, used_words)
+        children.append(
+            SubtypeNode(signature=signature, message_ids=member_ids)
+        )
+        member_set = set(member_ids)
+        remaining = [mid for mid in remaining if mid not in member_set]
+        if len(children) > k:
+            return None
+    if children and remaining:
+        # Messages whose distinguishing words were all below the support
+        # floor: keep them under a signature-less catch-all child so every
+        # message stays associated with some leaf.
+        children.append(
+            SubtypeNode(signature=frozenset(), message_ids=remaining)
+        )
+    return children

@@ -1,0 +1,30 @@
+"""Shared utilities: union-find, EWMA, sliding windows, time, tables, stats."""
+
+from repro.utils.ewma import EwmaEstimator
+from repro.utils.stats import quantile, summarize
+from repro.utils.textable import render_table
+from repro.utils.timeutils import (
+    HOUR,
+    MINUTE,
+    SECOND,
+    day_index,
+    format_ts,
+    parse_ts,
+)
+from repro.utils.unionfind import UnionFind
+from repro.utils.windows import SlidingWindow
+
+__all__ = [
+    "EwmaEstimator",
+    "HOUR",
+    "MINUTE",
+    "SECOND",
+    "SlidingWindow",
+    "UnionFind",
+    "day_index",
+    "format_ts",
+    "parse_ts",
+    "quantile",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,66 @@
+"""Exponentially weighted moving average of interarrival times.
+
+Section 4.1.3 of the paper models the interarrival time of messages sharing a
+template as ``S_hat_t = alpha * S_{t-1} + (1 - alpha) * S_hat_{t-1}`` and puts
+a new arrival in the same group iff the observed interarrival ``S_t`` does not
+exceed ``beta * S_hat_t`` (with absolute clamps ``S_min``/``S_max``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EwmaEstimator:
+    """Online EWMA predictor for a non-negative series.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the most recent observation; higher alpha discounts older
+        observations faster.  Must lie in [0, 1].
+    initial:
+        Optional prediction to use before any observation arrives.  When
+        ``None``, the first observation seeds the prediction directly.
+    """
+
+    alpha: float
+    initial: float | None = None
+    _prediction: float | None = field(init=False, default=None)
+    _count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.initial is not None and self.initial < 0:
+            raise ValueError("initial prediction must be non-negative")
+        self._prediction = self.initial
+
+    @property
+    def prediction(self) -> float | None:
+        """Current predicted value, or ``None`` before any data."""
+        return self._prediction
+
+    @property
+    def count(self) -> int:
+        """Number of observations folded in so far."""
+        return self._count
+
+    def observe(self, value: float) -> float:
+        """Fold in ``value`` and return the updated prediction."""
+        if value < 0:
+            raise ValueError(f"observation must be non-negative, got {value}")
+        if self._prediction is None:
+            self._prediction = value
+        else:
+            self._prediction = self.alpha * value + (1 - self.alpha) * self._prediction
+        self._count += 1
+        return self._prediction
+
+    def copy(self) -> EwmaEstimator:
+        """Return an independent copy with the same state."""
+        clone = EwmaEstimator(self.alpha, self.initial)
+        clone._prediction = self._prediction
+        clone._count = self._count
+        return clone

@@ -1,0 +1,68 @@
+"""Small statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of ``values`` (q in [0, 1])."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Return count/mean/min/median/p90/max of ``values``."""
+    if not values:
+        return {"count": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "min": min(values),
+        "median": quantile(values, 0.5),
+        "p90": quantile(values, 0.9),
+        "max": max(values),
+    }
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient of non-negative values — skewness of a distribution.
+
+    Used to quantify the Figure 13 observation that per-router event counts
+    are *less skewed* than per-router raw-message counts.
+    """
+    if not values:
+        raise ValueError("gini of empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("gini requires non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    cum = 0.0
+    for i, v in enumerate(ordered, start=1):
+        cum += i * v
+    value = (2 * cum) / (n * total) - (n + 1) / n
+    # Clamp floating-point wobble on near-uniform inputs.
+    return min(max(value, 0.0), 1.0)

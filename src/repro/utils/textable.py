@@ -1,0 +1,34 @@
+"""Minimal fixed-width text table rendering for bench/report output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a left-aligned monospace table.
+
+    Cells are str()-ed; floats keep their repr so callers control formatting.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append(fmt(["-" * w for w in widths]))
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Time helpers shared across the simulator and the mining pipeline.
+
+All timestamps in the library are POSIX epoch seconds (floats).  Syslog lines
+render them in the paper's ``YYYY-MM-DD HH:MM:SS`` form, always in UTC so the
+"routers are NTP synchronized" assumption of Section 2 holds by construction.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+_FMT = "%Y-%m-%d %H:%M:%S"
+_UTC = _dt.timezone.utc
+
+
+def parse_ts(text: str) -> float:
+    """Parse ``YYYY-MM-DD HH:MM:SS`` (UTC) into epoch seconds."""
+    dt = _dt.datetime.strptime(text.strip(), _FMT).replace(tzinfo=_UTC)
+    return dt.timestamp()
+
+
+def format_ts(ts: float) -> str:
+    """Render epoch seconds as ``YYYY-MM-DD HH:MM:SS`` in UTC."""
+    dt = _dt.datetime.fromtimestamp(ts, tz=_UTC)
+    return dt.strftime(_FMT)
+
+
+def day_index(ts: float, origin: float) -> int:
+    """Whole number of days elapsed since ``origin`` (may be negative)."""
+    return int((ts - origin) // DAY)
+
+
+def week_index(ts: float, origin: float) -> int:
+    """Whole number of weeks elapsed since ``origin`` (may be negative)."""
+    return int((ts - origin) // (7 * DAY))

@@ -1,0 +1,77 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+Grouping in SyslogDigest merges message groups whenever any two of their
+messages are related by one of the three grouping passes (temporal, rule
+based, cross router).  Representing the merge relation as a union-find over
+message ids makes the final grouping independent of the order in which the
+passes run, which is the property Section 4.2.3 of the paper relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable items.
+
+    Items are added lazily on first use; a fresh item is its own set.
+    """
+
+    def __init__(self, items: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._size: dict[T, int] = {}
+        for item in items:
+            self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._parent
+
+    def add(self, item: T) -> None:
+        """Register ``item`` as a singleton set if not already present."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: T) -> T:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[T, list[T]]:
+        """Return a mapping of root -> members (members in insertion order)."""
+        out: dict[T, list[T]] = {}
+        for item in self._parent:
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+    def n_groups(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return sum(1 for item, parent in self._parent.items() if item == parent)

@@ -1,0 +1,58 @@
+"""Time-based sliding window over a stream of stamped items.
+
+The association-rule miner (Section 4.1.4) forms one transaction per message
+by sliding a window ``W`` across the time-sorted stream; the online rule-based
+grouper (Section 4.2.2) needs the same "recent messages within W" view.  Both
+are served by :class:`SlidingWindow`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class SlidingWindow(Generic[T]):
+    """Keep items whose timestamp is within ``width`` of the newest push.
+
+    Items must be pushed in non-decreasing timestamp order; violations raise
+    ``ValueError`` (the mining code always sorts first).
+    """
+
+    def __init__(self, width: float) -> None:
+        if width < 0:
+            raise ValueError(f"window width must be non-negative, got {width}")
+        self.width = width
+        self._items: deque[tuple[float, T]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return (item for _, item in self._items)
+
+    def push(self, ts: float, item: T) -> list[T]:
+        """Add ``item`` at time ``ts``; return items evicted by the move."""
+        if self._items and ts < self._items[-1][0]:
+            raise ValueError(
+                f"out-of-order push: {ts} < {self._items[-1][0]}"
+            )
+        evicted: list[T] = []
+        cutoff = ts - self.width
+        while self._items and self._items[0][0] < cutoff:
+            evicted.append(self._items.popleft()[1])
+        self._items.append((ts, item))
+        return evicted
+
+    def items_with_ts(self) -> list[tuple[float, T]]:
+        """Snapshot of (timestamp, item) pairs currently inside the window."""
+        return list(self._items)
+
+    def drain(self) -> list[T]:
+        """Empty the window and return everything that was inside."""
+        out = [item for _, item in self._items]
+        self._items.clear()
+        return out

@@ -1,0 +1,55 @@
+"""Shared fixtures: miniature datasets and a learned system.
+
+Session-scoped so the expensive generation/learning happens once; tests
+must treat these as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DigestConfig
+from repro.core.pipeline import SyslogDigest
+from repro.netsim.datasets import dataset_a, dataset_b, generate_dataset
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture(scope="session")
+def data_a():
+    """A small dataset-A instance (network + configs + engine)."""
+    return generate_dataset(dataset_a(), scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def data_b():
+    """A small dataset-B instance."""
+    return generate_dataset(dataset_b(), scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def history_a(data_a):
+    """10 days of labelled history for dataset A."""
+    return data_a.generate(0.0, 10)
+
+
+@pytest.fixture(scope="session")
+def live_a(data_a):
+    """2 days of labelled live traffic following the history."""
+    return data_a.generate(10 * DAY, 2)
+
+
+@pytest.fixture(scope="session")
+def system_a(data_a, history_a) -> SyslogDigest:
+    """A SyslogDigest learned on the small dataset-A history."""
+    return SyslogDigest.learn(
+        [m.message for m in history_a.messages],
+        list(data_a.configs.values()),
+        DigestConfig(),
+        fit_temporal=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def digest_a(system_a, live_a):
+    """Digest of the live dataset-A window."""
+    return system_a.digest(m.message for m in live_a.messages)

@@ -1,0 +1,47 @@
+"""JSON export API tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.apps.api import digest_to_dict, digest_to_json, event_to_dict
+
+
+class TestEventToDict:
+    def test_fields(self, digest_a):
+        event = digest_a.events[0]
+        d = event_to_dict(event)
+        assert d["n_messages"] == event.n_messages
+        assert d["routers"] == list(event.routers)
+        assert d["start_ts"] <= d["end_ts"]
+        assert d["label"] == event.label
+        assert len(d["message_indices"]) == event.n_messages
+
+    def test_indices_optional(self, digest_a):
+        d = event_to_dict(digest_a.events[0], include_indices=False)
+        assert "message_indices" not in d
+
+    def test_json_serializable(self, digest_a):
+        text = json.dumps(event_to_dict(digest_a.events[0]))
+        assert json.loads(text)["n_messages"] >= 1
+
+
+class TestDigestToJson:
+    def test_document_shape(self, digest_a):
+        doc = digest_to_dict(digest_a, top=5)
+        assert doc["n_messages"] == digest_a.n_messages
+        assert len(doc["events"]) == 5
+        assert doc["compression_ratio"] < 1.0
+
+    def test_roundtrip_through_json(self, digest_a):
+        text = digest_to_json(digest_a, top=3)
+        doc = json.loads(text)
+        assert doc["n_events"] == digest_a.n_events
+        assert [e["label"] for e in doc["events"]] == [
+            e.label for e in digest_a.events[:3]
+        ]
+
+    def test_scores_descend(self, digest_a):
+        doc = digest_to_dict(digest_a, top=10)
+        scores = [e["score"] for e in doc["events"]]
+        assert scores == sorted(scores, reverse=True)

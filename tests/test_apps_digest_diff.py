@@ -1,0 +1,52 @@
+"""Digest diff tests."""
+
+from __future__ import annotations
+
+from repro.apps.digest_diff import diff_digests, render_delta
+from repro.utils.timeutils import DAY
+
+
+class TestDiffDigests:
+    def test_identical_digests_have_no_churn(self, digest_a):
+        delta = diff_digests(digest_a.events, digest_a.events)
+        assert delta.churn == 0
+        assert len(delta.persisted) > 0
+        for before, after in delta.volume_changes.values():
+            assert before == after
+        assert delta.grown() == []
+
+    def test_disjoint_days_show_churn(self, system_a, live_a):
+        day1 = [
+            m.message
+            for m in live_a.messages
+            if m.timestamp < 10 * DAY + DAY
+        ]
+        day2 = [
+            m.message
+            for m in live_a.messages
+            if m.timestamp >= 10 * DAY + DAY
+        ]
+        d1 = system_a.digest(day1)
+        d2 = system_a.digest(day2)
+        delta = diff_digests(d1.events, d2.events)
+        assert delta.churn > 0
+        assert len(delta.appeared) > 0
+
+    def test_empty_baseline(self, digest_a):
+        delta = diff_digests([], digest_a.events)
+        assert len(delta.appeared) == len(
+            {(e.template_keys, e.routers) for e in digest_a.events}
+        )
+        assert delta.disappeared == ()
+
+    def test_render_delta(self, system_a, live_a):
+        day1 = [
+            m.message
+            for m in live_a.messages
+            if m.timestamp < 10 * DAY + DAY
+        ]
+        d1 = system_a.digest(day1)
+        delta = diff_digests([], d1.events)
+        text = render_delta(delta)
+        assert text.startswith("appeared:")
+        assert "+" in text

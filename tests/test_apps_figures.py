@@ -1,0 +1,43 @@
+"""CSV export tests."""
+
+from __future__ import annotations
+
+from repro.apps.figures import (
+    daily_counts_csv,
+    events_csv,
+    per_router_csv,
+    sweep_csv,
+)
+from repro.utils.timeutils import DAY
+
+
+class TestCsvExports:
+    def test_daily_counts(self, digest_a):
+        text = daily_counts_csv(digest_a, origin=10 * DAY)
+        lines = text.strip().splitlines()
+        assert lines[0] == "day,messages,events,ratio"
+        assert len(lines) >= 3
+        total = sum(int(line.split(",")[1]) for line in lines[1:])
+        assert total == digest_a.n_messages
+
+    def test_per_router_sorted_by_messages(self, digest_a):
+        text = per_router_csv(digest_a)
+        counts = [
+            int(line.split(",")[1])
+            for line in text.strip().splitlines()[1:]
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_sweep(self):
+        text = sweep_csv([(0.05, 0.01), (0.1, 0.02)], "alpha", "ratio")
+        assert text.splitlines()[0] == "alpha,ratio"
+        assert "0.05,0.01" in text
+
+    def test_events_top_limits_rows(self, digest_a):
+        text = events_csv(digest_a, top=5)
+        assert len(text.strip().splitlines()) == 6
+
+    def test_events_fields_have_no_stray_commas(self, digest_a):
+        text = events_csv(digest_a, top=10)
+        for line in text.strip().splitlines():
+            assert line.count(",") == 5

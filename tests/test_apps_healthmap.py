@@ -1,0 +1,61 @@
+"""Health map tests (Figures 14/15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.healthmap import HealthMap, render_health_map
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture(scope="module")
+def health(digest_a, live_a):
+    start = 10 * DAY
+    return HealthMap.build(
+        digest_a.events,
+        [m.message for m in live_a.messages],
+        window_start=start,
+        window_end=start + DAY,
+    )
+
+
+class TestBuild:
+    def test_message_counts_match_window(self, health, live_a):
+        total = sum(health.message_counts.values())
+        expected = sum(
+            1
+            for m in live_a.messages
+            if health.window_start <= m.timestamp <= health.window_end
+        )
+        assert total == expected
+
+    def test_event_counts_nonzero(self, health):
+        assert health.event_counts
+
+    def test_most_loaded_sorted(self, health):
+        loaded = health.most_loaded(by_events=False)
+        counts = [c for _, c in loaded]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRender:
+    def test_event_view_contains_labels(self, health):
+        text = render_health_map(health, by_events=True)
+        assert "circle size = events" in text
+        assert "[" in text  # at least one label annotation
+
+    def test_message_view(self, health):
+        text = render_health_map(health, by_events=False)
+        assert "circle size = messages" in text
+
+    def test_views_can_disagree(self, health):
+        """The paper's point: the chattiest router need not be the most
+        troubled one.  (Views may coincide on tiny data; assert only that
+        both render.)"""
+        ev = render_health_map(health, by_events=True, top=3)
+        msg = render_health_map(health, by_events=False, top=3)
+        assert ev and msg
+
+    def test_empty_window(self, digest_a):
+        empty = HealthMap.build(digest_a.events, [], 0.0, 1.0)
+        assert "(no activity)" in render_health_map(empty, by_events=False)

@@ -1,0 +1,23 @@
+"""Daily report generator tests."""
+
+from __future__ import annotations
+
+from repro.apps.reportgen import daily_report
+from repro.utils.timeutils import DAY
+
+
+def test_report_sections(digest_a):
+    text = daily_report(digest_a, origin=10 * DAY)
+    assert "per-day digest" in text
+    assert "busiest routers" in text
+    assert "per-router skew (gini)" in text
+
+
+def test_report_day_rows_cover_live_window(digest_a):
+    text = daily_report(digest_a, origin=10 * DAY)
+    day_lines = [
+        line
+        for line in text.splitlines()
+        if line and line[0].isdigit()
+    ]
+    assert len(day_lines) >= 2  # two live days

@@ -1,0 +1,80 @@
+"""Ticket correlation tests (Section 6.2's matching rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.ticket_match import match_tickets
+from repro.netsim.tickets import TroubleTicket, derive_tickets
+
+
+@pytest.fixture(scope="module")
+def tickets(live_a):
+    return derive_tickets(live_a.incidents, seed=4)
+
+
+class TestMatching:
+    def test_most_tickets_match_some_event(
+        self, tickets, digest_a, system_a
+    ):
+        report = match_tickets(
+            tickets, digest_a.events, system_a.kb.dictionary
+        )
+        assert report.match_fraction >= 0.9
+
+    def test_match_respects_time_and_state(
+        self, tickets, digest_a, system_a
+    ):
+        report = match_tickets(
+            tickets, digest_a.events, system_a.kb.dictionary, slack=300.0
+        )
+        for m in report.matches:
+            if m.event is None:
+                continue
+            assert (
+                m.event.start_ts - 300.0
+                <= m.ticket.created_ts
+                <= m.event.end_ts + 300.0
+            )
+            assert m.ticket.state in m.event.states(system_a.kb.dictionary)
+
+    def test_mismatched_state_fails(self, digest_a, system_a):
+        ticket = TroubleTicket(
+            ticket_id="TT1",
+            created_ts=digest_a.events[0].start_ts,
+            state="ZZ",
+            kind="link_flap",
+            n_updates=5,
+            source_event_id="none",
+        )
+        report = match_tickets(
+            [ticket], digest_a.events, system_a.kb.dictionary
+        )
+        assert report.n_matched == 0
+
+    def test_out_of_time_fails(self, digest_a, system_a):
+        last = max(e.end_ts for e in digest_a.events)
+        ticket = TroubleTicket(
+            ticket_id="TT1",
+            created_ts=last + 1e6,
+            state="GA",
+            kind="link_flap",
+            n_updates=5,
+            source_event_id="none",
+        )
+        report = match_tickets(
+            [ticket], digest_a.events, system_a.kb.dictionary
+        )
+        assert report.n_matched == 0
+
+    def test_worst_rank_percentile(self, tickets, digest_a, system_a):
+        report = match_tickets(
+            tickets, digest_a.events, system_a.kb.dictionary
+        )
+        pct = report.worst_rank_percentile()
+        assert pct is None or 0.0 < pct <= 1.0
+
+    def test_empty_tickets(self, digest_a, system_a):
+        report = match_tickets([], digest_a.events, system_a.kb.dictionary)
+        assert report.match_fraction == 1.0
+        assert report.worst_rank_percentile() is None

@@ -1,0 +1,73 @@
+"""Timeline rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.timeline import (
+    TimelineOptions,
+    render_event_strip,
+    render_timeline,
+)
+from repro.utils.timeutils import DAY
+
+
+class TestRenderTimeline:
+    def test_bad_window_rejected(self, digest_a):
+        with pytest.raises(ValueError):
+            render_timeline(digest_a.events, 100.0, 100.0)
+
+    def test_rows_per_router(self, digest_a):
+        start = 10 * DAY
+        text = render_timeline(digest_a.events, start, start + DAY)
+        lines = text.splitlines()
+        assert "events)" in lines[0]
+        body = [line for line in lines[1:] if line.startswith("ar")]
+        assert body
+        assert all("|" in line for line in body)
+
+    def test_spans_inside_frame(self, digest_a):
+        start = 10 * DAY
+        options = TimelineOptions(width=40)
+        text = render_timeline(
+            digest_a.events, start, start + DAY, options
+        )
+        for line in text.splitlines()[1:]:
+            if "|" not in line:
+                continue
+            frame = line.split("|", 1)[1].rsplit("|", 1)[0]
+            assert len(frame) == 40
+
+    def test_empty_window(self, digest_a):
+        text = render_timeline(digest_a.events, 0.0, 1.0)
+        assert "(0 events)" in text
+
+    def test_router_cap(self, digest_a):
+        start = 10 * DAY
+        options = TimelineOptions(max_routers=2)
+        text = render_timeline(
+            digest_a.events, start, start + 2 * DAY, options
+        )
+        body = [
+            line for line in text.splitlines()[1:] if line.startswith("ar")
+        ]
+        assert len(body) <= 2
+
+
+class TestRenderEventStrip:
+    def test_strip_has_row_per_router(self, digest_a):
+        event = max(digest_a.events, key=lambda e: len(e.routers))
+        text = render_event_strip(event)
+        assert len(text.splitlines()) == 1 + min(len(event.routers), 12)
+
+    def test_strip_marks_arrivals(self, digest_a):
+        event = digest_a.events[0]
+        text = render_event_strip(event)
+        assert "|" in "".join(text.splitlines()[1:])
+
+    def test_single_message_event(self, digest_a):
+        singletons = [e for e in digest_a.events if e.n_messages == 1]
+        if not singletons:
+            pytest.skip("no singleton events in this digest")
+        text = render_event_strip(singletons[0])
+        assert text

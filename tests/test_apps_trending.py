@@ -1,0 +1,102 @@
+"""MERCURY-style level-shift detection tests."""
+
+from __future__ import annotations
+
+from repro.apps.trending import (
+    daily_series,
+    detect_level_shift,
+    detect_shifts,
+)
+from repro.core.syslogplus import Augmenter
+from repro.utils.timeutils import DAY
+
+
+class TestDetectLevelShift:
+    def test_flat_series_has_no_shift(self):
+        assert detect_level_shift([5] * 14) is None
+
+    def test_step_up_detected_at_right_day(self):
+        counts = [2] * 7 + [20] * 7
+        found = detect_level_shift(counts)
+        assert found is not None
+        day, before, after = found
+        assert day == 7
+        assert after > before
+
+    def test_step_down_detected(self):
+        counts = [30] * 7 + [2] * 7
+        found = detect_level_shift(counts)
+        assert found is not None
+        assert found[1] > found[2]
+
+    def test_single_spike_is_not_a_shift(self):
+        counts = [2] * 6 + [50] + [2] * 7
+        assert detect_level_shift(counts) is None
+
+    def test_small_factor_ignored(self):
+        counts = [10] * 7 + [15] * 7
+        assert detect_level_shift(counts, min_factor=3.0) is None
+
+    def test_low_level_noise_ignored(self):
+        counts = [0] * 7 + [1, 0, 0, 1, 0, 0, 0]
+        assert detect_level_shift(counts, min_level=2.0) is None
+
+    def test_edges_respect_min_window(self):
+        counts = [1, 100, 100, 100, 100, 100]
+        assert detect_level_shift(counts, min_window=3) is None
+
+
+class TestLevelShiftDisplay:
+    def test_finite_factor(self):
+        from repro.apps.trending import LevelShift
+
+        shift = LevelShift(
+            router="r1", template_key="t", day=5,
+            before_mean=2.0, after_mean=8.0,
+        )
+        assert shift.factor == 4.0
+        assert shift.describe_factor() == "x4.0"
+        assert shift.direction == "up"
+
+    def test_appearing_template_reads_new(self):
+        from repro.apps.trending import LevelShift
+
+        shift = LevelShift(
+            router="r1", template_key="t", day=5,
+            before_mean=0.0, after_mean=8.0,
+        )
+        assert shift.factor == float("inf")
+        assert shift.describe_factor() == "new"
+
+    def test_disappearing_template_reads_gone(self):
+        from repro.apps.trending import LevelShift
+
+        shift = LevelShift(
+            router="r1", template_key="t", day=5,
+            before_mean=8.0, after_mean=0.0,
+        )
+        assert shift.describe_factor() == "gone"
+        assert shift.direction == "down"
+
+
+class TestDailySeriesAndShifts:
+    def test_daily_series_counts(self, system_a, live_a):
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        stream = augmenter.augment_all(m.message for m in live_a.messages)
+        series = daily_series(stream, origin=10 * DAY, n_days=2)
+        assert series
+        total = sum(sum(counts) for counts in series.values())
+        assert total == len(stream)
+
+    def test_detect_shifts_on_synthetic_upgrade(self, system_a, history_a):
+        """A template that only starts mid-history shows an 'up' shift."""
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        stream = augmenter.augment_all(
+            m.message for m in history_a.messages
+        )
+        shifts = detect_shifts(stream, origin=0.0, n_days=10, min_factor=4.0)
+        # The result is data dependent; the contract is structural.
+        for shift in shifts:
+            assert shift.factor >= 4.0
+            assert shift.direction in ("up", "down")
+            assert 0 < shift.day < 10

@@ -1,0 +1,69 @@
+"""Troubleshooting app tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.troubleshoot import EventBrowser
+
+
+@pytest.fixture(scope="module")
+def browser(digest_a, live_a):
+    return EventBrowser(
+        events=digest_a.events,
+        raw_messages=[m.message for m in live_a.messages],
+    )
+
+
+class TestQueries:
+    def test_events_at_router(self, browser, digest_a):
+        router = digest_a.events[0].routers[0]
+        found = browser.events_at(router=router)
+        assert digest_a.events[0] in found
+        assert all(router in e.routers for e in found)
+
+    def test_events_at_time_range(self, browser, digest_a):
+        event = digest_a.events[0]
+        found = browser.events_at(
+            start_ts=event.start_ts, end_ts=event.end_ts
+        )
+        assert event in found
+
+    def test_events_at_disjoint_range_empty(self, browser, live_a):
+        end = max(m.timestamp for m in live_a.messages)
+        assert browser.events_at(start_ts=end + 1e6) == []
+
+    def test_raw_retrieval_matches_event(self, browser, digest_a):
+        event = digest_a.events[0]
+        raw = browser.raw_of(event)
+        assert len(raw) == event.n_messages
+        got = sorted(
+            (m.timestamp, m.router, m.error_code) for m in raw
+        )
+        expected = sorted(
+            (p.timestamp, p.router, p.message.error_code)
+            for p in event.messages
+        )
+        assert got == expected
+
+    def test_similar_events_share_signature(self, browser, digest_a):
+        for event in digest_a.events[:10]:
+            for other in browser.similar_events(event):
+                assert set(other.template_keys) == set(event.template_keys)
+
+    def test_investigation_report_contains_raw_lines(self, browser, digest_a):
+        event = digest_a.events[0]
+        report = browser.investigation_report(event)
+        assert "=== raw syslog ===" in report
+        assert report.count("\n") >= event.n_messages
+
+    def test_naive_window_counts_grow_with_width(self, browser, digest_a):
+        event = digest_a.events[0]
+        router = event.routers[0]
+        narrow = browser.naive_window_message_count(
+            event.start_ts, 60.0, router
+        )
+        wide = browser.naive_window_message_count(
+            event.start_ts, 3600.0, router
+        )
+        assert wide >= narrow

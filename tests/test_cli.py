@@ -1,0 +1,100 @@
+"""CLI workflow tests: generate -> learn -> digest -> report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cliwork")
+    rc = main(
+        [
+            "generate",
+            "--dataset", "A",
+            "--days", "4",
+            "--scale", "0.15",
+            "--out", str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGenerate:
+    def test_outputs_exist(self, workdir):
+        assert (workdir / "syslog.log").exists()
+        assert list((workdir / "configs").glob("*.cfg"))
+
+    def test_log_lines_parse(self, workdir):
+        from repro.syslog.stream import read_log
+
+        messages = list(read_log(workdir / "syslog.log"))
+        assert len(messages) > 100
+
+
+class TestLearnDigestReport:
+    def test_learn(self, workdir, capsys):
+        rc = main(
+            [
+                "learn",
+                "--log", str(workdir / "syslog.log"),
+                "--configs", str(workdir / "configs"),
+                "--kb", str(workdir / "kb.json"),
+                "--no-fit",
+            ]
+        )
+        assert rc == 0
+        assert (workdir / "kb.json").exists()
+        out = capsys.readouterr().out
+        assert "templates" in out
+
+    def test_digest(self, workdir, capsys):
+        if not (workdir / "kb.json").exists():
+            self.test_learn(workdir, capsys)
+            capsys.readouterr()
+        rc = main(
+            [
+                "digest",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--top", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "score=" in out
+
+    def test_report(self, workdir, capsys):
+        if not (workdir / "kb.json").exists():
+            self.test_learn(workdir, capsys)
+            capsys.readouterr()
+        rc = main(
+            [
+                "report",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+            ]
+        )
+        assert rc == 0
+        assert "per-day digest" in capsys.readouterr().out
+
+    def test_learn_missing_configs_errors(self, workdir, tmp_path):
+        rc = main(
+            [
+                "learn",
+                "--log", str(workdir / "syslog.log"),
+                "--configs", str(tmp_path),
+                "--kb", str(tmp_path / "kb.json"),
+                "--no-fit",
+            ]
+        )
+        assert rc == 1
+
+
+def test_missing_subcommand_exits():
+    with pytest.raises(SystemExit):
+        main([])

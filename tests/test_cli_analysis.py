@@ -1,0 +1,77 @@
+"""CLI tests for the trends/rhythms analysis subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-analysis")
+    assert main(
+        [
+            "generate",
+            "--dataset", "A",
+            "--days", "8",
+            "--scale", "0.15",
+            "--out", str(path),
+        ]
+    ) == 0
+    assert main(
+        [
+            "learn",
+            "--log", str(path / "syslog.log"),
+            "--configs", str(path / "configs"),
+            "--kb", str(path / "kb.json"),
+            "--no-fit",
+        ]
+    ) == 0
+    return path
+
+
+class TestTrends:
+    def test_trends_runs(self, workdir, capsys):
+        rc = main(
+            [
+                "trends",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--min-factor", "2.0",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.strip()  # either shifts or the no-shift notice
+
+    def test_trends_empty_log_errors(self, workdir, tmp_path):
+        empty = tmp_path / "empty.log"
+        empty.write_text("")
+        rc = main(
+            [
+                "trends",
+                "--log", str(empty),
+                "--kb", str(workdir / "kb.json"),
+            ]
+        )
+        assert rc == 1
+
+
+class TestRhythms:
+    def test_rhythms_lists_series(self, workdir, capsys):
+        rc = main(
+            [
+                "rhythms",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--top", "10",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert 1 <= len(lines) <= 10
+        assert any(
+            kind in out for kind in ("periodic", "bursty", "sporadic")
+        )

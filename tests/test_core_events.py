@@ -1,0 +1,78 @@
+"""NetworkEvent accessor tests (direct, complementing pipeline tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import NetworkEvent
+from repro.core.syslogplus import SyslogPlus
+from repro.locations.model import Location, LocationKind
+from repro.syslog.message import SyslogMessage
+from repro.templates.signature import Template
+
+
+def _plus(index, ts, router="r1", kind=LocationKind.ROUTER, loc_name=None):
+    message = SyslogMessage(
+        timestamp=ts, router=router, error_code="X-1-Y", detail="d"
+    )
+    return SyslogPlus(
+        index=index,
+        message=message,
+        template=Template("X-1-Y/0", "X-1-Y", ("d",)),
+        locations=(),
+        primary_location=Location(router, kind, loc_name or router),
+    )
+
+
+class TestNetworkEvent:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkEvent(messages=[])
+
+    def test_messages_sorted_on_construction(self):
+        event = NetworkEvent(
+            messages=[_plus(1, 20.0), _plus(0, 10.0)]
+        )
+        assert [p.index for p in event.messages] == [0, 1]
+        assert event.start_ts == 10.0
+        assert event.end_ts == 20.0
+
+    def test_routers_sorted_unique(self):
+        event = NetworkEvent(
+            messages=[
+                _plus(0, 1.0, router="rb"),
+                _plus(1, 2.0, router="ra"),
+                _plus(2, 3.0, router="rb"),
+            ]
+        )
+        assert event.routers == ("ra", "rb")
+
+    def test_indices_preserved(self):
+        event = NetworkEvent(messages=[_plus(7, 1.0), _plus(3, 0.5)])
+        assert event.indices == (3, 7)
+
+    def test_location_summary_prefers_highest_level(self):
+        event = NetworkEvent(
+            messages=[
+                _plus(0, 1.0, kind=LocationKind.LOGICAL_IF,
+                      loc_name="Serial1/0/10:0"),
+                _plus(1, 2.0, kind=LocationKind.ROUTER),
+            ]
+        )
+        summary = event.location_summary()
+        assert len(summary) == 1
+        assert summary[0].kind is LocationKind.ROUTER
+
+    def test_location_summary_breaks_count_ties_at_same_level(self):
+        event = NetworkEvent(
+            messages=[
+                _plus(0, 1.0, kind=LocationKind.SLOT, loc_name="2"),
+                _plus(1, 2.0, kind=LocationKind.SLOT, loc_name="2"),
+                _plus(2, 3.0, kind=LocationKind.SLOT, loc_name="9"),
+            ]
+        )
+        assert event.location_summary()[0].name == "2"
+
+    def test_summary_cached(self):
+        event = NetworkEvent(messages=[_plus(0, 1.0)])
+        assert event.location_summary() is event.location_summary()

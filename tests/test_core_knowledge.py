@@ -1,0 +1,71 @@
+"""Knowledge base serialization tests."""
+
+from __future__ import annotations
+
+from repro.core.knowledge import KnowledgeBase
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_templates(self, system_a):
+        kb = system_a.kb
+        back = KnowledgeBase.from_json(kb.to_json())
+        assert {
+            t.key: t.words for t in back.templates.all_templates()
+        } == {t.key: t.words for t in kb.templates.all_templates()}
+
+    def test_roundtrip_preserves_rules(self, system_a):
+        kb = system_a.kb
+        back = KnowledgeBase.from_json(kb.to_json())
+        assert back.rule_pairs() == kb.rule_pairs()
+        assert back.rules.miner == kb.rules.miner
+
+    def test_roundtrip_preserves_temporal_params(self, system_a):
+        back = KnowledgeBase.from_json(system_a.kb.to_json())
+        assert back.temporal == system_a.kb.temporal
+
+    def test_roundtrip_preserves_frequencies(self, system_a):
+        back = KnowledgeBase.from_json(system_a.kb.to_json())
+        assert back.frequencies == system_a.kb.frequencies
+        assert back.history_days == system_a.kb.history_days
+
+    def test_roundtrip_preserves_dictionary_behaviour(self, system_a):
+        kb = system_a.kb
+        back = KnowledgeBase.from_json(kb.to_json())
+        assert back.dictionary.routers == kb.dictionary.routers
+        assert set(back.dictionary.all_links()) == set(
+            kb.dictionary.all_links()
+        )
+        for router in kb.dictionary.routers:
+            assert back.dictionary.site_of(router) == kb.dictionary.site_of(
+                router
+            )
+
+    def test_save_load_file(self, tmp_path, system_a):
+        path = tmp_path / "kb.json"
+        system_a.kb.save(path)
+        back = KnowledgeBase.load(path)
+        assert back.temporal == system_a.kb.temporal
+
+    def test_digest_identical_after_roundtrip(self, system_a, live_a):
+        """The serialized knowledge base drives identical digests."""
+        from repro.core.pipeline import SyslogDigest
+
+        back = KnowledgeBase.from_json(system_a.kb.to_json())
+        system2 = SyslogDigest(back, system_a.config)
+        messages = [m.message for m in live_a.messages[:3000]]
+        r1 = system_a.digest(messages)
+        r2 = system2.digest(messages)
+        assert r1.n_events == r2.n_events
+        assert [e.indices for e in r1.events] == [
+            e.indices for e in r2.events
+        ]
+
+
+class TestFrequencyLookup:
+    def test_per_day_normalization(self, system_a):
+        kb = system_a.kb
+        (router, template), count = next(iter(kb.frequencies.items()))
+        assert kb.frequency(router, template) == count / kb.history_days
+
+    def test_unknown_signature_is_zero(self, system_a):
+        assert system_a.kb.frequency("nope", "nope/0") == 0.0

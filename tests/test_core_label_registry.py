@@ -1,0 +1,51 @@
+"""Operator label-registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.present import LabelRegistry
+
+
+class TestRegistry:
+    def test_requires_fragments(self):
+        registry = LabelRegistry()
+        with pytest.raises(ValueError):
+            registry.register("empty", set())
+
+    def test_simple_match(self):
+        registry = LabelRegistry()
+        registry.register("link trouble", {"LINK-3-UPDOWN"})
+        assert registry.label_for(("LINK-3-UPDOWN",)) == "link trouble"
+
+    def test_most_specific_wins(self):
+        registry = LabelRegistry()
+        registry.register("link trouble", {"LINK"})
+        registry.register(
+            "link + protocol trouble", {"LINK", "LINEPROTO"}
+        )
+        codes = ("LINK-3-UPDOWN", "LINEPROTO-5-UPDOWN")
+        assert registry.label_for(codes) == "link + protocol trouble"
+
+    def test_all_fragments_required(self):
+        registry = LabelRegistry()
+        registry.register("cascade", {"PIM", "MPLS"})
+        assert registry.label_for(("PIM-MAJOR-pimNbrLoss",)) is None
+
+    def test_no_match_returns_none(self):
+        registry = LabelRegistry()
+        registry.register("x", {"NOPE"})
+        assert registry.label_for(("LINK-3-UPDOWN",)) is None
+
+    def test_label_event_falls_back_to_synthesis(self, digest_a):
+        registry = LabelRegistry()
+        event = digest_a.events[0]
+        assert registry.label_event(event) == event.label
+
+    def test_label_event_uses_registered_name(self, digest_a):
+        registry = LabelRegistry()
+        event = digest_a.events[0]
+        registry.register(
+            "my named incident", set(event.error_codes[:1])
+        )
+        assert registry.label_event(event) == "my named incident"

@@ -1,0 +1,105 @@
+"""Presentation tests."""
+
+from __future__ import annotations
+
+from repro.core.present import event_label, present_digest, present_event
+from repro.templates.signature import Template
+
+
+def _tpl(code, words):
+    return Template(f"{code}/x", code, tuple(words.split()))
+
+
+class TestEventLabel:
+    def test_link_flap_from_down_and_up(self):
+        label = event_label([
+            _tpl("LINK-3-UPDOWN", "Interface changed state to down"),
+            _tpl("LINK-3-UPDOWN", "Interface changed state to up"),
+        ])
+        assert label == "link flap"
+
+    def test_one_sided_down(self):
+        label = event_label([
+            _tpl("LINK-3-UPDOWN", "Interface changed state to down"),
+        ])
+        assert label == "link down"
+
+    def test_multi_family_combination(self):
+        label = event_label([
+            _tpl("LINK-3-UPDOWN", "Interface changed state to down"),
+            _tpl("LINK-3-UPDOWN", "Interface changed state to up"),
+            _tpl("LINEPROTO-5-UPDOWN",
+                 "Line protocol on Interface changed state to down"),
+            _tpl("LINEPROTO-5-UPDOWN",
+                 "Line protocol on Interface changed state to up"),
+        ])
+        assert "link flap" in label
+        assert "line protocol flap" in label
+
+    def test_v2_families(self):
+        label = event_label([
+            _tpl("PIM-MAJOR-pimNbrLoss", "PIM neighbor on interface lost"),
+            _tpl("MPLS-MAJOR-lspDown", "LSP changed state to down"),
+        ])
+        assert "PIM neighbor down" in label
+        assert "LSP down" in label
+
+    def test_unknown_family_falls_back_to_mnemonic(self):
+        label = event_label([_tpl("FOO-1-BAR", "mystery text")])
+        assert "foo" in label
+
+    def test_snmp_link_trap_reads_as_link(self):
+        label = event_label([
+            _tpl("SNMP-WARNING-linkDown", "Interface is not operational"),
+            _tpl("SNMP-WARNING-linkup", "Interface is operational"),
+        ])
+        assert label == "link flap"
+
+    def test_snmp_authfail_reads_as_authentication(self):
+        label = event_label([
+            _tpl("SNMP-3-AUTHFAIL", "Authentication failure for request"),
+        ])
+        assert label.startswith("SNMP authentication")
+
+
+class TestPresentation:
+    def test_line_fields(self, digest_a):
+        event = digest_a.events[0]
+        line = present_event(event)
+        parts = line.split("|")
+        assert len(parts) == 6
+        assert parts[0] <= parts[1]  # ISO-ish timestamps sort textually
+        assert parts[4].endswith("msgs")
+        assert parts[5].startswith("score=")
+
+    def test_digest_line_count(self, digest_a):
+        text = present_digest(digest_a.events, top=5)
+        assert len(text.splitlines()) == min(5, len(digest_a.events))
+
+    def test_location_overflow_marker(self, digest_a):
+        big = max(digest_a.events, key=lambda e: len(e.routers))
+        if len(big.routers) > 2:
+            line = present_event(big, max_locations=2)
+            assert "more)" in line
+
+
+class TestEventAccessors:
+    def test_location_summary_one_entry_per_router(self, digest_a):
+        for event in digest_a.events[:20]:
+            summary = event.location_summary()
+            assert len(summary) == len(event.routers)
+            assert [loc.router for loc in summary] == sorted(
+                loc.router for loc in summary
+            )
+
+    def test_indices_allow_retrieval(self, digest_a, live_a):
+        event = digest_a.events[0]
+        raw = [m.message for m in live_a.messages]
+        retrieved = [raw[i] for i in event.indices]
+        assert len(retrieved) == event.n_messages
+
+    def test_states(self, system_a, digest_a):
+        event = digest_a.events[0]
+        states = event.states(system_a.kb.dictionary)
+        assert states
+        assert all(len(s) == 2 for s in states)

@@ -1,0 +1,72 @@
+"""Prioritization tests (Section 4.2.4's score)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.events import NetworkEvent
+from repro.core.priority import Prioritizer
+
+
+class TestMessageWeight:
+    def test_router_level_is_10x_slot_level(self, system_a):
+        p = Prioritizer(system_a.kb)
+        router_w = p.message_weight("nope", "nope/0", level=5)
+        slot_w = p.message_weight("nope", "nope/0", level=4)
+        assert router_w == pytest.approx(10 * slot_w)
+
+    def test_rare_signature_outweighs_frequent(self, system_a):
+        p = Prioritizer(system_a.kb)
+        kb = system_a.kb
+        (router, template), count = max(
+            kb.frequencies.items(), key=lambda kv: kv[1]
+        )
+        frequent = p.message_weight(router, template, level=3)
+        rare = p.message_weight(router, "never-seen/0", level=3)
+        assert rare > frequent
+
+    def test_weight_formula(self, system_a):
+        p = Prioritizer(system_a.kb)
+        kb = system_a.kb
+        (router, template), _ = next(iter(kb.frequencies.items()))
+        f = kb.frequency(router, template)
+        expected = 100.0 / math.log(math.e + f)
+        assert p.message_weight(router, template, 3) == pytest.approx(expected)
+
+    def test_operator_override(self, system_a):
+        p = Prioritizer(system_a.kb, template_weights={"noisy/0": 0.01})
+        base = p.message_weight("r", "other/0", 3)
+        damped = p.message_weight("r", "noisy/0", 3)
+        assert damped == pytest.approx(base * 0.01)
+
+
+class TestRanking:
+    def test_rank_orders_by_score_desc(self, digest_a):
+        scores = [e.score for e in digest_a.events]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_score_is_sum_of_message_weights(self, system_a, digest_a):
+        p = Prioritizer(system_a.kb)
+        event = digest_a.events[0]
+        expected = sum(
+            p.message_weight(
+                m.router, m.template_key, m.primary_location.level
+            )
+            for m in event.messages
+        )
+        assert event.score == pytest.approx(expected)
+
+    def test_rank_fills_scores(self, system_a, live_a):
+        from repro.core.grouping import GroupingEngine
+        from repro.core.syslogplus import Augmenter
+
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        stream = augmenter.augment_all(
+            m.message for m in live_a.messages[:500]
+        )
+        outcome = GroupingEngine(system_a.kb, system_a.config).group(stream)
+        events = [NetworkEvent(messages=g) for g in outcome.groups]
+        ranked = Prioritizer(system_a.kb).rank(events)
+        assert all(e.score > 0 for e in ranked)

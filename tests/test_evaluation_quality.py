@@ -1,0 +1,85 @@
+"""Grouping-quality metric tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import NetworkEvent
+from repro.core.syslogplus import SyslogPlus
+from repro.evaluation.quality import grouping_quality
+from repro.locations.model import Location
+from repro.syslog.message import SyslogMessage
+from repro.templates.signature import Template
+
+
+def _plus(index: int, ts: float = 0.0) -> SyslogPlus:
+    message = SyslogMessage(
+        timestamp=ts + index, router="r1", error_code="X-1-Y", detail="d"
+    )
+    return SyslogPlus(
+        index=index,
+        message=message,
+        template=Template("X-1-Y/0", "X-1-Y", ()),
+        locations=(),
+        primary_location=Location.router_level("r1"),
+    )
+
+
+def _event(indices: list[int]) -> NetworkEvent:
+    return NetworkEvent(messages=[_plus(i) for i in indices])
+
+
+class TestGroupingQuality:
+    def test_perfect_grouping(self):
+        events = [_event([0, 1]), _event([2, 3])]
+        truth = ["a", "a", "b", "b"]
+        q = grouping_quality(events, truth)
+        assert q.mean_fragmentation == 1.0
+        assert q.pure_event_fraction == 1.0
+        assert q.worst_fragmentation == 1
+
+    def test_fragmented_incident(self):
+        events = [_event([0]), _event([1]), _event([2])]
+        truth = ["a", "a", "a"]
+        q = grouping_quality(events, truth)
+        assert q.mean_fragmentation == 3.0
+        assert q.incidents[0].n_events == 3
+
+    def test_mixed_event(self):
+        events = [_event([0, 1])]
+        truth = ["a", "b"]
+        q = grouping_quality(events, truth)
+        assert q.pure_event_fraction == 0.0
+        assert q.purity_histogram[2] == 1
+
+    def test_noise_does_not_pollute_purity(self):
+        events = [_event([0, 1, 2])]
+        truth = ["a", None, "a"]
+        q = grouping_quality(events, truth)
+        assert q.pure_event_fraction == 1.0
+
+    def test_noise_only_events_counted(self):
+        events = [_event([0]), _event([1])]
+        truth = [None, "a"]
+        q = grouping_quality(events, truth)
+        assert q.n_noise_only_events == 1
+
+    def test_kind_breakdown_from_suffix(self):
+        events = [_event([0]), _event([1])]
+        truth = ["ev1-link_flap", "ev2-tcp_scan"]
+        q = grouping_quality(events, truth)
+        assert set(q.per_kind()) == {"link_flap", "tcp_scan"}
+
+    def test_unassigned_index_rejected(self):
+        events = [_event([0])]
+        with pytest.raises(ValueError):
+            grouping_quality(events, ["a", "b"])
+
+    def test_on_real_digest(self, digest_a, live_a):
+        truth = [lm.event_id for lm in live_a.messages]
+        q = grouping_quality(digest_a.events, truth)
+        assert q.mean_fragmentation <= 6.0
+        assert q.pure_event_fraction >= 0.5
+        assert len(q.incidents) == len(
+            {lm.event_id for lm in live_a.messages if lm.event_id}
+        )

@@ -1,0 +1,109 @@
+"""Failure injection: the pipeline must degrade gracefully, not crash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DigestConfig
+from repro.core.pipeline import SyslogDigest
+from repro.locations.configparse import parse_configs
+from repro.syslog.message import SyslogMessage
+
+
+class TestDirtyInput:
+    def test_duplicate_messages_are_kept_and_grouped(self, system_a, live_a):
+        base = [m.message for m in live_a.messages[:500]]
+        doubled = base + base
+        result = system_a.digest(doubled)
+        assert result.n_messages == 1000
+        assert result.n_events <= system_a.digest(base).n_events + 5
+
+    def test_unknown_router_messages_survive(self, system_a):
+        messages = [
+            SyslogMessage(
+                timestamp=float(i),
+                router="rogue-router",
+                error_code="LINK-3-UPDOWN",
+                detail="Interface Serial9/9/99:0, changed state to down",
+            )
+            for i in range(10)
+        ]
+        result = system_a.digest(messages)
+        assert result.n_events >= 1
+        assert result.events[0].routers == ("rogue-router",)
+
+    def test_unseen_error_codes_fall_back_to_code_level(self, system_a):
+        messages = [
+            SyslogMessage(
+                timestamp=float(i),
+                router="rogue",
+                error_code="FUTURE-1-FEATURE",
+                detail=f"novel condition number {i}",
+            )
+            for i in range(20)
+        ]
+        result = system_a.digest(messages)
+        assert result.n_messages == 20
+        keys = {
+            p.template_key
+            for e in result.events
+            for p in e.messages
+        }
+        assert keys == {"FUTURE-1-FEATURE/other"}
+
+    def test_weird_whitespace_and_unicode_details(self, system_a):
+        messages = [
+            SyslogMessage(
+                timestamp=1.0,
+                router="r-x",
+                error_code="ODD-1-TEXT",
+                detail="tabs\tand  double  spaces\tand unicode µs",
+            )
+        ]
+        result = system_a.digest(messages)
+        assert result.n_events == 1
+
+    def test_empty_stream_digest(self, system_a):
+        result = system_a.digest([])
+        assert result.n_events == 0
+        assert result.compression_ratio == 1.0
+        assert result.render() == ""
+
+
+class TestDirtyConfigs:
+    def test_unparseable_interface_lines_ignored(self):
+        config = (
+            "hostname weird\n"
+            "site XX\n"
+            "!\n"
+            "interface Serial1/0/10:0\n"
+            " this line is not understood at all\n"
+            " ip address 10.1.1.1 255.255.255.252\n"
+            "!\n"
+        )
+        d = parse_configs([config])
+        assert d.location_of_ip("10.1.1.1") is not None
+
+    def test_learn_with_partial_configs(self, history_a, data_a):
+        """Learning with only half the configs still works; messages on
+        unknown routers fall back to router-level locations."""
+        configs = list(data_a.configs.values())[: len(data_a.configs) // 2]
+        system = SyslogDigest.learn(
+            [m.message for m in history_a.messages[:20000]],
+            configs,
+            DigestConfig(),
+            fit_temporal=False,
+        )
+        result = system.digest(
+            m.message for m in history_a.messages[:2000]
+        )
+        assert result.n_events > 0
+
+    def test_clock_skew_tolerated_in_batch(self, system_a, live_a):
+        """Batch digest sorts internally, so minor collector reordering
+        is harmless."""
+        messages = [m.message for m in live_a.messages[:400]]
+        shuffled = list(reversed(messages))
+        a = system_a.digest(messages)
+        b = system_a.digest(shuffled)
+        assert a.n_events == b.n_events

@@ -1,0 +1,139 @@
+"""Config parsing tests, including the configgen round-trip contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locations.configparse import (
+    ConfigParseError,
+    parse_config,
+    parse_configs,
+)
+from repro.locations.model import Location, LocationKind
+from repro.netsim.datasets import dataset_a, dataset_b, generate_dataset
+
+CONFIG_R1 = """\
+hostname r1
+site GA
+!
+card 1 type linecard-16
+!
+controller Serial1/0
+!
+interface Loopback0
+ ip address 192.168.0.1 255.255.255.255
+!
+interface Serial1/0/10:0
+ description to r2 Serial2/0/10:0
+ ip address 10.0.0.1 255.255.255.252
+!
+interface Multilink3
+ multilink-group member Serial1/0/10:0
+!
+router bgp 7018
+ neighbor 192.168.0.2 remote-as 7018
+!
+"""
+
+CONFIG_R2 = """\
+hostname r2
+site TX
+!
+interface Loopback0
+ ip address 192.168.0.2 255.255.255.255
+!
+interface Serial2/0/10:0
+ description to r1 Serial1/0/10:0
+ ip address 10.0.0.2 255.255.255.252
+!
+router bgp 7018
+ neighbor 192.168.0.1 remote-as 7018
+!
+"""
+
+
+class TestSingleConfig:
+    def test_inventory(self):
+        d = parse_config(CONFIG_R1)
+        assert d.routers == {"r1"}
+        assert d.site_of("r1") == "GA"
+        assert d.has_component(Location("r1", LocationKind.SLOT, "1"))
+        assert d.has_component(
+            Location("r1", LocationKind.PORT, "Serial1/0")
+        )
+        assert d.has_component(
+            Location("r1", LocationKind.LOGICAL_IF, "Serial1/0/10:0")
+        )
+
+    def test_interface_ip(self):
+        d = parse_config(CONFIG_R1)
+        loc = d.location_of_ip("10.0.0.1")
+        assert loc == Location("r1", LocationKind.LOGICAL_IF, "Serial1/0/10:0")
+
+    def test_loopback_maps_to_router_level(self):
+        d = parse_config(CONFIG_R1)
+        loc = d.location_of_ip("192.168.0.1")
+        assert loc == Location.router_level("r1")
+
+    def test_multilink_membership(self):
+        d = parse_config(CONFIG_R1)
+        bundle = Location("r1", LocationKind.MULTILINK, "Multilink3")
+        member = Location("r1", LocationKind.LOGICAL_IF, "Serial1/0/10:0")
+        assert member in d.multilink_members(bundle)
+
+    def test_no_hostname_rejected(self):
+        with pytest.raises(ConfigParseError):
+            parse_config("interface Serial1/0/10:0\n!\n")
+
+
+class TestWholeNetwork:
+    def test_links_resolved_across_configs(self):
+        d = parse_configs([CONFIG_R1, CONFIG_R2])
+        a = Location("r1", LocationKind.LOGICAL_IF, "Serial1/0/10:0")
+        b = Location("r2", LocationKind.LOGICAL_IF, "Serial2/0/10:0")
+        assert d.connected(a, b)
+
+    def test_bgp_sessions_resolved_via_loopbacks(self):
+        d = parse_configs([CONFIG_R1, CONFIG_R2])
+        assert d.connected(
+            Location.router_level("r1"), Location.router_level("r2")
+        )
+
+
+class TestRoundTripWithGenerator:
+    """configgen output must parse into a dictionary consistent with the
+    topology — the offline location-learning contract."""
+
+    @pytest.mark.parametrize("maker", [dataset_a, dataset_b])
+    def test_every_link_end_connected(self, maker):
+        data = generate_dataset(maker(), scale=0.2)
+        d = parse_configs(data.configs.values())
+        assert d.routers == set(data.network.routers)
+        for link in data.network.links:
+            a = next(
+                loc
+                for loc in d.components_of(link.router_a)
+                if loc.name == link.ifname_a
+            )
+            b = next(
+                loc
+                for loc in d.components_of(link.router_b)
+                if loc.name == link.ifname_b
+            )
+            assert d.connected(a, b), (link.router_a, link.ifname_a)
+
+    @pytest.mark.parametrize("maker", [dataset_a, dataset_b])
+    def test_every_interface_ip_resolves(self, maker):
+        data = generate_dataset(maker(), scale=0.2)
+        d = parse_configs(data.configs.values())
+        for node in data.network.routers.values():
+            for iface in node.interfaces.values():
+                loc = d.location_of_ip(iface.ip)
+                assert loc is not None
+                assert loc.router == node.name
+
+    def test_sites_preserved(self):
+        data = generate_dataset(dataset_a(), scale=0.2)
+        d = parse_configs(data.configs.values())
+        for name, node in data.network.routers.items():
+            assert d.site_of(name) == node.site

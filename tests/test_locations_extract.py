@@ -1,0 +1,89 @@
+"""Location extraction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locations.configparse import parse_configs
+from repro.locations.extract import LocationExtractor
+from repro.locations.model import Location, LocationKind
+from tests.test_locations_configparse import CONFIG_R1, CONFIG_R2
+
+
+@pytest.fixture()
+def extractor() -> LocationExtractor:
+    return LocationExtractor(parse_configs([CONFIG_R1, CONFIG_R2]))
+
+
+class TestInterfaceExtraction:
+    def test_local_interface_found(self, extractor):
+        found = extractor.extract(
+            "r1", "Interface Serial1/0/10:0, changed state to down"
+        )
+        locs = {(f.location.kind, f.location.name, f.role) for f in found}
+        assert (
+            LocationKind.LOGICAL_IF, "Serial1/0/10:0", "local"
+        ) in locs
+
+    def test_foreign_interface_name_ignored(self, extractor):
+        found = extractor.extract(
+            "r1", "Interface Serial9/9/99:0, changed state to down"
+        )
+        assert all(f.location.name != "Serial9/9/99:0" for f in found)
+
+    def test_router_level_always_present(self, extractor):
+        found = extractor.extract("r1", "nothing locational here")
+        assert found[-1].location == Location.router_level("r1")
+
+    def test_primary_prefers_most_specific_local(self, extractor):
+        primary = extractor.primary(
+            "r1", "Interface Serial1/0/10:0, changed state to down"
+        )
+        assert primary.kind is LocationKind.LOGICAL_IF
+
+    def test_primary_falls_back_to_router(self, extractor):
+        primary = extractor.primary("r1", "hello world")
+        assert primary == Location.router_level("r1")
+
+
+class TestIpExtraction:
+    def test_own_ip_is_local(self, extractor):
+        found = extractor.extract("r1", "address 10.0.0.1 reachable")
+        roles = {f.role for f in found if f.source_text == "10.0.0.1"}
+        assert roles == {"local"}
+
+    def test_neighbor_ip_resolves_to_far_end(self, extractor):
+        found = extractor.extract("r1", "neighbor 10.0.0.2 vpn vrf 1:1 Up")
+        neighbor = [f for f in found if f.role == "neighbor"]
+        assert neighbor and neighbor[0].location.router == "r2"
+
+    def test_unknown_ip_ignored(self, extractor):
+        found = extractor.extract(
+            "r1", "Invalid MD5 digest from 203.0.113.99:1234"
+        )
+        assert all(f.source_text != "203.0.113.99" for f in found)
+
+
+class TestSlotAndControllerExtraction:
+    def test_slot_reference(self, extractor):
+        found = extractor.extract("r1", "Card removed from slot 1, disabled")
+        assert any(
+            f.location.kind is LocationKind.SLOT and f.location.name == "1"
+            for f in found
+        )
+
+    def test_controller_name(self, extractor):
+        found = extractor.extract(
+            "r1", "Controller Serial1/0, changed state to down"
+        )
+        assert any(
+            f.location.kind is LocationKind.PORT
+            and f.location.name == "Serial1/0"
+            for f in found
+        )
+
+    def test_multilink_name(self, extractor):
+        found = extractor.extract("r1", "Multilink3 bundle went down")
+        assert any(
+            f.location.kind is LocationKind.MULTILINK for f in found
+        )

@@ -1,0 +1,95 @@
+"""Interface-name grammar and hierarchy-climb tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.locations.hierarchy import ancestors_of_name, parse_interface_name
+from repro.locations.model import LocationKind
+
+
+class TestParse:
+    def test_v1_logical_interface(self):
+        parsed = parse_interface_name("Serial1/0/10:0")
+        assert parsed is not None
+        assert parsed.kind is LocationKind.LOGICAL_IF
+        assert (parsed.slot, parsed.port, parsed.channel, parsed.sub) == (
+            1, 0, 10, 0,
+        )
+        assert parsed.physical_name == "Serial1/0/10"
+        assert parsed.port_name == "1/0"
+
+    def test_v1_controller_is_port_level(self):
+        parsed = parse_interface_name("Serial2/1")
+        assert parsed is not None
+        assert parsed.kind is LocationKind.PORT
+
+    def test_v2_bare_port(self):
+        parsed = parse_interface_name("0/0/1")
+        assert parsed is not None
+        assert parsed.kind is LocationKind.PHYS_IF
+        assert parsed.if_type == ""
+
+    def test_multilink(self):
+        parsed = parse_interface_name("Multilink3")
+        assert parsed is not None
+        assert parsed.kind is LocationKind.MULTILINK
+
+    def test_bundle_ether(self):
+        parsed = parse_interface_name("Bundle-Ether12")
+        assert parsed is not None
+        assert parsed.kind is LocationKind.MULTILINK
+
+    @pytest.mark.parametrize("bad", ["Loopback0", "r1", "hello", "1.2.3.4"])
+    def test_non_interface_names(self, bad):
+        assert parse_interface_name(bad) is None
+
+
+class TestAncestors:
+    def test_paper_example_interface_maps_to_slot(self):
+        """The paper's spatial example: 2/0/0:1 maps up to slot 2."""
+        chain = ancestors_of_name("r1", "2/0/0:1")
+        kinds = [(loc.kind, loc.name) for loc in chain]
+        assert (LocationKind.SLOT, "2") in kinds
+        assert kinds[-1] == (LocationKind.ROUTER, "r1")
+
+    def test_full_chain_v1(self):
+        chain = ancestors_of_name("r1", "Serial1/0/10:0")
+        names = [(loc.kind.name, loc.name) for loc in chain]
+        assert names == [
+            ("LOGICAL_IF", "Serial1/0/10:0"),
+            ("PHYS_IF", "Serial1/0/10"),
+            ("PORT", "1/0"),
+            ("SLOT", "1"),
+            ("ROUTER", "r1"),
+        ]
+
+    def test_multilink_parent_is_router(self):
+        chain = ancestors_of_name("r1", "Multilink3")
+        assert [loc.kind.name for loc in chain] == ["MULTILINK", "ROUTER"]
+
+    def test_unknown_component_falls_back_to_router(self):
+        chain = ancestors_of_name("r1", "Loopback0")
+        assert [loc.kind.name for loc in chain] == ["ROUTER"]
+
+    @given(
+        st.sampled_from(["Serial", "Gig", ""]),
+        st.integers(0, 20),
+        st.integers(0, 20),
+        st.integers(0, 99),
+        st.integers(0, 9),
+    )
+    def test_generated_names_always_parse_and_climb(
+        self, prefix, slot, port, chan, sub
+    ):
+        name = f"{prefix}{slot}/{port}/{chan}:{sub}"
+        parsed = parse_interface_name(name)
+        assert parsed is not None
+        assert parsed.kind is LocationKind.LOGICAL_IF
+        chain = ancestors_of_name("r1", name)
+        # Chain is strictly non-decreasing in level and ends at the router.
+        levels = [loc.level for loc in chain]
+        assert levels == sorted(levels)
+        assert chain[-1].kind is LocationKind.ROUTER

@@ -1,0 +1,54 @@
+"""Location model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locations.model import Location, LocationKind
+
+
+class TestKinds:
+    def test_levels(self):
+        assert LocationKind.LOGICAL_IF.level == 1
+        assert LocationKind.PHYS_IF.level == 2
+        assert LocationKind.PORT.level == 3
+        assert LocationKind.SLOT.level == 4
+        assert LocationKind.ROUTER.level == 5
+
+    def test_multilink_weighted_at_phys_if_level(self):
+        assert LocationKind.MULTILINK.level == LocationKind.PHYS_IF.level
+        assert LocationKind.MULTILINK is not LocationKind.PHYS_IF
+
+    def test_weights_are_10x_per_level(self):
+        assert LocationKind.ROUTER.weight == 10 * LocationKind.SLOT.weight
+        assert LocationKind.SLOT.weight == 10 * LocationKind.PORT.weight
+        assert LocationKind.LOGICAL_IF.weight == 1.0
+
+
+class TestLocation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Location("", LocationKind.ROUTER, "x")
+        with pytest.raises(ValueError):
+            Location("r1", LocationKind.ROUTER, "")
+
+    def test_router_level_constructor(self):
+        loc = Location.router_level("r1")
+        assert loc.kind is LocationKind.ROUTER
+        assert loc.name == "r1"
+        assert loc.level == 5
+
+    def test_key_is_unique_per_component(self):
+        a = Location("r1", LocationKind.PORT, "1/0")
+        b = Location("r1", LocationKind.SLOT, "1")
+        assert a.key() != b.key()
+
+    def test_hashable_and_ordered(self):
+        a = Location("r1", LocationKind.PORT, "1/0")
+        b = Location("r1", LocationKind.PORT, "1/0")
+        assert a == b
+        assert len({a, b}) == 1
+        assert sorted([b, a]) == [a, b]
+
+    def test_str_router_level(self):
+        assert str(Location.router_level("r1")) == "r1"

@@ -1,0 +1,86 @@
+"""Router-graph utility tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locations.configparse import parse_configs
+from repro.locations.model import Location
+from repro.locations.netgraph import (
+    adjacency_graph,
+    connected_components,
+    register_path,
+    shortest_path,
+)
+from repro.netsim.datasets import dataset_a, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    data = generate_dataset(dataset_a(), scale=0.2)
+    return parse_configs(data.configs.values()), data.network
+
+
+class TestAdjacency:
+    def test_graph_matches_topology(self, dictionary):
+        d, network = dictionary
+        graph = adjacency_graph(d)
+        for link in network.links:
+            assert link.router_b in graph[link.router_a]
+            assert link.router_a in graph[link.router_b]
+
+    def test_single_component(self, dictionary):
+        d, _network = dictionary
+        components = connected_components(d)
+        assert len(components) == 1
+        assert components[0] == set(d.routers)
+
+
+class TestShortestPath:
+    def test_path_endpoints(self, dictionary):
+        d, network = dictionary
+        routers = sorted(d.routers)
+        path = shortest_path(d, routers[0], routers[-1])
+        assert path is not None
+        assert path[0] == routers[0]
+        assert path[-1] == routers[-1]
+
+    def test_consecutive_hops_are_adjacent(self, dictionary):
+        d, _network = dictionary
+        routers = sorted(d.routers)
+        path = shortest_path(d, routers[0], routers[-1])
+        graph = adjacency_graph(d)
+        for a, b in zip(path, path[1:]):
+            assert b in graph[a]
+
+    def test_self_path(self, dictionary):
+        d, _network = dictionary
+        router = next(iter(d.routers))
+        assert shortest_path(d, router, router) == [router]
+
+    def test_unknown_router(self, dictionary):
+        d, _network = dictionary
+        assert shortest_path(d, "ghost", next(iter(d.routers))) is None
+
+
+class TestRegisterPath:
+    def test_endpoints_become_connected(self, dictionary):
+        d, _network = dictionary
+        routers = sorted(d.routers)
+        src, dst = routers[0], routers[-1]
+        hops = shortest_path(d, src, dst)
+        assert hops is not None
+        register_path(d, hops)
+        assert d.connected(
+            Location.router_level(src), Location.router_level(dst)
+        )
+
+    def test_short_path_rejected(self, dictionary):
+        d, _network = dictionary
+        with pytest.raises(ValueError):
+            register_path(d, [next(iter(d.routers))])
+
+    def test_unknown_router_rejected(self, dictionary):
+        d, _network = dictionary
+        with pytest.raises(ValueError):
+            register_path(d, [next(iter(d.routers)), "ghost"])

@@ -1,0 +1,83 @@
+"""Spatial matching tests (Section 4.2's location model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.locations.dictionary import LocationDictionary
+from repro.locations.model import Location, LocationKind
+from repro.locations.spatial import common_ancestor, spatially_matched
+
+
+@pytest.fixture()
+def dictionary() -> LocationDictionary:
+    d = LocationDictionary()
+    d.add_router("r1")
+    d.add_component("r1", "Serial2/0/0:1")
+    d.add_component("r1", "Serial2/1/0:1")
+    d.add_component("r1", "Serial3/0/0:1")
+    d.add_router("r2")
+    d.add_component("r2", "Serial1/0/0:1")
+    return d
+
+
+def _loc(router, kind, name):
+    return Location(router, kind, name)
+
+
+class TestPaperExample:
+    def test_slot_matches_interface_on_same_slot(self, dictionary):
+        """The paper: slot 2 matches interface serial 2/0/0:1."""
+        slot = _loc("r1", LocationKind.SLOT, "2")
+        iface = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        assert spatially_matched(dictionary, slot, iface)
+        assert spatially_matched(dictionary, iface, slot)
+
+    def test_different_slots_do_not_match(self, dictionary):
+        iface_a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        iface_b = _loc("r1", LocationKind.LOGICAL_IF, "Serial3/0/0:1")
+        assert not spatially_matched(dictionary, iface_a, iface_b)
+
+    def test_same_slot_siblings_match(self, dictionary):
+        iface_a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        iface_b = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/1/0:1")
+        assert spatially_matched(dictionary, iface_a, iface_b)
+
+    def test_router_level_matches_everything_on_router(self, dictionary):
+        router = Location.router_level("r1")
+        iface = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        assert spatially_matched(dictionary, router, iface)
+
+    def test_cross_router_never_spatially_matched(self, dictionary):
+        a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        b = _loc("r2", LocationKind.LOGICAL_IF, "Serial1/0/0:1")
+        assert not spatially_matched(dictionary, a, b)
+
+    def test_identity_matches(self, dictionary):
+        a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        assert spatially_matched(dictionary, a, a)
+
+
+class TestMultilinkMatching:
+    def test_bundle_matches_its_member(self, dictionary):
+        bundle = dictionary.add_component("r1", "Multilink7")
+        member = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        dictionary.add_multilink_member(bundle, member)
+        assert spatially_matched(dictionary, bundle, member)
+
+
+class TestCommonAncestor:
+    def test_lowest_common_is_slot(self, dictionary):
+        a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        b = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/1/0:1")
+        ancestor = common_ancestor(dictionary, a, b)
+        assert ancestor == _loc("r1", LocationKind.SLOT, "2")
+
+    def test_cross_router_has_none(self, dictionary):
+        a = _loc("r1", LocationKind.LOGICAL_IF, "Serial2/0/0:1")
+        b = _loc("r2", LocationKind.LOGICAL_IF, "Serial1/0/0:1")
+        assert common_ancestor(dictionary, a, b) is None
+
+    def test_ancestor_of_itself(self, dictionary):
+        a = _loc("r1", LocationKind.SLOT, "2")
+        assert common_ancestor(dictionary, a, a) == a

@@ -1,0 +1,77 @@
+"""Temporal parameter fitting tests (the Figures 10/11 machinery)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.mining.fit import (
+    compression_ratio,
+    fit_alpha,
+    fit_beta,
+    fit_temporal_params,
+)
+from repro.mining.temporal import TemporalParams
+
+
+def _jittered_series(n_series=20, n=80, seed=3):
+    rng = random.Random(seed)
+    series = []
+    for _ in range(n_series):
+        ts = rng.uniform(0, 1000.0)
+        out = []
+        period = rng.uniform(20.0, 120.0)
+        for _ in range(n):
+            out.append(ts)
+            # occasional double-beat / missed-beat jitter
+            ts += period * rng.choice([0.2, 0.9, 1.0, 1.1, 2.2])
+        series.append(out)
+    return series
+
+
+class TestCompressionRatio:
+    def test_empty_series(self):
+        assert compression_ratio([], TemporalParams()) == 1.0
+
+    def test_single_burst_is_fully_compressed(self):
+        series = [[float(i) for i in range(100)]]
+        ratio = compression_ratio(series, TemporalParams())
+        assert ratio == 1 / 100
+
+    def test_isolated_messages_do_not_compress(self):
+        series = [[0.0], [1.0], [2.0]]
+        assert compression_ratio(series, TemporalParams()) == 1.0
+
+
+class TestSweeps:
+    def test_alpha_curve_has_expected_arguments(self):
+        _best, curve = fit_alpha(_jittered_series(), beta=2.0)
+        assert [a for a, _ in curve][:3] == [0.01, 0.025, 0.05]
+        assert all(0.0 < r <= 1.0 for _, r in curve)
+
+    def test_beta_curve_monotone_non_increasing(self):
+        """Figure 11's shape: larger beta never worsens compression."""
+        _best, curve = fit_beta(_jittered_series(), alpha=0.05)
+        ratios = [r for _, r in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_beta_knee_prefers_small_beta_when_flat(self):
+        # A strictly periodic workload gains nothing from beta>2: the knee
+        # rule must then pick the smallest sweep value after the first.
+        series = [[i * 10.0 for i in range(50)]]
+        best, _curve = fit_beta(series, alpha=0.05)
+        assert best <= 4.0
+
+    def test_full_fit_returns_valid_params(self):
+        fit = fit_temporal_params(_jittered_series())
+        assert 0.0 <= fit.params.alpha <= 1.0
+        assert fit.params.beta >= 1.0
+        assert len(fit.alpha_curve) >= 5
+        assert len(fit.beta_curve) >= 3
+
+    def test_fit_improves_over_worst_alpha(self):
+        series = _jittered_series()
+        _best, curve = fit_alpha(series, beta=2.0)
+        ratios = dict(curve)
+        best_ratio = min(ratios.values())
+        worst_ratio = max(ratios.values())
+        assert best_ratio <= worst_ratio

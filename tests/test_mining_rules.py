@@ -1,0 +1,107 @@
+"""Association-rule miner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining.rules import RuleMiner
+
+
+def _paired_stream(n=50, gap=100.0, skew=1.0, router="r1"):
+    """n occurrences of template a immediately followed by b."""
+    events = []
+    for i in range(n):
+        t = i * gap
+        events.append((t, router, "a"))
+        events.append((t + skew, router, "b"))
+    return events
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            RuleMiner(window=0.0)
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            RuleMiner(sp_min=1.5)
+        with pytest.raises(ValueError):
+            RuleMiner(conf_min=-0.1)
+
+
+class TestMining:
+    def test_paired_templates_yield_forward_rule(self):
+        """a is always followed by b within W, so a=>b holds; the window
+        anchored at b looks forward and rarely sees the next a, so b=>a
+        does not reach the confidence bar."""
+        result = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8).mine(
+            _paired_stream()
+        )
+        pairs = {(r.x, r.y) for r in result.rules}
+        assert ("a", "b") in pairs
+        assert ("b", "a") not in pairs
+
+    def test_confidence_asymmetry(self):
+        """a always followed by b, but b also occurs alone: conf(a=>b)
+        high, conf(b=>a) low."""
+        events = _paired_stream(n=20)
+        # 80 isolated b's
+        events += [(100000.0 + i * 500.0, "r1", "b") for i in range(80)]
+        events.sort()
+        result = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8).mine(
+            events
+        )
+        pairs = {(r.x, r.y) for r in result.rules}
+        assert ("a", "b") in pairs
+        assert ("b", "a") not in pairs
+
+    def test_sp_min_filters_rare_antecedents(self):
+        events = _paired_stream(n=2)
+        events += [(1e6 + i * 500.0, "r1", "c") for i in range(996)]
+        events.sort()
+        result = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.5).mine(
+            events
+        )
+        assert result.rules == []
+        assert "c" in result.eligible_items
+        assert "a" not in result.eligible_items
+
+    def test_window_too_small_finds_nothing(self):
+        result = RuleMiner(window=0.5, sp_min=0.01, conf_min=0.8).mine(
+            _paired_stream(skew=1.0)
+        )
+        assert ("a", "b") not in {(r.x, r.y) for r in result.rules}
+
+    def test_more_rules_with_lower_confidence(self):
+        events = _paired_stream(n=30)
+        # a sometimes (60%) followed by c
+        events += [
+            (i * 100.0 + 2.0, "r1", "c") for i in range(30) if i % 5 < 3
+        ]
+        events.sort()
+        low = RuleMiner(window=10.0, sp_min=0.001, conf_min=0.5).mine(events)
+        high = RuleMiner(window=10.0, sp_min=0.001, conf_min=0.9).mine(events)
+        assert len(low.rules) > len(high.rules)
+
+    def test_rules_from_stats_reuses_counting(self):
+        miner = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8)
+        stats = miner.mine(_paired_stream()).stats
+        again = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.99)
+        result = again.rules_from_stats(stats)
+        assert {(r.x, r.y) for r in result.rules} == {("a", "b")}
+
+    def test_table5_style_metrics(self):
+        events = _paired_stream(n=40)
+        events += [(1e6 + i * 1e4, "r1", f"rare{i}") for i in range(10)]
+        events.sort()
+        result = RuleMiner(window=10.0, sp_min=0.05, conf_min=0.8).mine(
+            events
+        )
+        assert 0.0 < result.eligible_fraction() < 1.0
+        assert result.coverage() > 0.8
+
+    def test_undirected_pairs(self):
+        result = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8).mine(
+            _paired_stream()
+        )
+        assert result.undirected_pairs() == {("a", "b")}

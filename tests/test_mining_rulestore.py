@@ -1,0 +1,91 @@
+"""Incremental rule-store tests: the conservative weekly update."""
+
+from __future__ import annotations
+
+from repro.mining.rules import RuleMiner
+from repro.mining.rulestore import RuleStore
+
+
+def _paired(n=50, gap=100.0, start=0.0, a="a", b="b"):
+    events = []
+    for i in range(n):
+        t = start + i * gap
+        events.append((t, "r1", a))
+        events.append((t + 1.0, "r1", b))
+    return events
+
+
+def _store() -> RuleStore:
+    return RuleStore(miner=RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8))
+
+
+class TestAdd:
+    def test_first_update_adds_rules(self):
+        store = _store()
+        delta = store.update(_paired())
+        assert ("a", "b") in {(r.x, r.y) for r in delta.added}
+        assert delta.total_after == len(store)
+
+    def test_second_identical_update_adds_nothing(self):
+        store = _store()
+        store.update(_paired())
+        delta = store.update(_paired())
+        assert delta.added == ()
+        assert delta.deleted == ()
+
+    def test_new_behaviour_adds_new_rules(self):
+        store = _store()
+        store.update(_paired())
+        delta = store.update(_paired() + _paired(a="x", b="y", start=1e6))
+        added_pairs = {(r.x, r.y) for r in delta.added}
+        assert ("x", "y") in added_pairs
+
+
+class TestConservativeDelete:
+    def test_quiet_antecedent_keeps_rule(self):
+        """X absent this period: the rule survives (X may come back)."""
+        store = _store()
+        store.update(_paired())
+        delta = store.update(_paired(a="p", b="q"))  # no a/b at all
+        assert delta.deleted == ()
+        assert ("a", "b") in store
+
+    def test_broken_association_deletes_rule(self):
+        store = _store()
+        store.update(_paired())
+        # a now occurs alone, far from any b.
+        lonely = [(i * 500.0, "r1", "a") for i in range(50)]
+        delta = store.update(lonely)
+        deleted_pairs = {(r.x, r.y) for r in delta.deleted}
+        assert ("a", "b") in deleted_pairs
+        assert ("a", "b") not in store
+
+    def test_deletion_ignores_support(self):
+        """Even a now-rare antecedent is judged by confidence only."""
+        store = _store()
+        store.update(_paired())
+        # a occurs just twice (below sp_min among many), both times alone.
+        events = [(0.0, "r1", "a"), (5000.0, "r1", "a")]
+        events += [(1e5 + i * 500.0, "r1", "z") for i in range(500)]
+        delta = store.update(events)
+        assert ("a", "b") in {(r.x, r.y) for r in delta.deleted}
+
+    def test_rule_refresh_updates_stats(self):
+        store = _store()
+        store.update(_paired(n=50))
+        store.update(_paired(n=10) + [(1e6, "r1", "a")])
+        rule = store._rules[("a", "b")]
+        assert rule.confidence < 1.0
+
+
+class TestQueries:
+    def test_undirected_pairs(self):
+        store = _store()
+        store.update(_paired())
+        assert store.undirected_pairs() == {("a", "b")}
+
+    def test_contains_and_len(self):
+        store = _store()
+        store.update(_paired())
+        assert ("a", "b") in store
+        assert len(store) == 1

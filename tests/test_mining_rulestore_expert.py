@@ -1,0 +1,79 @@
+"""Expert rule-adjustment tests (the optional Figure 1 hook)."""
+
+from __future__ import annotations
+
+from repro.mining.rules import RuleMiner
+from repro.mining.rulestore import RuleStore
+from tests.test_mining_rulestore import _paired
+
+
+def _store() -> RuleStore:
+    return RuleStore(miner=RuleMiner(window=10.0, sp_min=0.01, conf_min=0.8))
+
+
+class TestPin:
+    def test_pinned_rule_survives_broken_association(self):
+        store = _store()
+        store.update(_paired())
+        store.pin("a", "b")
+        lonely = [(i * 500.0, "r1", "a") for i in range(50)]
+        delta = store.update(lonely)
+        assert delta.deleted == ()
+        assert ("a", "b") in store
+        assert store.is_pinned("b", "a")  # undirected
+
+    def test_unpinned_rule_still_dies(self):
+        store = _store()
+        store.update(_paired() + _paired(a="x", b="y", start=1e6))
+        store.pin("a", "b")
+        lonely = [(i * 500.0, "r1", "a") for i in range(50)]
+        lonely += [(1e6 + i * 500.0, "r1", "x") for i in range(50)]
+        delta = store.update(sorted(lonely))
+        deleted = {(r.x, r.y) for r in delta.deleted}
+        assert ("x", "y") in deleted
+        assert ("a", "b") not in deleted
+
+
+class TestSuppress:
+    def test_suppress_removes_both_directions(self):
+        store = _store()
+        # A tight cadence (pair gap smaller than the window) yields rules
+        # in both directions.
+        events = _paired(gap=9.0)
+        store.update(sorted(events))
+        assert len(store) >= 2
+        store.suppress("a", "b")
+        assert len(store) == 0
+        assert store.is_suppressed("b", "a")
+
+    def test_suppressed_rule_never_re_added(self):
+        store = _store()
+        store.suppress("a", "b")
+        delta = store.update(_paired())
+        assert ("a", "b") not in {(r.x, r.y) for r in delta.added}
+        assert ("a", "b") not in store
+
+    def test_suppression_does_not_block_other_pairs(self):
+        store = _store()
+        store.suppress("a", "b")
+        store.update(_paired(a="x", b="y"))
+        assert ("x", "y") in store
+
+
+class TestSerialization:
+    def test_pins_and_suppressions_roundtrip(self, system_a):
+        from repro.core.knowledge import KnowledgeBase
+
+        kb = system_a.kb
+        rules = kb.rules.rules
+        assert rules
+        kb.rules.pin(rules[0].x, rules[0].y)
+        kb.rules.suppress("phantom/x", "phantom/y")
+        try:
+            back = KnowledgeBase.from_json(kb.to_json())
+            assert back.rules.is_pinned(rules[0].x, rules[0].y)
+            assert back.rules.is_suppressed("phantom/x", "phantom/y")
+        finally:
+            # system_a is session-scoped: undo the mutation.
+            kb.rules._pinned.clear()
+            kb.rules._suppressed.clear()

@@ -1,0 +1,117 @@
+"""Temporal EWMA grouping tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining.temporal import (
+    TemporalParams,
+    TemporalSplitter,
+    n_groups,
+    split_series,
+)
+from repro.utils.timeutils import HOUR
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalParams(alpha=1.5)
+        with pytest.raises(ValueError):
+            TemporalParams(beta=0.5)
+        with pytest.raises(ValueError):
+            TemporalParams(s_min=10.0, s_max=5.0)
+
+    def test_paper_defaults(self):
+        params = TemporalParams()
+        assert params.s_min == 1.0
+        assert params.s_max == 3 * HOUR
+
+
+class TestSplitter:
+    def test_first_message_starts_group_zero(self):
+        splitter = TemporalSplitter(TemporalParams())
+        assert splitter.observe(100.0) == 0
+
+    def test_out_of_order_rejected(self):
+        splitter = TemporalSplitter(TemporalParams())
+        splitter.observe(100.0)
+        with pytest.raises(ValueError):
+            splitter.observe(99.0)
+
+    def test_sub_s_min_always_same_group(self):
+        params = TemporalParams(alpha=0.5, beta=2.0)
+        splitter = TemporalSplitter(params)
+        groups = [splitter.observe(t) for t in (0.0, 0.5, 1.0, 1.5)]
+        assert groups == [0, 0, 0, 0]
+
+    def test_super_s_max_always_new_group(self):
+        params = TemporalParams()
+        splitter = TemporalSplitter(params)
+        splitter.observe(0.0)
+        assert splitter.observe(params.s_max + 1.0) == 1
+
+    def test_periodic_series_is_one_group(self):
+        """A steady rhythm (Figure 5's periodic bad-auth) never splits."""
+        params = TemporalParams(alpha=0.05, beta=2.0)
+        timestamps = [i * 60.0 for i in range(100)]
+        assert n_groups(timestamps, params) == 1
+
+    def test_burst_then_long_gap_splits(self):
+        params = TemporalParams(alpha=0.05, beta=2.0)
+        burst1 = [i * 10.0 for i in range(20)]
+        burst2 = [5000.0 + i * 10.0 for i in range(20)]
+        assert n_groups(burst1 + burst2, params) == 2
+
+    def test_larger_beta_groups_more(self):
+        """Figure 11: compression improves monotonically in beta."""
+        timestamps = [0.0, 30.0, 100.0, 130.0, 400.0, 430.0]
+        counts = [
+            n_groups(timestamps, TemporalParams(alpha=0.3, beta=beta))
+            for beta in (1.0, 2.0, 5.0, 10.0)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_jittered_period_tolerated_with_beta(self):
+        import random
+
+        rng = random.Random(1)
+        params = TemporalParams(alpha=0.05, beta=5.0)
+        ts, out = 0.0, []
+        for _ in range(200):
+            out.append(ts)
+            ts += 60.0 * rng.uniform(0.5, 1.5)
+        assert n_groups(out, params) == 1
+
+    def test_split_series_assigns_monotone_group_ids(self):
+        params = TemporalParams()
+        groups = split_series(
+            [0.0, 1.0, 2.0, 4 * HOUR, 4 * HOUR + 1], params
+        )
+        assert groups == [0, 0, 0, 1, 1]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0.0, 1e6), min_size=1, max_size=80),
+        st.floats(0.0, 0.9),
+        st.floats(1.0, 8.0),
+    )
+    def test_group_ids_are_non_decreasing_and_dense(self, raw, alpha, beta):
+        timestamps = sorted(raw)
+        params = TemporalParams(alpha=alpha, beta=beta)
+        groups = split_series(timestamps, params)
+        assert groups[0] == 0
+        for a, b in zip(groups, groups[1:]):
+            assert b in (a, a + 1)
+
+    @given(st.lists(st.floats(0.0, 1e7), min_size=2, max_size=60))
+    def test_gaps_beyond_s_max_always_split(self, raw):
+        timestamps = sorted(raw)
+        params = TemporalParams()
+        groups = split_series(timestamps, params)
+        for i in range(1, len(timestamps)):
+            if timestamps[i] - timestamps[i - 1] > params.s_max:
+                assert groups[i] == groups[i - 1] + 1

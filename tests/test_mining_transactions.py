@@ -1,0 +1,104 @@
+"""Sliding-window transaction tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mining.transactions import (
+    iter_transactions,
+    transaction_stats,
+)
+
+
+def _events(spec):
+    """spec: list of (ts, template) on one router."""
+    return [(float(ts), "r1", tpl) for ts, tpl in spec]
+
+
+def _naive_transactions(events, window):
+    """Reference implementation: one explicit itemset per position."""
+    out = []
+    for i, (t_i, _r, _tpl) in enumerate(events):
+        items = {
+            tpl for ts, _r2, tpl in events[i:] if ts <= t_i + window
+        }
+        out.append(frozenset(items))
+    return out
+
+
+class TestIterTransactions:
+    def test_empty(self):
+        assert list(iter_transactions([], 10.0)) == []
+
+    def test_single_message(self):
+        out = list(iter_transactions(_events([(0, "a")]), 10.0))
+        assert out == [(frozenset({"a"}), 1)]
+
+    def test_window_contains_future_messages(self):
+        events = _events([(0, "a"), (5, "b"), (20, "c")])
+        out = dict(iter_transactions(events, 10.0))
+        assert frozenset({"a", "b"}) in out
+
+    def test_multiplicities_sum_to_positions(self):
+        events = _events([(i, "a") for i in range(7)])
+        out = list(iter_transactions(events, 3.0))
+        assert sum(mult for _, mult in out) == 7
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 200), st.sampled_from("abcd")),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(0.0, 50.0),
+    )
+    def test_run_length_compression_is_exact(self, raw, window):
+        events = _events(sorted(raw))
+        naive = _naive_transactions(events, window)
+        compressed = list(iter_transactions(events, window))
+        expanded = [
+            itemset for itemset, mult in compressed for _ in range(mult)
+        ]
+        assert expanded == naive
+
+
+class TestTransactionStats:
+    def test_item_support(self):
+        events = _events([(0, "a"), (1, "b"), (100, "a")])
+        stats = transaction_stats(events, 10.0)
+        # Windows anchored at each message, looking forward W seconds:
+        # {a,b}, {b}, {a}.
+        assert stats.n_transactions == 3
+        assert stats.support("a") == 2 / 3
+        assert stats.support("b") == 2 / 3
+
+    def test_pair_support_and_confidence(self):
+        events = _events([(0, "a"), (1, "b"), (100, "a")])
+        stats = transaction_stats(events, 10.0)
+        assert stats.pair_support("a", "b") == 1 / 3
+        assert stats.confidence("a", "b") == 1 / 2
+        assert stats.confidence("b", "a") == 1 / 2
+
+    def test_unknown_item(self):
+        stats = transaction_stats(_events([(0, "a")]), 10.0)
+        assert stats.support("zzz") == 0.0
+        assert stats.confidence("zzz", "a") == 0.0
+
+    def test_per_router_isolation(self):
+        """Messages on different routers never share a transaction."""
+        events = [(0.0, "r1", "a"), (0.5, "r2", "b")]
+        stats = transaction_stats(events, 10.0)
+        assert stats.pair_support("a", "b") == 0.0
+
+    def test_coverage(self):
+        events = _events([(0, "a"), (1, "a"), (2, "b"), (3, "c")])
+        stats = transaction_stats(events, 0.1)
+        assert stats.coverage_of({"a"}) == 0.5
+        assert stats.coverage_of({"a", "b", "c"}) == 1.0
+        assert stats.coverage_of(set()) == 0.0
+
+    def test_message_counts(self):
+        events = _events([(0, "a"), (1, "a"), (2, "b")])
+        stats = transaction_stats(events, 5.0)
+        assert stats.item_messages == {"a": 2, "b": 1}

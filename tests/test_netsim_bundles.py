@@ -1,0 +1,125 @@
+"""Multilink bundle tests: topology, configs, and end-to-end grouping."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import DigestConfig
+from repro.core.pipeline import SyslogDigest
+from repro.locations.configparse import parse_configs
+from repro.locations.model import Location, LocationKind
+from repro.locations.spatial import spatially_matched
+from repro.netsim.configgen import render_configs
+from repro.netsim.events import bundle_member_flap
+from repro.netsim.topology import build_network
+
+NET = build_network("V1", 16, seed=77)
+
+
+class TestTopologyBundles:
+    def test_v1_network_has_bundles(self):
+        assert NET.bundles
+
+    def test_v2_network_has_none(self):
+        assert build_network("V2", 16, seed=77).bundles == []
+
+    def test_bundle_members_are_parallel_links(self):
+        for bundle in NET.bundles:
+            assert len(bundle.members_a) == len(bundle.members_b) == 2
+            for if_a, if_b in zip(bundle.members_a, bundle.members_b):
+                iface = NET.routers[bundle.router_a].interfaces[if_a]
+                assert (iface.peer_router, iface.peer_ifname) == (
+                    bundle.router_b,
+                    if_b,
+                )
+
+    def test_bundle_interfaces_exist_with_ips(self):
+        for bundle in NET.bundles:
+            iface = NET.routers[bundle.router_a].interfaces[bundle.name_a]
+            assert iface.ip
+            assert iface.peer_ifname == bundle.name_b
+
+    def test_bundle_of_interface(self):
+        bundle = NET.bundles[0]
+        found = NET.bundle_of_interface(
+            bundle.router_a, bundle.members_a[0]
+        )
+        assert found is bundle
+        assert NET.bundle_of_interface(bundle.router_a, "Loopback0") is None
+
+
+class TestConfigRoundTrip:
+    def test_membership_parsed_from_configs(self):
+        dictionary = parse_configs(render_configs(NET).values())
+        for bundle in NET.bundles:
+            bundle_loc = Location(
+                bundle.router_a, LocationKind.MULTILINK, bundle.name_a
+            )
+            members = dictionary.multilink_members(bundle_loc)
+            names = {loc.name for loc in members}
+            assert set(bundle.members_a) <= names
+
+    def test_member_spatially_matches_bundle(self):
+        dictionary = parse_configs(render_configs(NET).values())
+        bundle = NET.bundles[0]
+        bundle_loc = Location(
+            bundle.router_a, LocationKind.MULTILINK, bundle.name_a
+        )
+        member_loc = Location(
+            bundle.router_a,
+            LocationKind.LOGICAL_IF,
+            bundle.members_a[0],
+        )
+        assert spatially_matched(dictionary, bundle_loc, member_loc)
+
+    def test_bundle_ends_connected(self):
+        dictionary = parse_configs(render_configs(NET).values())
+        bundle = NET.bundles[0]
+        a = Location(bundle.router_a, LocationKind.MULTILINK, bundle.name_a)
+        b = Location(bundle.router_b, LocationKind.MULTILINK, bundle.name_b)
+        assert dictionary.connected(a, b)
+
+
+class TestScenario:
+    def test_emits_member_and_bundle_messages(self):
+        incident = bundle_member_flap(NET, random.Random(5), "e", 0.0)
+        codes = {m.message.error_code for m in incident.messages}
+        assert "LINK-3-UPDOWN" in codes
+        assert "MLPPP-4-DEGRADED" in codes
+        assert "MLPPP-5-RESTORED" in codes
+        assert len(incident.routers) == 2
+
+
+class TestEndToEndGrouping:
+    @pytest.fixture(scope="class")
+    def digested(self):
+        """Learn on bundle-flap history, digest one injected flap."""
+        rng = random.Random(9)
+        history = []
+        for i in range(30):
+            incident = bundle_member_flap(NET, rng, f"h{i}", i * 7200.0)
+            history.extend(m.message for m in incident.messages)
+        system = SyslogDigest.learn(
+            history,
+            list(render_configs(NET).values()),
+            DigestConfig(),
+            fit_temporal=False,
+        )
+        live = bundle_member_flap(NET, random.Random(99), "live", 1e7)
+        result = system.digest(m.message for m in live.messages)
+        return live, result
+
+    def test_flap_becomes_one_event(self, digested):
+        live, result = digested
+        assert result.n_events == 1
+        assert result.events[0].n_messages == live.n_messages
+
+    def test_event_spans_member_and_bundle_locations(self, digested):
+        _live, result = digested
+        kinds = {
+            p.primary_location.kind for p in result.events[0].messages
+        }
+        assert LocationKind.MULTILINK in kinds
+        assert LocationKind.LOGICAL_IF in kinds

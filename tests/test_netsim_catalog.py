@@ -1,0 +1,93 @@
+"""Message catalog tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.catalog import (
+    CATALOG_V1,
+    CATALOG_V2,
+    MessageDef,
+    catalog_for,
+)
+
+
+class TestMessageDef:
+    def test_render_fills_fields(self):
+        spec = CATALOG_V1["v1.link_down"]
+        text = spec.render(iface="Serial1/0/10:0")
+        assert text == "Interface Serial1/0/10:0, changed state to down"
+
+    def test_render_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            CATALOG_V1["v1.link_down"].render()
+
+    def test_field_names(self):
+        assert CATALOG_V1["v1.bgp_up"].field_names() == ("ip", "vrf")
+
+    def test_masked_detail(self):
+        assert (
+            CATALOG_V1["v1.bgp_up"].masked_detail()
+            == "neighbor * vpn vrf * Up"
+        )
+
+    def test_constant_words_drop_attached_punctuation(self):
+        words = CATALOG_V1["v1.link_down"].constant_words()
+        assert "Interface" in words
+        assert all("*" not in w for w in words)
+        # "{iface}," masks into "*," which is not constant.
+        assert "," not in "".join(words)
+
+
+class TestCatalogs:
+    def test_lookup_by_vendor(self):
+        assert catalog_for("V1") is CATALOG_V1
+        assert catalog_for("V2") is CATALOG_V2
+        with pytest.raises(KeyError):
+            catalog_for("V3")
+
+    def test_no_shared_error_codes(self):
+        codes_v1 = {d.error_code for d in CATALOG_V1.values()}
+        codes_v2 = {d.error_code for d in CATALOG_V2.values()}
+        assert not codes_v1 & codes_v2
+
+    def test_vendor_tags_consistent(self):
+        assert all(d.vendor == "V1" for d in CATALOG_V1.values())
+        assert all(d.vendor == "V2" for d in CATALOG_V2.values())
+
+    def test_table1_examples_present(self):
+        """The paper's Table 1 message shapes exist in the catalogs."""
+        assert CATALOG_V1["v1.lineproto_down"].render(
+            iface="Serial13/0/20:0"
+        ) == (
+            "Line protocol on Interface Serial13/0/20:0, "
+            "changed state to down"
+        )
+        assert CATALOG_V2["v2.link_down"].render(port="0/0/1") == (
+            "Interface 0/0/1 is not operational"
+        )
+        assert CATALOG_V2["v2.sap_change"].render(port="1/1/1") == (
+            "The status of all affected SAPs on port 1/1/1 has been updated."
+        )
+
+    def test_table4_subtypes_present(self):
+        """The five BGP-5-ADJCHANGE sub-types of Table 4."""
+        bgp = [
+            d for d in CATALOG_V1.values()
+            if d.error_code == "BGP-5-ADJCHANGE"
+        ]
+        masked = {d.masked_detail() for d in bgp}
+        assert masked == {
+            "neighbor * vpn vrf * Up",
+            "neighbor * vpn vrf * Down Interface flap",
+            "neighbor * vpn vrf * Down BGP Notification sent",
+            "neighbor * vpn vrf * Down BGP Notification received",
+            "neighbor * vpn vrf * Down Peer closed the session",
+        }
+
+    def test_duplicate_ids_rejected(self):
+        from repro.netsim.catalog import _catalog
+
+        spec = MessageDef("dup", "X-1-Y", "text", "V1")
+        with pytest.raises(ValueError):
+            _catalog([spec, spec])

@@ -1,0 +1,96 @@
+"""Config generator tests (direct, beyond the parse round-trip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.configgen import render_config, render_configs
+from repro.netsim.topology import build_network
+
+NET = build_network("V1", 10, seed=31)
+
+
+@pytest.fixture(scope="module")
+def config_text():
+    name = next(iter(NET.routers))
+    return name, render_config(NET, NET.routers[name])
+
+
+class TestStructure:
+    def test_hostname_and_site_first(self, config_text):
+        _name, text = config_text
+        lines = text.splitlines()
+        assert lines[0].startswith("hostname ")
+        assert lines[1].startswith("site ")
+
+    def test_every_interface_has_stanza(self, config_text):
+        name, text = config_text
+        for ifname in NET.routers[name].interfaces:
+            assert f"interface {ifname}\n" in text
+
+    def test_cards_cover_used_slots(self, config_text):
+        name, text = config_text
+        from repro.locations.hierarchy import parse_interface_name
+
+        used = {
+            parsed.slot
+            for ifname in NET.routers[name].interfaces
+            if (parsed := parse_interface_name(ifname)) is not None
+            and parsed.slot is not None
+        }
+        for slot in used:
+            assert f"card {slot} type" in text
+
+    def test_controllers_for_channelized_interfaces(self, config_text):
+        name, text = config_text
+        node = NET.routers[name]
+        for ifname in node.interfaces:
+            ctrl = node.controller_of(ifname)
+            if ctrl:
+                assert f"controller {ctrl}\n" in text
+
+    def test_descriptions_name_far_end(self, config_text):
+        name, text = config_text
+        node = NET.routers[name]
+        for iface in node.interfaces.values():
+            if iface.peer_router:
+                assert (
+                    f"description to {iface.peer_router} "
+                    f"{iface.peer_ifname}" in text
+                )
+
+    def test_loopback_uses_host_mask(self, config_text):
+        _name, text = config_text
+        stanza = text.split("interface Loopback0", 1)[1].split("!", 1)[0]
+        assert "255.255.255.255" in stanza
+
+    def test_p2p_uses_30_mask(self, config_text):
+        name, text = config_text
+        node = NET.routers[name]
+        serial = next(n for n in node.interfaces if n.startswith("Serial"))
+        stanza = text.split(f"interface {serial}\n", 1)[1].split("!", 1)[0]
+        assert "255.255.255.252" in stanza
+
+    def test_bgp_neighbors_are_loopbacks(self, config_text):
+        name, text = config_text
+        loopbacks = {node.loopback_ip for node in NET.routers.values()}
+        for line in text.splitlines():
+            if line.strip().startswith("neighbor "):
+                ip = line.split()[1]
+                assert ip in loopbacks
+
+    def test_render_configs_covers_network(self):
+        configs = render_configs(NET)
+        assert set(configs) == set(NET.routers)
+        assert all(text.endswith("\n") for text in configs.values())
+
+    def test_bundle_members_listed(self):
+        if not NET.bundles:
+            pytest.skip("no bundles in this topology")
+        bundle = NET.bundles[0]
+        text = render_config(NET, NET.routers[bundle.router_a])
+        stanza = text.split(f"interface {bundle.name_a}\n", 1)[1].split(
+            "!", 1
+        )[0]
+        for member in bundle.members_a:
+            assert f"multilink-group member {member}" in stanza

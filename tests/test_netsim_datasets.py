@@ -1,0 +1,53 @@
+"""Dataset preset tests."""
+
+from __future__ import annotations
+
+from repro.netsim.datasets import dataset_a, dataset_b, generate_dataset
+
+
+class TestSpecs:
+    def test_dataset_names_and_vendors(self):
+        assert dataset_a().vendor == "V1"
+        assert dataset_b().vendor == "V2"
+        assert dataset_a().name == "A"
+        assert dataset_b().name == "B"
+
+    def test_scaling_shrinks_routers_and_rates(self):
+        spec = dataset_a().scaled(0.5)
+        assert spec.n_routers == dataset_a().n_routers // 2
+        orig = {s.kind: s.rate_per_day for s in dataset_a().mix.specs}
+        for s in spec.mix.specs:
+            assert s.rate_per_day == orig[s.kind] * 0.5
+
+    def test_scaling_has_floor(self):
+        assert dataset_a().scaled(0.01).n_routers == 4
+
+    def test_phase_ins_exist_for_rule_growth(self):
+        """Figures 8/9 need behaviours phasing in over the weeks."""
+        for spec in (dataset_a(), dataset_b()):
+            start_days = {s.start_day for s in spec.mix.specs}
+            assert max(start_days) >= 14
+            assert 0 in start_days
+
+
+class TestInstances:
+    def test_configs_cover_all_routers(self):
+        data = generate_dataset(dataset_a(), scale=0.2)
+        assert set(data.configs) == set(data.network.routers)
+
+    def test_generate_is_reproducible(self):
+        d1 = generate_dataset(dataset_a(), scale=0.2)
+        d2 = generate_dataset(dataset_a(), scale=0.2)
+        r1 = d1.generate(0.0, 1)
+        r2 = d2.generate(0.0, 1)
+        assert [m.message for m in r1.messages] == [
+            m.message for m in r2.messages
+        ]
+
+    def test_datasets_share_no_error_codes(self):
+        """The paper: both types and signatures differ entirely."""
+        a = generate_dataset(dataset_a(), scale=0.2).generate(0.0, 2)
+        b = generate_dataset(dataset_b(), scale=0.2).generate(0.0, 2)
+        codes_a = {m.message.error_code for m in a.messages}
+        codes_b = {m.message.error_code for m in b.messages}
+        assert not codes_a & codes_b

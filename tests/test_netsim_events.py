@@ -1,0 +1,127 @@
+"""Scenario library tests: every scenario emits a well-formed incident."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.catalog import catalog_for
+from repro.netsim.events import scenarios_for
+from repro.netsim.topology import build_network
+
+NET_A = build_network("V1", 12, seed=5)
+NET_B = build_network("V2", 12, seed=6)
+
+
+def _cases():
+    return [
+        pytest.param(net, kind, fn, id=f"{vendor}-{kind}")
+        for vendor, net in (("V1", NET_A), ("V2", NET_B))
+        for kind, fn in scenarios_for(vendor).items()
+    ]
+
+
+@pytest.mark.parametrize("net,kind,fn", _cases())
+class TestEveryScenario:
+    def test_emits_sorted_labelled_messages(self, net, kind, fn):
+        rng = random.Random(11)
+        incident = fn(net, rng, "ev-test", 1000.0)
+        assert incident.kind == kind
+        assert incident.messages, "scenario emitted nothing"
+        times = [m.timestamp for m in incident.messages]
+        assert times == sorted(times)
+        assert times[0] >= 1000.0
+        for lm in incident.messages:
+            assert lm.event_id == "ev-test"
+            assert lm.router in net.routers
+
+    def test_message_shapes_come_from_the_catalog(self, net, kind, fn):
+        rng = random.Random(12)
+        incident = fn(net, rng, "ev-test", 0.0)
+        catalog = catalog_for(net.vendor)
+        for lm in incident.messages:
+            spec = catalog[lm.template_id]
+            assert lm.message.error_code == spec.error_code
+            # Every constant word of the true template appears in order.
+            words = lm.message.detail.split()
+            it = iter(words)
+            assert all(w in it for w in spec.constant_words()), (
+                lm.template_id,
+                lm.message.detail,
+            )
+
+    def test_incident_span_and_routers_recorded(self, net, kind, fn):
+        rng = random.Random(13)
+        incident = fn(net, rng, "ev-test", 500.0)
+        assert incident.start_ts == incident.messages[0].timestamp
+        assert incident.end_ts == incident.messages[-1].timestamp
+        assert incident.routers == tuple(
+            sorted({m.router for m in incident.messages})
+        )
+        assert incident.states
+
+
+class TestScenarioSpecifics:
+    def test_link_flap_hits_both_ends(self):
+        fn = scenarios_for("V1")["link_flap"]
+        incident = fn(NET_A, random.Random(2), "e", 0.0)
+        assert len(incident.routers) == 2
+
+    def test_linecard_reset_disables_whole_slot(self):
+        fn = scenarios_for("V1")["linecard_reset"]
+        incident = fn(NET_A, random.Random(2), "e", 0.0)
+        codes = {m.message.error_code for m in incident.messages}
+        assert "OIR-6-REMCARD" in codes
+        assert "OIR-6-INSCARD" in codes
+        assert "LINK-3-UPDOWN" in codes
+
+    def test_pim_cascade_spans_protocols(self):
+        fn = scenarios_for("V2")["b_pim_cascade"]
+        incident = fn(NET_B, random.Random(2), "e", 0.0)
+        codes = {m.message.error_code for m in incident.messages}
+        # Six protocols across layers, as in Section 6.1.
+        assert {"MPLS-MINOR-lspPathRetry", "SNMP-WARNING-linkDown",
+                "MPLS-MINOR-frrProtectionSwitch", "PIM-MAJOR-pimNbrLoss",
+                "BGP-MAJOR-bgpPeerDown"} <= codes
+
+    def test_pim_cascade_retries_every_five_minutes(self):
+        fn = scenarios_for("V2")["b_pim_cascade"]
+        incident = fn(NET_B, random.Random(3), "e", 0.0)
+        retries = [
+            m.timestamp
+            for m in incident.messages
+            if m.template_id == "v2.lsp_retry"
+        ]
+        gaps = [b - a for a, b in zip(retries, retries[1:])]
+        # The pre-failure phase retries on a ~300 s timer.
+        assert sum(1 for g in gaps if 280 <= g <= 320) >= len(gaps) // 2
+
+    def test_login_scan_pairs_ftp_then_ssh(self):
+        fn = scenarios_for("V2")["b_login_scan"]
+        incident = fn(NET_B, random.Random(2), "e", 0.0)
+        ftp = [m.timestamp for m in incident.messages
+               if m.template_id == "v2.ftp_fail"]
+        ssh = [m.timestamp for m in incident.messages
+               if m.template_id == "v2.ssh_fail"]
+        assert len(ftp) == len(ssh)
+        for f, s in zip(sorted(ftp), sorted(ssh)):
+            assert 30.0 <= s - f <= 40.0
+
+    def test_bgp_reset_uses_vendor_reason_subtypes(self):
+        fn = scenarios_for("V1")["bgp_session_reset"]
+        incident = fn(NET_A, random.Random(2), "e", 0.0)
+        template_ids = {m.template_id for m in incident.messages}
+        assert "v1.bgp_up" in template_ids
+        assert template_ids & {
+            "v1.bgp_down_sent",
+            "v1.bgp_down_received",
+            "v1.bgp_down_peerclosed",
+        }
+
+    def test_controller_instability_is_long_burst(self):
+        fn = scenarios_for("V1")["controller_instability"]
+        incident = fn(NET_A, random.Random(4), "e", 0.0)
+        downs = [m for m in incident.messages
+                 if m.template_id == "v1.controller_down"]
+        assert len(downs) >= 6

@@ -1,0 +1,121 @@
+"""Workload engine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.generator import ScenarioSpec, WorkloadEngine, WorkloadMix
+from repro.netsim.topology import build_network
+from repro.utils.timeutils import DAY
+
+NET = build_network("V1", 10, seed=9)
+
+
+def _engine(specs, seed=1, noise=0.0):
+    return WorkloadEngine(
+        network=NET,
+        mix=WorkloadMix(specs=specs, noise_intensity=noise),
+        seed=seed,
+    )
+
+
+class TestGeneration:
+    def test_messages_are_time_sorted(self):
+        engine = _engine([ScenarioSpec("link_flap", rate_per_day=5.0)])
+        result = engine.generate(0.0, 3 * DAY)
+        times = [m.timestamp for m in result.messages]
+        assert times == sorted(times)
+
+    def test_rate_controls_incident_count(self):
+        low = _engine([ScenarioSpec("link_flap", rate_per_day=2.0)])
+        high = _engine([ScenarioSpec("link_flap", rate_per_day=20.0)])
+        n_low = len(low.generate(0.0, 5 * DAY).incidents)
+        n_high = len(high.generate(0.0, 5 * DAY).incidents)
+        assert n_high > 2 * n_low
+
+    def test_phase_in_day_honored(self):
+        engine = _engine(
+            [ScenarioSpec("config_session", rate_per_day=20.0, start_day=3)]
+        )
+        result = engine.generate(0.0, 6 * DAY)
+        assert result.incidents
+        assert min(i.start_ts for i in result.incidents) >= 3 * DAY
+
+    def test_phase_in_beyond_window_produces_nothing(self):
+        engine = _engine(
+            [ScenarioSpec("config_session", rate_per_day=20.0, start_day=30)]
+        )
+        assert engine.generate(0.0, 6 * DAY).incidents == []
+
+    def test_unknown_scenario_rejected(self):
+        engine = _engine([ScenarioSpec("not_a_scenario", rate_per_day=1.0)])
+        with pytest.raises(KeyError):
+            engine.generate(0.0, DAY)
+
+    def test_vendor_mismatch_rejected(self):
+        engine = _engine([ScenarioSpec("b_link_flap", rate_per_day=1.0)])
+        with pytest.raises(KeyError):
+            engine.generate(0.0, DAY)
+
+    def test_noise_labelled_as_noise(self):
+        engine = _engine(
+            [ScenarioSpec("link_flap", rate_per_day=1.0)], noise=1.0
+        )
+        result = engine.generate(0.0, 2 * DAY)
+        assert result.n_noise > 0
+        assert all(
+            m.event_id is None
+            for m in result.messages
+            if m.template_id in ("v1.ntp_sync", "v1.snmp_auth", "v1.acl_deny")
+        )
+
+    def test_raw_messages_strips_labels(self):
+        engine = _engine([ScenarioSpec("link_flap", rate_per_day=2.0)])
+        result = engine.generate(0.0, DAY)
+        raw = result.raw_messages()
+        assert len(raw) == len(result.messages)
+        assert all(type(m).__name__ == "SyslogMessage" for m in raw)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_stream(self):
+        specs = [
+            ScenarioSpec("link_flap", rate_per_day=4.0),
+            ScenarioSpec("cpu_oscillation", rate_per_day=2.0),
+        ]
+        r1 = _engine(specs, seed=5).generate(0.0, 3 * DAY)
+        r2 = _engine(specs, seed=5).generate(0.0, 3 * DAY)
+        assert [m.message for m in r1.messages] == [
+            m.message for m in r2.messages
+        ]
+
+    def test_adding_a_kind_does_not_shift_existing_arrivals(self):
+        base = _engine([ScenarioSpec("link_flap", rate_per_day=4.0)])
+        extended = _engine(
+            [
+                ScenarioSpec("link_flap", rate_per_day=4.0),
+                ScenarioSpec("cpu_oscillation", rate_per_day=2.0),
+            ]
+        )
+        flaps_base = [
+            i.start_ts
+            for i in base.generate(0.0, 3 * DAY).incidents
+            if i.kind == "link_flap"
+        ]
+        flaps_ext = [
+            i.start_ts
+            for i in extended.generate(0.0, 3 * DAY).incidents
+            if i.kind == "link_flap"
+        ]
+        assert flaps_base == flaps_ext
+
+    def test_event_ids_unique(self):
+        engine = _engine(
+            [
+                ScenarioSpec("link_flap", rate_per_day=6.0),
+                ScenarioSpec("config_session", rate_per_day=6.0),
+            ]
+        )
+        result = engine.generate(0.0, 3 * DAY)
+        ids = [i.event_id for i in result.incidents]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,47 @@
+"""Trouble-ticket derivation tests."""
+
+from __future__ import annotations
+
+from repro.netsim.tickets import derive_tickets
+
+
+class TestDerivation:
+    def test_tickets_reference_real_incidents(self, live_a):
+        tickets = derive_tickets(live_a.incidents, seed=1)
+        assert tickets
+        by_id = {i.event_id: i for i in live_a.incidents}
+        for ticket in tickets:
+            incident = by_id[ticket.source_event_id]
+            assert incident.start_ts <= ticket.created_ts <= incident.end_ts
+            assert ticket.state in incident.states
+
+    def test_sorted_by_updates_desc(self, live_a):
+        tickets = derive_tickets(live_a.incidents, seed=1)
+        updates = [t.n_updates for t in tickets]
+        assert updates == sorted(updates, reverse=True)
+
+    def test_ids_unique(self, live_a):
+        tickets = derive_tickets(live_a.incidents, seed=1)
+        ids = [t.ticket_id for t in tickets]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self, live_a):
+        t1 = derive_tickets(live_a.incidents, seed=1)
+        t2 = derive_tickets(live_a.incidents, seed=1)
+        assert t1 == t2
+
+    def test_not_every_incident_is_ticketed(self, live_a):
+        tickets = derive_tickets(live_a.incidents, seed=1)
+        assert len(tickets) < len(live_a.incidents)
+
+    def test_hardware_incidents_dominate_top(self, live_a):
+        tickets = derive_tickets(live_a.incidents, seed=1)
+        heavy_kinds = {
+            "linecard_reset",
+            "controller_instability",
+            "bgp_session_reset",
+            "b_pim_cascade",
+            "b_mda_failure",
+        }
+        top = tickets[: max(3, len(tickets) // 5)]
+        assert any(t.kind in heavy_kinds for t in top)

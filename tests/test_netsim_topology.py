@@ -1,0 +1,119 @@
+"""Topology builder tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.topology import build_network
+
+
+@pytest.fixture(scope="module")
+def net_a():
+    return build_network("V1", 20, seed=42)
+
+
+@pytest.fixture(scope="module")
+def net_b():
+    return build_network("V2", 20, seed=43)
+
+
+class TestStructure:
+    def test_router_count(self, net_a):
+        assert len(net_a.routers) == 20
+
+    def test_connected(self, net_a):
+        seen = {next(iter(net_a.routers))}
+        frontier = list(seen)
+        while frontier:
+            current = frontier.pop()
+            for neighbor in net_a.neighbors_of(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == set(net_a.routers)
+
+    def test_minimum_two_routers(self):
+        with pytest.raises(ValueError):
+            build_network("V1", 1, seed=1)
+
+    def test_link_interfaces_exist_and_point_at_each_other(self, net_a):
+        for link in net_a.links:
+            a = net_a.routers[link.router_a].interfaces[link.ifname_a]
+            b = net_a.routers[link.router_b].interfaces[link.ifname_b]
+            assert (a.peer_router, a.peer_ifname) == (link.router_b, link.ifname_b)
+            assert (b.peer_router, b.peer_ifname) == (link.router_a, link.ifname_a)
+
+    def test_ips_unique(self, net_a):
+        ips = [
+            iface.ip
+            for node in net_a.routers.values()
+            for iface in node.interfaces.values()
+        ]
+        assert len(ips) == len(set(ips))
+
+    def test_every_router_has_loopback(self, net_a):
+        for node in net_a.routers.values():
+            assert "Loopback0" in node.interfaces
+            assert node.interfaces["Loopback0"].ip == node.loopback_ip
+
+    def test_far_ip(self, net_a):
+        link = net_a.links[0]
+        assert link.far_ip(link.router_a) == link.ip_b
+        with pytest.raises(ValueError):
+            link.far_ip("not-an-end")
+
+    def test_link_between(self, net_a):
+        link = net_a.links[0]
+        assert net_a.link_between(link.router_a, link.router_b) is link
+        assert net_a.link_between(link.router_a, link.router_a) is None
+
+
+class TestVendorNaming:
+    def test_v1_interface_names(self, net_a):
+        for link in net_a.links:
+            assert link.ifname_a.startswith("Serial")
+            assert ":" in link.ifname_a
+
+    def test_v2_interface_names(self, net_b):
+        for link in net_b.links:
+            assert not link.ifname_a.startswith("Serial")
+            assert link.ifname_a.count("/") == 2
+
+    def test_v1_controller_of(self, net_a):
+        node = next(iter(net_a.routers.values()))
+        serials = [n for n in node.interfaces if n.startswith("Serial")]
+        assert serials
+        ctrl = node.controller_of(serials[0])
+        assert ctrl is not None and ctrl.startswith("Serial")
+
+    def test_v2_has_lsp_paths(self, net_b):
+        assert len(net_b.lsp_paths) == len(net_b.links)
+        for path in net_b.lsp_paths:
+            link = net_b.links[path.primary_link]
+            assert {path.src, path.dst} == {link.router_a, link.router_b}
+
+
+class TestDeterminism:
+    def test_same_seed_same_network(self):
+        n1 = build_network("V1", 12, seed=7)
+        n2 = build_network("V1", 12, seed=7)
+        assert list(n1.routers) == list(n2.routers)
+        assert [
+            (l.router_a, l.ifname_a, l.router_b, l.ifname_b)
+            for l in n1.links
+        ] == [
+            (l.router_a, l.ifname_a, l.router_b, l.ifname_b)
+            for l in n2.links
+        ]
+
+    def test_different_seed_differs(self):
+        n1 = build_network("V1", 12, seed=7)
+        n2 = build_network("V1", 12, seed=8)
+        assert [l.router_a for l in n1.links] != [
+            l.router_a for l in n2.links
+        ] or list(n1.routers) != list(n2.routers)
+
+    def test_sites_are_states(self):
+        net = build_network("V1", 12, seed=7)
+        for node in net.routers.values():
+            assert len(node.site) == 2 and node.site.isupper()

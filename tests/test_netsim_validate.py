@@ -1,0 +1,65 @@
+"""Dataset validation tests — and validation of the shipped datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.generator import GenerationResult
+from repro.netsim.validate import validate_generation
+
+
+class TestShippedDatasets:
+    def test_dataset_a_history_is_clean(self, history_a):
+        report = validate_generation(history_a)
+        assert report.ok, report.problems
+        assert report.n_incidents > 10
+        assert report.messages_per_day > 100
+
+    def test_dataset_a_live_is_clean(self, live_a):
+        report = validate_generation(live_a)
+        assert report.ok, report.problems
+
+    def test_per_kind_covers_base_mix(self, history_a):
+        report = validate_generation(history_a)
+        assert "link_flap" in report.per_kind
+        assert "bgp_session_reset" in report.per_kind
+
+
+class TestProblemDetection:
+    def test_unknown_incident_flagged(self, live_a):
+        broken = GenerationResult(
+            messages=list(live_a.messages),
+            incidents=[],  # labels now point at nothing
+            start_ts=live_a.start_ts,
+            duration=live_a.duration,
+        )
+        report = validate_generation(broken)
+        assert not report.ok
+        assert any("unknown incidents" in p for p in report.problems)
+
+    def test_out_of_order_flagged(self, live_a):
+        messages = list(live_a.messages)
+        messages[0], messages[-1] = messages[-1], messages[0]
+        broken = GenerationResult(
+            messages=messages,
+            incidents=list(live_a.incidents),
+            start_ts=live_a.start_ts,
+            duration=live_a.duration,
+        )
+        report = validate_generation(broken)
+        assert any("out of order" in p for p in report.problems)
+
+    def test_count_mismatch_flagged(self, live_a):
+        labelled = next(
+            m for m in live_a.messages if m.event_id is not None
+        )
+        broken = GenerationResult(
+            messages=list(live_a.messages) + [labelled],  # duplicate
+            incidents=list(live_a.incidents),
+            start_ts=live_a.start_ts,
+            duration=live_a.duration,
+        )
+        # Re-sort to avoid tripping only the order check.
+        broken.messages.sort(key=lambda m: m.timestamp)
+        report = validate_generation(broken)
+        assert any("counts" in p for p in report.problems)

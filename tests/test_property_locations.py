@@ -1,0 +1,97 @@
+"""Property-based tests over the location substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locations.configparse import parse_configs
+from repro.locations.dictionary import LocationDictionary
+from repro.locations.hierarchy import ancestors_of_name
+from repro.locations.model import Location, LocationKind
+from repro.locations.spatial import spatially_matched
+from repro.netsim.configgen import render_configs
+from repro.netsim.topology import build_network
+
+_ifname = st.builds(
+    lambda p, s, port, c, sub: f"{p}{s}/{port}/{c}:{sub}",
+    st.sampled_from(["Serial", "Gig", ""]),
+    st.integers(0, 15),
+    st.integers(0, 9),
+    st.integers(0, 99),
+    st.integers(0, 9),
+)
+
+
+class TestHierarchyProperties:
+    @given(_ifname)
+    def test_ancestor_levels_strictly_increase(self, name):
+        chain = ancestors_of_name("r1", name)
+        levels = [loc.level for loc in chain]
+        assert levels == sorted(set(levels))
+
+    @given(_ifname, _ifname)
+    def test_spatial_matching_is_symmetric(self, name_a, name_b):
+        d = LocationDictionary()
+        d.add_router("r1")
+        a = d.add_component("r1", name_a)
+        b = d.add_component("r1", name_b)
+        assert spatially_matched(d, a, b) == spatially_matched(d, b, a)
+
+    @given(_ifname)
+    def test_every_ancestor_spatially_matches_the_component(self, name):
+        d = LocationDictionary()
+        d.add_router("r1")
+        component = d.add_component("r1", name)
+        for ancestor in d.ancestors(component):
+            assert spatially_matched(d, component, ancestor)
+
+    @given(_ifname, _ifname)
+    def test_same_slot_iff_common_sub_router_ancestor(self, name_a, name_b):
+        d = LocationDictionary()
+        d.add_router("r1")
+        a = d.add_component("r1", name_a)
+        b = d.add_component("r1", name_b)
+        same_slot = name_a.split("/", 1)[0].lstrip(
+            "SerialGig"
+        ) == name_b.split("/", 1)[0].lstrip("SerialGig")
+        if spatially_matched(d, a, b):
+            # Matching distinct positional components implies a shared
+            # slot (all our generated names are positional).
+            assert same_slot or a == b
+
+
+class TestDictionaryProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 20), st.integers(0, 10_000))
+    def test_config_roundtrip_for_random_networks(self, n_routers, seed):
+        network = build_network("V1", n_routers, seed=seed)
+        dictionary = parse_configs(render_configs(network).values())
+        assert dictionary.routers == set(network.routers)
+        # Every link end resolves and is connected to its far end.
+        for link in network.links:
+            a = Location(
+                link.router_a,
+                LocationKind.LOGICAL_IF,
+                link.ifname_a,
+            )
+            b = Location(
+                link.router_b,
+                LocationKind.LOGICAL_IF,
+                link.ifname_b,
+            )
+            assert dictionary.connected(a, b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 10_000))
+    def test_connected_is_symmetric_on_real_networks(self, n_routers, seed):
+        network = build_network("V2", n_routers, seed=seed)
+        dictionary = parse_configs(render_configs(network).values())
+        for link in network.links[:10]:
+            a = Location(
+                link.router_a, LocationKind.PHYS_IF, link.ifname_a
+            )
+            b = Location(
+                link.router_b, LocationKind.PHYS_IF, link.ifname_b
+            )
+            assert dictionary.connected(a, b) == dictionary.connected(b, a)

@@ -1,0 +1,84 @@
+"""Property-based tests over the mining layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.rules import RuleMiner
+from repro.mining.transactions import transaction_stats
+
+_events = st.lists(
+    st.tuples(
+        st.floats(0.0, 1000.0),
+        st.sampled_from(["r1", "r2"]),
+        st.sampled_from(["a", "b", "c", "d"]),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestTransactionProperties:
+    @given(_events, st.floats(0.1, 100.0))
+    def test_supports_are_probabilities(self, events, window):
+        stats = transaction_stats(events, window)
+        assert stats.n_transactions == len(events)
+        for item in stats.item_positions:
+            assert 0.0 < stats.support(item) <= 1.0
+        for a, b in stats.pair_positions:
+            assert 0.0 < stats.pair_support(a, b) <= 1.0
+
+    @given(_events, st.floats(0.1, 100.0))
+    def test_pair_support_bounded_by_item_supports(self, events, window):
+        stats = transaction_stats(events, window)
+        for (a, b), _count in stats.pair_positions.items():
+            pair = stats.pair_support(a, b)
+            assert pair <= stats.support(a) + 1e-12
+            assert pair <= stats.support(b) + 1e-12
+
+    @given(_events, st.floats(0.1, 100.0))
+    def test_confidence_bounded(self, events, window):
+        stats = transaction_stats(events, window)
+        for a, b in stats.pair_positions:
+            assert 0.0 <= stats.confidence(a, b) <= 1.0 + 1e-12
+            assert 0.0 <= stats.confidence(b, a) <= 1.0 + 1e-12
+
+    @given(_events)
+    def test_wider_window_never_reduces_pair_counts(self, events):
+        narrow = transaction_stats(events, 5.0)
+        wide = transaction_stats(events, 50.0)
+        for pair, count in narrow.pair_positions.items():
+            assert wide.pair_positions.get(pair, 0) >= count
+
+    @given(_events, st.floats(0.1, 100.0))
+    def test_message_counts_sum_to_stream(self, events, window):
+        stats = transaction_stats(events, window)
+        assert sum(stats.item_messages.values()) == len(events)
+
+
+class TestMinerProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        _events,
+        st.floats(0.0, 0.2),
+        st.floats(0.5, 0.95),
+    )
+    def test_rules_meet_their_own_thresholds(self, events, sp_min, conf_min):
+        miner = RuleMiner(window=10.0, sp_min=sp_min, conf_min=conf_min)
+        result = miner.mine(events)
+        for rule in result.rules:
+            assert rule.support_x >= sp_min
+            assert rule.confidence >= conf_min
+            assert rule.x != rule.y
+
+    @settings(max_examples=25, deadline=None)
+    @given(_events)
+    def test_stricter_confidence_yields_subset(self, events):
+        loose = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.5).mine(events)
+        strict = RuleMiner(window=10.0, sp_min=0.01, conf_min=0.9).mine(
+            events
+        )
+        loose_pairs = {(r.x, r.y) for r in loose.rules}
+        strict_pairs = {(r.x, r.y) for r in strict.rules}
+        assert strict_pairs <= loose_pairs

@@ -1,0 +1,146 @@
+"""Property-based tests over the grouping/matching pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DigestConfig
+from repro.core.grouping import GroupingEngine
+from repro.core.syslogplus import Augmenter
+from repro.mining.temporal import TemporalParams
+from repro.syslog.message import SyslogMessage
+from repro.templates.learner import TemplateLearner
+from tests.test_core_grouping import (
+    _toy_dictionary,
+    _toy_rules,
+    _toy_templates,
+)
+from repro.core.knowledge import KnowledgeBase
+
+
+def _kb() -> KnowledgeBase:
+    return KnowledgeBase(
+        templates=_toy_templates(),
+        dictionary=_toy_dictionary(),
+        temporal=TemporalParams(alpha=0.05, beta=5.0),
+        rules=_toy_rules(),
+        frequencies={},
+        history_days=30.0,
+    )
+
+
+_message_strategy = st.tuples(
+    st.floats(0.0, 5000.0),
+    st.sampled_from(
+        [
+            ("r1", "Serial1/0/10:0"),
+            ("r2", "Serial1/0/20:0"),
+        ]
+    ),
+    st.sampled_from(
+        [
+            ("LINK-3-UPDOWN", "Interface {ifc}, changed state to down"),
+            ("LINK-3-UPDOWN", "Interface {ifc}, changed state to up"),
+            (
+                "LINEPROTO-5-UPDOWN",
+                "Line protocol on Interface {ifc}, changed state to down",
+            ),
+        ]
+    ),
+)
+
+
+def _build_messages(raw) -> list[SyslogMessage]:
+    out = []
+    for ts, (router, ifc), (code, fmt) in raw:
+        out.append(
+            SyslogMessage(
+                timestamp=ts,
+                router=router,
+                error_code=code,
+                detail=fmt.format(ifc=ifc),
+            )
+        )
+    out.sort(key=lambda m: (m.timestamp, m.router, m.error_code))
+    return out
+
+
+class TestGroupingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_message_strategy, min_size=1, max_size=60))
+    def test_groups_partition_any_stream(self, raw):
+        kb = _kb()
+        messages = _build_messages(raw)
+        augmenter = Augmenter(kb.templates, kb.dictionary)
+        stream = augmenter.augment_all(messages)
+        outcome = GroupingEngine(kb, DigestConfig()).group(stream)
+        indices = sorted(i for g in outcome.groups for i in (p.index for p in g))
+        assert indices == list(range(len(messages)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_message_strategy, min_size=2, max_size=60))
+    def test_same_key_messages_within_s_min_share_a_group(self, raw):
+        kb = _kb()
+        messages = _build_messages(raw)
+        augmenter = Augmenter(kb.templates, kb.dictionary)
+        stream = augmenter.augment_all(messages)
+        outcome = GroupingEngine(kb, DigestConfig()).group(stream)
+        group_of = {
+            p.index: gi
+            for gi, g in enumerate(outcome.groups)
+            for p in g
+        }
+        by_key: dict[tuple, list] = {}
+        for plus in stream:
+            key = (plus.router, plus.template_key, plus.primary_location)
+            by_key.setdefault(key, []).append(plus)
+        for items in by_key.values():
+            for a, b in zip(items, items[1:]):
+                if b.timestamp - a.timestamp <= kb.temporal.s_min:
+                    assert group_of[a.index] == group_of[b.index]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_message_strategy, min_size=1, max_size=40))
+    def test_disabling_passes_never_merges_more(self, raw):
+        kb = _kb()
+        messages = _build_messages(raw)
+        augmenter = Augmenter(kb.templates, kb.dictionary)
+        stream = augmenter.augment_all(messages)
+        full = GroupingEngine(kb, DigestConfig()).group(stream)
+        partial = GroupingEngine(
+            kb, DigestConfig().only_passes(True, False, False)
+        ).group(stream)
+        assert len(partial.groups) >= len(full.groups)
+
+
+class TestTemplateMatcherProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["alpha", "beta", "gamma"]),
+                st.integers(0, 10**6),
+            ),
+            min_size=5,
+            max_size=60,
+        )
+    )
+    def test_learned_templates_match_their_training_messages(self, raw):
+        messages = [
+            SyslogMessage(
+                timestamp=float(i),
+                router="r1",
+                error_code="TEST-1-THING",
+                detail=f"component {name}{value} changed state",
+            )
+            for i, (name, value) in enumerate(raw)
+        ]
+        learned = TemplateLearner().learn(messages)
+        for message in messages:
+            matched = learned.match(message)
+            assert matched.error_code == "TEST-1-THING"
+            # The matched signature is a subsequence of the words.
+            words = message.detail.split()
+            it = iter(words)
+            assert all(w in it for w in matched.words)

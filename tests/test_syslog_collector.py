@@ -1,0 +1,105 @@
+"""Collector degradation tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.syslog.collector import CollectorProfile, degrade_stream
+from repro.syslog.message import SyslogMessage
+
+
+def _messages(n: int) -> list[SyslogMessage]:
+    return [
+        SyslogMessage(
+            timestamp=float(i),
+            router="r1",
+            error_code="LINK-3-UPDOWN",
+            detail=f"Interface Serial{i % 4}/0/10:0, changed state to down",
+        )
+        for i in range(n)
+    ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.1},
+            {"duplicate_rate": 1.5},
+            {"max_jitter": -1.0},
+        ],
+    )
+    def test_bad_profiles_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CollectorProfile(**kwargs)
+
+
+class TestDegradation:
+    def test_clean_profile_is_identity(self):
+        messages = _messages(50)
+        assert degrade_stream(messages, CollectorProfile()) == messages
+
+    def test_loss_drops_messages(self):
+        messages = _messages(1000)
+        out = degrade_stream(messages, CollectorProfile(loss_rate=0.2, seed=1))
+        assert 700 < len(out) < 900
+
+    def test_duplicates_add_messages(self):
+        messages = _messages(1000)
+        out = degrade_stream(
+            messages, CollectorProfile(duplicate_rate=0.1, seed=1)
+        )
+        assert 1050 < len(out) < 1150
+
+    def test_jitter_keeps_output_sorted(self):
+        messages = _messages(200)
+        out = degrade_stream(
+            messages, CollectorProfile(max_jitter=5.0, seed=2)
+        )
+        times = [m.timestamp for m in out]
+        assert times == sorted(times)
+        assert len(out) == 200
+
+    def test_deterministic_for_seed(self):
+        messages = _messages(300)
+        profile = CollectorProfile(loss_rate=0.1, max_jitter=2.0, seed=7)
+        assert degrade_stream(messages, profile) == degrade_stream(
+            messages, profile
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 0.2),
+        st.floats(0.0, 10.0),
+    )
+    def test_content_is_never_altered(self, loss, dup, jitter):
+        messages = _messages(100)
+        out = degrade_stream(
+            messages,
+            CollectorProfile(
+                loss_rate=loss, duplicate_rate=dup, max_jitter=jitter, seed=3
+            ),
+        )
+        originals = {(m.router, m.error_code, m.detail) for m in messages}
+        assert all(
+            (m.router, m.error_code, m.detail) in originals for m in out
+        )
+
+
+class TestPipelineUnderDegradation:
+    def test_digest_survives_lossy_feed(self, system_a, live_a):
+        base = [m.message for m in live_a.messages]
+        degraded = degrade_stream(
+            base,
+            CollectorProfile(
+                loss_rate=0.05, duplicate_rate=0.01, max_jitter=2.0, seed=4
+            ),
+        )
+        clean = system_a.digest(base)
+        dirty = system_a.digest(degraded)
+        # Event counts stay in the same ballpark despite 5% loss.
+        assert 0.5 * clean.n_events < dirty.n_events < 2.0 * clean.n_events

@@ -1,0 +1,72 @@
+"""SyslogMessage model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.syslog.message import LabeledMessage, SyslogMessage
+
+
+def _msg(**kw) -> SyslogMessage:
+    base = dict(
+        timestamp=100.0,
+        router="r1",
+        error_code="LINK-3-UPDOWN",
+        detail="Interface Serial1/0/10:0, changed state to down",
+    )
+    base.update(kw)
+    return SyslogMessage(**base)
+
+
+class TestValidation:
+    def test_empty_router_rejected(self):
+        with pytest.raises(ValueError):
+            _msg(router="")
+
+    def test_empty_error_code_rejected(self):
+        with pytest.raises(ValueError):
+            _msg(error_code="")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _msg().router = "other"  # type: ignore[misc]
+
+
+class TestSeverity:
+    def test_v1_severity_from_error_code(self):
+        assert _msg(error_code="LINK-3-UPDOWN").severity == 3
+        assert _msg(error_code="SYS-1-CPURISINGTHRESHOLD").severity == 1
+
+    def test_v2_severity_words(self):
+        assert _msg(error_code="SNMP-WARNING-linkDown").severity == 4
+        assert _msg(error_code="SVCMGR-MAJOR-sapPortStateChangeProcessed").severity == 2
+        assert _msg(error_code="SYSTEM-INFO-todSync").severity == 6
+
+    def test_unknown_severity_is_none(self):
+        assert _msg(error_code="WEIRDCODE").severity is None
+
+
+class TestWordsRender:
+    def test_words_split_on_whitespace(self):
+        assert _msg(detail="a b  c").words() == ("a", "b", "c")
+
+    def test_render_contains_all_fields(self):
+        text = _msg().render()
+        assert "r1" in text
+        assert "LINK-3-UPDOWN" in text
+        assert "changed state to down" in text
+
+
+class TestLabeledMessage:
+    def test_proxies_timestamp_and_router(self):
+        lm = LabeledMessage(
+            message=_msg(), event_id="ev1", template_id="v1.link_down"
+        )
+        assert lm.timestamp == 100.0
+        assert lm.router == "r1"
+
+    def test_noise_has_no_event(self):
+        lm = LabeledMessage(
+            message=_msg(), event_id=None, template_id="v1.ntp_sync"
+        )
+        assert lm.event_id is None

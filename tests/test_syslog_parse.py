@@ -1,0 +1,80 @@
+"""Syslog line parse/format tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.syslog.message import SyslogMessage
+from repro.syslog.parse import SyslogParseError, format_line, parse_line
+
+
+class TestParse:
+    def test_v1_line(self):
+        msg = parse_line(
+            "2010-01-10 00:00:15 r1 LINEPROTO-5-UPDOWN: Line protocol on "
+            "Interface Serial13/0/20:0, changed state to down"
+        )
+        assert msg.router == "r1"
+        assert msg.error_code == "LINEPROTO-5-UPDOWN"
+        assert msg.vendor == "V1"
+        assert msg.detail.startswith("Line protocol")
+
+    def test_v2_line(self):
+        msg = parse_line(
+            "2010-01-10 00:00:23 ra SNMP-WARNING-linkDown: "
+            "Interface 0/0/1 is not operational"
+        )
+        assert msg.vendor == "V2"
+        assert msg.severity == 4
+
+    def test_unknown_vendor_code_accepted(self):
+        msg = parse_line("2010-01-10 00:00:23 ra WEIRD: something odd")
+        assert msg.vendor == "unknown"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "not a syslog line",
+            "2010-01-10 r1 LINK-3-UPDOWN: missing time",
+            "2010-01-10 00:00:15 r1 no colon here",
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(SyslogParseError):
+            parse_line(line)
+
+    def test_trailing_newline_ok(self):
+        msg = parse_line("2010-01-10 00:00:15 r1 LINK-3-UPDOWN: x\n")
+        assert msg.detail == "x"
+
+
+class TestRoundTrip:
+    @given(
+        st.integers(0, 4102444800),
+        st.sampled_from(["r1", "ar3.atlga", "br2.nycny"]),
+        st.sampled_from(
+            ["LINK-3-UPDOWN", "SNMP-WARNING-linkDown", "BGP-5-ADJCHANGE"]
+        ),
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Lu", "Ll", "Nd"),
+                whitelist_characters=" ./:,()%-",
+            ),
+            max_size=60,
+        ),
+    )
+    def test_format_then_parse_is_identity(self, epoch, router, code, detail):
+        original = SyslogMessage(
+            timestamp=float(epoch),
+            router=router,
+            error_code=code,
+            detail=" ".join(detail.split()),
+        )
+        parsed = parse_line(format_line(original))
+        assert parsed.timestamp == original.timestamp
+        assert parsed.router == original.router
+        assert parsed.error_code == original.error_code
+        assert parsed.detail == original.detail

@@ -1,0 +1,82 @@
+"""Stream helper tests."""
+
+from __future__ import annotations
+
+from repro.syslog.message import SyslogMessage
+from repro.syslog.stream import (
+    merge_streams,
+    read_log,
+    sort_messages,
+    split_by_day,
+    write_log,
+)
+from repro.utils.timeutils import DAY
+
+
+def _msg(ts: float, router: str = "r1") -> SyslogMessage:
+    return SyslogMessage(
+        timestamp=ts, router=router, error_code="LINK-3-UPDOWN", detail="x"
+    )
+
+
+class TestSortMerge:
+    def test_sort_orders_by_time(self):
+        out = sort_messages([_msg(5.0), _msg(1.0), _msg(3.0)])
+        assert [m.timestamp for m in out] == [1.0, 3.0, 5.0]
+
+    def test_sort_is_deterministic_for_ties(self):
+        a, b = _msg(1.0, "rb"), _msg(1.0, "ra")
+        assert sort_messages([a, b]) == sort_messages([b, a])
+
+    def test_merge_two_sorted_streams(self):
+        s1 = [_msg(1.0, "r1"), _msg(4.0, "r1")]
+        s2 = [_msg(2.0, "r2"), _msg(3.0, "r2")]
+        merged = list(merge_streams([s1, s2]))
+        assert [m.timestamp for m in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_merge_empty_streams(self):
+        assert list(merge_streams([[], []])) == []
+
+
+class TestSplitByDay:
+    def test_buckets_align_to_midnight_of_first_day(self):
+        msgs = [_msg(10.0), _msg(DAY + 10.0), _msg(DAY + 20.0)]
+        buckets = split_by_day(msgs)
+        assert sorted(buckets) == [0, 1]
+        assert len(buckets[1]) == 2
+
+    def test_explicit_origin(self):
+        buckets = split_by_day([_msg(10.0)], origin=-DAY)
+        assert sorted(buckets) == [1]
+
+    def test_empty(self):
+        assert split_by_day([]) == {}
+
+
+class TestFileIo:
+    def test_write_then_read_roundtrip(self, tmp_path):
+        msgs = [_msg(1.0), _msg(2.0, "r2")]
+        path = tmp_path / "log.txt"
+        assert write_log(path, msgs) == 2
+        back = list(read_log(path))
+        assert [(m.timestamp, m.router) for m in back] == [
+            (1.0, "r1"),
+            (2.0, "r2"),
+        ]
+
+    def test_read_skips_garbage_by_default(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text(
+            "garbage line\n\n1970-01-01 00:00:01 r1 LINK-3-UPDOWN: ok\n"
+        )
+        assert len(list(read_log(path))) == 1
+
+    def test_read_strict_raises(self, tmp_path):
+        import pytest
+
+        from repro.syslog.parse import SyslogParseError
+
+        path = tmp_path / "log.txt"
+        path.write_text("garbage line\n")
+        with pytest.raises(SyslogParseError):
+            list(read_log(path, strict=True))

@@ -1,0 +1,43 @@
+"""Vendor profile tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.catalog import CATALOG_V1, CATALOG_V2
+from repro.syslog.vendors import VENDOR_V1, VENDOR_V2, get_profile, vendor_for
+
+
+class TestRecognition:
+    def test_v1_codes(self):
+        assert vendor_for("LINK-3-UPDOWN") is VENDOR_V1
+        assert vendor_for("SYS-1-CPURISINGTHRESHOLD") is VENDOR_V1
+
+    def test_v2_codes(self):
+        assert vendor_for("SNMP-WARNING-linkDown") is VENDOR_V2
+        assert vendor_for("SVCMGR-MAJOR-sapPortStateChangeProcessed") is VENDOR_V2
+
+    def test_unknown(self):
+        assert vendor_for("hello") is None
+        assert vendor_for("LINK-9-UPDOWN") is None  # severity digit 0-7
+
+    def test_get_profile(self):
+        assert get_profile("V1") is VENDOR_V1
+        with pytest.raises(KeyError):
+            get_profile("V9")
+
+
+class TestCatalogConsistency:
+    """Every catalog error code must match its own vendor's grammar."""
+
+    @pytest.mark.parametrize("spec", list(CATALOG_V1.values()),
+                             ids=lambda s: s.template_id)
+    def test_v1_catalog_codes_match_v1(self, spec):
+        assert VENDOR_V1.matches_code(spec.error_code)
+        assert not VENDOR_V2.matches_code(spec.error_code)
+
+    @pytest.mark.parametrize("spec", list(CATALOG_V2.values()),
+                             ids=lambda s: s.template_id)
+    def test_v2_catalog_codes_match_v2(self, spec):
+        assert VENDOR_V2.matches_code(spec.error_code)
+        assert not VENDOR_V1.matches_code(spec.error_code)

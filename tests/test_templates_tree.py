@@ -1,0 +1,130 @@
+"""Sub-type tree tests, centered on the paper's Tables 3/4 BGP example."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.templates.tokenize import tokenize
+from repro.templates.tree import build_subtype_tree
+
+
+def _bgp_messages() -> list[tuple[str, ...]]:
+    """The 20 messages of Table 3 (ips/vrfs synthetic).
+
+    The vrf pool is wide, as in a real VPN deployment: the sub-type tree's
+    support floor relies on variable values being individually rare.
+    """
+    rng = random.Random(7)
+    ip = lambda: f"192.168.{rng.randrange(256)}.{rng.randrange(1, 255)}"
+    vrf = lambda: f"1000:{1000 + rng.randrange(5000)}"
+    out = []
+    for _ in range(4):
+        out.append(f"neighbor {ip()} vpn vrf {vrf()} Up")
+    for reason in (
+        "Interface flap",
+        "BGP Notification sent",
+        "BGP Notification received",
+        "Peer closed the session",
+    ):
+        for _ in range(4):
+            out.append(f"neighbor {ip()} vpn vrf {vrf()} Down {reason}")
+    return [tokenize(text) for text in out]
+
+
+def _leaf_signatures(tree) -> set[frozenset[str]]:
+    return {
+        words
+        for node, words in tree.walk()
+        if node.is_leaf and node.message_ids
+    }
+
+
+class TestTable4SubTypes:
+    def test_five_subtypes_recovered(self):
+        tree = build_subtype_tree(_bgp_messages(), k=10)
+        signatures = _leaf_signatures(tree)
+        expected = {
+            frozenset("neighbor vpn vrf Up".split()),
+            frozenset("neighbor vpn vrf Down Interface flap".split()),
+            frozenset("neighbor vpn vrf Down BGP Notification sent".split()),
+            frozenset(
+                "neighbor vpn vrf Down BGP Notification received".split()
+            ),
+            frozenset(
+                "neighbor vpn vrf Down Peer closed the session".split()
+            ),
+        }
+        assert signatures == expected
+
+    def test_leaves_partition_messages(self):
+        messages = _bgp_messages()
+        tree = build_subtype_tree(messages, k=10)
+        leaf_ids = [
+            mid
+            for node, _ in tree.walk()
+            if node.is_leaf
+            for mid in node.message_ids
+        ]
+        assert sorted(leaf_ids) == list(range(len(messages)))
+
+
+class TestPruning:
+    def test_variable_with_many_values_is_pruned(self):
+        """A field with more than k distinct values becomes a leaf."""
+        messages = [
+            tokenize(f"Interface eth{i}, changed state to down")
+            for i in range(50)
+        ]
+        tree = build_subtype_tree(messages, k=10)
+        signatures = _leaf_signatures(tree)
+        assert signatures == {
+            frozenset("Interface changed state to down".split())
+        }
+
+    def test_variable_with_few_values_splits(self):
+        """The paper's 'GigabitEthernet' caveat: a rarely-varying field is
+        absorbed into sub-types."""
+        messages = [
+            tokenize(f"state changed to {state}")
+            for state in ("up", "down") * 10
+        ]
+        tree = build_subtype_tree(messages, k=10)
+        signatures = _leaf_signatures(tree)
+        assert frozenset("state changed to up".split()) in signatures
+        assert frozenset("state changed to down".split()) in signatures
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            build_subtype_tree([], k=0)
+
+    def test_smaller_k_prunes_more(self):
+        messages = [
+            tokenize(f"value {v} observed") for v in range(8) for _ in range(3)
+        ]
+        wide = build_subtype_tree(messages, k=10)
+        narrow = build_subtype_tree(messages, k=4)
+        assert len(_leaf_signatures(narrow)) < len(_leaf_signatures(wide))
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        tree = build_subtype_tree([], k=10)
+        assert tree.is_leaf
+
+    def test_single_message(self):
+        tree = build_subtype_tree([tokenize("hello world")], k=10)
+        signatures = _leaf_signatures(tree)
+        assert signatures == {frozenset({"hello", "world"})}
+
+    def test_identical_messages_one_leaf(self):
+        messages = [tokenize("exact same text")] * 5
+        tree = build_subtype_tree(messages, k=10)
+        assert len(_leaf_signatures(tree)) == 1
+
+    def test_deterministic(self):
+        messages = _bgp_messages()
+        t1 = build_subtype_tree(messages, k=10)
+        t2 = build_subtype_tree(messages, k=10)
+        assert _leaf_signatures(t1) == _leaf_signatures(t2)

@@ -1,0 +1,87 @@
+"""EWMA estimator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.ewma import EwmaEstimator
+
+
+class TestValidation:
+    @pytest.mark.parametrize("alpha", [-0.1, 1.5, 2.0])
+    def test_alpha_out_of_range_rejected(self, alpha):
+        with pytest.raises(ValueError):
+            EwmaEstimator(alpha)
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(0.5, initial=-1.0)
+
+    def test_negative_observation_rejected(self):
+        est = EwmaEstimator(0.5)
+        with pytest.raises(ValueError):
+            est.observe(-1.0)
+
+
+class TestBehaviour:
+    def test_first_observation_seeds_prediction(self):
+        est = EwmaEstimator(0.3)
+        assert est.prediction is None
+        est.observe(10.0)
+        assert est.prediction == 10.0
+
+    def test_initial_prediction_used(self):
+        est = EwmaEstimator(0.5, initial=4.0)
+        est.observe(8.0)
+        assert est.prediction == pytest.approx(6.0)
+
+    def test_alpha_zero_freezes_prediction(self):
+        est = EwmaEstimator(0.0)
+        est.observe(5.0)
+        for value in (100.0, 0.0, 42.0):
+            est.observe(value)
+        assert est.prediction == 5.0
+
+    def test_alpha_one_tracks_last_observation(self):
+        est = EwmaEstimator(1.0)
+        for value in (5.0, 7.0, 2.0):
+            est.observe(value)
+        assert est.prediction == 2.0
+
+    def test_count_tracks_observations(self):
+        est = EwmaEstimator(0.5)
+        for i in range(5):
+            est.observe(float(i))
+        assert est.count == 5
+
+    def test_copy_is_independent(self):
+        est = EwmaEstimator(0.5)
+        est.observe(10.0)
+        clone = est.copy()
+        clone.observe(0.0)
+        assert est.prediction == 10.0
+        assert clone.prediction == 5.0
+
+
+class TestProperties:
+    @given(
+        st.floats(0.01, 0.99),
+        st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50),
+    )
+    def test_prediction_stays_within_observed_range(self, alpha, values):
+        est = EwmaEstimator(alpha)
+        for value in values:
+            est.observe(value)
+        # 1-ulp tolerance: a*x + (1-a)*x can round just past x.
+        span = max(max(values) - min(values), 1.0)
+        eps = 1e-9 * span + 1e-12
+        assert min(values) - eps <= est.prediction <= max(values) + eps
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1e6))
+    def test_constant_series_converges_immediately(self, alpha, value):
+        est = EwmaEstimator(alpha)
+        for _ in range(5):
+            est.observe(value)
+        assert est.prediction == pytest.approx(value)

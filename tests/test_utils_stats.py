@@ -1,0 +1,86 @@
+"""Statistics helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import gini, mean, quantile, summarize
+
+
+class TestQuantile:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_q_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_median_of_odd_list(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_extremes_are_min_and_max(self, values):
+        assert quantile(values, 0.0) == min(values)
+        assert quantile(values, 1.0) == max(values)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 1.0),
+    )
+    def test_monotone_in_q(self, values, q1, q2):
+        lo, hi = min(q1, q2), max(q1, q2)
+        # Linear interpolation may wobble by an ulp between close qs.
+        tolerance = 1e-9 * (abs(max(values)) + abs(min(values)) + 1.0)
+        assert quantile(values, lo) <= quantile(values, hi) + tolerance
+
+
+class TestMeanSummarize:
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_summarize_fields(self):
+        out = summarize([1.0, 2.0, 3.0])
+        assert out["count"] == 3
+        assert out["mean"] == 2.0
+        assert out["min"] == 1.0
+        assert out["max"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"count": 0.0}
+
+
+class TestGini:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gini([1.0, -1.0])
+
+    def test_uniform_is_zero(self):
+        assert gini([5.0] * 10) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        assert gini([0.0] * 9 + [100.0]) == pytest.approx(0.9)
+
+    def test_all_zero_is_zero(self):
+        assert gini([0.0, 0.0]) == 0.0
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=60))
+    def test_bounded(self, values):
+        assert 0.0 <= gini(values) <= 1.0
+
+    @given(st.lists(st.floats(0.001, 1e6), min_size=2, max_size=40))
+    def test_scale_invariant(self, values):
+        assert gini(values) == pytest.approx(
+            gini([v * 3.0 for v in values]), abs=1e-9
+        )

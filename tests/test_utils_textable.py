@@ -1,0 +1,36 @@
+"""Text table rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.textable import render_table
+
+
+def test_basic_table():
+    out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+    lines = out.splitlines()
+    assert lines[0].split() == ["a", "bb"]
+    assert lines[2].split() == ["1", "2"]
+    assert lines[3].split() == ["30", "40"]
+
+
+def test_title_is_first_line():
+    out = render_table(["x"], [[1]], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_column_widths_align():
+    out = render_table(["name", "v"], [["long-name-here", 1]])
+    header, rule, row = out.splitlines()
+    assert len(header) == len(rule) == len(row.rstrip()) or len(header) <= len(row)
+
+
+def test_mismatched_row_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    out = render_table(["a"], [])
+    assert len(out.splitlines()) == 2

@@ -1,0 +1,59 @@
+"""Time helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.timeutils import (
+    DAY,
+    HOUR,
+    MINUTE,
+    day_index,
+    format_ts,
+    parse_ts,
+    week_index,
+)
+
+
+class TestRoundTrip:
+    def test_known_timestamp(self):
+        ts = parse_ts("2009-12-01 00:00:00")
+        assert format_ts(ts) == "2009-12-01 00:00:00"
+
+    def test_paper_example_timestamp(self):
+        ts = parse_ts("2010-01-10 00:00:15")
+        assert format_ts(ts + 11) == "2010-01-10 00:00:26"
+
+    @given(st.integers(0, 4102444800))  # through year 2100
+    def test_roundtrip_any_epoch_second(self, epoch):
+        assert parse_ts(format_ts(float(epoch))) == float(epoch)
+
+    def test_whitespace_tolerated(self):
+        assert parse_ts("  2009-12-01 00:00:00 ") == parse_ts(
+            "2009-12-01 00:00:00"
+        )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_ts("yesterday at noon")
+
+
+class TestIndices:
+    def test_day_index(self):
+        assert day_index(0.0, 0.0) == 0
+        assert day_index(DAY - 1, 0.0) == 0
+        assert day_index(DAY, 0.0) == 1
+
+    def test_day_index_negative(self):
+        assert day_index(-1.0, 0.0) == -1
+
+    def test_week_index(self):
+        assert week_index(6 * DAY, 0.0) == 0
+        assert week_index(7 * DAY, 0.0) == 1
+
+    def test_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 24 * HOUR

@@ -1,0 +1,93 @@
+"""Union-find unit and property tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_fresh_items_are_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.n_groups() == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.connected("a", "b")
+        assert uf.n_groups() == 1
+
+    def test_union_is_idempotent(self):
+        uf = UnionFind()
+        r1 = uf.union(1, 2)
+        r2 = uf.union(1, 2)
+        assert r1 == r2
+        assert uf.n_groups() == 1
+
+    def test_find_adds_lazily(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_groups_lists_members(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.add(5)
+        groups = uf.groups()
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [1, 2, 2]
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+
+    def test_len_counts_items(self):
+        uf = UnionFind(range(5))
+        assert len(uf) == 5
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80
+        )
+    )
+    def test_groups_partition_items(self, pairs):
+        uf = UnionFind()
+        for a, b in pairs:
+            uf.union(a, b)
+        groups = uf.groups()
+        members = [item for g in groups.values() for item in g]
+        assert len(members) == len(set(members)) == len(uf)
+        for root, group in groups.items():
+            assert all(uf.find(item) == root for item in group)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+        )
+    )
+    def test_union_order_does_not_matter(self, pairs):
+        forward = UnionFind()
+        backward = UnionFind()
+        for a, b in pairs:
+            forward.union(a, b)
+        for a, b in reversed(pairs):
+            backward.union(b, a)
+        partition = lambda uf: frozenset(
+            frozenset(g) for g in uf.groups().values()
+        )
+        assert partition(forward) == partition(backward)
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=50))
+    def test_chain_union_connects_everything(self, items):
+        uf = UnionFind()
+        for a, b in zip(items, items[1:]):
+            uf.union(a, b)
+        assert all(uf.connected(items[0], item) for item in items)

@@ -1,0 +1,70 @@
+"""SlidingWindow tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.windows import SlidingWindow
+
+
+class TestBasics:
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(-1.0)
+
+    def test_items_within_width_are_kept(self):
+        win = SlidingWindow(10.0)
+        win.push(0.0, "a")
+        win.push(5.0, "b")
+        assert list(win) == ["a", "b"]
+
+    def test_eviction_returns_expired_items(self):
+        win = SlidingWindow(10.0)
+        win.push(0.0, "a")
+        evicted = win.push(10.5, "b")
+        assert evicted == ["a"]
+        assert list(win) == ["b"]
+
+    def test_boundary_item_is_kept(self):
+        win = SlidingWindow(10.0)
+        win.push(0.0, "a")
+        assert win.push(10.0, "b") == []
+        assert list(win) == ["a", "b"]
+
+    def test_out_of_order_push_rejected(self):
+        win = SlidingWindow(10.0)
+        win.push(5.0, "a")
+        with pytest.raises(ValueError):
+            win.push(4.0, "b")
+
+    def test_drain_empties(self):
+        win = SlidingWindow(10.0)
+        win.push(0.0, "a")
+        win.push(1.0, "b")
+        assert win.drain() == ["a", "b"]
+        assert len(win) == 0
+
+    def test_zero_width_keeps_only_simultaneous(self):
+        win = SlidingWindow(0.0)
+        win.push(0.0, "a")
+        win.push(0.0, "b")
+        assert list(win) == ["a", "b"]
+        win.push(0.1, "c")
+        assert list(win) == ["c"]
+
+
+class TestProperties:
+    @given(
+        st.floats(0.0, 100.0),
+        st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=60),
+    )
+    def test_invariant_window_span(self, width, raw_times):
+        times = sorted(raw_times)
+        win: SlidingWindow[int] = SlidingWindow(width)
+        for i, ts in enumerate(times):
+            win.push(ts, i)
+            snapshot = win.items_with_ts()
+            assert all(ts - width <= t <= ts for t, _ in snapshot)
+            assert snapshot[-1][1] == i
