@@ -2,7 +2,10 @@
 
 The paper argues that merging groups that share messages makes the final
 result independent of the order the three passes run in.  We verify the
-claim on a real day of traffic by running all six permutations.
+claim on a real day of traffic by running all six permutations, and — the
+same property one level up — that the router-sharded parallel engine
+lands on the identical partition (shard merge order is just another
+irrelevant pass order under the union-find construction).
 """
 
 from __future__ import annotations
@@ -11,6 +14,7 @@ import itertools
 
 from benchmarks._shared import record_table
 from repro.core.grouping import GroupingEngine
+from repro.core.parallel import ParallelGroupingEngine
 from repro.core.syslogplus import Augmenter
 from repro.netsim.datasets import ONLINE_START
 from repro.utils.timeutils import DAY
@@ -49,6 +53,17 @@ def test_ablation_pass_order_invariance(benchmark, system_a, live_a):
     results = benchmark.pedantic(all_orders, rounds=1, iterations=1)
     partitions = set(results.values())
     n_groups = len(next(iter(results.values())))
+
+    # The sharded engine is a seventh "order": per-router shards first,
+    # merged cross-router pass last.  Byte-identical partition required.
+    sharded = ParallelGroupingEngine(
+        system_a.kb, system_a.config.with_workers(4)
+    ).group(stream)
+    sharded_partition = frozenset(
+        frozenset(p.index for p in group) for group in sharded.groups
+    )
+    results["sharded(4)"] = sharded_partition
+
     record_table(
         "ablation_pass_order",
         ["pass order", "#groups", "identical partition"],
@@ -60,3 +75,4 @@ def test_ablation_pass_order_invariance(benchmark, system_a, live_a):
         f"({len(stream)} messages, {n_groups} groups)",
     )
     assert len(partitions) == 1
+    assert sharded_partition == next(iter(partitions))

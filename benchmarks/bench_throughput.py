@@ -2,10 +2,15 @@
 
 Paper: "it generally takes less than one hour to digest one day's syslog".
 We measure batch digest and streaming-push throughput on a live day and
-compare against the generation rate.
+compare against the generation rate, plus serial vs router-sharded
+parallel digest of the same day (the sharded engine must be both faster
+on multi-core hardware and byte-identical in its groupings).
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 from benchmarks._shared import record_table
 from repro.core.pipeline import SyslogDigest
@@ -24,16 +29,21 @@ def _one_day(live):
 
 def test_throughput_batch_digest(benchmark, system_a, live_a):
     messages = _one_day(live_a)
+    t0 = time.perf_counter()
     result = benchmark(
         lambda: SyslogDigest(system_a.kb, system_a.config).digest(messages)
     )
-    per_message_us = benchmark.stats.stats.mean / len(messages) * 1e6
+    wall = time.perf_counter() - t0
+    # Under --benchmark-disable (CI smoke mode) stats are absent; the
+    # single-call wall time still bounds the paper's < 1 h/day claim.
+    mean_s = benchmark.stats.stats.mean if benchmark.stats else wall
+    per_message_us = mean_s / len(messages) * 1e6
     record_table(
         "throughput_batch",
         ["metric", "value"],
         [
             ("messages in one day", len(messages)),
-            ("digest wall time (s)", f"{benchmark.stats.stats.mean:.2f}"),
+            ("digest wall time (s)", f"{mean_s:.2f}"),
             ("per message (us)", f"{per_message_us:.0f}"),
             ("events", result.n_events),
         ],
@@ -41,7 +51,7 @@ def test_throughput_batch_digest(benchmark, system_a, live_a):
         "(paper: < 1 hour per day of syslog)",
     )
     # Digesting a day must take far less than a day (paper: < 1 h).
-    assert benchmark.stats.stats.mean < 3600.0
+    assert mean_s < 3600.0
 
 
 def test_throughput_streaming_push(benchmark, system_a, live_a):
@@ -57,3 +67,53 @@ def test_throughput_streaming_push(benchmark, system_a, live_a):
 
     events = benchmark.pedantic(run, rounds=1, iterations=1)
     assert events
+
+
+def test_throughput_serial_vs_sharded(benchmark, system_a, live_a):
+    """Serial vs router-sharded parallel digest of one live day.
+
+    The sharded engine must produce byte-identical groupings; on a
+    multi-core runner it must also be measurably faster (the paper's
+    performance bar scales with hardware, ROADMAP's north star).
+    """
+    messages = _one_day(live_a)
+    n_cores = os.cpu_count() or 1
+    serial_system = SyslogDigest(system_a.kb, system_a.config.with_workers(1))
+    sharded_system = SyslogDigest(
+        system_a.kb, system_a.config.with_workers(0)  # one per core
+    )
+
+    def run_both():
+        t0 = time.perf_counter()
+        serial = serial_system.digest(messages)
+        t1 = time.perf_counter()
+        sharded = sharded_system.digest(messages)
+        t2 = time.perf_counter()
+        return serial, sharded, t1 - t0, t2 - t1
+
+    serial, sharded, serial_s, sharded_s = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    speedup = serial_s / max(sharded_s, 1e-9)
+    identical = [e.indices for e in sharded.events] == [
+        e.indices for e in serial.events
+    ]
+    record_table(
+        "throughput_serial_vs_sharded",
+        ["metric", "value"],
+        [
+            ("messages in one day", len(messages)),
+            ("cores", n_cores),
+            ("serial digest (s)", f"{serial_s:.2f}"),
+            (f"sharded digest, {n_cores} workers (s)", f"{sharded_s:.2f}"),
+            ("speedup", f"{speedup:.2f}x"),
+            ("groupings byte-identical", identical),
+        ],
+        title="Throughput: serial vs router-sharded parallel digest",
+    )
+    assert identical
+    if n_cores >= 4:
+        # The acceptance bar for a true multi-core runner; on fewer
+        # cores the pool overhead can eat the win, so only the
+        # equivalence half of the contract is enforced above.
+        assert speedup >= 1.5

@@ -66,7 +66,7 @@ def _cmd_learn(args: argparse.Namespace) -> int:
 
 def _cmd_digest(args: argparse.Namespace) -> int:
     kb = KnowledgeBase.load(args.kb)
-    system = SyslogDigest(kb, DigestConfig())
+    system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
     messages = list(read_log(args.log))
     result = system.digest(messages)
     print(
@@ -81,7 +81,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.apps.reportgen import daily_report
 
     kb = KnowledgeBase.load(args.kb)
-    system = SyslogDigest(kb, DigestConfig())
+    system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
     messages = list(read_log(args.log))
     result = system.digest(messages)
     origin = messages[0].timestamp - (messages[0].timestamp % DAY)
@@ -172,11 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log", required=True)
     p.add_argument("--kb", required=True)
     p.add_argument("--top", type=int, default=20)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard grouping by router over N processes (0 = all cores)",
+    )
     p.set_defaults(fn=_cmd_digest)
 
     p = sub.add_parser("report", help="daily/per-router digest report")
     p.add_argument("--log", required=True)
     p.add_argument("--kb", required=True)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard grouping by router over N processes (0 = all cores)",
+    )
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser(

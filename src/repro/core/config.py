@@ -42,9 +42,45 @@ class DigestConfig:
     # Must be at least s_max or open temporal groups could still grow.
     idle_flush: float = 3 * HOUR
 
+    # Collector clock-skew tolerance (seconds): timestamps up to this far
+    # behind the stream clock are clamped instead of rejected, so a
+    # jittery UDP collector path cannot kill a live digest.
+    skew_tolerance: float = 2.0
+
+    # Sharded parallel engine: number of workers the grouping passes are
+    # spread over (1 = serial, 0 = one per CPU core) and whether the
+    # stream is partitioned by router (the only sound shard axis for the
+    # temporal and rule passes, which never relate messages on different
+    # routers).
+    n_workers: int = 1
+    shard_by_router: bool = True
+
+    @property
+    def flush_after(self) -> float:
+        """Idle horizon after which a group can no longer grow.
+
+        Also the horizon past which per-key temporal rhythm state is
+        reset; batch and streaming engines share it so their groupings
+        stay identical.
+        """
+        return max(
+            self.idle_flush,
+            self.temporal.s_max + self.window + self.cross_router_window,
+        )
+
+    def __post_init__(self) -> None:
+        if self.skew_tolerance < 0:
+            raise ValueError("skew_tolerance must be >= 0")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0 (0 = one per core)")
+
     def with_temporal(self, params: TemporalParams) -> DigestConfig:
         """Copy with different temporal-grouping parameters."""
         return replace(self, temporal=params)
+
+    def with_workers(self, n_workers: int) -> DigestConfig:
+        """Copy with a different worker count for the sharded engine."""
+        return replace(self, n_workers=n_workers)
 
     def only_passes(
         self, temporal: bool = True, rules: bool = True, cross: bool = True

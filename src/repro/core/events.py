@@ -19,7 +19,10 @@ class NetworkEvent:
     messages: list[SyslogPlus]
     score: float = 0.0
     label: str = ""
-    _location_summary: list[Location] | None = field(
+    # Cache of (message fingerprint, summary): recomputed whenever the
+    # message list changes, so post-construction mutation cannot serve a
+    # stale summary.
+    _summary_cache: tuple[tuple[int, ...], list[Location]] | None = field(
         init=False, default=None, repr=False
     )
 
@@ -65,8 +68,12 @@ class NetworkEvent:
 
     def location_summary(self) -> list[Location]:
         """Per router, the most common highest-level location (Section 4.2.4)."""
-        if self._location_summary is not None:
-            return self._location_summary
+        fingerprint = tuple(p.index for p in self.messages)
+        if (
+            self._summary_cache is not None
+            and self._summary_cache[0] == fingerprint
+        ):
+            return self._summary_cache[1]
         per_router: dict[str, Counter[Location]] = {}
         for plus in self.messages:
             per_router.setdefault(plus.router, Counter())[
@@ -83,7 +90,7 @@ class NetworkEvent:
             ]
             candidates.sort(key=lambda pair: (-pair[0], pair[1]))
             summary.append(candidates[0][1])
-        self._location_summary = summary
+        self._summary_cache = (fingerprint, summary)
         return summary
 
     def states(self, dictionary) -> tuple[str, ...]:

@@ -4,6 +4,22 @@ Messages related by *any* pass end up in one group: relations are edges
 over message indices and the final groups are the connected components.
 That construction is what makes the result independent of the order the
 passes run in (Section 4.2.3) — a property the ablation benches verify.
+
+Each pass is implemented as a module-level *edge generator* over a
+time-sorted Syslog+ stream.  Generators only relate messages through
+their global ``plus.index``, never through list positions, so a generator
+run over a per-router shard of the stream produces exactly the edges it
+would contribute when run over the whole stream.  That is what the
+sharded parallel engine (:mod:`repro.core.parallel`) exploits: the
+temporal and rule passes only ever relate messages on the *same* router,
+so their edge sets can be computed per shard concurrently and unioned
+afterwards without changing the connected components.
+
+The rule and cross-router passes keep their sliding windows indexed by
+``template_key``: a new message only probes window entries whose template
+can actually relate to it (rule partners for the rule pass, the same
+template for the cross-router pass) instead of rescanning every message
+in the window.
 """
 
 from __future__ import annotations
@@ -15,8 +31,11 @@ from repro.core.config import DigestConfig
 from repro.core.knowledge import KnowledgeBase
 from repro.core.syslogplus import SyslogPlus
 from repro.locations.spatial import spatially_matched
-from repro.mining.temporal import TemporalSplitter
+from repro.mining.temporal import TemporalParams, TemporalSplitter
 from repro.utils.unionfind import UnionFind
+
+# An edge relates two messages by their global stream indices.
+Edge = tuple[int, int]
 
 
 @dataclass
@@ -27,6 +46,172 @@ class GroupingOutcome:
     active_rules: set[tuple[str, str]]  # rules that actually fired
 
 
+def build_rule_partners(
+    rule_pairs: set[tuple[str, str]]
+) -> dict[str, tuple[str, ...]]:
+    """Map each template key to the partner templates it shares a rule with.
+
+    The rule pass only needs to probe window entries whose template is a
+    partner of the arriving message's template; everything else can never
+    produce an edge.  Self-pairs are dropped — the rule pass relates
+    *different* templates only.
+    """
+    partners: dict[str, set[str]] = {}
+    for x, y in rule_pairs:
+        if x == y:
+            continue
+        partners.setdefault(x, set()).add(y)
+        partners.setdefault(y, set()).add(x)
+    return {key: tuple(sorted(vals)) for key, vals in partners.items()}
+
+
+def temporal_edges(
+    stream: list[SyslogPlus],
+    params: TemporalParams,
+    reset_after: float | None = None,
+) -> list[Edge]:
+    """Same template + same location, periodic in time (Section 4.2.1).
+
+    ``reset_after`` bounds the rhythm memory: a splitter whose key has
+    been quiet longer than this horizon is recreated from scratch, which
+    is exactly what the streaming engine does when it evicts idle
+    splitter state.  Keeping the rule identical in both engines is what
+    preserves batch/stream grouping equivalence.  ``None`` never resets.
+    """
+    edges: list[Edge] = []
+    splitters: dict[tuple, TemporalSplitter] = {}
+    # Each splitter instance gets a serial number; group identity is
+    # (serial, group) so a recreated splitter can never be confused with
+    # the groups of its predecessor.
+    serial_of: dict[tuple, int] = {}
+    n_created = 0
+    last_member: dict[tuple[int, int], int] = {}
+    for plus in stream:
+        key = (
+            plus.router,
+            plus.template_key,
+            plus.primary_location.key(),
+        )
+        splitter = splitters.get(key)
+        if (
+            splitter is not None
+            and reset_after is not None
+            and plus.timestamp - splitter.last_ts > reset_after
+        ):
+            splitter = None
+        if splitter is None:
+            splitter = TemporalSplitter(params)
+            splitters[key] = splitter
+            serial_of[key] = n_created
+            n_created += 1
+        group = splitter.observe(plus.timestamp)
+        group_key = (serial_of[key], group)
+        tail = last_member.get(group_key)
+        if tail is not None:
+            edges.append((tail, plus.index))
+        last_member[group_key] = plus.index
+    return edges
+
+
+def rule_edges(
+    stream: list[SyslogPlus],
+    partners: dict[str, tuple[str, ...]],
+    window: float,
+    dictionary,
+) -> tuple[list[Edge], set[tuple[str, str]]]:
+    """Different templates, same router, spatially matched, within W.
+
+    The per-router window is indexed by template key, so each arrival
+    probes only the templates that appear as its rule partners —
+    O(partner templates) instead of O(window size) per message.
+    """
+    edges: list[Edge] = []
+    active: set[tuple[str, str]] = set()
+    # router -> template_key -> deque of (timestamp, message)
+    recent: dict[str, dict[str, deque[tuple[float, SyslogPlus]]]] = {}
+    for plus in stream:
+        by_template = recent.setdefault(plus.router, {})
+        horizon = plus.timestamp - window
+        for partner in partners.get(plus.template_key, ()):
+            queue = by_template.get(partner)
+            if not queue:
+                continue
+            while queue and queue[0][0] < horizon:
+                queue.popleft()
+            for _ts, other in queue:
+                if spatially_matched(
+                    dictionary,
+                    other.primary_location,
+                    plus.primary_location,
+                ):
+                    edges.append((other.index, plus.index))
+                    active.add(
+                        (partner, plus.template_key)
+                        if partner <= plus.template_key
+                        else (plus.template_key, partner)
+                    )
+        own = by_template.setdefault(plus.template_key, deque())
+        while own and own[0][0] < horizon:
+            own.popleft()
+        own.append((plus.timestamp, plus))
+    return edges, active
+
+
+def cross_router_edges(
+    stream: list[SyslogPlus], window: float, dictionary
+) -> list[Edge]:
+    """Same template on connected locations, almost simultaneous.
+
+    The window is indexed by template key: only entries of the arriving
+    message's own template can relate to it.
+    """
+    edges: list[Edge] = []
+    recent: dict[str, deque[tuple[float, SyslogPlus]]] = {}
+    for plus in stream:
+        queue = recent.setdefault(plus.template_key, deque())
+        while queue and queue[0][0] < plus.timestamp - window:
+            queue.popleft()
+        for _ts, other in queue:
+            if other.router == plus.router:
+                continue
+            if related_across_routers(dictionary, other, plus):
+                edges.append((other.index, plus.index))
+        queue.append((plus.timestamp, plus))
+    return edges
+
+
+def related_across_routers(dictionary, a: SyslogPlus, b: SyslogPlus) -> bool:
+    """True when any known locations of the two messages touch.
+
+    Covers the two ends of one link/session (``connected`` in the
+    dictionary) and a message naming the far router's component directly
+    (e.g. a BGP neighbor IP resolving to the peer's interface).
+    """
+    for loc_a in a.local_locations():
+        for loc_b in b.local_locations():
+            if loc_a.router == loc_b.router:
+                if spatially_matched(dictionary, loc_a, loc_b):
+                    return True
+            elif dictionary.connected(loc_a, loc_b):
+                return True
+    return False
+
+
+def collect_outcome(
+    stream: list[SyslogPlus],
+    uf: UnionFind,
+    active_rules: set[tuple[str, str]],
+) -> GroupingOutcome:
+    """Materialize connected components into the canonical group order."""
+    members: dict[int, list[SyslogPlus]] = {}
+    for plus in stream:
+        members.setdefault(uf.find(plus.index), []).append(plus)
+    groups = sorted(
+        members.values(), key=lambda g: (g[0].timestamp, g[0].index)
+    )
+    return GroupingOutcome(groups=groups, active_rules=active_rules)
+
+
 class GroupingEngine:
     """Batch grouping of a time-sorted Syslog+ stream."""
 
@@ -34,10 +219,11 @@ class GroupingEngine:
         self._kb = kb
         self._config = config
         self._rule_pairs = kb.rule_pairs()
+        self._partners = build_rule_partners(self._rule_pairs)
 
     def group(self, stream: list[SyslogPlus]) -> GroupingOutcome:
         """Group the whole stream; input must be time-sorted."""
-        uf: UnionFind = UnionFind(range(len(stream)))
+        uf: UnionFind = UnionFind(plus.index for plus in stream)
         active_rules: set[tuple[str, str]] = set()
         if self._config.enable_temporal:
             self._temporal_pass(stream, uf)
@@ -45,14 +231,7 @@ class GroupingEngine:
             self._rule_pass(stream, uf, active_rules)
         if self._config.enable_cross_router:
             self._cross_router_pass(stream, uf)
-
-        members: dict[int, list[SyslogPlus]] = {}
-        for i, plus in enumerate(stream):
-            members.setdefault(uf.find(i), []).append(plus)
-        groups = sorted(
-            members.values(), key=lambda g: (g[0].timestamp, g[0].index)
-        )
-        return GroupingOutcome(groups=groups, active_rules=active_rules)
+        return collect_outcome(stream, uf, active_rules)
 
     # ------------------------------------------------------------- temporal
 
@@ -60,23 +239,10 @@ class GroupingEngine:
         self, stream: list[SyslogPlus], uf: UnionFind
     ) -> None:
         """Same template + same location, periodic in time (Section 4.2.1)."""
-        splitters: dict[tuple, TemporalSplitter] = {}
-        last_member: dict[tuple, int] = {}  # (key, group) -> last index
-        for i, plus in enumerate(stream):
-            key = (
-                plus.router,
-                plus.template_key,
-                plus.primary_location.key(),
-            )
-            splitter = splitters.get(key)
-            if splitter is None:
-                splitter = TemporalSplitter(self._kb.temporal)
-                splitters[key] = splitter
-            group = splitter.observe(plus.timestamp)
-            group_key = (key, group)
-            if group_key in last_member:
-                uf.union(last_member[group_key], i)
-            last_member[group_key] = i
+        for a, b in temporal_edges(
+            stream, self._kb.temporal, self._config.flush_after
+        ):
+            uf.union(a, b)
 
     # ------------------------------------------------------------- rule-based
 
@@ -87,27 +253,12 @@ class GroupingEngine:
         active_rules: set[tuple[str, str]],
     ) -> None:
         """Different templates, same router, spatially matched, within W."""
-        window = self._config.window
-        recent: dict[str, deque[tuple[float, int]]] = {}
-        for i, plus in enumerate(stream):
-            queue = recent.setdefault(plus.router, deque())
-            while queue and queue[0][0] < plus.timestamp - window:
-                queue.popleft()
-            for _ts, j in queue:
-                other = stream[j]
-                if other.template_key == plus.template_key:
-                    continue
-                pair = tuple(sorted((other.template_key, plus.template_key)))
-                if pair not in self._rule_pairs:
-                    continue
-                if spatially_matched(
-                    self._kb.dictionary,
-                    other.primary_location,
-                    plus.primary_location,
-                ):
-                    uf.union(i, j)
-                    active_rules.add(pair)  # type: ignore[arg-type]
-            queue.append((plus.timestamp, i))
+        edges, active = rule_edges(
+            stream, self._partners, self._config.window, self._kb.dictionary
+        )
+        for a, b in edges:
+            uf.union(a, b)
+        active_rules |= active
 
     # ------------------------------------------------------------- cross-router
 
@@ -115,37 +266,13 @@ class GroupingEngine:
         self, stream: list[SyslogPlus], uf: UnionFind
     ) -> None:
         """Same template on connected locations, almost simultaneous."""
-        window = self._config.cross_router_window
-        recent: deque[tuple[float, int]] = deque()
-        for i, plus in enumerate(stream):
-            while recent and recent[0][0] < plus.timestamp - window:
-                recent.popleft()
-            for _ts, j in recent:
-                other = stream[j]
-                if other.template_key != plus.template_key:
-                    continue
-                if other.router == plus.router:
-                    continue
-                if self._related_across_routers(other, plus):
-                    uf.union(i, j)
-            recent.append((plus.timestamp, i))
+        for a, b in cross_router_edges(
+            stream, self._config.cross_router_window, self._kb.dictionary
+        ):
+            uf.union(a, b)
 
     def _related_across_routers(
         self, a: SyslogPlus, b: SyslogPlus
     ) -> bool:
-        """True when any known locations of the two messages touch.
-
-        Covers the two ends of one link/session (``connected`` in the
-        dictionary) and a message naming the far router's component
-        directly (e.g. a BGP neighbor IP resolving to the peer's
-        interface).
-        """
-        dictionary = self._kb.dictionary
-        for loc_a in a.local_locations():
-            for loc_b in b.local_locations():
-                if loc_a.router == loc_b.router:
-                    if spatially_matched(dictionary, loc_a, loc_b):
-                        return True
-                elif dictionary.connected(loc_a, loc_b):
-                    return True
-        return False
+        """Kept for compatibility; see :func:`related_across_routers`."""
+        return related_across_routers(self._kb.dictionary, a, b)

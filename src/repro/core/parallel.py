@@ -1,0 +1,194 @@
+"""Sharded parallel execution of the digest grouping passes.
+
+The temporal and rule passes only ever relate messages on the *same*
+router, so partitioning the Syslog+ stream by router and running those
+passes per shard produces exactly the edges the serial engine would —
+edges are expressed over global message indices, and the union-find merge
+of the paper's Section 4.2.3 is order-invariant, so unioning per-shard
+edge sets afterwards yields identical connected components.  Only the
+cross-router pass needs the merged stream; it runs once, serially, after
+the shards.
+
+Batch parallelism uses a process pool (the passes are pure Python, so
+threads gain nothing under the GIL); each task ships one shard's messages
+plus the read-only knowledge it needs and returns plain edge lists, which
+keeps the payloads picklable.  If a pool cannot be created or a payload
+cannot be pickled (restricted sandboxes, exotic platforms), the engine
+degrades to running the same shard tasks serially in-process — the result
+is identical either way, a property the tests pin.
+
+Streaming parallelism lives in :meth:`repro.core.stream.DigestStream.push_many`,
+which shares the shard-planning axis but uses threads, since a live
+digest's state machines cannot cheaply cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.config import DigestConfig
+from repro.core.grouping import (
+    Edge,
+    GroupingEngine,
+    GroupingOutcome,
+    build_rule_partners,
+    collect_outcome,
+    cross_router_edges,
+    rule_edges,
+    temporal_edges,
+)
+from repro.core.knowledge import KnowledgeBase
+from repro.core.syslogplus import SyslogPlus
+from repro.mining.temporal import TemporalParams
+from repro.utils.unionfind import UnionFind
+
+
+def resolve_workers(n_workers: int) -> int:
+    """Turn the config knob into a concrete worker count (0 = all cores)."""
+    if n_workers == 0:
+        return os.cpu_count() or 1
+    return n_workers
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of routers to shards."""
+
+    n_shards: int
+    shard_of: dict[str, int]
+
+    def split(self, stream: list[SyslogPlus]) -> list[list[SyslogPlus]]:
+        """Partition a time-sorted stream into per-shard sorted streams."""
+        shards: list[list[SyslogPlus]] = [[] for _ in range(self.n_shards)]
+        for plus in stream:
+            shards[self.shard_of[plus.router]].append(plus)
+        return shards
+
+
+def plan_shards(stream: list[SyslogPlus], n_shards: int) -> ShardPlan:
+    """Greedy balanced assignment of routers to at most ``n_shards`` shards.
+
+    Routers are placed heaviest-first onto the least-loaded shard
+    (longest-processing-time heuristic), with deterministic tie-breaks so
+    the same stream always yields the same plan.
+    """
+    counts = Counter(plus.router for plus in stream)
+    n = max(1, min(n_shards, len(counts)))
+    loads = [0] * n
+    shard_of: dict[str, int] = {}
+    for router, count in sorted(
+        counts.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        shard = min(range(n), key=lambda s: (loads[s], s))
+        shard_of[router] = shard
+        loads[shard] += count
+    return ShardPlan(n_shards=n, shard_of=shard_of)
+
+
+def shard_edge_task(
+    payload: tuple[
+        list[SyslogPlus],
+        TemporalParams,
+        float,
+        dict[str, tuple[str, ...]],
+        float,
+        object,
+        bool,
+        bool,
+    ]
+) -> tuple[list[Edge], set[tuple[str, str]]]:
+    """Run the shard-local passes over one shard; top-level for pickling."""
+    (
+        shard,
+        temporal_params,
+        reset_after,
+        partners,
+        window,
+        dictionary,
+        enable_temporal,
+        enable_rules,
+    ) = payload
+    edges: list[Edge] = []
+    active: set[tuple[str, str]] = set()
+    if enable_temporal:
+        edges.extend(temporal_edges(shard, temporal_params, reset_after))
+    if enable_rules:
+        rule, active = rule_edges(shard, partners, window, dictionary)
+        edges.extend(rule)
+    return edges, active
+
+
+class ParallelGroupingEngine:
+    """Router-sharded grouping with the same contract as GroupingEngine.
+
+    ``group`` returns a :class:`GroupingOutcome` identical — including
+    group membership, group order and member order — to what the serial
+    engine produces on the same stream.
+    """
+
+    def __init__(self, kb: KnowledgeBase, config: DigestConfig) -> None:
+        self._kb = kb
+        self._config = config
+        self._partners = build_rule_partners(kb.rule_pairs())
+
+    def group(self, stream: list[SyslogPlus]) -> GroupingOutcome:
+        """Group the whole stream; input must be time-sorted."""
+        cfg = self._config
+        n_workers = resolve_workers(cfg.n_workers)
+        if n_workers <= 1 or not cfg.shard_by_router or not stream:
+            return GroupingEngine(self._kb, cfg).group(stream)
+
+        plan = plan_shards(stream, n_workers)
+        payloads = [
+            (
+                shard,
+                self._kb.temporal,
+                cfg.flush_after,
+                self._partners,
+                cfg.window,
+                self._kb.dictionary,
+                cfg.enable_temporal,
+                cfg.enable_rules,
+            )
+            for shard in plan.split(stream)
+            if shard
+        ]
+
+        uf: UnionFind = UnionFind(plus.index for plus in stream)
+        active_rules: set[tuple[str, str]] = set()
+        for edges, active in self._run_shards(payloads):
+            for a, b in edges:
+                uf.union(a, b)
+            active_rules |= active
+
+        if cfg.enable_cross_router:
+            for a, b in cross_router_edges(
+                stream, cfg.cross_router_window, self._kb.dictionary
+            ):
+                uf.union(a, b)
+        return collect_outcome(stream, uf, active_rules)
+
+    def _run_shards(self, payloads):
+        """Map shard tasks over a process pool, falling back to serial."""
+        if len(payloads) > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=len(payloads)
+                ) as pool:
+                    return list(pool.map(shard_edge_task, payloads))
+            except (
+                OSError,
+                ValueError,
+                RuntimeError,
+                TypeError,
+                AttributeError,
+                pickle.PicklingError,
+            ):
+                # No process support (sandboxed platform) or pool setup
+                # failure: same tasks, same results, one process.
+                pass
+        return [shard_edge_task(payload) for payload in payloads]

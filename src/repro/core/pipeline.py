@@ -48,16 +48,26 @@ class DigestResult:
 
     @property
     def compression_ratio(self) -> float:
-        """Events divided by raw messages — the paper's headline metric."""
+        """Events divided by raw messages — the paper's headline metric.
+
+        An empty digest compresses nothing: the ratio is 0.0, not 1.0,
+        so empty runs cannot silently drag Table 7 / Figure 12 averages
+        toward "no compression".
+        """
         if self.n_messages == 0:
-            return 1.0
+            return 0.0
         return self.n_events / self.n_messages
 
     def per_day(self, origin: float) -> dict[int, dict[str, int]]:
-        """Per-day message/event counts (events counted at start day)."""
+        """Per-day message/event counts (events counted at start day).
+
+        Events starting before ``origin`` (collector skew, a mischosen
+        origin) are clamped into day 0 rather than emitted as negative
+        day buckets that would corrupt downstream aggregates.
+        """
         out: dict[int, dict[str, int]] = {}
         for event in self.events:
-            day = int((event.start_ts - origin) // DAY)
+            day = max(int((event.start_ts - origin) // DAY), 0)
             bucket = out.setdefault(day, {"events": 0, "messages": 0})
             bucket["events"] += 1
             bucket["messages"] += event.n_messages
@@ -171,11 +181,22 @@ class SyslogDigest:
     # ------------------------------------------------------------------ online
 
     def digest(self, messages: Iterable[SyslogMessage]) -> DigestResult:
-        """Digest a batch of real-time messages into ranked events."""
+        """Digest a batch of real-time messages into ranked events.
+
+        With ``config.n_workers != 1`` the temporal and rule passes run
+        router-sharded on a process pool (see :mod:`repro.core.parallel`);
+        the grouping is identical to the serial engine's.
+        """
         stream = sort_messages(messages)
         augmenter = Augmenter(self.kb.templates, self.kb.dictionary)
         plus_stream = augmenter.augment_all(stream)
-        outcome = GroupingEngine(self.kb, self.config).group(plus_stream)
+        if self.config.n_workers != 1:
+            from repro.core.parallel import ParallelGroupingEngine
+
+            engine = ParallelGroupingEngine(self.kb, self.config)
+        else:
+            engine = GroupingEngine(self.kb, self.config)
+        outcome = engine.group(plus_stream)
         events = [NetworkEvent(messages=group) for group in outcome.groups]
         ranked = Prioritizer(self.kb).rank(events)
         for event in ranked:

@@ -6,14 +6,33 @@ could still attach a message to it (``s_max`` for temporal grouping, ``W``
 for rules, the cross-router skew).  Batch :meth:`SyslogDigest.digest` and a
 push-everything-then-close stream produce identical groupings; a test pins
 that equivalence.
+
+Grouping state is factored into :class:`ShardState` instances holding the
+per-router machinery (temporal splitters, rule windows).  Because the
+temporal and rule passes never relate messages on different routers, the
+stream can be partitioned by router across several shard states whose
+steps are independent — :meth:`DigestStream.push_many` exploits that to
+run them on a thread pool, while the cross-router window and the
+union-find stay global.  Long-running streams stay bounded: splitters
+idle past the flush horizon are evicted (and lazily reset on next touch,
+mirroring the batch engine exactly), and window entries of finalized
+messages are dropped at every finalize sweep.
 """
 
 from __future__ import annotations
 
+import zlib
 from collections import deque
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.config import DigestConfig
 from repro.core.events import NetworkEvent
+from repro.core.grouping import (
+    Edge,
+    build_rule_partners,
+    related_across_routers,
+)
 from repro.core.knowledge import KnowledgeBase
 from repro.core.present import event_label
 from repro.core.priority import Prioritizer
@@ -24,8 +43,167 @@ from repro.syslog.message import SyslogMessage
 from repro.utils.unionfind import UnionFind
 
 
+class ShardState:
+    """Per-shard grouping state: temporal splitters plus rule windows.
+
+    One shard owns a subset of the routers; all its structures are keyed
+    by router (or by a router-containing key), so two shards never touch
+    the same entries and their steps can run concurrently.  Steps return
+    edges over global message indices instead of mutating the shared
+    union-find, which keeps them side-effect free outside the shard.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        kb: KnowledgeBase,
+        config: DigestConfig,
+        partners: dict[str, tuple[str, ...]],
+    ) -> None:
+        self._shard_id = shard_id
+        self._kb = kb
+        self._config = config
+        self._partners = partners
+        self._splitters: dict[tuple, TemporalSplitter] = {}
+        # Splitter instance serials namespace temporal group identities,
+        # so an evicted-and-recreated splitter can never union with the
+        # groups of its predecessor.  (shard_id, serial) is globally
+        # unique across shards.
+        self._serial_of: dict[tuple, int] = {}
+        self._n_created = 0
+        self._temporal_tail: dict[tuple, int] = {}
+        # router -> template_key -> deque of (arrival ts, message)
+        self._rule_window: dict[
+            str, dict[str, deque[tuple[float, SyslogPlus]]]
+        ] = {}
+
+    # ----------------------------------------------------------------- steps
+
+    def step(self, plus: SyslogPlus, now: float) -> list[Edge]:
+        """Run the shard-local passes for one message; return new edges."""
+        edges: list[Edge] = []
+        if self._config.enable_temporal:
+            edge = self._temporal_step(plus, now)
+            if edge is not None:
+                edges.append(edge)
+        if self._config.enable_rules:
+            edges.extend(self._rule_step(plus, now))
+        return edges
+
+    def _temporal_step(self, plus: SyslogPlus, now: float) -> Edge | None:
+        key = (plus.router, plus.template_key, plus.primary_location.key())
+        splitter = self._splitters.get(key)
+        if (
+            splitter is not None
+            and now - splitter.last_ts > self._config.flush_after
+        ):
+            # Lazy rhythm reset past the flush horizon — identical to the
+            # batch engine's rule, so groupings stay equivalent whether or
+            # not the sweep already evicted the idle splitter.
+            splitter = None
+        if splitter is None:
+            splitter = TemporalSplitter(
+                self._config.temporal,
+                skew_tolerance=self._config.skew_tolerance,
+            )
+            self._splitters[key] = splitter
+            self._serial_of[key] = self._n_created
+            self._n_created += 1
+        group = splitter.observe(plus.timestamp)
+        group_key = (self._serial_of[key], group)
+        tail = self._temporal_tail.get(group_key)
+        self._temporal_tail[group_key] = plus.index
+        if tail is not None:
+            return (tail, plus.index)
+        return None
+
+    def _rule_step(self, plus: SyslogPlus, now: float) -> list[Edge]:
+        edges: list[Edge] = []
+        window = self._config.window
+        by_template = self._rule_window.setdefault(plus.router, {})
+        horizon = now - window
+        for partner in self._partners.get(plus.template_key, ()):
+            queue = by_template.get(partner)
+            if not queue:
+                continue
+            while queue and queue[0][0] < horizon:
+                queue.popleft()
+            for _ts, other in queue:
+                if spatially_matched(
+                    self._kb.dictionary,
+                    other.primary_location,
+                    plus.primary_location,
+                ):
+                    edges.append((other.index, plus.index))
+        own = by_template.setdefault(plus.template_key, deque())
+        while own and own[0][0] < horizon:
+            own.popleft()
+        own.append((now, plus))
+        return edges
+
+    # ------------------------------------------------------------ maintenance
+
+    def evict_idle(self, horizon: float) -> None:
+        """Drop splitters whose key has been quiet past ``horizon``.
+
+        Safe because the lazy reset in :meth:`_temporal_step` would
+        recreate them from scratch on next touch anyway.
+        """
+        idle = [
+            key
+            for key, splitter in self._splitters.items()
+            if splitter.last_ts < horizon
+        ]
+        for key in idle:
+            del self._splitters[key]
+            del self._serial_of[key]
+
+    def prune(self, open_indices: set[int]) -> None:
+        """Drop window/tail entries that reference finalized messages."""
+        self._temporal_tail = {
+            key: idx
+            for key, idx in self._temporal_tail.items()
+            if idx in open_indices
+        }
+        for router in list(self._rule_window):
+            by_template = self._rule_window[router]
+            for template in list(by_template):
+                kept = deque(
+                    item
+                    for item in by_template[template]
+                    if item[1].index in open_indices
+                )
+                if kept:
+                    by_template[template] = kept
+                else:
+                    del by_template[template]
+            if not by_template:
+                del self._rule_window[router]
+
+    @property
+    def n_splitters(self) -> int:
+        """Live temporal splitters (exposed for leak tests)."""
+        return len(self._splitters)
+
+    @property
+    def n_window_entries(self) -> int:
+        """Live rule-window entries (exposed for leak tests)."""
+        return sum(
+            len(queue)
+            for by_template in self._rule_window.values()
+            for queue in by_template.values()
+        )
+
+
 class DigestStream:
-    """Online digester: ``push`` messages in time order, collect events."""
+    """Online digester: ``push`` messages in time order, collect events.
+
+    With ``config.n_workers > 1`` the per-router grouping state is
+    partitioned across that many :class:`ShardState` instances and
+    :meth:`push_many` runs their steps on a thread pool; :meth:`push`
+    stays strictly sequential either way, and the grouping is identical
+    for any worker count.
+    """
 
     def __init__(
         self,
@@ -39,7 +217,7 @@ class DigestStream:
             self._config = self._config.with_temporal(kb.temporal)
         self._augmenter = Augmenter(kb.templates, kb.dictionary)
         self._prioritizer = Prioritizer(kb)
-        self._rule_pairs = kb.rule_pairs()
+        self._partners = build_rule_partners(kb.rule_pairs())
 
         self._uf: UnionFind = UnionFind()
         self._open: dict[int, SyslogPlus] = {}  # index -> message
@@ -47,47 +225,103 @@ class DigestStream:
         self._last_sweep: float | None = None
         self._sweep_interval = sweep_interval
 
-        self._splitters: dict[tuple, TemporalSplitter] = {}
-        self._temporal_tail: dict[tuple, int] = {}  # (key, group) -> index
-        self._rule_window: dict[str, deque[tuple[float, int]]] = {}
-        self._cross_window: deque[tuple[float, int]] = deque()
+        n_shards = self._config.n_workers if self._config.shard_by_router else 1
+        self._n_shards = max(1, n_shards)
+        self._states = [
+            ShardState(shard, kb, self._config, self._partners)
+            for shard in range(self._n_shards)
+        ]
+        # template_key -> deque of (arrival ts, message); global because
+        # the cross-router pass relates messages across shards.
+        self._cross_window: dict[str, deque[tuple[float, SyslogPlus]]] = {}
 
     @property
     def flush_after(self) -> float:
         """Idle horizon after which a group can no longer grow."""
-        return max(
-            self._config.idle_flush,
-            self._config.temporal.s_max
-            + self._config.window
-            + self._config.cross_router_window,
+        return self._config.flush_after
+
+    def _shard_of(self, router: str) -> ShardState:
+        if self._n_shards == 1:
+            return self._states[0]
+        return self._states[zlib.crc32(router.encode()) % self._n_shards]
+
+    def _admit(self, message: SyslogMessage) -> tuple[SyslogPlus, float]:
+        """Validate ordering/skew, augment, register; return (plus, now)."""
+        tolerance = self._config.skew_tolerance
+        if (
+            self._last_ts is not None
+            and message.timestamp < self._last_ts - tolerance
+        ):
+            raise ValueError(
+                "messages must be pushed in non-decreasing time order "
+                f"(got {message.timestamp}, stream clock {self._last_ts}, "
+                f"skew tolerance {tolerance}s)"
+            )
+        # The stream clock never runs backwards; a slightly-late message
+        # is processed as if it arrived at the current clock.
+        now = (
+            message.timestamp
+            if self._last_ts is None
+            else max(message.timestamp, self._last_ts)
         )
+        self._last_ts = now
+        plus = self._augmenter.augment(message)
+        self._uf.add(plus.index)
+        self._open[plus.index] = plus
+        return plus, now
 
     def push(self, message: SyslogMessage) -> list[NetworkEvent]:
         """Process one message; return any events finalized by its arrival."""
-        if self._last_ts is not None and message.timestamp < self._last_ts:
-            raise ValueError(
-                "messages must be pushed in non-decreasing time order"
-            )
-        self._last_ts = message.timestamp
-        plus = self._augmenter.augment(message)
-        index = plus.index
-        self._uf.add(index)
-        self._open[index] = plus
-
-        if self._config.enable_temporal:
-            self._temporal_step(plus)
-        if self._config.enable_rules:
-            self._rule_step(plus)
+        plus, now = self._admit(message)
+        for a, b in self._shard_of(plus.router).step(plus, now):
+            self._uf.union(a, b)
         if self._config.enable_cross_router:
-            self._cross_step(plus)
+            for a, b in self._cross_step(plus, now):
+                self._uf.union(a, b)
+        return self._maybe_sweep(now)
 
-        if (
-            self._last_sweep is None
-            or message.timestamp - self._last_sweep >= self._sweep_interval
-        ):
-            self._last_sweep = message.timestamp
-            return self._finalize_idle(message.timestamp)
-        return []
+    def push_many(
+        self, messages: Iterable[SyslogMessage]
+    ) -> list[NetworkEvent]:
+        """Push a time-ordered batch, sharding the per-router passes.
+
+        Shard steps run concurrently on a thread pool (one task per shard,
+        each processing its messages in arrival order); the cross-router
+        pass and the union-find merge then run once over the whole batch.
+        Produces the same grouping as message-by-message :meth:`push`.
+        """
+        batch: list[tuple[SyslogPlus, float]] = []
+        for message in messages:
+            batch.append(self._admit(message))
+        if not batch:
+            return []
+
+        per_shard: dict[int, list[tuple[SyslogPlus, float]]] = {}
+        for plus, now in batch:
+            state = self._shard_of(plus.router)
+            per_shard.setdefault(state._shard_id, []).append((plus, now))
+
+        def run_shard(shard_id: int) -> list[Edge]:
+            state = self._states[shard_id]
+            edges: list[Edge] = []
+            for plus, now in per_shard[shard_id]:
+                edges.extend(state.step(plus, now))
+            return edges
+
+        if self._n_shards > 1 and len(per_shard) > 1:
+            with ThreadPoolExecutor(max_workers=self._n_shards) as pool:
+                edge_lists = list(pool.map(run_shard, sorted(per_shard)))
+        else:
+            edge_lists = [run_shard(shard) for shard in sorted(per_shard)]
+        for edges in edge_lists:
+            for a, b in edges:
+                self._uf.union(a, b)
+
+        if self._config.enable_cross_router:
+            for plus, now in batch:
+                for a, b in self._cross_step(plus, now):
+                    self._uf.union(a, b)
+        return self._maybe_sweep(batch[-1][1])
 
     def close(self) -> list[NetworkEvent]:
         """Finalize and return all remaining open groups."""
@@ -96,71 +330,33 @@ class DigestStream:
 
     # ------------------------------------------------------------- internals
 
-    def _temporal_step(self, plus: SyslogPlus) -> None:
-        key = (plus.router, plus.template_key, plus.primary_location.key())
-        splitter = self._splitters.get(key)
-        if splitter is None:
-            splitter = TemporalSplitter(self._config.temporal)
-            self._splitters[key] = splitter
-        group = splitter.observe(plus.timestamp)
-        group_key = (key, group)
-        tail = self._temporal_tail.get(group_key)
-        if tail is not None:
-            self._uf.union(tail, plus.index)
-        self._temporal_tail[group_key] = plus.index
-
-    def _rule_step(self, plus: SyslogPlus) -> None:
-        window = self._config.window
-        queue = self._rule_window.setdefault(plus.router, deque())
-        while queue and queue[0][0] < plus.timestamp - window:
-            queue.popleft()
-        for _ts, j in queue:
-            other = self._open.get(j)
-            if other is None or other.template_key == plus.template_key:
-                continue
-            pair = tuple(sorted((other.template_key, plus.template_key)))
-            if pair not in self._rule_pairs:
-                continue
-            if spatially_matched(
-                self._kb.dictionary,
-                other.primary_location,
-                plus.primary_location,
-            ):
-                self._uf.union(plus.index, j)
-        queue.append((plus.timestamp, plus.index))
-
-    def _cross_step(self, plus: SyslogPlus) -> None:
+    def _cross_step(self, plus: SyslogPlus, now: float) -> list[Edge]:
+        edges: list[Edge] = []
         window = self._config.cross_router_window
-        while (
-            self._cross_window
-            and self._cross_window[0][0] < plus.timestamp - window
-        ):
-            self._cross_window.popleft()
-        for _ts, j in self._cross_window:
-            other = self._open.get(j)
-            if (
-                other is None
-                or other.template_key != plus.template_key
-                or other.router == plus.router
-            ):
+        queue = self._cross_window.setdefault(plus.template_key, deque())
+        while queue and queue[0][0] < now - window:
+            queue.popleft()
+        for _ts, other in queue:
+            if other.router == plus.router:
                 continue
-            if self._related(other, plus):
-                self._uf.union(plus.index, j)
-        self._cross_window.append((plus.timestamp, plus.index))
+            if related_across_routers(self._kb.dictionary, other, plus):
+                edges.append((other.index, plus.index))
+        queue.append((now, plus))
+        return edges
 
-    def _related(self, a: SyslogPlus, b: SyslogPlus) -> bool:
-        dictionary = self._kb.dictionary
-        for loc_a in a.local_locations():
-            for loc_b in b.local_locations():
-                if loc_a.router == loc_b.router:
-                    if spatially_matched(dictionary, loc_a, loc_b):
-                        return True
-                elif dictionary.connected(loc_a, loc_b):
-                    return True
-        return False
+    def _maybe_sweep(self, now: float) -> list[NetworkEvent]:
+        if (
+            self._last_sweep is None
+            or now - self._last_sweep >= self._sweep_interval
+        ):
+            self._last_sweep = now
+            return self._finalize_idle(now)
+        return []
 
     def _finalize_idle(self, now: float) -> list[NetworkEvent]:
         horizon = now - self.flush_after
+        for state in self._states:
+            state.evict_idle(horizon)
         return self._collect_groups(lambda last: last < horizon)
 
     def _collect_groups(self, should_close) -> list[NetworkEvent]:
@@ -178,12 +374,40 @@ class DigestStream:
             event.score = self._prioritizer.score(event)
             event.label = event_label([p.template for p in members])
             events.append(event)
-        # Drop temporal tails pointing at finalized messages so the dict
-        # does not grow without bound.
-        self._temporal_tail = {
-            key: idx
-            for key, idx in self._temporal_tail.items()
-            if idx in self._open
-        }
+        # Drop state referencing finalized messages so long-running
+        # streams stay bounded: temporal tails, rule windows (per shard)
+        # and the cross-router window.
+        open_indices = set(self._open)
+        for state in self._states:
+            state.prune(open_indices)
+        for template in list(self._cross_window):
+            kept = deque(
+                item
+                for item in self._cross_window[template]
+                if item[1].index in open_indices
+            )
+            if kept:
+                self._cross_window[template] = kept
+            else:
+                del self._cross_window[template]
         events.sort(key=lambda e: (e.start_ts, e.indices[:1]))
         return events
+
+    # ------------------------------------------------------------ diagnostics
+
+    @property
+    def n_open_messages(self) -> int:
+        """Messages not yet finalized into an event."""
+        return len(self._open)
+
+    @property
+    def n_splitters(self) -> int:
+        """Live temporal splitters across all shards (leak diagnostics)."""
+        return sum(state.n_splitters for state in self._states)
+
+    @property
+    def n_window_entries(self) -> int:
+        """Live rule + cross window entries (leak diagnostics)."""
+        rule = sum(state.n_window_entries for state in self._states)
+        cross = sum(len(q) for q in self._cross_window.values())
+        return rule + cross

@@ -48,9 +48,15 @@ class TemporalSplitter:
     learning across group boundaries — it models the template's rhythm —
     but observations are clamped at ``s_max`` so one long quiet spell does
     not blow up the prediction.
+
+    ``skew_tolerance`` absorbs collector clock skew: a timestamp up to
+    that far behind the previous one is clamped to a zero interarrival
+    (indistinguishable from simultaneous, hence same group) instead of
+    raising.
     """
 
     params: TemporalParams
+    skew_tolerance: float = 0.0
     _ewma: EwmaEstimator = field(init=False)
     _last_ts: float | None = field(init=False, default=None)
     _group: int = field(init=False, default=-1)
@@ -63,6 +69,11 @@ class TemporalSplitter:
         """Index of the group the most recent arrival joined."""
         return self._group
 
+    @property
+    def last_ts(self) -> float:
+        """Timestamp of the most recent arrival (-inf before the first)."""
+        return self._last_ts if self._last_ts is not None else float("-inf")
+
     def observe(self, ts: float) -> int:
         """Assign ``ts`` to a group and update the model."""
         if self._last_ts is None:
@@ -71,9 +82,15 @@ class TemporalSplitter:
             return self._group
         interarrival = ts - self._last_ts
         if interarrival < 0:
-            raise ValueError(
-                f"timestamps must be non-decreasing ({ts} < {self._last_ts})"
-            )
+            if interarrival < -self.skew_tolerance:
+                raise ValueError(
+                    f"timestamps must be non-decreasing "
+                    f"({ts} < {self._last_ts})"
+                )
+            # Small collector skew: treat as simultaneous and keep the
+            # stream clock monotone.
+            interarrival = 0.0
+            ts = self._last_ts
         if not self._same_group(interarrival):
             self._group += 1
         # Repeats at or below the data's time granularity (s_min) are

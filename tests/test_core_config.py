@@ -26,6 +26,27 @@ class TestDefaults:
         cfg = DigestConfig()
         assert cfg.idle_flush >= cfg.temporal.s_max == 3 * HOUR
 
+    def test_parallel_and_skew_defaults(self):
+        cfg = DigestConfig()
+        assert cfg.n_workers == 1  # serial unless asked
+        assert cfg.shard_by_router
+        assert cfg.skew_tolerance > 0  # jitter-tolerant out of the box
+
+    def test_flush_after_covers_every_grouping_horizon(self):
+        cfg = DigestConfig()
+        assert cfg.flush_after >= cfg.idle_flush
+        assert cfg.flush_after >= (
+            cfg.temporal.s_max + cfg.window + cfg.cross_router_window
+        )
+
+    def test_invalid_knobs_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DigestConfig(skew_tolerance=-1.0)
+        with pytest.raises(ValueError):
+            DigestConfig(n_workers=-2)
+
 
 class TestCopies:
     def test_with_temporal(self):
@@ -35,6 +56,11 @@ class TestCopies:
         assert updated.temporal == new_params
         assert cfg.temporal != new_params  # frozen original untouched
         assert updated.window == cfg.window
+
+    def test_with_workers(self):
+        cfg = DigestConfig().with_workers(4)
+        assert cfg.n_workers == 4
+        assert DigestConfig().n_workers == 1
 
     def test_only_passes(self):
         cfg = DigestConfig().only_passes(True, False, False)

@@ -76,3 +76,13 @@ class TestNetworkEvent:
     def test_summary_cached(self):
         event = NetworkEvent(messages=[_plus(0, 1.0)])
         assert event.location_summary() is event.location_summary()
+
+    def test_summary_recomputed_after_mutation(self):
+        """Post-construction mutation must not serve a stale summary."""
+        event = NetworkEvent(messages=[_plus(0, 1.0, router="ra")])
+        assert [loc.router for loc in event.location_summary()] == ["ra"]
+        event.messages.append(_plus(1, 2.0, router="rb"))
+        assert [loc.router for loc in event.location_summary()] == [
+            "ra",
+            "rb",
+        ]

@@ -64,6 +64,17 @@ class TestDigest:
             live_a.messages
         )
 
+    def test_per_day_clamps_pre_origin_events(self, digest_a):
+        """A late origin must not create negative day buckets."""
+        from repro.utils.timeutils import DAY
+
+        late_origin = 11 * DAY  # one day into the live window
+        per_day = digest_a.per_day(late_origin)
+        assert all(day >= 0 for day in per_day)
+        assert sum(d["messages"] for d in per_day.values()) == sum(
+            e.n_messages for e in digest_a.events
+        )
+
     def test_per_router_counts(self, digest_a):
         per_router = digest_a.per_router()
         assert per_router

@@ -66,7 +66,9 @@ class TestDirtyInput:
     def test_empty_stream_digest(self, system_a):
         result = system_a.digest([])
         assert result.n_events == 0
-        assert result.compression_ratio == 1.0
+        # An empty digest compresses nothing — the ratio must not read as
+        # "one event per message" and pollute averaged aggregates.
+        assert result.compression_ratio == 0.0
         assert result.render() == ""
 
 

@@ -41,6 +41,31 @@ class TestSplitter:
         with pytest.raises(ValueError):
             splitter.observe(99.0)
 
+    def test_skew_within_tolerance_clamped_to_same_group(self):
+        """Collector clock skew must not kill a live splitter."""
+        splitter = TemporalSplitter(TemporalParams(), skew_tolerance=2.0)
+        splitter.observe(100.0)
+        assert splitter.observe(99.0) == 0  # clamped, same group
+        assert splitter.last_ts == 100.0  # clock stays monotone
+
+    def test_skew_beyond_tolerance_still_rejected(self):
+        splitter = TemporalSplitter(TemporalParams(), skew_tolerance=2.0)
+        splitter.observe(100.0)
+        with pytest.raises(ValueError):
+            splitter.observe(97.0)
+
+    def test_clamped_skew_does_not_poison_rhythm(self):
+        """A clamped late arrival feeds no interarrival into the EWMA."""
+        params = TemporalParams(alpha=0.5, beta=2.0)
+        clean = TemporalSplitter(params)
+        skewed = TemporalSplitter(params, skew_tolerance=2.0)
+        series = [0.0, 60.0, 120.0, 180.0]
+        for ts in series:
+            clean.observe(ts)
+            skewed.observe(ts)
+        skewed.observe(179.0)  # late duplicate-ish arrival, clamped
+        assert clean.observe(240.0) == skewed.observe(240.0)
+
     def test_sub_s_min_always_same_group(self):
         params = TemporalParams(alpha=0.5, beta=2.0)
         splitter = TemporalSplitter(params)
