@@ -12,10 +12,17 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks._shared import record_table
+from benchmarks._shared import record, record_table
 from repro.core.pipeline import SyslogDigest
 from repro.core.stream import DigestStream
 from repro.netsim.datasets import ONLINE_START
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    scoped_registry,
+    to_prom_text,
+)
 from repro.utils.timeutils import DAY
 
 
@@ -50,6 +57,10 @@ def test_throughput_batch_digest(benchmark, system_a, live_a):
         title="Throughput: batch digest of one day "
         "(paper: < 1 hour per day of syslog)",
     )
+    # The observability registry dump rides along with the throughput
+    # table: stage timings, shard balance, digest totals as Prometheus
+    # exposition text.
+    record("throughput_metrics", to_prom_text(get_registry()).rstrip("\n"))
     # Digesting a day must take far less than a day (paper: < 1 h).
     assert mean_s < 3600.0
 
@@ -117,3 +128,55 @@ def test_throughput_serial_vs_sharded(benchmark, system_a, live_a):
         # cores the pool overhead can eat the win, so only the
         # equivalence half of the contract is enforced above.
         assert speedup >= 1.5
+
+
+def test_metrics_overhead(benchmark, system_a, live_a):
+    """Default-on instrumentation must cost <5% of digest wall time.
+
+    The same one-day digest runs under a no-op registry and a live one;
+    each is repeated and the best-of runs compared so scheduler noise
+    does not masquerade as overhead.  The measurement is recorded in
+    ``results/metrics_overhead.txt``.
+    """
+    messages = _one_day(live_a)
+    system = SyslogDigest(system_a.kb, system_a.config)
+    rounds = 3
+
+    def best_of(registry) -> float:
+        best = float("inf")
+        with scoped_registry(registry):
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                result = system.digest(messages)
+                best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    def run():
+        noop_s, noop_result = best_of(NullRegistry())
+        live_s, live_result = best_of(MetricsRegistry())
+        return noop_s, live_s, noop_result, live_result
+
+    noop_s, live_s, noop_result, live_result = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    overhead = live_s / noop_s - 1.0
+    identical = [e.indices for e in live_result.events] == [
+        e.indices for e in noop_result.events
+    ]
+    record_table(
+        "metrics_overhead",
+        ["metric", "value"],
+        [
+            ("messages in one day", len(messages)),
+            (f"digest, no-op registry, best of {rounds} (s)", f"{noop_s:.3f}"),
+            (f"digest, live registry, best of {rounds} (s)", f"{live_s:.3f}"),
+            ("overhead", f"{overhead * 100:+.2f}%"),
+            ("results identical", identical),
+        ],
+        title="Observability: registry overhead on the one-day batch digest "
+        "(bound: < 5%)",
+    )
+    assert identical
+    # <5% bound, with a small absolute floor so micro-second jitter on a
+    # tiny scaled-down run cannot fail the relative bound spuriously.
+    assert live_s <= noop_s * 1.05 + 0.02

@@ -6,6 +6,12 @@ a shell::
     syslogdigest generate --dataset A --days 14 --scale 0.3 --out work/
     syslogdigest learn --log work/history.log --configs work/configs --kb work/kb.json
     syslogdigest digest --log work/online.log --kb work/kb.json --top 20
+    syslogdigest stats --log work/online.log --kb work/kb.json --format prom
+
+``digest``/``report`` accept ``--metrics <path>`` to dump the metrics
+registry next to their normal output (JSON when the path ends in
+``.json``, Prometheus text otherwise); ``stats`` digests a log and
+prints the registry itself.
 """
 
 from __future__ import annotations
@@ -64,6 +70,15 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_write_metrics(path: str | None) -> None:
+    if path is None:
+        return
+    from repro.obs import get_registry, write_metrics
+
+    write_metrics(path, get_registry())
+    print(f"# metrics written to {path}", file=sys.stderr)
+
+
 def _cmd_digest(args: argparse.Namespace) -> int:
     kb = KnowledgeBase.load(args.kb)
     system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
@@ -74,6 +89,7 @@ def _cmd_digest(args: argparse.Namespace) -> int:
         f"(ratio {result.compression_ratio:.2e})"
     )
     print(result.render(top=args.top))
+    _maybe_write_metrics(args.metrics)
     return 0
 
 
@@ -86,6 +102,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     result = system.digest(messages)
     origin = messages[0].timestamp - (messages[0].timestamp % DAY)
     print(daily_report(result, origin))
+    _maybe_write_metrics(args.metrics)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Digest a log and print the pipeline metrics registry."""
+    from repro.core.stream import DigestStream
+    from repro.obs import get_registry, stage_timer, to_json, to_prom_text
+    from repro.syslog.stream import sort_messages
+
+    registry = get_registry()
+    registry.reset()
+    kb = KnowledgeBase.load(args.kb)
+    config = DigestConfig(n_workers=args.workers)
+    messages = list(read_log(args.log))
+    if args.stream:
+        stream = DigestStream(kb, config)
+        with stage_timer("sort"):
+            ordered = sort_messages(messages)
+        with stage_timer("stream_push"):
+            events = stream.push_many(ordered)
+        with stage_timer("stream_close"):
+            events.extend(stream.close())
+        n_events = len(events)
+    else:
+        result = SyslogDigest(kb, config).digest(messages)
+        n_events = result.n_events
+    print(
+        f"# {len(messages)} messages -> {n_events} events",
+        file=sys.stderr,
+    )
+    if args.format == "json":
+        print(to_json(registry))
+    else:
+        print(to_prom_text(registry), end="")
     return 0
 
 
@@ -178,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="shard grouping by router over N processes (0 = all cores)",
     )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="dump pipeline metrics to this path (*.json = JSON, "
+        "else Prometheus text)",
+    )
     p.set_defaults(fn=_cmd_digest)
 
     p = sub.add_parser("report", help="daily/per-router digest report")
@@ -189,7 +246,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="shard grouping by router over N processes (0 = all cores)",
     )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="dump pipeline metrics to this path (*.json = JSON, "
+        "else Prometheus text)",
+    )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "stats",
+        help="digest a log and print pipeline metrics "
+        "(stage timings, shard balance, stream health)",
+    )
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard grouping by router over N processes (0 = all cores)",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the streaming digester instead of batch "
+        "(adds DigestStream health metrics)",
+    )
+    p.add_argument(
+        "--format", choices=["prom", "json"], default="prom"
+    )
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser(
         "trends", help="MERCURY-style template frequency level shifts"

@@ -32,6 +32,7 @@ from repro.core.knowledge import KnowledgeBase
 from repro.core.syslogplus import SyslogPlus
 from repro.locations.spatial import spatially_matched
 from repro.mining.temporal import TemporalParams, TemporalSplitter
+from repro.obs import stage_timer
 from repro.utils.unionfind import UnionFind
 
 # An edge relates two messages by their global stream indices.
@@ -226,12 +227,16 @@ class GroupingEngine:
         uf: UnionFind = UnionFind(plus.index for plus in stream)
         active_rules: set[tuple[str, str]] = set()
         if self._config.enable_temporal:
-            self._temporal_pass(stream, uf)
+            with stage_timer("temporal_pass"):
+                self._temporal_pass(stream, uf)
         if self._config.enable_rules:
-            self._rule_pass(stream, uf, active_rules)
+            with stage_timer("rule_pass"):
+                self._rule_pass(stream, uf, active_rules)
         if self._config.enable_cross_router:
-            self._cross_router_pass(stream, uf)
-        return collect_outcome(stream, uf, active_rules)
+            with stage_timer("cross_router_pass"):
+                self._cross_router_pass(stream, uf)
+        with stage_timer("collect"):
+            return collect_outcome(stream, uf, active_rules)
 
     # ------------------------------------------------------------- temporal
 

@@ -29,6 +29,7 @@ import pickle
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.config import DigestConfig
 from repro.core.grouping import (
@@ -44,6 +45,14 @@ from repro.core.grouping import (
 from repro.core.knowledge import KnowledgeBase
 from repro.core.syslogplus import SyslogPlus
 from repro.mining.temporal import TemporalParams
+from repro.obs import (
+    SHARD_IMBALANCE,
+    SHARD_MESSAGES,
+    SHARD_SECONDS,
+    SHARD_TASK_SECONDS,
+    get_registry,
+    stage_timer,
+)
 from repro.utils.unionfind import UnionFind
 
 
@@ -122,6 +131,19 @@ def shard_edge_task(
     return edges, active
 
 
+def timed_shard_edge_task(
+    payload,
+) -> tuple[list[Edge], set[tuple[str, str]], float]:
+    """:func:`shard_edge_task` plus its wall time, measured in the worker.
+
+    The duration rides back with the result so per-shard timings survive
+    the process boundary (a child's registry writes would be lost).
+    """
+    t0 = perf_counter()
+    edges, active = shard_edge_task(payload)
+    return edges, active, perf_counter() - t0
+
+
 class ParallelGroupingEngine:
     """Router-sharded grouping with the same contract as GroupingEngine.
 
@@ -143,34 +165,60 @@ class ParallelGroupingEngine:
             return GroupingEngine(self._kb, cfg).group(stream)
 
         plan = plan_shards(stream, n_workers)
-        payloads = [
-            (
-                shard,
-                self._kb.temporal,
-                cfg.flush_after,
-                self._partners,
-                cfg.window,
-                self._kb.dictionary,
-                cfg.enable_temporal,
-                cfg.enable_rules,
+        shard_ids: list[int] = []
+        payloads = []
+        for shard_id, shard in enumerate(plan.split(stream)):
+            if not shard:
+                continue
+            shard_ids.append(shard_id)
+            payloads.append(
+                (
+                    shard,
+                    self._kb.temporal,
+                    cfg.flush_after,
+                    self._partners,
+                    cfg.window,
+                    self._kb.dictionary,
+                    cfg.enable_temporal,
+                    cfg.enable_rules,
+                )
             )
-            for shard in plan.split(stream)
-            if shard
-        ]
+
+        registry = get_registry()
+        sizes = [len(payload[0]) for payload in payloads]
+        if registry.enabled and sizes:
+            for shard_id, size in zip(shard_ids, sizes):
+                registry.set_gauge(
+                    SHARD_MESSAGES, size, shard=str(shard_id)
+                )
+            # LPT imbalance: heaviest shard over the mean shard load.
+            # 1.0 is a perfectly balanced plan.
+            registry.set_gauge(
+                SHARD_IMBALANCE, max(sizes) * len(sizes) / sum(sizes)
+            )
 
         uf: UnionFind = UnionFind(plus.index for plus in stream)
         active_rules: set[tuple[str, str]] = set()
-        for edges, active in self._run_shards(payloads):
+        with stage_timer("shard_passes", registry):
+            results = self._run_shards(payloads)
+        for shard_id, (edges, active, seconds) in zip(shard_ids, results):
+            if registry.enabled:
+                registry.set_gauge(
+                    SHARD_SECONDS, seconds, shard=str(shard_id)
+                )
+                registry.observe(SHARD_TASK_SECONDS, seconds)
             for a, b in edges:
                 uf.union(a, b)
             active_rules |= active
 
         if cfg.enable_cross_router:
-            for a, b in cross_router_edges(
-                stream, cfg.cross_router_window, self._kb.dictionary
-            ):
-                uf.union(a, b)
-        return collect_outcome(stream, uf, active_rules)
+            with stage_timer("cross_router_pass", registry):
+                for a, b in cross_router_edges(
+                    stream, cfg.cross_router_window, self._kb.dictionary
+                ):
+                    uf.union(a, b)
+        with stage_timer("collect", registry):
+            return collect_outcome(stream, uf, active_rules)
 
     def _run_shards(self, payloads):
         """Map shard tasks over a process pool, falling back to serial."""
@@ -179,7 +227,7 @@ class ParallelGroupingEngine:
                 with ProcessPoolExecutor(
                     max_workers=len(payloads)
                 ) as pool:
-                    return list(pool.map(shard_edge_task, payloads))
+                    return list(pool.map(timed_shard_edge_task, payloads))
             except (
                 OSError,
                 ValueError,
@@ -191,4 +239,4 @@ class ParallelGroupingEngine:
                 # No process support (sandboxed platform) or pool setup
                 # failure: same tasks, same results, one process.
                 pass
-        return [shard_edge_task(payload) for payload in payloads]
+        return [timed_shard_edge_task(payload) for payload in payloads]

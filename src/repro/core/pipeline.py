@@ -27,6 +27,13 @@ from repro.mining.fit import fit_temporal_params
 from repro.mining.rules import RuleMiner
 from repro.mining.rulestore import RuleStore
 from repro.mining.temporal import TemporalParams
+from repro.obs import (
+    DIGEST_EVENTS,
+    DIGEST_MESSAGES,
+    DIGEST_RUNS,
+    get_registry,
+    stage_timer,
+)
 from repro.syslog.message import SyslogMessage
 from repro.syslog.stream import sort_messages
 from repro.templates.learner import TemplateLearner
@@ -131,8 +138,10 @@ class SyslogDigest:
             max_messages_per_code=cfg.max_messages_per_code,
             min_subtype_support=cfg.tree_min_support,
         )
-        templates = learner.learn(messages)
-        dictionary = parse_configs(configs)
+        with stage_timer("learn_templates"):
+            templates = learner.learn(messages)
+        with stage_timer("learn_configs"):
+            dictionary = parse_configs(configs)
         augmenter = Augmenter(templates, dictionary)
         plus_stream = augmenter.augment_all(messages)
 
@@ -147,7 +156,10 @@ class SyslogDigest:
             series.setdefault(key, []).append(plus.timestamp)
         temporal = cfg.temporal
         if fit_temporal:
-            fit = fit_temporal_params(list(series.values()), base=cfg.temporal)
+            with stage_timer("learn_fit_temporal"):
+                fit = fit_temporal_params(
+                    list(series.values()), base=cfg.temporal
+                )
             temporal = fit.params
 
         # Association rules over the whole history (weekly incremental
@@ -156,9 +168,13 @@ class SyslogDigest:
             window=cfg.window, sp_min=cfg.sp_min, conf_min=cfg.conf_min
         )
         store = RuleStore(miner=miner)
-        store.update(
-            [(p.timestamp, p.router, p.template_key) for p in plus_stream]
-        )
+        with stage_timer("learn_rules"):
+            store.update(
+                [
+                    (p.timestamp, p.router, p.template_key)
+                    for p in plus_stream
+                ]
+            )
 
         frequencies: dict[tuple[str, str], int] = {}
         for plus in plus_stream:
@@ -187,7 +203,8 @@ class SyslogDigest:
         router-sharded on a process pool (see :mod:`repro.core.parallel`);
         the grouping is identical to the serial engine's.
         """
-        stream = sort_messages(messages)
+        with stage_timer("sort"):
+            stream = sort_messages(messages)
         augmenter = Augmenter(self.kb.templates, self.kb.dictionary)
         plus_stream = augmenter.augment_all(stream)
         if self.config.n_workers != 1:
@@ -198,11 +215,18 @@ class SyslogDigest:
             engine = GroupingEngine(self.kb, self.config)
         outcome = engine.group(plus_stream)
         events = [NetworkEvent(messages=group) for group in outcome.groups]
-        ranked = Prioritizer(self.kb).rank(events)
-        for event in ranked:
-            event.label = event_label(
-                [plus.template for plus in event.messages]
-            )
+        with stage_timer("prioritize"):
+            ranked = Prioritizer(self.kb).rank(events)
+        with stage_timer("present"):
+            for event in ranked:
+                event.label = event_label(
+                    [plus.template for plus in event.messages]
+                )
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(DIGEST_RUNS)
+            registry.inc(DIGEST_MESSAGES, len(plus_stream))
+            registry.inc(DIGEST_EVENTS, len(ranked))
         return DigestResult(
             events=ranked,
             n_messages=len(plus_stream),

@@ -47,9 +47,15 @@ class Prioritizer:
         )
 
     def rank(self, events: list[NetworkEvent]) -> list[NetworkEvent]:
-        """Fill in scores and return events sorted most-important-first."""
+        """Fill in scores and return events sorted most-important-first.
+
+        The key is total and deterministic: score (descending), then
+        start time, then the full message-index tuple.  Distinct events
+        never share a message index, so equal-score, equal-start ties
+        still order the same way on every run.
+        """
         for event in events:
             event.score = self.score(event)
         return sorted(
-            events, key=lambda e: (-e.score, e.start_ts, e.indices[:1])
+            events, key=lambda e: (-e.score, e.start_ts, e.indices)
         )

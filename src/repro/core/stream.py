@@ -39,6 +39,19 @@ from repro.core.priority import Prioritizer
 from repro.core.syslogplus import Augmenter, SyslogPlus
 from repro.locations.spatial import spatially_matched
 from repro.mining.temporal import TemporalSplitter
+from repro.obs import (
+    STREAM_EVICTED,
+    STREAM_FINALIZED,
+    STREAM_OPEN_MESSAGES,
+    STREAM_PRUNED,
+    STREAM_SKEW_CLAMPED,
+    STREAM_SKEW_REJECTED,
+    STREAM_SPLITTERS,
+    STREAM_WATERMARK_LAG,
+    STREAM_WINDOW_ENTRIES,
+    MetricsRegistry,
+    get_registry,
+)
 from repro.syslog.message import SyslogMessage
 from repro.utils.unionfind import UnionFind
 
@@ -143,11 +156,12 @@ class ShardState:
 
     # ------------------------------------------------------------ maintenance
 
-    def evict_idle(self, horizon: float) -> None:
+    def evict_idle(self, horizon: float) -> int:
         """Drop splitters whose key has been quiet past ``horizon``.
 
         Safe because the lazy reset in :meth:`_temporal_step` would
-        recreate them from scratch on next touch anyway.
+        recreate them from scratch on next touch anyway.  Returns how
+        many splitters were evicted (stream health accounting).
         """
         idle = [
             key
@@ -157,14 +171,21 @@ class ShardState:
         for key in idle:
             del self._splitters[key]
             del self._serial_of[key]
+        return len(idle)
 
-    def prune(self, open_indices: set[int]) -> None:
-        """Drop window/tail entries that reference finalized messages."""
-        self._temporal_tail = {
+    def prune(self, open_indices: set[int]) -> int:
+        """Drop window/tail entries that reference finalized messages.
+
+        Returns the number of entries dropped (stream health accounting).
+        """
+        dropped = 0
+        kept_tails = {
             key: idx
             for key, idx in self._temporal_tail.items()
             if idx in open_indices
         }
+        dropped += len(self._temporal_tail) - len(kept_tails)
+        self._temporal_tail = kept_tails
         for router in list(self._rule_window):
             by_template = self._rule_window[router]
             for template in list(by_template):
@@ -173,12 +194,14 @@ class ShardState:
                     for item in by_template[template]
                     if item[1].index in open_indices
                 )
+                dropped += len(by_template[template]) - len(kept)
                 if kept:
                     by_template[template] = kept
                 else:
                     del by_template[template]
             if not by_template:
                 del self._rule_window[router]
+        return dropped
 
     @property
     def n_splitters(self) -> int:
@@ -225,6 +248,15 @@ class DigestStream:
         self._last_sweep: float | None = None
         self._sweep_interval = sweep_interval
 
+        # Health accounting: plain ints on the hot path, flushed to the
+        # metrics registry only at sweep granularity.
+        self._n_evicted = 0
+        self._n_pruned = 0
+        self._n_skew_clamped = 0
+        self._n_skew_rejected = 0
+        self._n_finalized_events = 0
+        self._emitted: dict[str, float] = {}
+
         n_shards = self._config.n_workers if self._config.shard_by_router else 1
         self._n_shards = max(1, n_shards)
         self._states = [
@@ -252,11 +284,14 @@ class DigestStream:
             self._last_ts is not None
             and message.timestamp < self._last_ts - tolerance
         ):
+            self._n_skew_rejected += 1
             raise ValueError(
                 "messages must be pushed in non-decreasing time order "
                 f"(got {message.timestamp}, stream clock {self._last_ts}, "
                 f"skew tolerance {tolerance}s)"
             )
+        if self._last_ts is not None and message.timestamp < self._last_ts:
+            self._n_skew_clamped += 1
         # The stream clock never runs backwards; a slightly-late message
         # is processed as if it arrived at the current clock.
         now = (
@@ -326,6 +361,7 @@ class DigestStream:
     def close(self) -> list[NetworkEvent]:
         """Finalize and return all remaining open groups."""
         events = self._collect_groups(lambda _last: True)
+        self.record_metrics()
         return events
 
     # ------------------------------------------------------------- internals
@@ -350,13 +386,15 @@ class DigestStream:
             or now - self._last_sweep >= self._sweep_interval
         ):
             self._last_sweep = now
-            return self._finalize_idle(now)
+            events = self._finalize_idle(now)
+            self.record_metrics()
+            return events
         return []
 
     def _finalize_idle(self, now: float) -> list[NetworkEvent]:
         horizon = now - self.flush_after
         for state in self._states:
-            state.evict_idle(horizon)
+            self._n_evicted += state.evict_idle(horizon)
         return self._collect_groups(lambda last: last < horizon)
 
     def _collect_groups(self, should_close) -> list[NetworkEvent]:
@@ -379,18 +417,20 @@ class DigestStream:
         # and the cross-router window.
         open_indices = set(self._open)
         for state in self._states:
-            state.prune(open_indices)
+            self._n_pruned += state.prune(open_indices)
         for template in list(self._cross_window):
             kept = deque(
                 item
                 for item in self._cross_window[template]
                 if item[1].index in open_indices
             )
+            self._n_pruned += len(self._cross_window[template]) - len(kept)
             if kept:
                 self._cross_window[template] = kept
             else:
                 del self._cross_window[template]
-        events.sort(key=lambda e: (e.start_ts, e.indices[:1]))
+        self._n_finalized_events += len(events)
+        events.sort(key=lambda e: (e.start_ts, e.indices))
         return events
 
     # ------------------------------------------------------------ diagnostics
@@ -411,3 +451,59 @@ class DigestStream:
         rule = sum(state.n_window_entries for state in self._states)
         cross = sum(len(q) for q in self._cross_window.values())
         return rule + cross
+
+    @property
+    def watermark_lag(self) -> float:
+        """Stream clock minus the oldest still-open message timestamp.
+
+        How far behind the live edge the slowest open group trails; 0.0
+        when nothing is open.  Large values mean events are being held
+        open a long time before finalizing.
+        """
+        if not self._open or self._last_ts is None:
+            return 0.0
+        return self._last_ts - min(p.timestamp for p in self._open.values())
+
+    def health(self) -> dict[str, float]:
+        """One-call health snapshot of the live stream state."""
+        return {
+            "open_messages": self.n_open_messages,
+            "splitters": self.n_splitters,
+            "window_entries": self.n_window_entries,
+            "watermark_lag_seconds": self.watermark_lag,
+            "evicted_splitters": self._n_evicted,
+            "pruned_entries": self._n_pruned,
+            "skew_clamped": self._n_skew_clamped,
+            "skew_rejected": self._n_skew_rejected,
+            "finalized_events": self._n_finalized_events,
+        }
+
+    def record_metrics(
+        self, registry: MetricsRegistry | None = None
+    ) -> None:
+        """Flush the health snapshot into the metrics registry.
+
+        Called automatically at every finalize sweep and on
+        :meth:`close`; cheap enough that extra manual calls are fine.
+        Cumulative counts are emitted as counter *deltas* since the last
+        flush, so the registry's counters stay monotonic no matter how
+        often this runs.
+        """
+        reg = registry if registry is not None else get_registry()
+        if not reg.enabled:
+            return
+        reg.set_gauge(STREAM_OPEN_MESSAGES, self.n_open_messages)
+        reg.set_gauge(STREAM_SPLITTERS, self.n_splitters)
+        reg.set_gauge(STREAM_WINDOW_ENTRIES, self.n_window_entries)
+        reg.set_gauge(STREAM_WATERMARK_LAG, self.watermark_lag)
+        for name, total in (
+            (STREAM_EVICTED, self._n_evicted),
+            (STREAM_PRUNED, self._n_pruned),
+            (STREAM_SKEW_CLAMPED, self._n_skew_clamped),
+            (STREAM_SKEW_REJECTED, self._n_skew_rejected),
+            (STREAM_FINALIZED, self._n_finalized_events),
+        ):
+            delta = total - self._emitted.get(name, 0)
+            if delta:
+                reg.inc(name, delta)
+                self._emitted[name] = total

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from repro.locations.dictionary import LocationDictionary
 from repro.locations.extract import ExtractedLocation, LocationExtractor
 from repro.locations.model import Location
+from repro.obs import stage_timer
 from repro.syslog.message import SyslogMessage
 from repro.templates.learner import TemplateSet
 from repro.templates.signature import Template
@@ -86,5 +87,33 @@ class Augmenter:
         return plus
 
     def augment_all(self, messages) -> list[SyslogPlus]:
-        """Augment a whole (time-sorted) sequence."""
-        return [self.augment(m) for m in messages]
+        """Augment a whole (time-sorted) sequence.
+
+        Batch form of :meth:`augment` with the two augmentation stages
+        timed separately (``stage="signature_match"`` and
+        ``stage="location_parse"``); results are identical.
+        """
+        messages = list(messages)
+        with stage_timer("signature_match"):
+            templates = [self._templates.match(m) for m in messages]
+        with stage_timer("location_parse"):
+            out: list[SyslogPlus] = []
+            for message, template in zip(messages, templates):
+                locations = tuple(
+                    self._extractor.extract(message.router, message.detail)
+                )
+                primary = next(
+                    (i.location for i in locations if i.role == "local"),
+                    Location.router_level(message.router),
+                )
+                out.append(
+                    SyslogPlus(
+                        index=self._counter,
+                        message=message,
+                        template=template,
+                        locations=locations,
+                        primary_location=primary,
+                    )
+                )
+                self._counter += 1
+        return out

@@ -11,8 +11,15 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.obs import (
+    COLLECTOR_DELIVERED,
+    COLLECTOR_DROPPED,
+    COLLECTOR_DUPLICATED,
+    COLLECTOR_JITTERED,
+    get_registry,
+)
 from repro.syslog.message import SyslogMessage
 
 
@@ -48,24 +55,47 @@ class CollectorProfile:
         if self.max_jitter < 0:
             raise ValueError("max_jitter must be non-negative")
 
+    @property
+    def is_identity(self) -> bool:
+        """True when this profile cannot alter the stream at all."""
+        return (
+            self.loss_rate == 0.0
+            and self.duplicate_rate == 0.0
+            and self.max_jitter == 0.0
+        )
+
 
 def _degrade_pairs(
     pairs: list[tuple[SyslogMessage, object]], profile: CollectorProfile
 ) -> list[tuple[SyslogMessage, object]]:
-    """Shared degradation over (message, payload) pairs."""
+    """Shared degradation over (message, payload) pairs.
+
+    A zero profile is a strict no-op: the input pairs come back as-is,
+    in input order, with message identity preserved — no re-sort that
+    could reorder distinct same-timestamp messages.  When jitter does
+    reorder, the re-sort is by jittered timestamp only (stable), so ties
+    keep their input order instead of being shuffled by router/code.
+    """
+    if profile.is_identity:
+        return list(pairs)
     rng = random.Random(profile.seed)
     out: list[tuple[SyslogMessage, object]] = []
+    n_dropped = n_duplicated = n_jittered = 0
     for message, payload in pairs:
         if rng.random() < profile.loss_rate:
+            n_dropped += 1
             continue
         copies = 2 if rng.random() < profile.duplicate_rate else 1
-        for _ in range(copies):
+        if copies == 2:
+            n_duplicated += 1
+        for copy_index in range(copies):
             jitter = (
                 rng.uniform(0.0, profile.max_jitter)
                 if profile.max_jitter
                 else 0.0
             )
             if jitter:
+                n_jittered += 1
                 message_out = SyslogMessage(
                     timestamp=message.timestamp + jitter,
                     router=message.router,
@@ -73,10 +103,25 @@ def _degrade_pairs(
                     detail=message.detail,
                     vendor=message.vendor,
                 )
-            else:
+            elif copy_index == 0:
                 message_out = message
+            else:
+                # A duplicate delivery is a distinct datagram: emit a
+                # distinct (equal) object so identity-based bookkeeping
+                # downstream cannot conflate the two arrivals.
+                message_out = replace(message)
             out.append((message_out, payload))
-    out.sort(key=lambda p: (p[0].timestamp, p[0].router, p[0].error_code))
+    if profile.max_jitter:
+        out.sort(key=lambda p: p[0].timestamp)
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc(COLLECTOR_DELIVERED, len(out))
+        if n_dropped:
+            registry.inc(COLLECTOR_DROPPED, n_dropped)
+        if n_duplicated:
+            registry.inc(COLLECTOR_DUPLICATED, n_duplicated)
+        if n_jittered:
+            registry.inc(COLLECTOR_JITTERED, n_jittered)
     return out
 
 

@@ -82,6 +82,44 @@ class TestLearnDigestReport:
         assert rc == 0
         assert "per-day digest" in capsys.readouterr().out
 
+    def test_digest_metrics_flag(self, workdir, capsys, tmp_path):
+        if not (workdir / "kb.json").exists():
+            self.test_learn(workdir, capsys)
+            capsys.readouterr()
+        metrics_path = tmp_path / "metrics.prom"
+        rc = main(
+            [
+                "digest",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        text = metrics_path.read_text()
+        assert "# TYPE syslogdigest_stage_seconds histogram" in text
+        assert 'stage="rule_pass"' in text
+
+    def test_report_metrics_flag_json(self, workdir, capsys, tmp_path):
+        import json
+
+        if not (workdir / "kb.json").exists():
+            self.test_learn(workdir, capsys)
+            capsys.readouterr()
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "report",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--metrics", str(metrics_path),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(metrics_path.read_text())
+        assert "syslogdigest_stage_seconds" in doc["histograms"]
+        assert "syslogdigest_digest_messages_total" in doc["counters"]
+
     def test_learn_missing_configs_errors(self, workdir, tmp_path):
         rc = main(
             [
@@ -93,6 +131,76 @@ class TestLearnDigestReport:
             ]
         )
         assert rc == 1
+
+
+class TestStats:
+    @pytest.fixture(autouse=True)
+    def _kb(self, workdir, capsys):
+        if not (workdir / "kb.json").exists():
+            TestLearnDigestReport().test_learn(workdir, capsys)
+            capsys.readouterr()
+
+    def test_stats_prom(self, workdir, capsys):
+        rc = main(
+            [
+                "stats",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# TYPE syslogdigest_stage_seconds histogram" in out
+        assert 'stage="temporal_pass"' in out
+        assert "syslogdigest_digest_runs_total 1" in out
+
+    def test_stats_json(self, workdir, capsys):
+        import json
+
+        rc = main(
+            [
+                "stats",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--format", "json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        stages = {
+            entry["labels"]["stage"]
+            for entry in doc["histograms"]["syslogdigest_stage_seconds"]
+        }
+        assert {"signature_match", "location_parse", "rule_pass"} <= stages
+
+    def test_stats_stream_mode_reports_health(self, workdir, capsys):
+        rc = main(
+            [
+                "stats",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--stream",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "syslogdigest_stream_open_messages" in out
+        assert "syslogdigest_stream_watermark_lag_seconds" in out
+        assert 'stage="stream_push"' in out
+
+    def test_stats_workers_reports_shards(self, workdir, capsys):
+        rc = main(
+            [
+                "stats",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "syslogdigest_shard_messages" in out
+        assert "syslogdigest_shard_imbalance" in out
 
 
 def test_missing_subcommand_exits():

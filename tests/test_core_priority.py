@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.events import NetworkEvent
 from repro.core.priority import Prioritizer
+from repro.syslog.message import SyslogMessage
 
 
 class TestMessageWeight:
@@ -57,6 +58,60 @@ class TestRanking:
             for m in event.messages
         )
         assert event.score == pytest.approx(expected)
+
+    def test_equal_score_ties_are_deterministic(self, system_a):
+        """Regression: the tiebreak key must be total and deterministic.
+
+        Equal-score, equal-start events used to compare ``indices[:1]``
+        slices; the normalized key orders by the full index tuple, so
+        any permutation of the input ranks identically.
+        """
+        from itertools import permutations
+
+        from repro.core.syslogplus import Augmenter
+
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        # Four single-message events with identical router/template/
+        # detail and identical timestamps: identical scores, identical
+        # start times, only the stream index differs.
+        plus = augmenter.augment_all(
+            [
+                SyslogMessage(
+                    timestamp=1000.0,
+                    router="ar1.atlga",
+                    error_code="LINK-3-UPDOWN",
+                    detail="Interface Serial1/0/10:0, changed state to down",
+                )
+                for _ in range(4)
+            ]
+        )
+        events = [NetworkEvent(messages=[p]) for p in plus]
+        p = Prioritizer(system_a.kb)
+        baseline = [e.indices for e in p.rank(list(events))]
+        assert len({e.score for e in events}) == 1
+        assert len({e.start_ts for e in events}) == 1
+        for perm in permutations(events):
+            assert [e.indices for e in p.rank(list(perm))] == baseline
+
+    def test_rank_key_orders_by_index_on_full_tie(self, system_a):
+        from repro.core.syslogplus import Augmenter
+
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        plus = augmenter.augment_all(
+            [
+                SyslogMessage(
+                    timestamp=42.0,
+                    router="ar1.atlga",
+                    error_code="LINK-3-UPDOWN",
+                    detail="Interface Serial1/0/10:0, changed state to down",
+                )
+                for _ in range(3)
+            ]
+        )
+        events = [NetworkEvent(messages=[p]) for p in reversed(plus)]
+        ranked = Prioritizer(system_a.kb).rank(events)
+        indices = [e.indices[0] for e in ranked]
+        assert indices == sorted(indices)
 
     def test_rank_fills_scores(self, system_a, live_a):
         from repro.core.grouping import GroupingEngine

@@ -1,0 +1,250 @@
+"""Metrics registry, histogram, and exporter tests."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    STAGE_SECONDS,
+    get_registry,
+    scoped_registry,
+    set_registry,
+    stage_timer,
+    to_dict,
+    to_json,
+    to_prom_text,
+    write_metrics,
+)
+
+
+class TestHistogram:
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+
+    def test_empty_snapshot(self):
+        hist = Histogram()
+        assert hist.snapshot() == {"count": 0, "sum": 0.0}
+        assert hist.quantile(0.5) == 0.0
+
+    def test_count_sum_min_max(self):
+        hist = Histogram()
+        for v in (0.001, 0.002, 0.004):
+            hist.observe(v)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.007)
+        assert snap["min"] == 0.001
+        assert snap["max"] == 0.004
+        assert snap["mean"] == pytest.approx(0.007 / 3)
+
+    def test_quantiles_within_observed_range(self):
+        hist = Histogram()
+        values = [i / 1000.0 for i in range(1, 200)]
+        for v in values:
+            hist.observe(v)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert min(values) <= hist.quantile(q) <= max(values)
+
+    def test_quantile_orders(self):
+        hist = Histogram()
+        for i in range(1000):
+            hist.observe(0.0001 * (i + 1))
+        assert (
+            hist.quantile(0.5)
+            <= hist.quantile(0.9)
+            <= hist.quantile(0.99)
+        )
+        # Median of a uniform 0.0001..0.1 spread lands mid-range.
+        assert 0.01 <= hist.quantile(0.5) <= 0.09
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_out_of_bucket_values_clamped(self):
+        hist = Histogram(bounds=(1.0, 2.0))
+        hist.observe(1000.0)  # lands in the +Inf bucket
+        assert hist.quantile(0.99) == 1000.0
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total")
+        reg.inc("x_total", 4)
+        assert reg.counter_value("x_total") == 5
+
+    def test_labels_address_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", 1, shard="0")
+        reg.inc("x_total", 2, shard="1")
+        assert reg.counter_value("x_total", shard="0") == 1
+        assert reg.counter_value("x_total", shard="1") == 2
+        assert reg.counter_value("x_total") == 0
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 3.0)
+        reg.set_gauge("g", 7.0)
+        assert reg.gauge_value("g") == 7.0
+        assert reg.gauge_value("missing") is None
+
+    def test_timer_observes_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.timer("t_seconds", stage="x"):
+            pass
+        hist = reg.histogram("t_seconds", stage="x")
+        assert hist is not None
+        assert hist.count == 1
+        assert hist.vmin >= 0.0
+
+    def test_stage_timer_uses_global_registry(self):
+        reg = MetricsRegistry()
+        with scoped_registry(reg):
+            with stage_timer("unit_test_stage"):
+                pass
+        hist = reg.histogram(STAGE_SECONDS, stage="unit_test_stage")
+        assert hist is not None and hist.count == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("c_total")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        reg.reset()
+        assert reg.counters() == {}
+        assert reg.gauges() == {}
+        assert reg.histograms() == {}
+
+    def test_thread_safety_of_counters(self):
+        reg = MetricsRegistry()
+
+        def spin():
+            for _ in range(2000):
+                reg.inc("c_total")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("c_total") == 8000
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        reg = NullRegistry()
+        reg.inc("c_total")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.5)
+        with reg.timer("t", stage="x"):
+            pass
+        assert not reg.enabled
+        assert reg.counters() == {}
+        assert reg.gauges() == {}
+        assert reg.histograms() == {}
+
+
+class TestGlobalRegistry:
+    def test_default_is_enabled(self):
+        assert get_registry().enabled
+
+    def test_set_returns_previous(self):
+        original = get_registry()
+        null = NullRegistry()
+        assert set_registry(null) is original
+        assert get_registry() is null
+        assert set_registry(original) is null
+
+    def test_scoped_restores_on_exit(self):
+        original = get_registry()
+        with scoped_registry(NullRegistry()) as reg:
+            assert get_registry() is reg
+        assert get_registry() is original
+
+    def test_scoped_restores_on_error(self):
+        original = get_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry(NullRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is original
+
+
+@pytest.fixture
+def populated() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("syslogdigest_demo_total", 3, kind="a")
+    reg.set_gauge("syslogdigest_demo_gauge", 1.5)
+    reg.observe(STAGE_SECONDS, 0.002, stage="rule_pass")
+    reg.observe(STAGE_SECONDS, 0.004, stage="rule_pass")
+    return reg
+
+
+class TestExporters:
+    def test_prom_text_structure(self, populated):
+        text = to_prom_text(populated)
+        assert "# TYPE syslogdigest_demo_total counter" in text
+        assert 'syslogdigest_demo_total{kind="a"} 3' in text
+        assert "# TYPE syslogdigest_demo_gauge gauge" in text
+        assert "syslogdigest_demo_gauge 1.5" in text
+        assert f"# TYPE {STAGE_SECONDS} histogram" in text
+        assert f'{STAGE_SECONDS}_bucket{{stage="rule_pass",le="+Inf"}} 2' in text
+        assert f'{STAGE_SECONDS}_count{{stage="rule_pass"}} 2' in text
+
+    def test_prom_buckets_are_cumulative(self, populated):
+        lines = [
+            line
+            for line in to_prom_text(populated).splitlines()
+            if line.startswith(f"{STAGE_SECONDS}_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 2
+
+    def test_prom_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.inc("x_total", 1, kind='we"ird\\label\nvalue')
+        text = to_prom_text(reg)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+
+    def test_dict_shape(self, populated):
+        doc = to_dict(populated)
+        assert doc["counters"]["syslogdigest_demo_total"] == [
+            {"labels": {"kind": "a"}, "value": 3}
+        ]
+        assert doc["gauges"]["syslogdigest_demo_gauge"] == [
+            {"labels": {}, "value": 1.5}
+        ]
+        (entry,) = doc["histograms"][STAGE_SECONDS]
+        assert entry["labels"] == {"stage": "rule_pass"}
+        assert entry["count"] == 2
+        assert entry["sum"] == pytest.approx(0.006)
+        assert {"p50", "p90", "p99"} <= set(entry)
+
+    def test_json_round_trips(self, populated):
+        assert json.loads(to_json(populated)) == to_dict(populated)
+
+    def test_dict_is_stable(self, populated):
+        assert to_json(populated) == to_json(populated)
+
+    def test_empty_registry_exports(self):
+        reg = MetricsRegistry()
+        assert to_prom_text(reg) == ""
+        assert to_dict(reg) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_write_metrics_by_extension(self, populated, tmp_path):
+        json_path = write_metrics(tmp_path / "m.json", populated)
+        prom_path = write_metrics(tmp_path / "m.prom", populated)
+        assert json.loads(json_path.read_text()) == to_dict(populated)
+        assert "# TYPE" in prom_path.read_text()

@@ -42,6 +42,76 @@ class TestDegradation:
         messages = _messages(50)
         assert degrade_stream(messages, CollectorProfile()) == messages
 
+    def test_zero_profile_is_strict_noop(self):
+        """Regression: a zero profile must not re-sort the stream.
+
+        Distinct same-timestamp messages used to be reordered by the
+        unconditional (timestamp, router, error_code) sort; the null
+        profile must preserve input order and message identity exactly.
+        """
+        messages = [
+            SyslogMessage(
+                timestamp=5.0, router="zz9", error_code="B-1-X", detail="b"
+            ),
+            SyslogMessage(
+                timestamp=5.0, router="aa1", error_code="A-1-X", detail="a"
+            ),
+            SyslogMessage(
+                timestamp=5.0, router="mm5", error_code="C-1-X", detail="c"
+            ),
+        ]
+        out = degrade_stream(messages, CollectorProfile())
+        assert [id(m) for m in out] == [id(m) for m in messages]
+
+    def test_loss_only_preserves_input_order(self):
+        """Without jitter nothing can reorder: survivors keep stream order."""
+        messages = [
+            SyslogMessage(
+                timestamp=float(i // 3),  # repeated timestamps
+                router=f"r{9 - (i % 7)}",
+                error_code="LINK-3-UPDOWN",
+                detail=f"msg {i}",
+            )
+            for i in range(60)
+        ]
+        out = degrade_stream(
+            messages, CollectorProfile(loss_rate=0.2, seed=3)
+        )
+        survivors = [m for m in messages if m in out]
+        assert out == survivors
+
+    def test_duplicates_are_distinct_objects(self):
+        """Regression: a jitter-free duplicate delivery used to be the
+        *same* object twice; identity-based bookkeeping needs two."""
+        messages = _messages(200)
+        out = degrade_stream(
+            messages, CollectorProfile(duplicate_rate=0.3, seed=5)
+        )
+        assert len(out) > 200  # some duplicates happened
+        assert len({id(m) for m in out}) == len(out)
+
+    def test_jitter_sort_is_stable_on_ties(self):
+        """With jitter the re-sort is by jittered timestamp only, so
+        equal-timestamp messages keep their input order."""
+        messages = [
+            SyslogMessage(
+                timestamp=0.0,
+                router=f"r{9 - i}",  # reverse router order on purpose
+                error_code="LINK-3-UPDOWN",
+                detail=f"msg {i}",
+            )
+            for i in range(10)
+        ]
+        # max_jitter tiny but nonzero forces the jitter code path; the
+        # jittered times are distinct with probability 1, so just check
+        # the output is time-sorted and content-preserving.
+        out = degrade_stream(
+            messages, CollectorProfile(max_jitter=1e-9, seed=1)
+        )
+        times = [m.timestamp for m in out]
+        assert times == sorted(times)
+        assert {m.detail for m in out} == {m.detail for m in messages}
+
     def test_loss_drops_messages(self):
         messages = _messages(1000)
         out = degrade_stream(messages, CollectorProfile(loss_rate=0.2, seed=1))

@@ -24,6 +24,18 @@ class TestQuantile:
     def test_interpolation(self):
         assert quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
 
+    def test_interpolation_edges(self):
+        # q landing exactly on a sample position must not interpolate.
+        values = [0.0, 10.0, 20.0, 30.0]
+        assert quantile(values, 1 / 3) == 10.0
+        assert quantile(values, 2 / 3) == 20.0
+        # Endpoints of a singleton short-circuit to the only sample.
+        assert quantile([4.2], 0.0) == 4.2
+        assert quantile([4.2], 1.0) == 4.2
+
+    def test_unsorted_input_is_sorted_first(self):
+        assert quantile([30.0, 0.0, 20.0, 10.0], 0.5) == pytest.approx(15.0)
+
     @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
     def test_extremes_are_min_and_max(self, values):
         assert quantile(values, 0.0) == min(values)
@@ -56,6 +68,17 @@ class TestMeanSummarize:
     def test_summarize_empty(self):
         assert summarize([]) == {"count": 0.0}
 
+    def test_summarize_singleton(self):
+        out = summarize([7.5])
+        assert out == {
+            "count": 1.0,
+            "mean": 7.5,
+            "min": 7.5,
+            "median": 7.5,
+            "p90": 7.5,
+            "max": 7.5,
+        }
+
 
 class TestGini:
     def test_empty_rejected(self):
@@ -74,6 +97,22 @@ class TestGini:
 
     def test_all_zero_is_zero(self):
         assert gini([0.0, 0.0]) == 0.0
+
+    def test_clamp_on_near_uniform_float_wobble(self):
+        # A long uniform list accumulates float wobble in the raw
+        # formula; the clamp must keep the result inside [0, 1] and the
+        # wobble must stay negligible.
+        values = [1.0 / 3.0] * 1001
+        g = gini(values)
+        assert 0.0 <= g <= 1e-12
+
+    def test_clamp_lower_bound(self):
+        # Two equal values: the raw formula gives 2*(1+2)*v/(2*2v) - 3/2
+        # = 0 exactly; any sign wobble is clamped to >= 0.
+        assert gini([0.1, 0.1]) >= 0.0
+
+    def test_singleton_is_zero(self):
+        assert gini([42.0]) == pytest.approx(0.0)
 
     @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=60))
     def test_bounded(self, values):

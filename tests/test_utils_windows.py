@@ -33,6 +33,33 @@ class TestBasics:
         assert win.push(10.0, "b") == []
         assert list(win) == ["a", "b"]
 
+    def test_eviction_boundary_at_exactly_width(self):
+        """An item exactly ``width`` old is inside; one instant past is out."""
+        win = SlidingWindow(10.0)
+        win.push(0.0, "a")
+        win.push(0.0, "b")
+        # Exactly at the width boundary: nothing evicted.
+        assert win.push(10.0, "c") == []
+        assert list(win) == ["a", "b", "c"]
+        # The smallest step past the boundary evicts both ts=0 items.
+        assert win.push(10.0 + 1e-9, "d") == ["a", "b"]
+        assert list(win) == ["c", "d"]
+
+    def test_drain_after_eviction(self):
+        """Drain returns only what is still inside, then empties fully."""
+        win = SlidingWindow(5.0)
+        win.push(0.0, "a")
+        win.push(3.0, "b")
+        evicted = win.push(8.0, "c")  # "a" is 8s old -> evicted
+        assert evicted == ["a"]
+        assert win.drain() == ["b", "c"]
+        assert len(win) == 0
+        assert win.drain() == []
+        # The window is reusable after a drain; older timestamps are
+        # allowed again because the deque is empty.
+        win.push(1.0, "z")
+        assert list(win) == ["z"]
+
     def test_out_of_order_push_rejected(self):
         win = SlidingWindow(10.0)
         win.push(5.0, "a")
