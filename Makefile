@@ -1,0 +1,27 @@
+# Convenience targets; everything assumes the in-tree layout (PYTHONPATH=src).
+
+PY = PYTHONPATH=src python
+
+.PHONY: check test faults bench clean
+
+# The pre-merge gate: the full tier-1 suite (which includes the
+# checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py).
+check:
+	$(PY) -m pytest -x -q
+	$(PY) -m pytest -q tests/test_core_checkpoint.py
+
+# Tier-1 without the heavier fault-injection tests.
+test:
+	$(PY) -m pytest -x -q -m "not faults"
+
+# Only the fault-injection robustness tests + the fault bench.
+faults:
+	$(PY) -m pytest -q -m faults
+	$(PY) -m pytest -q benchmarks/bench_faults.py
+
+# Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
+bench:
+	$(PY) -m pytest -q benchmarks/
+
+clean:
+	rm -rf .pytest_cache $$(find . -name __pycache__ -type d)

@@ -12,6 +12,17 @@ a shell::
 registry next to their normal output (JSON when the path ends in
 ``.json``, Prometheus text otherwise); ``stats`` digests a log and
 prints the registry itself.
+
+Fault tolerance (DESIGN.md §8): ``digest``/``stats`` take
+``--quarantine <path>`` to survive garbage lines (dead-lettered as
+JSONL), ``stats --stream`` takes ``--checkpoint <path>`` to write
+periodic state snapshots, and ``resume`` restarts a streaming digest
+from such a checkpoint plus the log tail::
+
+    syslogdigest stats --log work/online.log --kb work/kb.json \
+        --stream --checkpoint work/digest.ckpt --quarantine work/bad.jsonl
+    syslogdigest resume --checkpoint work/digest.ckpt \
+        --log work/online.log --kb work/kb.json --top 20
 """
 
 from __future__ import annotations
@@ -79,16 +90,63 @@ def _maybe_write_metrics(path: str | None) -> None:
     print(f"# metrics written to {path}", file=sys.stderr)
 
 
+def _dump_quarantine(quarantine, path: str) -> None:
+    kept = quarantine.dump(path)
+    summary = quarantine.summary()
+    print(
+        f"# quarantined {summary['total']} inputs "
+        f"({kept} kept, {summary['overflow']} overflowed) -> {path}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_digest(args: argparse.Namespace) -> int:
     kb = KnowledgeBase.load(args.kb)
     system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
-    messages = list(read_log(args.log))
-    result = system.digest(messages)
+    if args.quarantine is not None:
+        with open(args.log, "r", encoding="utf-8") as fh:
+            result = system.digest_lines(fh, source=str(args.log))
+        _dump_quarantine(result.quarantine, args.quarantine)
+    else:
+        messages = list(read_log(args.log))
+        result = system.digest(messages)
     print(
         f"# {result.n_messages} messages -> {result.n_events} events "
         f"(ratio {result.compression_ratio:.2e})"
     )
     print(result.render(top=args.top))
+    _maybe_write_metrics(args.metrics)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a streaming digest from a checkpoint plus log-tail replay.
+
+    The checkpoint records how many messages had been admitted; replay
+    skips exactly that many from the (sorted) log and pushes the rest,
+    which makes the resumed output identical to an uninterrupted run —
+    the property ``tests/test_core_checkpoint.py`` pins.
+    """
+    from repro.core.checkpoint import checkpoint_info, restore_stream
+    from repro.core.present import present_digest
+    from repro.syslog.stream import sort_messages
+
+    kb = KnowledgeBase.load(args.kb)
+    stream = restore_stream(args.checkpoint, kb)
+    info = checkpoint_info(args.checkpoint)
+    ordered = sort_messages(read_log(args.log))
+    tail = ordered[info.n_admitted :]
+    print(
+        f"# checkpoint {args.checkpoint}: {info.n_admitted} messages "
+        f"already digested, {info.n_open} open; replaying "
+        f"{len(tail)} of {len(ordered)}",
+        file=sys.stderr,
+    )
+    events = stream.push_many(tail) if tail else []
+    events.extend(stream.close())
+    events.sort(key=lambda e: (-e.score, e.start_ts, e.indices))
+    print(f"# resumed digest: {len(events)} newly finalized events")
+    print(present_digest(events, top=args.top))
     _maybe_write_metrics(args.metrics)
     return 0
 
@@ -115,20 +173,44 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     registry = get_registry()
     registry.reset()
     kb = KnowledgeBase.load(args.kb)
-    config = DigestConfig(n_workers=args.workers)
-    messages = list(read_log(args.log))
+    config = DigestConfig(
+        n_workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=(
+            args.checkpoint_interval if args.checkpoint else 0.0
+        ),
+    )
+    quarantine = None
+    if args.quarantine is not None:
+        from repro.syslog.resilient import Quarantine, resilient_read_log
+
+        quarantine = Quarantine()
+        messages = resilient_read_log(args.log, quarantine)
+    else:
+        messages = list(read_log(args.log))
     if args.stream:
+        from repro.syslog.resilient import push_safe
+
         stream = DigestStream(kb, config)
+        if quarantine is not None:
+            stream.attach_quarantine(quarantine)
         with stage_timer("sort"):
             ordered = sort_messages(messages)
         with stage_timer("stream_push"):
-            events = stream.push_many(ordered)
+            if quarantine is not None:
+                events = []
+                for message in ordered:
+                    events.extend(push_safe(stream, message, quarantine))
+            else:
+                events = stream.push_many(ordered)
         with stage_timer("stream_close"):
             events.extend(stream.close())
         n_events = len(events)
     else:
         result = SyslogDigest(kb, config).digest(messages)
         n_events = result.n_events
+    if quarantine is not None:
+        _dump_quarantine(quarantine, args.quarantine)
     print(
         f"# {len(messages)} messages -> {n_events} events",
         file=sys.stderr,
@@ -235,7 +317,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump pipeline metrics to this path (*.json = JSON, "
         "else Prometheus text)",
     )
+    p.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="PATH",
+        help="quarantine unparseable lines to this JSONL file instead "
+        "of aborting on the first bad line",
+    )
     p.set_defaults(fn=_cmd_digest)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume a streaming digest from a checkpoint + log tail",
+    )
+    p.add_argument("--checkpoint", required=True)
+    p.add_argument("--log", required=True)
+    p.add_argument("--kb", required=True)
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="dump pipeline metrics to this path (*.json = JSON, "
+        "else Prometheus text)",
+    )
+    p.set_defaults(fn=_cmd_resume)
 
     p = sub.add_parser("report", help="daily/per-router digest report")
     p.add_argument("--log", required=True)
@@ -275,6 +380,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format", choices=["prom", "json"], default="prom"
+    )
+    p.add_argument(
+        "--quarantine",
+        default=None,
+        metavar="PATH",
+        help="read the log resiliently, quarantining bad lines (and "
+        "with --stream, skew-rejected messages) to this JSONL file",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="with --stream: write periodic checkpoints here "
+        "(resume later with `syslogdigest resume`)",
+    )
+    p.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=3600.0,
+        help="stream-clock seconds between checkpoints (default 3600)",
     )
     p.set_defaults(fn=_cmd_stats)
 

@@ -55,6 +55,23 @@ class DigestConfig:
     n_workers: int = 1
     shard_by_router: bool = True
 
+    # Fault tolerance (streaming).  ``checkpoint_path`` + a positive
+    # ``checkpoint_interval`` (stream-clock seconds between snapshots)
+    # make DigestStream persist its state atomically at sweep boundaries
+    # so a crashed digest can resume from the last checkpoint plus a
+    # replay of the log tail.
+    checkpoint_path: str | None = None
+    checkpoint_interval: float = 0.0
+
+    # Bounded-memory load shedding: when more than this many messages
+    # are open at once, whole groups are force-finalized early until the
+    # bound holds again (0 = unbounded, the default — shedding changes
+    # output and must be opted into).  ``shed_policy`` picks the victim
+    # order: "oldest" closes the longest-idle groups first, "largest"
+    # the biggest groups first.
+    max_open_messages: int = 0
+    shed_policy: str = "oldest"
+
     @property
     def flush_after(self) -> float:
         """Idle horizon after which a group can no longer grow.
@@ -73,6 +90,15 @@ class DigestConfig:
             raise ValueError("skew_tolerance must be >= 0")
         if self.n_workers < 0:
             raise ValueError("n_workers must be >= 0 (0 = one per core)")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.max_open_messages < 0:
+            raise ValueError("max_open_messages must be >= 0 (0 = unbounded)")
+        if self.shed_policy not in ("oldest", "largest"):
+            raise ValueError(
+                f"shed_policy must be 'oldest' or 'largest', "
+                f"got {self.shed_policy!r}"
+            )
 
     def with_temporal(self, params: TemporalParams) -> DigestConfig:
         """Copy with different temporal-grouping parameters."""
@@ -81,6 +107,28 @@ class DigestConfig:
     def with_workers(self, n_workers: int) -> DigestConfig:
         """Copy with a different worker count for the sharded engine."""
         return replace(self, n_workers=n_workers)
+
+    def with_window(self, window: float) -> DigestConfig:
+        """Copy with a different association-rule window."""
+        return replace(self, window=window)
+
+    def with_checkpointing(
+        self, path: str, interval: float
+    ) -> DigestConfig:
+        """Copy with periodic streaming checkpoints enabled."""
+        return replace(
+            self, checkpoint_path=path, checkpoint_interval=interval
+        )
+
+    def with_shedding(
+        self, max_open_messages: int, shed_policy: str = "oldest"
+    ) -> DigestConfig:
+        """Copy with bounded-memory load shedding enabled."""
+        return replace(
+            self,
+            max_open_messages=max_open_messages,
+            shed_policy=shed_policy,
+        )
 
     def only_passes(
         self, temporal: bool = True, rules: bool = True, cross: bool = True

@@ -15,7 +15,11 @@ plus the read-only knowledge it needs and returns plain edge lists, which
 keeps the payloads picklable.  If a pool cannot be created or a payload
 cannot be pickled (restricted sandboxes, exotic platforms), the engine
 degrades to running the same shard tasks serially in-process — the result
-is identical either way, a property the tests pin.
+is identical either way, a property the tests pin.  Individual worker
+failures are survivable too: a shard task that raises is retried once on
+the pool, then falls back to in-process serial execution for that shard
+(see :meth:`ParallelGroupingEngine._run_shards`), so a dying worker
+degrades throughput, never correctness.
 
 Streaming parallelism lives in :meth:`repro.core.stream.DigestStream.push_many`,
 which shares the shard-planning axis but uses threads, since a live
@@ -46,8 +50,10 @@ from repro.core.knowledge import KnowledgeBase
 from repro.core.syslogplus import SyslogPlus
 from repro.mining.temporal import TemporalParams
 from repro.obs import (
+    SHARD_FALLBACKS,
     SHARD_IMBALANCE,
     SHARD_MESSAGES,
+    SHARD_RETRIES,
     SHARD_SECONDS,
     SHARD_TASK_SECONDS,
     get_registry,
@@ -144,6 +150,17 @@ def timed_shard_edge_task(
     return edges, active, perf_counter() - t0
 
 
+def default_shard_task(payload, shard_id: int = 0, attempt: int = 0):
+    """The production shard task; top-level so the pool can pickle it.
+
+    ``shard_id``/``attempt`` exist for fault-injecting wrappers (see
+    :class:`repro.netsim.faults.FlakyShardTask`) — the real computation
+    ignores both, so retries are trivially deterministic: shard tasks
+    are pure functions of their payload.
+    """
+    return timed_shard_edge_task(payload)
+
+
 class ParallelGroupingEngine:
     """Router-sharded grouping with the same contract as GroupingEngine.
 
@@ -152,10 +169,19 @@ class ParallelGroupingEngine:
     engine produces on the same stream.
     """
 
-    def __init__(self, kb: KnowledgeBase, config: DigestConfig) -> None:
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: DigestConfig,
+        task=None,
+    ) -> None:
         self._kb = kb
         self._config = config
         self._partners = build_rule_partners(kb.rule_pairs())
+        # The shard task must be a picklable top-level callable of
+        # (payload, shard_id, attempt); overriding it is the seam the
+        # fault-injection harness uses to make workers raise on demand.
+        self._task = task if task is not None else default_shard_task
 
     def group(self, stream: list[SyslogPlus]) -> GroupingOutcome:
         """Group the whole stream; input must be time-sorted."""
@@ -200,7 +226,7 @@ class ParallelGroupingEngine:
         uf: UnionFind = UnionFind(plus.index for plus in stream)
         active_rules: set[tuple[str, str]] = set()
         with stage_timer("shard_passes", registry):
-            results = self._run_shards(payloads)
+            results = self._run_shards(payloads, shard_ids)
         for shard_id, (edges, active, seconds) in zip(shard_ids, results):
             if registry.enabled:
                 registry.set_gauge(
@@ -220,14 +246,56 @@ class ParallelGroupingEngine:
         with stage_timer("collect", registry):
             return collect_outcome(stream, uf, active_rules)
 
-    def _run_shards(self, payloads):
-        """Map shard tasks over a process pool, falling back to serial."""
-        if len(payloads) > 1:
+    def _run_shards(self, payloads, shard_ids):
+        """Run shard tasks on a process pool with per-task recovery.
+
+        Three layers of defense, so one bad worker can never kill the
+        digest:
+
+        1. a task that raises is retried once on the pool (transient
+           worker death, OOM kill, flaky interpreter state);
+        2. a task that fails its retry runs serially in-process using
+           the *production* task (bypassing any injected fault wrapper);
+        3. if the pool itself cannot be created or payloads cannot be
+           pickled, every task runs serially in-process.
+
+        Shard tasks are pure functions of their payload, so a retry or
+        fallback produces exactly the result the first attempt would
+        have — determinism tests pin this.
+        """
+        n = len(payloads)
+        results: list = [None] * n
+        pending = list(range(n))
+        registry = get_registry()
+        if n > 1:
             try:
-                with ProcessPoolExecutor(
-                    max_workers=len(payloads)
-                ) as pool:
-                    return list(pool.map(timed_shard_edge_task, payloads))
+                with ProcessPoolExecutor(max_workers=n) as pool:
+                    for attempt in (0, 1):
+                        futures = {
+                            i: pool.submit(
+                                self._task,
+                                payloads[i],
+                                shard_ids[i],
+                                attempt,
+                            )
+                            for i in pending
+                        }
+                        still_failed = []
+                        for i, future in futures.items():
+                            try:
+                                results[i] = future.result()
+                            except Exception:
+                                still_failed.append(i)
+                        if still_failed and attempt == 0:
+                            if registry.enabled:
+                                registry.inc(
+                                    SHARD_RETRIES,
+                                    len(still_failed),
+                                    engine="batch",
+                                )
+                        pending = still_failed
+                        if not pending:
+                            break
             except (
                 OSError,
                 ValueError,
@@ -239,4 +307,11 @@ class ParallelGroupingEngine:
                 # No process support (sandboxed platform) or pool setup
                 # failure: same tasks, same results, one process.
                 pass
-        return [timed_shard_edge_task(payload) for payload in payloads]
+        if pending and registry.enabled:
+            registry.inc(SHARD_FALLBACKS, len(pending), engine="batch")
+        for i in pending:
+            # In-process serial fallback runs the production task
+            # directly: injected worker faults model *worker* failures
+            # and must not survive into the trusted serial path.
+            results[i] = timed_shard_edge_task(payloads[i])
+        return results

@@ -47,6 +47,9 @@ class DigestResult:
     events: list[NetworkEvent]  # ranked, most important first
     n_messages: int
     active_rules: set[tuple[str, str]] = field(default_factory=set)
+    # Set by SyslogDigest.digest_lines: the dead-letter queue holding
+    # whatever failed to parse (None for message-level digests).
+    quarantine: object | None = None
 
     @property
     def n_events(self) -> int:
@@ -232,3 +235,25 @@ class SyslogDigest:
             n_messages=len(plus_stream),
             active_rules=outcome.active_rules,
         )
+
+    def digest_lines(
+        self,
+        lines: Iterable[str],
+        quarantine=None,
+        source: str | None = None,
+    ) -> DigestResult:
+        """Digest raw collector lines, quarantining the unparseable ones.
+
+        The resilient batch entry point: parse failures land in
+        ``quarantine`` (a fresh bounded one is created when ``None``)
+        instead of killing the run, and everything that parses digests
+        normally.  The quarantine used is exposed afterwards as
+        ``result.quarantine`` for dumping/reporting.
+        """
+        from repro.syslog.resilient import Quarantine, resilient_parse
+
+        quarantine = quarantine if quarantine is not None else Quarantine()
+        messages = list(resilient_parse(lines, quarantine, source=source))
+        result = self.digest(messages)
+        result.quarantine = quarantine
+        return result

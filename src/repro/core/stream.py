@@ -17,13 +17,22 @@ union-find stay global.  Long-running streams stay bounded: splitters
 idle past the flush horizon are evicted (and lazily reset on next touch,
 mirroring the batch engine exactly), and window entries of finalized
 messages are dropped at every finalize sweep.
+
+Fault tolerance (DESIGN.md §8): the full grouping state can be captured
+with :meth:`DigestStream.snapshot` and rebuilt with
+:meth:`DigestStream.restore` (periodic atomic checkpoints via
+``DigestConfig.checkpoint_path``/``checkpoint_interval``, see
+:mod:`repro.core.checkpoint`); ``max_open_messages`` turns on
+load shedding (whole groups force-finalized early, oldest first); and
+thread-pooled shard tasks in :meth:`DigestStream.push_many` that raise
+are retried once, then run serially in-process.
 """
 
 from __future__ import annotations
 
 import zlib
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.config import DigestConfig
@@ -40,10 +49,15 @@ from repro.core.syslogplus import Augmenter, SyslogPlus
 from repro.locations.spatial import spatially_matched
 from repro.mining.temporal import TemporalSplitter
 from repro.obs import (
+    CHECKPOINT_AGE,
+    SHARD_FALLBACKS,
+    SHARD_RETRIES,
     STREAM_EVICTED,
     STREAM_FINALIZED,
     STREAM_OPEN_MESSAGES,
     STREAM_PRUNED,
+    STREAM_SHED_EVENTS,
+    STREAM_SHED_MESSAGES,
     STREAM_SKEW_CLAMPED,
     STREAM_SKEW_REJECTED,
     STREAM_SPLITTERS,
@@ -54,6 +68,29 @@ from repro.obs import (
 )
 from repro.syslog.message import SyslogMessage
 from repro.utils.unionfind import UnionFind
+
+#: Snapshot format version, bumped whenever :meth:`DigestStream.snapshot`
+#: changes shape; :mod:`repro.core.checkpoint` refuses mismatches.
+SNAPSHOT_VERSION = 1
+
+#: Every key :meth:`DigestStream.health` reports, documented in one
+#: place (DESIGN.md §8 renders this table; tests pin the key set).
+HEALTH_KEYS: dict[str, str] = {
+    "open_messages": "messages admitted but not yet finalized",
+    "splitters": "live temporal splitters across all shards",
+    "window_entries": "live rule + cross-router window entries",
+    "watermark_lag_seconds": "stream clock minus oldest open timestamp",
+    "evicted_splitters": "idle splitters dropped by sweeps (cumulative)",
+    "pruned_entries": "window/tail entries dropped at finalize (cumulative)",
+    "skew_clamped": "late-but-tolerated timestamps clamped (cumulative)",
+    "skew_rejected": "pushes refused beyond skew tolerance (cumulative)",
+    "finalized_events": "events emitted so far (cumulative)",
+    "shed_events": "groups force-finalized by load shedding (cumulative)",
+    "shed_messages": "messages inside shed groups (cumulative)",
+    "quarantine_depth": "records held by the attached quarantine (0 if none)",
+    "quarantine_total": "inputs ever quarantined (0 if none attached)",
+    "checkpoint_age_seconds": "stream clock since last checkpoint (-1 if never)",
+}
 
 
 class ShardState:
@@ -203,6 +240,62 @@ class ShardState:
                 del self._rule_window[router]
         return dropped
 
+    # ------------------------------------------------------------- snapshot
+
+    def snapshot(self) -> dict:
+        """Plain-data capture of the shard's grouping state.
+
+        Splitters are decomposed into their scalar fields rather than
+        pickled as live objects, so :meth:`restore` always rebuilds
+        fresh instances — an evicted-then-restored key can never
+        resurrect stale EWMA state that the eviction already discarded.
+        """
+        return {
+            "splitters": {
+                key: {
+                    "last_ts": splitter._last_ts,
+                    "group": splitter._group,
+                    "ewma_prediction": splitter._ewma.prediction,
+                    "ewma_count": splitter._ewma.count,
+                }
+                for key, splitter in self._splitters.items()
+            },
+            "serial_of": dict(self._serial_of),
+            "n_created": self._n_created,
+            "temporal_tail": dict(self._temporal_tail),
+            "rule_window": {
+                router: {
+                    template: list(queue)
+                    for template, queue in by_template.items()
+                }
+                for router, by_template in self._rule_window.items()
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the shard from a :meth:`snapshot` capture."""
+        self._splitters = {}
+        for key, fields in state["splitters"].items():
+            splitter = TemporalSplitter(
+                self._config.temporal,
+                skew_tolerance=self._config.skew_tolerance,
+            )
+            splitter._last_ts = fields["last_ts"]
+            splitter._group = fields["group"]
+            splitter._ewma._prediction = fields["ewma_prediction"]
+            splitter._ewma._count = fields["ewma_count"]
+            self._splitters[key] = splitter
+        self._serial_of = dict(state["serial_of"])
+        self._n_created = state["n_created"]
+        self._temporal_tail = dict(state["temporal_tail"])
+        self._rule_window = {
+            router: {
+                template: deque(entries)
+                for template, entries in by_template.items()
+            }
+            for router, by_template in state["rule_window"].items()
+        }
+
     @property
     def n_splitters(self) -> int:
         """Live temporal splitters (exposed for leak tests)."""
@@ -233,6 +326,7 @@ class DigestStream:
         kb: KnowledgeBase,
         config: DigestConfig | None = None,
         sweep_interval: float = 300.0,
+        fault_hook: Callable[[int, int], None] | None = None,
     ) -> None:
         self._kb = kb
         self._config = config or DigestConfig()
@@ -247,6 +341,12 @@ class DigestStream:
         self._last_ts: float | None = None
         self._last_sweep: float | None = None
         self._sweep_interval = sweep_interval
+        # Fault-injection seam for the thread-pooled shard tasks: called
+        # as hook(shard_id, attempt) at the *start* of each task, before
+        # any shard state is touched, so a raising hook leaves the shard
+        # clean for the retry.  Attempt 0 is the first run, 1 the retry;
+        # the serial fallback bypasses the hook entirely.
+        self._fault_hook = fault_hook
 
         # Health accounting: plain ints on the hot path, flushed to the
         # metrics registry only at sweep granularity.
@@ -255,7 +355,11 @@ class DigestStream:
         self._n_skew_clamped = 0
         self._n_skew_rejected = 0
         self._n_finalized_events = 0
+        self._n_shed_events = 0
+        self._n_shed_messages = 0
         self._emitted: dict[str, float] = {}
+        self._quarantine = None  # attached via attach_quarantine()
+        self._last_checkpoint_clock: float | None = None
 
         n_shards = self._config.n_workers if self._config.shard_by_router else 1
         self._n_shards = max(1, n_shards)
@@ -313,7 +417,9 @@ class DigestStream:
         if self._config.enable_cross_router:
             for a, b in self._cross_step(plus, now):
                 self._uf.union(a, b)
-        return self._maybe_sweep(now)
+        events = self._maybe_sweep(now)
+        shed = self._shed()
+        return events + shed if shed else events
 
     def push_many(
         self, messages: Iterable[SyslogMessage]
@@ -336,33 +442,189 @@ class DigestStream:
             state = self._shard_of(plus.router)
             per_shard.setdefault(state._shard_id, []).append((plus, now))
 
-        def run_shard(shard_id: int) -> list[Edge]:
+        def run_serial(shard_id: int) -> list[Edge]:
             state = self._states[shard_id]
             edges: list[Edge] = []
             for plus, now in per_shard[shard_id]:
                 edges.extend(state.step(plus, now))
             return edges
 
+        def run_shard(shard_id: int, attempt: int = 0) -> list[Edge]:
+            # The fault hook fires before any shard state is touched, so
+            # a raising hook leaves the shard clean for the retry.
+            if self._fault_hook is not None:
+                self._fault_hook(shard_id, attempt)
+            return run_serial(shard_id)
+
+        shard_order = sorted(per_shard)
+        edge_lists: dict[int, list[Edge]] = {}
+        registry = get_registry()
         if self._n_shards > 1 and len(per_shard) > 1:
+            failed: list[int] = []
             with ThreadPoolExecutor(max_workers=self._n_shards) as pool:
-                edge_lists = list(pool.map(run_shard, sorted(per_shard)))
+                futures = {
+                    shard_id: pool.submit(run_shard, shard_id)
+                    for shard_id in shard_order
+                }
+                for shard_id, future in futures.items():
+                    try:
+                        edge_lists[shard_id] = future.result()
+                    except Exception:
+                        failed.append(shard_id)
+                # A failed shard task is retried once on the pool...
+                fallback: list[int] = []
+                for shard_id in failed:
+                    if registry.enabled:
+                        registry.inc(SHARD_RETRIES, engine="stream")
+                    try:
+                        edge_lists[shard_id] = pool.submit(
+                            run_shard, shard_id, 1
+                        ).result()
+                    except Exception:
+                        fallback.append(shard_id)
+            # ...then falls back to in-process serial grouping, which
+            # bypasses the fault hook — one flaky worker must never kill
+            # the digest.
+            for shard_id in fallback:
+                if registry.enabled:
+                    registry.inc(SHARD_FALLBACKS, engine="stream")
+                edge_lists[shard_id] = run_serial(shard_id)
         else:
-            edge_lists = [run_shard(shard) for shard in sorted(per_shard)]
-        for edges in edge_lists:
-            for a, b in edges:
+            for shard_id in shard_order:
+                try:
+                    edge_lists[shard_id] = run_shard(shard_id)
+                except Exception:
+                    if registry.enabled:
+                        registry.inc(SHARD_FALLBACKS, engine="stream")
+                    edge_lists[shard_id] = run_serial(shard_id)
+        for shard_id in shard_order:
+            for a, b in edge_lists[shard_id]:
                 self._uf.union(a, b)
 
         if self._config.enable_cross_router:
             for plus, now in batch:
                 for a, b in self._cross_step(plus, now):
                     self._uf.union(a, b)
-        return self._maybe_sweep(batch[-1][1])
+        events = self._maybe_sweep(batch[-1][1])
+        shed = self._shed()
+        return events + shed if shed else events
 
     def close(self) -> list[NetworkEvent]:
         """Finalize and return all remaining open groups."""
         events = self._collect_groups(lambda _last: True)
         self.record_metrics()
         return events
+
+    # ------------------------------------------------------- snapshot/restore
+
+    def snapshot(self) -> dict:
+        """Capture the complete streaming state as a picklable dict.
+
+        Everything the grouping depends on rides along: the stream
+        clock, per-shard splitters and windows, the cross-router window,
+        open messages, the union-find partition over them, the augmenter
+        index counter, and the health counters.  A fresh stream restored
+        from this snapshot continues *byte-identically* to one that was
+        never interrupted (a test pins that).
+
+        Only the partition over open indices is kept: once a group
+        finalizes, every window/tail entry referencing it has been
+        pruned, so finalized indices can never union with open ones
+        again.
+        """
+        components: list[list[int]] = []
+        for members in self._open_groups().values():
+            components.append([plus.index for plus in members])
+        return {
+            "version": SNAPSHOT_VERSION,
+            "config": self._config,
+            "n_shards": self._n_shards,
+            "last_ts": self._last_ts,
+            "last_sweep": self._last_sweep,
+            "sweep_interval": self._sweep_interval,
+            "n_admitted": self._augmenter._counter,
+            "open": dict(self._open),
+            "components": components,
+            "shards": [state.snapshot() for state in self._states],
+            "cross_window": {
+                template: list(queue)
+                for template, queue in self._cross_window.items()
+            },
+            "counters": {
+                "evicted": self._n_evicted,
+                "pruned": self._n_pruned,
+                "skew_clamped": self._n_skew_clamped,
+                "skew_rejected": self._n_skew_rejected,
+                "finalized": self._n_finalized_events,
+                "shed_events": self._n_shed_events,
+                "shed_messages": self._n_shed_messages,
+            },
+            "emitted": dict(self._emitted),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild a freshly constructed stream from a snapshot.
+
+        The stream must not have been pushed to yet, and its config must
+        match the snapshot's — grouping state under a different window,
+        flush horizon, or shard count is not transplantable.
+        """
+        if state.get("version") != SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {state.get('version')!r} != "
+                f"supported {SNAPSHOT_VERSION}"
+            )
+        if self._last_ts is not None or self._open:
+            raise ValueError(
+                "restore() requires a freshly constructed stream"
+            )
+        if state["config"] != self._config:
+            raise ValueError(
+                "snapshot config does not match this stream's config; "
+                "construct the stream with the checkpointed config"
+            )
+        if state["n_shards"] != self._n_shards:
+            raise ValueError(
+                f"snapshot has {state['n_shards']} shards, "
+                f"stream has {self._n_shards}"
+            )
+        self._last_ts = state["last_ts"]
+        self._last_sweep = state["last_sweep"]
+        self._sweep_interval = state["sweep_interval"]
+        self._augmenter._counter = state["n_admitted"]
+        self._open = dict(state["open"])
+        self._uf = UnionFind()
+        for component in state["components"]:
+            first = component[0]
+            self._uf.add(first)
+            for index in component[1:]:
+                self._uf.union(first, index)
+        for shard_state, captured in zip(self._states, state["shards"]):
+            shard_state.restore(captured)
+        self._cross_window = {
+            template: deque(entries)
+            for template, entries in state["cross_window"].items()
+        }
+        counters = state["counters"]
+        self._n_evicted = counters["evicted"]
+        self._n_pruned = counters["pruned"]
+        self._n_skew_clamped = counters["skew_clamped"]
+        self._n_skew_rejected = counters["skew_rejected"]
+        self._n_finalized_events = counters["finalized"]
+        self._n_shed_events = counters["shed_events"]
+        self._n_shed_messages = counters["shed_messages"]
+        self._emitted = dict(state["emitted"])
+        # The restored state *is* the checkpoint: age restarts at zero.
+        self._last_checkpoint_clock = self._last_ts
+
+    @property
+    def n_admitted(self) -> int:
+        """Messages admitted so far (= log lines to skip on resume)."""
+        return self._augmenter._counter
+
+    def attach_quarantine(self, quarantine) -> None:
+        """Surface a :class:`~repro.syslog.resilient.Quarantine` in health."""
+        self._quarantine = quarantine
 
     # ------------------------------------------------------------- internals
 
@@ -388,8 +650,26 @@ class DigestStream:
             self._last_sweep = now
             events = self._finalize_idle(now)
             self.record_metrics()
+            self._maybe_checkpoint(now)
             return events
         return []
+
+    def _maybe_checkpoint(self, now: float) -> None:
+        cfg = self._config
+        if not cfg.checkpoint_path or cfg.checkpoint_interval <= 0:
+            return
+        if (
+            self._last_checkpoint_clock is not None
+            and now - self._last_checkpoint_clock < cfg.checkpoint_interval
+        ):
+            return
+        from repro.core.checkpoint import write_checkpoint
+
+        write_checkpoint(cfg.checkpoint_path, self)
+
+    def note_checkpoint(self) -> None:
+        """Record that the current state was just checkpointed."""
+        self._last_checkpoint_clock = self._last_ts
 
     def _finalize_idle(self, now: float) -> list[NetworkEvent]:
         horizon = now - self.flush_after
@@ -397,15 +677,60 @@ class DigestStream:
             self._n_evicted += state.evict_idle(horizon)
         return self._collect_groups(lambda last: last < horizon)
 
-    def _collect_groups(self, should_close) -> list[NetworkEvent]:
+    def _open_groups(self) -> dict[int, list[SyslogPlus]]:
+        """Open messages bucketed by union-find root (admission order)."""
         by_root: dict[int, list[SyslogPlus]] = {}
         for index, plus in self._open.items():
             by_root.setdefault(self._uf.find(index), []).append(plus)
+        return by_root
+
+    def _collect_groups(self, should_close) -> list[NetworkEvent]:
+        selected = [
+            members
+            for members in self._open_groups().values()
+            if should_close(max(p.timestamp for p in members))
+        ]
+        return self._finalize_members(selected)
+
+    def _shed(self) -> list[NetworkEvent]:
+        """Force-finalize whole groups until the open bound holds again.
+
+        Shedding is the bounded-memory escape hatch: it changes output
+        (groups close before their idle horizon) and is therefore off by
+        default (``max_open_messages = 0``).  Victim order follows
+        ``shed_policy``: "oldest" closes the longest-idle groups first,
+        "largest" the biggest first; ties break on the earliest member
+        index so shedding is deterministic.
+        """
+        limit = self._config.max_open_messages
+        if not limit or len(self._open) <= limit:
+            return []
+        groups = list(self._open_groups().values())
+        if self._config.shed_policy == "largest":
+            groups.sort(key=lambda m: (-len(m), m[0].index))
+        else:
+            groups.sort(
+                key=lambda m: (max(p.timestamp for p in m), m[0].index)
+            )
+        victims: list[list[SyslogPlus]] = []
+        excess = len(self._open) - limit
+        removed = 0
+        for members in groups:
+            if removed >= excess:
+                break
+            victims.append(members)
+            removed += len(members)
+        events = self._finalize_members(victims)
+        self._n_shed_events += len(events)
+        self._n_shed_messages += removed
+        return events
+
+    def _finalize_members(
+        self, groups: list[list[SyslogPlus]]
+    ) -> list[NetworkEvent]:
+        """Close the given groups: emit events, then prune dead state."""
         events: list[NetworkEvent] = []
-        for members in by_root.values():
-            last = max(p.timestamp for p in members)
-            if not should_close(last):
-                continue
+        for members in groups:
             for plus in members:
                 del self._open[plus.index]
             event = NetworkEvent(messages=members)
@@ -464,8 +789,26 @@ class DigestStream:
             return 0.0
         return self._last_ts - min(p.timestamp for p in self._open.values())
 
+    @property
+    def checkpoint_age(self) -> float:
+        """Stream-clock seconds since the last checkpoint (-1 if never)."""
+        if (
+            self._last_checkpoint_clock is None
+            or self._last_ts is None
+        ):
+            return -1.0
+        return self._last_ts - self._last_checkpoint_clock
+
     def health(self) -> dict[str, float]:
-        """One-call health snapshot of the live stream state."""
+        """One-call health snapshot of the live stream state.
+
+        The returned keys are exactly :data:`HEALTH_KEYS`, which is the
+        single place every key is documented.
+        """
+        quarantine_depth = quarantine_total = 0
+        if self._quarantine is not None:
+            quarantine_depth = len(self._quarantine)
+            quarantine_total = self._quarantine.total
         return {
             "open_messages": self.n_open_messages,
             "splitters": self.n_splitters,
@@ -476,6 +819,11 @@ class DigestStream:
             "skew_clamped": self._n_skew_clamped,
             "skew_rejected": self._n_skew_rejected,
             "finalized_events": self._n_finalized_events,
+            "shed_events": self._n_shed_events,
+            "shed_messages": self._n_shed_messages,
+            "quarantine_depth": quarantine_depth,
+            "quarantine_total": quarantine_total,
+            "checkpoint_age_seconds": self.checkpoint_age,
         }
 
     def record_metrics(
@@ -496,12 +844,15 @@ class DigestStream:
         reg.set_gauge(STREAM_SPLITTERS, self.n_splitters)
         reg.set_gauge(STREAM_WINDOW_ENTRIES, self.n_window_entries)
         reg.set_gauge(STREAM_WATERMARK_LAG, self.watermark_lag)
+        reg.set_gauge(CHECKPOINT_AGE, self.checkpoint_age)
         for name, total in (
             (STREAM_EVICTED, self._n_evicted),
             (STREAM_PRUNED, self._n_pruned),
             (STREAM_SKEW_CLAMPED, self._n_skew_clamped),
             (STREAM_SKEW_REJECTED, self._n_skew_rejected),
             (STREAM_FINALIZED, self._n_finalized_events),
+            (STREAM_SHED_EVENTS, self._n_shed_events),
+            (STREAM_SHED_MESSAGES, self._n_shed_messages),
         ):
             delta = total - self._emitted.get(name, 0)
             if delta:

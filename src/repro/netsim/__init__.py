@@ -15,6 +15,18 @@ from repro.netsim.datasets import (
     dataset_b,
     generate_dataset,
 )
+from repro.netsim.faults import (
+    Compose,
+    CorruptLines,
+    DuplicateBurst,
+    FaultProfile,
+    FeedStall,
+    FlakyShardTask,
+    InjectedWorkerFault,
+    TruncateLines,
+    WorkerFaults,
+    labeled_pairs,
+)
 from repro.netsim.generator import WorkloadEngine, WorkloadMix
 from repro.netsim.tickets import TroubleTicket, derive_tickets
 from repro.netsim.traces import export_trace, import_trace
@@ -29,13 +41,22 @@ from repro.netsim.topology import (
 __all__ = [
     "CATALOG_V1",
     "CATALOG_V2",
+    "Compose",
+    "CorruptLines",
     "DatasetSpec",
+    "DuplicateBurst",
+    "FaultProfile",
+    "FeedStall",
+    "FlakyShardTask",
+    "InjectedWorkerFault",
     "Interface",
     "Link",
     "MessageDef",
     "Network",
     "RouterNode",
     "TroubleTicket",
+    "TruncateLines",
+    "WorkerFaults",
     "WorkloadEngine",
     "WorkloadMix",
     "build_network",
@@ -46,6 +67,7 @@ __all__ = [
     "export_trace",
     "import_trace",
     "generate_dataset",
+    "labeled_pairs",
     "render_config",
     "render_configs",
 ]

@@ -1,0 +1,276 @@
+"""Composable fault injection over collector traces (DESIGN.md §8).
+
+Real collector feeds fail in characteristic ways: lines arrive
+corrupted or truncated (UDP datagram damage), a feed stalls and then
+bursts its backlog out late, messages are delivered in duplicate, and
+on the compute side individual pool workers die.  Each failure mode is
+a :class:`FaultProfile`; profiles compose, are deterministic under a
+seed, and count everything they inject through :mod:`repro.obs`
+(``syslogdigest_faults_injected_total{kind=...}``).
+
+Profiles transform ``(line, label)`` pairs — the collector line plus an
+opaque ground-truth label (e.g. the injected event id) that rides along
+so benchmarks can score recall after the damage.  Line faults keep the
+label attached: a truncated line that still parses keeps its ground
+truth, a corrupted one simply never produces a digestible message.
+
+The worker-fault profile injects on the *compute* path instead: it
+builds the picklable shard task / stream hook the engines accept, so
+``bench_faults.py`` can prove the retry-then-serial-fallback recovery
+(:meth:`repro.core.parallel.ParallelGroupingEngine._run_shards`,
+:meth:`repro.core.stream.DigestStream.push_many`) under real pools.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.obs import FAULTS_INJECTED, get_registry
+from repro.utils.timeutils import parse_ts
+
+#: One unit of trace: the raw collector line plus an opaque label.
+LinePair = tuple[str, object]
+
+
+def _count(kind: str, n: int) -> None:
+    if n:
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(FAULTS_INJECTED, n, kind=kind)
+
+
+class InjectedWorkerFault(RuntimeError):
+    """The deliberate exception raised by :class:`FlakyShardTask`."""
+
+
+class FlakyShardTask:
+    """A shard task that raises for chosen shards, then recovers.
+
+    Instances are picklable (top-level class, plain attributes), so they
+    cross the process-pool boundary.  ``fail_attempts`` bounds how many
+    attempts per shard raise: 1 exercises the in-pool retry, 2 pushes
+    through to the serial fallback, and because the fallback bypasses
+    injected tasks entirely, any larger value still completes.
+    """
+
+    def __init__(
+        self, fail_shards: tuple[int, ...], fail_attempts: int = 1
+    ) -> None:
+        self.fail_shards = tuple(fail_shards)
+        self.fail_attempts = fail_attempts
+
+    def __call__(self, payload, shard_id: int = 0, attempt: int = 0):
+        # Imported lazily: netsim loads during package init, before
+        # repro.core finishes importing (templates → netsim.catalog).
+        from repro.core.parallel import timed_shard_edge_task
+
+        if shard_id in self.fail_shards and attempt < self.fail_attempts:
+            raise InjectedWorkerFault(
+                f"injected fault: shard {shard_id}, attempt {attempt}"
+            )
+        return timed_shard_edge_task(payload)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Base profile: the clean feed.  Applying it is a strict no-op."""
+
+    name: str = "clean"
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        """Return the faulted trace; the base profile changes nothing."""
+        return list(pairs)
+
+    def shard_task(self):
+        """Picklable shard task for the batch engine (None = default)."""
+        return None
+
+    def stream_fault_hook(self):
+        """Fault hook for ``DigestStream(fault_hook=...)`` (None = none)."""
+        return None
+
+
+@dataclass(frozen=True)
+class CorruptLines(FaultProfile):
+    """Datagram damage: a fraction of lines become unparseable garbage."""
+
+    name: str = "corrupt"
+    rate: float = 0.01
+    seed: int = 0
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        rng = random.Random(self.seed)
+        out: list[LinePair] = []
+        n = 0
+        for line, label in pairs:
+            if rng.random() < self.rate:
+                n += 1
+                line = "\x15" + line[::-1]  # NAK + reversed: never parses
+            out.append((line, label))
+        _count(self.name, n)
+        return out
+
+
+@dataclass(frozen=True)
+class TruncateLines(FaultProfile):
+    """Cut lines short, as a truncated datagram would arrive.
+
+    A cut landing after the ``CODE:`` head still parses (with a
+    shortened detail) — that is the realistic case and exactly what the
+    digester must survive: degraded, not dead.
+    """
+
+    name: str = "truncate"
+    rate: float = 0.01
+    keep_fraction: float = 0.5
+    seed: int = 1
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        rng = random.Random(self.seed)
+        out: list[LinePair] = []
+        n = 0
+        for line, label in pairs:
+            if rng.random() < self.rate:
+                n += 1
+                line = line[: max(1, int(len(line) * self.keep_fraction))]
+            out.append((line, label))
+        _count(self.name, n)
+        return out
+
+
+@dataclass(frozen=True)
+class FeedStall(FaultProfile):
+    """A feed goes silent, then bursts its backlog out late.
+
+    Lines whose timestamp falls in the stall window are held back and
+    re-delivered (in order) right after the window closes — so they
+    arrive behind the stream clock, exactly the shape that trips skew
+    rejection and must be quarantined, not fatal.  Lines whose
+    timestamp cannot be read (already corrupted upstream) pass through
+    unstalled.
+    """
+
+    name: str = "stall"
+    start_fraction: float = 0.5
+    duration: float = 600.0
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        stamped: list[tuple[float | None, LinePair]] = []
+        times = []
+        for pair in pairs:
+            try:
+                ts = parse_ts(pair[0][:19])
+                times.append(ts)
+            except ValueError:
+                ts = None
+            stamped.append((ts, pair))
+        if not times:
+            return list(pairs)
+        t0 = min(times) + self.start_fraction * (max(times) - min(times))
+        t1 = t0 + self.duration
+        out: list[LinePair] = []
+        held: list[LinePair] = []
+        n = 0
+        for ts, pair in stamped:
+            if ts is not None and t0 <= ts < t1:
+                held.append(pair)
+                n += 1
+                continue
+            out.append(pair)
+            if held and ts is not None and ts >= t1:
+                # The backlog bursts out *behind* the first post-stall
+                # line, so the replayed lines arrive late relative to
+                # the stream clock — skew handling must absorb them.
+                out.extend(held)
+                held = []
+        out.extend(held)  # stall ran to the end of the trace
+        _count(self.name, n)
+        return out
+
+
+@dataclass(frozen=True)
+class DuplicateBurst(FaultProfile):
+    """Retransmit storms: some lines are delivered several times in a row."""
+
+    name: str = "duplicate"
+    rate: float = 0.01
+    copies: int = 3
+    seed: int = 2
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        rng = random.Random(self.seed)
+        out: list[LinePair] = []
+        n = 0
+        for line, label in pairs:
+            burst = self.copies if rng.random() < self.rate else 1
+            if burst > 1:
+                n += burst - 1
+            out.extend([(line, label)] * burst)
+        _count(self.name, n)
+        return out
+
+
+@dataclass(frozen=True)
+class WorkerFaults(FaultProfile):
+    """Compute-path faults: chosen pool workers raise on their first
+    ``fail_attempts`` attempts.  Leaves the trace itself untouched."""
+
+    name: str = "worker"
+    fail_shards: tuple[int, ...] = (0,)
+    fail_attempts: int = 1
+
+    def shard_task(self):
+        return FlakyShardTask(self.fail_shards, self.fail_attempts)
+
+    def stream_fault_hook(self):
+        task = FlakyShardTask(self.fail_shards, self.fail_attempts)
+
+        def hook(shard_id: int, attempt: int) -> None:
+            if (
+                shard_id in task.fail_shards
+                and attempt < task.fail_attempts
+            ):
+                raise InjectedWorkerFault(
+                    f"injected fault: shard {shard_id}, attempt {attempt}"
+                )
+
+        return hook
+
+
+@dataclass(frozen=True)
+class Compose(FaultProfile):
+    """Apply several profiles in order; compute hooks come from the
+    first member that provides one."""
+
+    name: str = "composed"
+    profiles: tuple[FaultProfile, ...] = field(default_factory=tuple)
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        out = list(pairs)
+        for profile in self.profiles:
+            out = profile.apply(out)
+        return out
+
+    def shard_task(self):
+        for profile in self.profiles:
+            task = profile.shard_task()
+            if task is not None:
+                return task
+        return None
+
+    def stream_fault_hook(self):
+        for profile in self.profiles:
+            hook = profile.stream_fault_hook()
+            if hook is not None:
+                return hook
+        return None
+
+
+def labeled_pairs(labeled_messages) -> list[LinePair]:
+    """Turn netsim :class:`LabeledMessage` output into fault-ready pairs."""
+    from repro.syslog.parse import format_line
+
+    return [
+        (format_line(lm.message), lm.event_id) for lm in labeled_messages
+    ]

@@ -51,6 +51,34 @@ STREAM_SKEW_CLAMPED = "syslogdigest_stream_skew_clamped_total"
 STREAM_SKEW_REJECTED = "syslogdigest_stream_skew_rejected_total"
 STREAM_FINALIZED = "syslogdigest_stream_finalized_events_total"
 
+#: Load shedding (bounded-memory streaming): force-finalized groups and
+#: the messages inside them.
+STREAM_SHED_EVENTS = "syslogdigest_stream_shed_events_total"
+STREAM_SHED_MESSAGES = "syslogdigest_stream_shed_messages_total"
+#: Checkpointing: snapshots written, plus the stream-clock age of the
+#: newest one (gauge; -1 before the first checkpoint).
+CHECKPOINT_WRITES = "syslogdigest_checkpoint_writes_total"
+CHECKPOINT_AGE = "syslogdigest_checkpoint_age_seconds"
+CHECKPOINT_BYTES = "syslogdigest_checkpoint_bytes"
+
+#: Quarantine (dead-letter queue for unparseable/rejected input).
+QUARANTINED = "syslogdigest_quarantined_total"
+QUARANTINE_DEPTH = "syslogdigest_quarantine_depth"
+QUARANTINE_OVERFLOW = "syslogdigest_quarantine_overflow_total"
+
+#: Resilient source reading: retries taken and sources abandoned after
+#: the retry budget ran out.
+INGEST_RETRIES = "syslogdigest_ingest_retries_total"
+INGEST_FAILURES = "syslogdigest_ingest_failed_sources_total"
+
+#: Sharded engine fault recovery: worker tasks retried after an
+#: exception and tasks that fell back to in-process serial execution.
+SHARD_RETRIES = "syslogdigest_shard_retries_total"
+SHARD_FALLBACKS = "syslogdigest_shard_fallbacks_total"
+
+#: Fault-injection harness: faults applied, labelled by kind.
+FAULTS_INJECTED = "syslogdigest_faults_injected_total"
+
 #: Collector-path degradation counters.
 COLLECTOR_DELIVERED = "syslogdigest_collector_delivered_total"
 COLLECTOR_DROPPED = "syslogdigest_collector_dropped_total"

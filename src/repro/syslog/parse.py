@@ -26,19 +26,48 @@ _LINE = re.compile(
 
 
 class SyslogParseError(ValueError):
-    """Raised when a line cannot be parsed as a syslog message."""
+    """Raised when a line cannot be parsed as a syslog message.
+
+    Carries where the bad line came from (``line_no``, 1-based, and
+    ``source``, e.g. a file path or feed name) when the caller knows it,
+    so quarantine records stay actionable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_no: int | None = None,
+        source: str | None = None,
+    ) -> None:
+        where = []
+        if source is not None:
+            where.append(source)
+        if line_no is not None:
+            where.append(f"line {line_no}")
+        if where:
+            message = f"{message} ({', '.join(where)})"
+        super().__init__(message)
+        self.line_no = line_no
+        self.source = source
 
 
-def parse_line(line: str) -> SyslogMessage:
+def parse_line(
+    line: str, line_no: int | None = None, source: str | None = None
+) -> SyslogMessage:
     """Parse one collector line into a :class:`SyslogMessage`.
 
     The vendor tag is inferred from the error-code syntax; unknown syntaxes
     are accepted with vendor ``"unknown"`` (SyslogDigest must not require a
-    vendor catalogue up front).
+    vendor catalogue up front).  ``line_no``/``source`` only annotate the
+    error raised on a malformed line.
     """
     match = _LINE.match(line.rstrip("\n"))
     if not match:
-        raise SyslogParseError(f"unparseable syslog line: {line!r}")
+        raise SyslogParseError(
+            f"unparseable syslog line: {line!r}",
+            line_no=line_no,
+            source=source,
+        )
     code = match.group("code")
     profile = vendor_for(code)
     return SyslogMessage(

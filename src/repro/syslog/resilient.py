@@ -1,0 +1,285 @@
+"""Resilient ingest: quarantine dead-letter queue and retrying sources.
+
+Operational collector feeds are lossy, duplicated, bursty, and sometimes
+plain garbage; a production digester must never die because one router
+emitted an unparseable line or one feed flapped.  This module provides
+the two ingestion-side defenses:
+
+* :class:`Quarantine` — a bounded dead-letter queue.  Lines that fail
+  :func:`repro.syslog.parse.parse_line` (or messages the stream rejects,
+  e.g. beyond skew tolerance) are recorded with their source, line
+  number, and error instead of raised; the queue can be dumped as JSONL
+  for offline triage.
+* :class:`RetryPolicy` / :func:`read_source` — a retrying reader around
+  file or iterator sources with a deterministic exponential-backoff
+  schedule (no jitter: schedules must be reproducible under test).  A
+  source that keeps failing past ``max_retries`` is *abandoned* and
+  counted, never allowed to kill the run.
+
+Every failure mode emits counters through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs import (
+    INGEST_FAILURES,
+    INGEST_RETRIES,
+    QUARANTINE_DEPTH,
+    QUARANTINE_OVERFLOW,
+    QUARANTINED,
+    get_registry,
+)
+from repro.syslog.message import SyslogMessage
+from repro.syslog.parse import SyslogParseError, parse_line
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One quarantined input with enough context to triage it offline."""
+
+    line: str
+    error: str
+    source: str | None = None
+    line_no: int | None = None
+    kind: str = "parse"
+
+    def to_json(self) -> str:
+        """Render as one JSONL line."""
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "source": self.source,
+                "line_no": self.line_no,
+                "error": self.error,
+                "line": self.line,
+            }
+        )
+
+
+class Quarantine:
+    """Bounded dead-letter queue for lines the pipeline cannot digest.
+
+    Keeps at most ``max_records`` most-recent records (older ones are
+    dropped and counted as overflow); totals keep counting past the
+    bound so operators can see the real damage, not just the retained
+    window.
+    """
+
+    def __init__(self, max_records: int = 10_000) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.max_records = max_records
+        self._records: deque[QuarantineRecord] = deque(maxlen=max_records)
+        self._total = 0
+        self._overflow = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def total(self) -> int:
+        """Every quarantined input ever, including overflowed ones."""
+        return self._total
+
+    @property
+    def overflow(self) -> int:
+        """Records dropped because the queue was full."""
+        return self._overflow
+
+    def add(self, record: QuarantineRecord) -> None:
+        """Quarantine one input."""
+        if len(self._records) == self.max_records:
+            self._overflow += 1
+        self._records.append(record)
+        self._total += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(QUARANTINED, kind=record.kind)
+            if self._overflow:
+                registry.set_gauge(QUARANTINE_OVERFLOW, self._overflow)
+            registry.set_gauge(QUARANTINE_DEPTH, len(self._records))
+
+    def add_parse_error(
+        self, line: str, error: SyslogParseError
+    ) -> None:
+        """Quarantine a line that failed :func:`parse_line`."""
+        self.add(
+            QuarantineRecord(
+                line=line.rstrip("\n"),
+                error=str(error),
+                source=error.source,
+                line_no=error.line_no,
+                kind="parse",
+            )
+        )
+
+    def records(self) -> list[QuarantineRecord]:
+        """Snapshot of the retained records, oldest first."""
+        return list(self._records)
+
+    def dump(self, path: str | Path) -> int:
+        """Write the retained records as JSONL; returns how many."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(record.to_json() + "\n")
+        return len(records)
+
+    def summary(self) -> dict[str, int]:
+        """Depth/total/overflow in one dict (mirrors the health keys)."""
+        return {
+            "depth": len(self._records),
+            "total": self._total,
+            "overflow": self._overflow,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic exponential-backoff schedule for flaky sources.
+
+    Attempt ``i`` (0-based) failing waits ``base_delay * 2**i`` seconds
+    before attempt ``i + 1``; after ``max_retries`` retries the source is
+    given up on.  ``timeout`` caps the *total* seconds spent sleeping on
+    one source — a feed that keeps flapping cannot stall the whole run
+    indefinitely.  No jitter on purpose: retry schedules in tests and
+    fault benches must be reproducible.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.5
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be >= 0")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError("timeout must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delays, in order, respecting the total timeout."""
+        slept = 0.0
+        for attempt in range(self.max_retries):
+            delay = self.base_delay * (2**attempt)
+            if self.timeout is not None:
+                if slept >= self.timeout:
+                    return
+                delay = min(delay, self.timeout - slept)
+            slept += delay
+            yield delay
+
+
+class SourceFailed(RuntimeError):
+    """A source kept failing past its retry budget (``fail_fast`` mode)."""
+
+
+def read_source(
+    opener: Callable[[], Iterable[SyslogMessage]],
+    policy: RetryPolicy | None = None,
+    source: str = "<source>",
+    fail_fast: bool = False,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[SyslogMessage]:
+    """Read everything from a flaky source, retrying with backoff.
+
+    ``opener`` is called anew on every attempt and must return a message
+    iterable (e.g. ``lambda: read_log(path)``); an :class:`OSError` or
+    :class:`ValueError` raised while opening or iterating triggers a
+    retry after the policy's next delay.  A source that exhausts its
+    retry budget yields nothing and is counted under
+    ``syslogdigest_ingest_failed_sources_total`` — unless ``fail_fast``
+    is set, in which case :class:`SourceFailed` is raised.  ``sleep`` is
+    injectable so tests and benches never actually wait.
+    """
+    policy = policy or RetryPolicy()
+    registry = get_registry()
+    delays = policy.delays()
+    last_error: Exception | None = None
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return list(opener())
+        except (OSError, ValueError) as exc:
+            last_error = exc
+            delay = next(delays, None)
+            if delay is None:
+                break
+            if registry.enabled:
+                registry.inc(INGEST_RETRIES, source=source)
+            sleep(delay)
+    if registry.enabled:
+        registry.inc(INGEST_FAILURES, source=source)
+    if fail_fast:
+        raise SourceFailed(
+            f"source {source} failed after {policy.max_retries} retries: "
+            f"{last_error}"
+        ) from last_error
+    return []
+
+
+def resilient_parse(
+    lines: Iterable[str],
+    quarantine: Quarantine,
+    source: str | None = None,
+) -> Iterator[SyslogMessage]:
+    """Parse collector lines, quarantining the unparseable ones."""
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            yield parse_line(line, line_no=line_no, source=source)
+        except SyslogParseError as exc:
+            quarantine.add_parse_error(line, exc)
+
+
+def resilient_read_log(
+    path: str | Path,
+    quarantine: Quarantine,
+    policy: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[SyslogMessage]:
+    """Read one collector log, quarantining garbage, retrying I/O errors.
+
+    The whole file is re-read on retry (a half-read flaky file cannot be
+    resumed mid-line safely), so the result only ever reflects complete
+    attempts.
+    """
+
+    def opener() -> Iterable[SyslogMessage]:
+        with open(path, "r", encoding="utf-8") as fh:
+            return list(resilient_parse(fh, quarantine, source=str(path)))
+
+    return read_source(
+        opener, policy=policy, source=str(path), sleep=sleep
+    )
+
+
+def push_safe(stream, message: SyslogMessage, quarantine: Quarantine):
+    """Push one message, quarantining a rejection instead of raising.
+
+    ``DigestStream.push`` refuses messages beyond the skew tolerance;
+    under feed stalls and replay bursts that is expected input, not a
+    crash.  Returns the finalized events (empty on quarantine).
+    """
+    from repro.syslog.parse import format_line
+
+    try:
+        return stream.push(message)
+    except ValueError as exc:
+        quarantine.add(
+            QuarantineRecord(
+                line=format_line(message),
+                error=str(exc),
+                source=message.router,
+                kind="rejected",
+            )
+        )
+        return []

@@ -28,11 +28,25 @@ def sort_messages(messages: Iterable[SyslogMessage]) -> list[SyslogMessage]:
 def merge_streams(
     streams: Sequence[Iterable[SyslogMessage]],
 ) -> Iterator[SyslogMessage]:
-    """Merge per-router streams (each already time-sorted) into one stream."""
+    """Merge per-router streams (each already time-sorted) into one stream.
+
+    Each input must be sorted by (timestamp, router, error_code) —
+    ``heapq.merge`` silently produces out-of-order output otherwise, so a
+    regression inside any stream raises a :class:`ValueError` naming the
+    offending stream index instead.
+    """
 
     def keyed_iter(idx: int, stream: Iterable[SyslogMessage]):
+        previous = None
         for m in stream:
-            yield (m.timestamp, m.router, m.error_code, idx), m
+            key = (m.timestamp, m.router, m.error_code)
+            if previous is not None and key < previous:
+                raise ValueError(
+                    f"merge_streams: stream {idx} is not time-sorted "
+                    f"({key} after {previous})"
+                )
+            previous = key
+            yield (*key, idx), m
 
     merged = heapq.merge(*(keyed_iter(i, s) for i, s in enumerate(streams)))
     for _, message in merged:
@@ -75,15 +89,16 @@ def read_log(
     """Yield messages from a collector log file.
 
     Blank and malformed lines are skipped unless ``strict`` is set, in which
-    case malformed lines raise :class:`SyslogParseError` — real collector
-    feeds always contain some garbage.
+    case malformed lines raise :class:`SyslogParseError` carrying the file
+    path and 1-based line number — real collector feeds always contain
+    some garbage.
     """
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for line_no, line in enumerate(fh, start=1):
             if not line.strip():
                 continue
             try:
-                yield parse_line(line)
+                yield parse_line(line, line_no=line_no, source=str(path))
             except SyslogParseError:
                 if strict:
                     raise

@@ -203,6 +203,66 @@ class TestStats:
         assert "syslogdigest_shard_imbalance" in out
 
 
+class TestFaultToleranceCli:
+    def _ensure_kb(self, workdir, capsys):
+        if not (workdir / "kb.json").exists():
+            TestLearnDigestReport().test_learn(workdir, capsys)
+            capsys.readouterr()
+
+    def test_digest_quarantine_flag(self, workdir, capsys, tmp_path):
+        self._ensure_kb(workdir, capsys)
+        dirty = tmp_path / "dirty.log"
+        dirty.write_text(
+            (workdir / "syslog.log").read_text() + "### garbage ###\n"
+        )
+        bad = tmp_path / "bad.jsonl"
+        rc = main(
+            [
+                "digest",
+                "--log", str(dirty),
+                "--kb", str(workdir / "kb.json"),
+                "--quarantine", str(bad),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "quarantined 1 inputs" in captured.err
+        assert "events" in captured.out
+        assert bad.read_text().count("\n") == 1
+
+    def test_stream_checkpoint_then_resume(self, workdir, capsys, tmp_path):
+        self._ensure_kb(workdir, capsys)
+        ckpt = tmp_path / "digest.ckpt"
+        rc = main(
+            [
+                "stats",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--stream",
+                "--checkpoint", str(ckpt),
+                "--checkpoint-interval", "3600",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ckpt.exists()
+        assert "syslogdigest_checkpoint_writes_total" in out
+
+        rc = main(
+            [
+                "resume",
+                "--checkpoint", str(ckpt),
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--top", "5",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "replaying" in captured.err
+        assert "resumed digest" in captured.out
+
+
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,294 @@
+"""Checkpoint/restore: kill-and-resume must be byte-identical.
+
+The contract under test (DESIGN.md §8): a stream restored from a
+checkpoint and fed the log tail produces exactly the events an
+uninterrupted stream would have produced — same groups, same scores,
+same order — for both the serial and the thread-sharded engine.
+"""
+
+from __future__ import annotations
+
+import pickle
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT,
+    checkpoint_info,
+    read_checkpoint,
+    restore_stream,
+    write_checkpoint,
+)
+from repro.core.present import present_event
+from repro.core.stream import SNAPSHOT_VERSION, DigestStream
+from repro.obs import (
+    CHECKPOINT_WRITES,
+    MetricsRegistry,
+    scoped_registry,
+)
+from repro.syslog.stream import sort_messages
+
+
+@pytest.fixture(scope="module")
+def ordered_a(live_a):
+    return sort_messages(m.message for m in live_a.messages)
+
+
+def _run(stream, messages):
+    events = []
+    for message in messages:
+        events.extend(stream.push(message))
+    events.extend(stream.close())
+    return events
+
+
+def _rendered(events):
+    """The digest's byte-level identity: every presented line, in order."""
+    return [present_event(e) for e in events]
+
+
+class TestKillAndResume:
+    def test_serial_resume_is_byte_identical(
+        self, system_a, ordered_a, tmp_path
+    ):
+        full = _run(DigestStream(system_a.kb, system_a.config), ordered_a)
+
+        half = len(ordered_a) // 2
+        first = DigestStream(system_a.kb, system_a.config)
+        events = []
+        for message in ordered_a[:half]:
+            events.extend(first.push(message))
+        path = tmp_path / "digest.ckpt"
+        info = write_checkpoint(path, first)
+        assert info.n_admitted == half
+        # The process dies here; `first` is never touched again.
+
+        resumed = restore_stream(path, system_a.kb)
+        assert resumed.n_admitted == half
+        for message in ordered_a[info.n_admitted :]:
+            events.extend(resumed.push(message))
+        events.extend(resumed.close())
+        assert _rendered(events) == _rendered(full)
+
+    def test_workers_resume_is_byte_identical(
+        self, system_a, ordered_a, tmp_path
+    ):
+        config = system_a.config.with_workers(4)
+        chunk = 250
+        chunks = [
+            ordered_a[i : i + chunk]
+            for i in range(0, len(ordered_a), chunk)
+        ]
+        full_stream = DigestStream(system_a.kb, config)
+        full = []
+        for part in chunks:
+            full.extend(full_stream.push_many(part))
+        full.extend(full_stream.close())
+
+        cut = len(chunks) // 2
+        first = DigestStream(system_a.kb, config)
+        events = []
+        for part in chunks[:cut]:
+            events.extend(first.push_many(part))
+        path = tmp_path / "digest.ckpt"
+        info = write_checkpoint(path, first)
+
+        resumed = restore_stream(path, system_a.kb)
+        tail = ordered_a[info.n_admitted :]
+        for i in range(0, len(tail), chunk):
+            events.extend(resumed.push_many(tail[i : i + chunk]))
+        events.extend(resumed.close())
+        assert _rendered(events) == _rendered(full)
+
+    def test_snapshot_restore_roundtrip_without_file(
+        self, system_a, ordered_a
+    ):
+        half = len(ordered_a) // 2
+        first = DigestStream(system_a.kb, system_a.config)
+        for message in ordered_a[:half]:
+            first.push(message)
+        state = pickle.loads(pickle.dumps(first.snapshot()))
+
+        twin = DigestStream(system_a.kb, system_a.config)
+        twin.restore(state)
+        rest = ordered_a[half:]
+        assert _rendered(_run(twin, list(rest))) == _rendered(
+            _run(first, list(rest))
+        )
+
+
+class TestRestoreAfterMaintenance:
+    def test_eviction_and_pruning_survive_restore(
+        self, system_a, ordered_a
+    ):
+        """Restore after sweeps must not resurrect evicted/pruned state.
+
+        The snapshot decomposes splitters into scalars and rebuilds
+        fresh instances, so an evicted splitter stays gone and a
+        restored one carries exactly the EWMA the original had — no
+        stale rhythm state can leak back in.
+        """
+        cut = (len(ordered_a) * 3) // 4
+        first = DigestStream(system_a.kb, system_a.config)
+        for message in ordered_a[:cut]:
+            first.push(message)
+        health = first.health()
+        assert health["evicted_splitters"] > 0  # sweeps actually ran
+        assert health["pruned_entries"] > 0
+
+        twin = DigestStream(system_a.kb, system_a.config)
+        twin.restore(first.snapshot())
+        assert twin.n_splitters == first.n_splitters
+        assert twin.n_window_entries == first.n_window_entries
+        for ours, theirs in zip(twin._states, first._states):
+            assert set(ours._splitters) == set(theirs._splitters)
+            for key, splitter in ours._splitters.items():
+                original = theirs._splitters[key]
+                assert splitter._last_ts == original._last_ts
+                assert splitter._group == original._group
+                assert (
+                    splitter._ewma.prediction == original._ewma.prediction
+                )
+                assert splitter._ewma.count == original._ewma.count
+        rest = ordered_a[cut:]
+        assert _rendered(_run(twin, list(rest))) == _rendered(
+            _run(first, list(rest))
+        )
+
+
+class TestValidation:
+    def test_restore_requires_fresh_stream(self, system_a, ordered_a):
+        first = DigestStream(system_a.kb, system_a.config)
+        first.push(ordered_a[0])
+        state = first.snapshot()
+        dirty = DigestStream(system_a.kb, system_a.config)
+        dirty.push(ordered_a[0])
+        with pytest.raises(ValueError, match="freshly constructed"):
+            dirty.restore(state)
+
+    def test_restore_rejects_config_mismatch(self, system_a, ordered_a):
+        first = DigestStream(system_a.kb, system_a.config)
+        first.push(ordered_a[0])
+        state = first.snapshot()
+        other = DigestStream(
+            system_a.kb, system_a.config.with_window(9999.0)
+        )
+        with pytest.raises(ValueError, match="config"):
+            other.restore(state)
+
+    def test_restore_rejects_version_mismatch(self, system_a, ordered_a):
+        first = DigestStream(system_a.kb, system_a.config)
+        first.push(ordered_a[0])
+        state = first.snapshot()
+        state["version"] = SNAPSHOT_VERSION + 1
+        fresh = DigestStream(system_a.kb, system_a.config)
+        with pytest.raises(ValueError, match="version"):
+            fresh.restore(state)
+
+    def test_read_rejects_foreign_files(self, tmp_path):
+        bogus = tmp_path / "not-a-checkpoint"
+        bogus.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(ValueError, match="not a syslogdigest"):
+            read_checkpoint(bogus)
+
+    def test_read_rejects_future_format(self, tmp_path):
+        bogus = tmp_path / "future.ckpt"
+        bogus.write_bytes(
+            pickle.dumps(
+                {
+                    "magic": "syslogdigest-checkpoint",
+                    "format": CHECKPOINT_FORMAT + 1,
+                    "snapshot": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="format"):
+            read_checkpoint(bogus)
+
+    def test_restore_stream_asserts_explicit_config(
+        self, system_a, ordered_a, tmp_path
+    ):
+        first = DigestStream(system_a.kb, system_a.config)
+        first.push(ordered_a[0])
+        path = tmp_path / "digest.ckpt"
+        write_checkpoint(path, first)
+        with pytest.raises(ValueError, match="config"):
+            restore_stream(
+                path, system_a.kb, system_a.config.with_window(9999.0)
+            )
+
+
+class TestAtomicity:
+    def test_no_tmp_file_left_behind(self, system_a, ordered_a, tmp_path):
+        first = DigestStream(system_a.kb, system_a.config)
+        for message in ordered_a[:50]:
+            first.push(message)
+        path = tmp_path / "digest.ckpt"
+        info = write_checkpoint(path, first)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+        again = checkpoint_info(path)
+        assert again.n_admitted == info.n_admitted == 50
+        assert again.snapshot_version == SNAPSHOT_VERSION
+
+    def test_crashed_rewrite_preserves_previous(
+        self, system_a, ordered_a, tmp_path, monkeypatch
+    ):
+        import os as real_os
+
+        import repro.core.checkpoint as ckpt
+
+        first = DigestStream(system_a.kb, system_a.config)
+        for message in ordered_a[:50]:
+            first.push(message)
+        path = tmp_path / "digest.ckpt"
+        write_checkpoint(path, first)
+        good = path.read_bytes()
+
+        for message in ordered_a[50:100]:
+            first.push(message)
+
+        def explode(_fd):
+            raise OSError("disk died mid-checkpoint")
+
+        monkeypatch.setattr(
+            ckpt,
+            "os",
+            SimpleNamespace(fsync=explode, replace=real_os.replace),
+        )
+        with pytest.raises(OSError):
+            write_checkpoint(path, first)
+        # The half-written temp never replaced the real checkpoint.
+        assert path.read_bytes() == good
+        assert checkpoint_info(path).n_admitted == 50
+
+
+class TestAutomaticCheckpoints:
+    def test_stream_checkpoints_periodically(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = tmp_path / "auto.ckpt"
+        config = system_a.config.with_checkpointing(str(path), 1800.0)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            stream = DigestStream(system_a.kb, config)
+            events = []
+            for message in ordered_a:
+                events.extend(stream.push(message))
+            events.extend(stream.close())
+        assert path.exists()
+        assert registry.counter_value(CHECKPOINT_WRITES) >= 2
+        info = checkpoint_info(path)
+        assert 0 < info.n_admitted <= len(ordered_a)
+        assert stream.checkpoint_age >= 0.0
+
+        # And the periodic checkpoint is resumable like a manual one.
+        resumed = restore_stream(path, system_a.kb)
+        tail = ordered_a[info.n_admitted :]
+        resumed_events = []
+        for message in tail:
+            resumed_events.extend(resumed.push(message))
+        resumed_events.extend(resumed.close())
+        full = _run(DigestStream(system_a.kb, config), list(ordered_a))
+        assert len(resumed_events) <= len(full)

@@ -1,0 +1,280 @@
+"""Fault-injection profiles and the recovery paths they exercise."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.grouping import GroupingEngine
+from repro.core.parallel import ParallelGroupingEngine
+from repro.core.stream import DigestStream
+from repro.netsim.faults import (
+    Compose,
+    CorruptLines,
+    DuplicateBurst,
+    FaultProfile,
+    FeedStall,
+    FlakyShardTask,
+    InjectedWorkerFault,
+    TruncateLines,
+    WorkerFaults,
+)
+from repro.obs import (
+    FAULTS_INJECTED,
+    SHARD_FALLBACKS,
+    SHARD_RETRIES,
+    MetricsRegistry,
+    scoped_registry,
+)
+from repro.syslog.parse import SyslogParseError, parse_line
+from repro.syslog.stream import sort_messages
+from repro.utils.timeutils import parse_ts
+
+LINES = [
+    f"2010-01-10 00:{m:02d}:00 r{m % 3} LINK-3-UPDOWN: Interface {m} down"
+    for m in range(30)
+]
+PAIRS = [(line, i) for i, line in enumerate(LINES)]
+
+
+class TestProfiles:
+    def test_clean_profile_is_strict_noop(self):
+        profile = FaultProfile()
+        out = profile.apply(PAIRS)
+        assert out == PAIRS
+        assert out is not PAIRS  # a copy, never an alias
+        assert profile.shard_task() is None
+        assert profile.stream_fault_hook() is None
+
+    @pytest.mark.parametrize(
+        "profile",
+        [
+            CorruptLines(rate=0.3, seed=3),
+            TruncateLines(rate=0.3, seed=4),
+            FeedStall(start_fraction=0.3, duration=300.0),
+            DuplicateBurst(rate=0.2, copies=3, seed=5),
+            Compose(
+                profiles=(
+                    CorruptLines(rate=0.2, seed=6),
+                    DuplicateBurst(rate=0.1, seed=7),
+                )
+            ),
+        ],
+    )
+    def test_profiles_are_deterministic(self, profile):
+        assert profile.apply(PAIRS) == profile.apply(PAIRS)
+
+    def test_corrupt_lines_never_parse_but_keep_labels(self):
+        out = CorruptLines(rate=1.0, seed=0).apply(PAIRS)
+        assert [label for _line, label in out] == list(range(len(PAIRS)))
+        for line, _label in out:
+            with pytest.raises(SyslogParseError):
+                parse_line(line)
+
+    def test_truncate_keeps_head(self):
+        out = TruncateLines(rate=1.0, keep_fraction=0.5, seed=0).apply(PAIRS)
+        for (line, _), (orig, _) in zip(out, PAIRS):
+            assert orig.startswith(line)
+            assert 1 <= len(line) < len(orig)
+
+    def test_feed_stall_holds_then_replays(self):
+        profile = FeedStall(start_fraction=0.5, duration=300.0)
+        out = profile.apply(PAIRS)
+        # Nothing lost, nothing invented — just reordered.
+        assert sorted(out) == sorted(PAIRS)
+        assert out != PAIRS
+        times = [parse_ts(line[:19]) for line, _ in out]
+        assert times != sorted(times)  # the replayed burst arrives late
+
+    def test_duplicate_burst_multiplies(self):
+        profile = DuplicateBurst(rate=1.0, copies=3, seed=0)
+        out = profile.apply(PAIRS)
+        assert len(out) == 3 * len(PAIRS)
+        assert out[0] == out[1] == out[2] == PAIRS[0]
+
+    def test_compose_applies_in_order(self):
+        composed = Compose(
+            profiles=(
+                DuplicateBurst(rate=1.0, copies=2, seed=0),
+                TruncateLines(rate=0.0),
+                WorkerFaults(fail_shards=(2,)),
+            )
+        )
+        assert len(composed.apply(PAIRS)) == 2 * len(PAIRS)
+        task = composed.shard_task()
+        assert isinstance(task, FlakyShardTask)
+        assert task.fail_shards == (2,)
+        assert composed.stream_fault_hook() is not None
+
+    def test_injection_counter(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            CorruptLines(rate=1.0, seed=0).apply(PAIRS)
+        assert registry.counter_value(
+            FAULTS_INJECTED, kind="corrupt"
+        ) == float(len(PAIRS))
+
+
+class TestFlakyShardTask:
+    def test_picklable(self):
+        task = FlakyShardTask((0, 2), fail_attempts=2)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.fail_shards == (0, 2)
+        assert clone.fail_attempts == 2
+
+    def test_raises_then_recovers(self):
+        task = FlakyShardTask((1,), fail_attempts=1)
+        payload = ([], None, 0.0, {}, 0.0, None, False, False)
+        with pytest.raises(InjectedWorkerFault):
+            task(payload, shard_id=1, attempt=0)
+        edges, active, _seconds = task(payload, shard_id=1, attempt=1)
+        assert edges == [] and active == set()
+        # Unaffected shards never raise.
+        task(payload, shard_id=0, attempt=0)
+
+
+@pytest.fixture(scope="module")
+def plus_a(system_a, live_a):
+    from repro.core.syslogplus import Augmenter
+
+    augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+    ordered = sort_messages(m.message for m in live_a.messages)
+    return augmenter.augment_all(ordered)
+
+
+def _group_sig(outcome):
+    return [[p.index for p in group] for group in outcome.groups]
+
+
+@pytest.mark.faults
+class TestWorkerRecovery:
+    def test_batch_retry_then_identical_output(self, system_a, plus_a):
+        config = system_a.config.with_workers(2)
+        baseline = GroupingEngine(system_a.kb, config).group(plus_a)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            engine = ParallelGroupingEngine(
+                system_a.kb, config, task=FlakyShardTask((0,), 1)
+            )
+            outcome = engine.group(plus_a)
+        assert _group_sig(outcome) == _group_sig(baseline)
+        assert registry.counter_value(SHARD_RETRIES, engine="batch") >= 1.0
+
+    def test_batch_fallback_then_identical_output(self, system_a, plus_a):
+        config = system_a.config.with_workers(2)
+        baseline = GroupingEngine(system_a.kb, config).group(plus_a)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            engine = ParallelGroupingEngine(
+                system_a.kb,
+                config,
+                task=FlakyShardTask((0, 1), fail_attempts=99),
+            )
+            outcome = engine.group(plus_a)
+        assert _group_sig(outcome) == _group_sig(baseline)
+        assert (
+            registry.counter_value(SHARD_FALLBACKS, engine="batch") >= 1.0
+        )
+
+
+@pytest.mark.faults
+class TestStreamWorkerRecovery:
+    def _run_chunks(self, system_a, messages, hook):
+        stream = DigestStream(
+            system_a.kb, system_a.config.with_workers(4), fault_hook=hook
+        )
+        events = []
+        for i in range(0, len(messages), 200):
+            events.extend(stream.push_many(messages[i : i + 200]))
+        events.extend(stream.close())
+        return events
+
+    def _sig(self, events):
+        return [(e.indices, e.score, e.label) for e in events]
+
+    def test_push_many_retry_is_deterministic(self, system_a, live_a):
+        ordered = sort_messages(m.message for m in live_a.messages)
+        baseline = self._run_chunks(system_a, ordered, hook=None)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            retried = self._run_chunks(
+                system_a,
+                ordered,
+                hook=WorkerFaults(fail_shards=(0,)).stream_fault_hook(),
+            )
+        assert self._sig(retried) == self._sig(baseline)
+        assert registry.counter_value(SHARD_RETRIES, engine="stream") >= 1.0
+
+    def test_push_many_serial_fallback_is_deterministic(
+        self, system_a, live_a
+    ):
+        ordered = sort_messages(m.message for m in live_a.messages)
+        baseline = self._run_chunks(system_a, ordered, hook=None)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            fallen = self._run_chunks(
+                system_a,
+                ordered,
+                hook=WorkerFaults(
+                    fail_shards=(0, 1, 2, 3), fail_attempts=99
+                ).stream_fault_hook(),
+            )
+        assert self._sig(fallen) == self._sig(baseline)
+        assert (
+            registry.counter_value(SHARD_FALLBACKS, engine="stream") >= 1.0
+        )
+
+
+@pytest.mark.faults
+class TestLoadShedding:
+    def test_bound_holds_and_nothing_is_lost(self, system_a, live_a):
+        limit = 60
+        config = system_a.config.with_shedding(limit)
+        stream = DigestStream(system_a.kb, config)
+        ordered = sort_messages(m.message for m in live_a.messages)
+        events = []
+        for message in ordered:
+            events.extend(stream.push(message))
+            assert stream.n_open_messages <= limit
+        events.extend(stream.close())
+        health = stream.health()
+        assert health["shed_events"] > 0
+        assert health["shed_messages"] > 0
+        # Every admitted message still reaches exactly one event.
+        assert sum(e.n_messages for e in events) == len(ordered)
+
+    def test_shedding_is_deterministic(self, system_a, live_a):
+        ordered = sort_messages(m.message for m in live_a.messages)
+
+        def run(policy):
+            config = system_a.config.with_shedding(60, policy)
+            stream = DigestStream(system_a.kb, config)
+            events = []
+            for message in ordered:
+                events.extend(stream.push(message))
+            events.extend(stream.close())
+            return [(e.indices, e.score) for e in events]
+
+        assert run("oldest") == run("oldest")
+        assert run("largest") == run("largest")
+
+
+def test_fault_smoke():
+    """Tier-1-safe smoke: one tiny profile end to end, no fixtures."""
+    profile = Compose(
+        profiles=(
+            CorruptLines(rate=0.5, seed=1),
+            DuplicateBurst(rate=0.5, copies=2, seed=2),
+        )
+    )
+    out = profile.apply(PAIRS)
+    parsed = quarantined = 0
+    for line, _label in out:
+        try:
+            parse_line(line)
+            parsed += 1
+        except SyslogParseError:
+            quarantined += 1
+    assert parsed > 0 and quarantined > 0
+    assert parsed + quarantined == len(out)

@@ -46,6 +46,21 @@ class TestParse:
         with pytest.raises(SyslogParseError):
             parse_line(line)
 
+    def test_error_carries_line_and_source(self):
+        with pytest.raises(SyslogParseError) as excinfo:
+            parse_line("garbage", line_no=42, source="collector-7.log")
+        error = excinfo.value
+        assert error.line_no == 42
+        assert error.source == "collector-7.log"
+        assert "collector-7.log" in str(error)
+        assert "line 42" in str(error)
+
+    def test_error_context_is_optional(self):
+        with pytest.raises(SyslogParseError) as excinfo:
+            parse_line("garbage")
+        assert excinfo.value.line_no is None
+        assert excinfo.value.source is None
+
     def test_trailing_newline_ok(self):
         msg = parse_line("2010-01-10 00:00:15 r1 LINK-3-UPDOWN: x\n")
         assert msg.detail == "x"

@@ -1,0 +1,216 @@
+"""Resilient ingest: quarantine, retry policy, and safe pushes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.stream import DigestStream
+from repro.obs import (
+    INGEST_FAILURES,
+    INGEST_RETRIES,
+    QUARANTINED,
+    MetricsRegistry,
+    scoped_registry,
+)
+from repro.syslog.parse import SyslogParseError, parse_line
+from repro.syslog.resilient import (
+    Quarantine,
+    QuarantineRecord,
+    RetryPolicy,
+    SourceFailed,
+    push_safe,
+    read_source,
+    resilient_parse,
+    resilient_read_log,
+)
+
+GOOD = "2010-01-10 00:00:15 r1 LINK-3-UPDOWN: Interface up"
+BAD = "### not syslog at all ###"
+
+
+class TestQuarantine:
+    def test_records_keep_context(self):
+        quarantine = Quarantine()
+        try:
+            parse_line(BAD, line_no=7, source="feed-a")
+        except SyslogParseError as exc:
+            quarantine.add_parse_error(BAD + "\n", exc)
+        (record,) = quarantine.records()
+        assert record.kind == "parse"
+        assert record.line == BAD  # newline stripped
+        assert record.line_no == 7
+        assert record.source == "feed-a"
+        assert "feed-a" in record.error and "line 7" in record.error
+
+    def test_bounded_with_overflow_accounting(self):
+        quarantine = Quarantine(max_records=3)
+        for i in range(5):
+            quarantine.add(QuarantineRecord(line=f"l{i}", error="e"))
+        assert len(quarantine) == 3
+        assert quarantine.total == 5
+        assert quarantine.overflow == 2
+        # Oldest records are the ones dropped.
+        assert [r.line for r in quarantine.records()] == ["l2", "l3", "l4"]
+        assert quarantine.summary() == {
+            "depth": 3,
+            "total": 5,
+            "overflow": 2,
+        }
+
+    def test_dump_is_jsonl(self, tmp_path):
+        quarantine = Quarantine()
+        quarantine.add(
+            QuarantineRecord(line="x", error="boom", source="s", line_no=1)
+        )
+        quarantine.add(QuarantineRecord(line="y", error="bam"))
+        path = tmp_path / "dead.jsonl"
+        assert quarantine.dump(path) == 2
+        rows = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert rows[0]["line"] == "x" and rows[0]["line_no"] == 1
+        assert rows[1]["error"] == "bam"
+
+    def test_quarantined_counter_by_kind(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            quarantine = Quarantine()
+            quarantine.add(QuarantineRecord(line="x", error="e"))
+            quarantine.add(
+                QuarantineRecord(line="y", error="e", kind="rejected")
+            )
+        assert registry.counter_value(QUARANTINED, kind="parse") == 1.0
+        assert registry.counter_value(QUARANTINED, kind="rejected") == 1.0
+
+
+class TestRetryPolicy:
+    def test_deterministic_exponential_schedule(self):
+        policy = RetryPolicy(max_retries=4, base_delay=0.5)
+        assert list(policy.delays()) == [0.5, 1.0, 2.0, 4.0]
+        # No jitter: the schedule never varies between calls.
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_timeout_caps_total_sleep(self):
+        policy = RetryPolicy(max_retries=5, base_delay=1.0, timeout=4.5)
+        delays = list(policy.delays())
+        assert delays == [1.0, 2.0, 1.5]
+        assert sum(delays) == pytest.approx(4.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=-1.0)
+
+
+class TestReadSource:
+    def _flaky_opener(self, failures):
+        calls = {"n": 0}
+
+        def opener():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise OSError(f"flap {calls['n']}")
+            return [parse_line(GOOD)]
+
+        return opener, calls
+
+    def test_recovers_after_transient_failures(self):
+        opener, calls = self._flaky_opener(failures=2)
+        slept: list[float] = []
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            messages = read_source(
+                opener,
+                RetryPolicy(max_retries=3, base_delay=0.5),
+                source="feed-a",
+                sleep=slept.append,
+            )
+        assert len(messages) == 1
+        assert calls["n"] == 3
+        assert slept == [0.5, 1.0]  # deterministic, jitter-free
+        assert (
+            registry.counter_value(INGEST_RETRIES, source="feed-a") == 2.0
+        )
+        assert registry.counter_value(INGEST_FAILURES, source="feed-a") == 0.0
+
+    def test_exhausted_budget_yields_nothing(self):
+        opener, calls = self._flaky_opener(failures=99)
+        slept: list[float] = []
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            messages = read_source(
+                opener,
+                RetryPolicy(max_retries=2, base_delay=1.0),
+                source="feed-b",
+                sleep=slept.append,
+            )
+        assert messages == []
+        assert calls["n"] == 3  # initial attempt + 2 retries
+        assert (
+            registry.counter_value(INGEST_FAILURES, source="feed-b") == 1.0
+        )
+
+    def test_fail_fast_raises_source_failed(self):
+        opener, _calls = self._flaky_opener(failures=99)
+        with pytest.raises(SourceFailed, match="feed-c"):
+            read_source(
+                opener,
+                RetryPolicy(max_retries=1, base_delay=0.0),
+                source="feed-c",
+                fail_fast=True,
+                sleep=lambda _d: None,
+            )
+
+
+class TestResilientParse:
+    def test_good_lines_pass_bad_lines_quarantine(self):
+        quarantine = Quarantine()
+        messages = list(
+            resilient_parse(
+                [GOOD, BAD, "", GOOD], quarantine, source="feed"
+            )
+        )
+        assert len(messages) == 2
+        (record,) = quarantine.records()
+        assert record.line_no == 2
+        assert record.source == "feed"
+
+    def test_resilient_read_log(self, tmp_path):
+        path = tmp_path / "mixed.log"
+        path.write_text(f"{GOOD}\n{BAD}\n{GOOD}\n", encoding="utf-8")
+        quarantine = Quarantine()
+        messages = resilient_read_log(
+            path, quarantine, sleep=lambda _d: None
+        )
+        assert len(messages) == 2
+        assert quarantine.total == 1
+
+
+class TestPushSafe:
+    def test_rejected_messages_quarantine_instead_of_raising(
+        self, system_a
+    ):
+        stream = DigestStream(system_a.kb, system_a.config)
+        quarantine = Quarantine()
+        stream.attach_quarantine(quarantine)
+        late = parse_line("2010-01-10 00:00:00 r1 LINK-3-UPDOWN: first")
+        push_safe(stream, late, quarantine)
+        # Far beyond skew tolerance behind the stream clock.
+        ahead = parse_line("2010-01-10 12:00:00 r1 LINK-3-UPDOWN: later")
+        push_safe(stream, ahead, quarantine)
+        replay = parse_line("2010-01-10 00:30:00 r1 LINK-3-UPDOWN: replay")
+        events = push_safe(stream, replay, quarantine)
+        assert events == []
+        (record,) = quarantine.records()
+        assert record.kind == "rejected"
+        assert record.source == "r1"
+        health = stream.health()
+        assert health["quarantine_depth"] == 1
+        assert health["quarantine_total"] == 1
+        assert health["skew_rejected"] == 1

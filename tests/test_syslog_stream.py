@@ -37,6 +37,18 @@ class TestSortMerge:
     def test_merge_empty_streams(self):
         assert list(merge_streams([[], []])) == []
 
+    def test_merge_detects_unsorted_stream(self):
+        import pytest
+
+        good = [_msg(1.0), _msg(2.0)]
+        bad = [_msg(5.0, "r2"), _msg(3.0, "r2")]
+        with pytest.raises(ValueError, match="stream 1"):
+            list(merge_streams([good, bad]))
+
+    def test_merge_allows_ties_within_a_stream(self):
+        tied = [_msg(1.0), _msg(1.0)]
+        assert len(list(merge_streams([tied, [_msg(0.5, "r2")]]))) == 3
+
 
 class TestSplitByDay:
     def test_buckets_align_to_midnight_of_first_day(self):
@@ -80,3 +92,17 @@ class TestFileIo:
         path.write_text("garbage line\n")
         with pytest.raises(SyslogParseError):
             list(read_log(path, strict=True))
+
+    def test_read_strict_error_names_line_and_file(self, tmp_path):
+        import pytest
+
+        from repro.syslog.parse import SyslogParseError
+
+        path = tmp_path / "log.txt"
+        path.write_text(
+            "1970-01-01 00:00:01 r1 LINK-3-UPDOWN: ok\ngarbage\n"
+        )
+        with pytest.raises(SyslogParseError, match="line 2") as excinfo:
+            list(read_log(path, strict=True))
+        assert excinfo.value.line_no == 2
+        assert excinfo.value.source == str(path)
