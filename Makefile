@@ -2,13 +2,16 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults bench clean
+.PHONY: check test faults lifecycle bench bench-refresh clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
-# checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py).
+# checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
+# plus the zero-drift canary replay, which must be a strict no-op —
+# a refresh over an empty period may never mint a new knowledge version.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
+	$(PY) -m pytest -q tests/test_core_promotion.py -k zero_drift
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -19,9 +22,18 @@ faults:
 	$(PY) -m pytest -q -m faults
 	$(PY) -m pytest -q benchmarks/bench_faults.py
 
+# Knowledge-lifecycle tests: model store, promotion gate, hot swap.
+lifecycle:
+	$(PY) -m pytest -q -m lifecycle
+
 # Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
 bench:
 	$(PY) -m pytest -q benchmarks/
+
+# Drift response of the refresh→gate→promote loop (writes
+# benchmarks/results/refresh_drift.txt).
+bench-refresh:
+	$(PY) -m pytest -q benchmarks/bench_refresh.py
 
 clean:
 	rm -rf .pytest_cache $$(find . -name __pycache__ -type d)

@@ -1,0 +1,264 @@
+"""Drift response of the safe knowledge lifecycle (DESIGN.md §9).
+
+The paper refreshes its domain knowledge weekly so new router
+hardware/software (new message formats) keep matching learned templates.
+This bench simulates that drift on dataset A: the online window is split
+into weekly periods, each injecting a growing stream of a *novel* error
+code, and every period runs one full lifecycle turn — refresh a
+candidate, replay the canary through active and candidate, promote only
+if the gate accepts.  We record, per period, the template-match rate
+before/after, the rule churn, and the wall-clock cost split into refresh
+and gate (the gate's two canary replays are the promotion overhead).
+
+Assertions pin the lifecycle's safety contract:
+
+1. a zero-drift refresh (empty period) is a strict no-op — trivially
+   accepted without a new version, active digest output unchanged;
+2. healthy drift refreshes are promoted and recover the match rate the
+   drift destroyed;
+3. a corrupted learning feed (drift lines damaged by
+   :class:`~repro.netsim.faults.CorruptLines` so the refresh never sees
+   them) is rejected by the match-rate floor and the active version
+   keeps serving.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks._shared import record_table
+from repro.core.modelstore import KnowledgeStore
+from repro.core.pipeline import SyslogDigest
+from repro.core.present import present_event
+from repro.core.promotion import (
+    GateConfig,
+    PromotionGate,
+    replay_quality,
+)
+from repro.core.refresh import refresh_candidate
+from repro.netsim.canary import drift_messages
+from repro.netsim.datasets import ONLINE_DAYS, ONLINE_START
+from repro.netsim.faults import CorruptLines
+from repro.syslog.parse import SyslogParseError, format_line, parse_line
+from repro.syslog.stream import sort_messages
+from repro.utils.timeutils import DAY
+
+N_PERIODS = 4
+
+
+def _merged_canary(labeled_slice, extra):
+    """Slice ground truth + unlabeled drift, in pipeline order."""
+    pairs = [(lm.message, lm.event_id) for lm in labeled_slice]
+    pairs += [(m, None) for m in extra]
+    pairs.sort(key=lambda p: (p[0].timestamp, p[0].router, p[0].error_code))
+    return [p[0] for p in pairs], [p[1] for p in pairs]
+
+
+def _rendered(events):
+    return [present_event(e) for e in events]
+
+
+def test_refresh_drift_response(benchmark, tmp_path, system_a, data_a, live_a):
+    routers = sorted(data_a.network.routers)[:6]
+    store = KnowledgeStore(tmp_path / "kbstore")
+    store.commit(system_a.kb, note="offline learning", activate=True)
+
+    period_days = ONLINE_DAYS / N_PERIODS
+    slices: list[list] = [[] for _ in range(N_PERIODS)]
+    for lm in live_a.messages:
+        i = min(
+            int((lm.timestamp - ONLINE_START) // (period_days * DAY)),
+            N_PERIODS - 1,
+        )
+        slices[i].append(lm)
+
+    # Post-refresh quality is judged on what the *next* period looks
+    # like: the drift code keeps occurring, so a base that learned it
+    # this week matches it next week.
+    # The synthetic weekly remine churns more rule pairs than the
+    # paper's production defaults allow, and the rules it deletes split
+    # groups (worse compression, noisier recall) — behaviour the
+    # production gate exists to block.  This bench studies the
+    # match-rate drift response, so every *other* bound is widened.
+    gate = PromotionGate(
+        GateConfig(
+            min_template_match_rate=0.0,
+            max_compression_worsening=3.0,
+            min_event_recall_delta=-1.0,
+            max_rules_added=500,
+            max_rules_deleted=200,
+        ),
+        digest_config=system_a.config,
+    )
+
+    def run_periods():
+        rows = []
+        for i, labeled_slice in enumerate(slices):
+            start = ONLINE_START + i * period_days * DAY
+            drift = drift_messages(
+                routers,
+                start + 600.0,
+                n_messages=60 * (i + 1),
+                period=(period_days * DAY - 1200.0) / (60 * (i + 1)),
+                error_code=f"DRIFT{i}-3-FLAP",
+            )
+            period = sort_messages(
+                [lm.message for lm in labeled_slice] + drift
+            )
+            canary, truth = _merged_canary(labeled_slice, drift)
+
+            active, active_info = store.load_active()
+            t0 = time.perf_counter()
+            candidate, report = refresh_candidate(active, period)
+            t1 = time.perf_counter()
+            decision = gate.evaluate(
+                active, candidate, canary, truth, report
+            )
+            t2 = time.perf_counter()
+            if decision.accepted and not decision.trivial:
+                info = store.commit(
+                    candidate, note=f"period {i}", activate=True
+                )
+                version = info.version
+            else:
+                if not decision.accepted:
+                    store.record_rejection(
+                        decision.reasons, version=active_info.version
+                    )
+                version = active_info.version
+            rows.append(
+                (
+                    i,
+                    len(period),
+                    len(drift),
+                    decision.active.template_match_rate,
+                    decision.candidate.template_match_rate,
+                    "accepted" if decision.accepted else "rejected",
+                    len(decision.rules_added),
+                    len(decision.rules_deleted),
+                    t1 - t0,
+                    t2 - t1,
+                    version,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_periods, rounds=1, iterations=1)
+
+    record_table(
+        "refresh_drift",
+        [
+            "period",
+            "#msgs",
+            "#drift",
+            "match before",
+            "match after",
+            "outcome",
+            "+rules",
+            "-rules",
+            "refresh s",
+            "gate s",
+            "active",
+        ],
+        [
+            (
+                i,
+                n,
+                nd,
+                f"{before:.3f}",
+                f"{after:.3f}",
+                outcome,
+                added,
+                deleted,
+                f"{rt:.2f}",
+                f"{gt:.2f}",
+                f"v{version}",
+            )
+            for i, n, nd, before, after, outcome, added, deleted, rt, gt, version in rows
+        ],
+        title="Knowledge-lifecycle drift response (dataset A, weekly periods)",
+    )
+
+    # 2. Every healthy drift refresh is promoted and repairs the match
+    # rate the novel code destroyed.
+    for row in rows:
+        assert row[5] == "accepted", row
+        assert row[4] >= row[3] - 1e-12, row
+
+    # 1. Zero drift is a strict no-op: same fingerprint, no new version,
+    # and the active version's digest of a canary is byte-identical
+    # before and after the (trivially accepted) turn.
+    active, info_before = store.load_active()
+    canary, truth = _merged_canary(slices[-1], [])
+    baseline = _rendered(
+        SyslogDigest(active, system_a.config).digest(canary).events
+    )
+    candidate, report = refresh_candidate(active, [])
+    decision = gate.evaluate(active, candidate, canary, truth, report)
+    assert decision.trivial and decision.accepted
+    _after, info_after = store.load_active()
+    assert info_after.version == info_before.version
+    again = _rendered(
+        SyslogDigest(store.load_active()[0], system_a.config)
+        .digest(canary)
+        .events
+    )
+    assert again == baseline
+
+    # 3. Corrupted learning feed: the drift lines are damaged before the
+    # refresh ever sees them, so the candidate cannot learn the new
+    # template and its canary match rate stays at the active base's
+    # level — below a floor set between the broken and healthy rates.
+    active, active_info = store.load_active()
+    fresh_drift = drift_messages(
+        routers,
+        ONLINE_START + ONLINE_DAYS * DAY + 600.0,
+        n_messages=240,
+        period=30.0,
+        error_code="DRIFT-CORRUPT-2-DOWN",
+    )
+    damaged = CorruptLines(rate=1.0, seed=5).apply(
+        [(format_line(m), None) for m in fresh_drift]
+    )
+    surviving = []
+    for line, _label in damaged:
+        try:
+            surviving.append(parse_line(line))
+        except SyslogParseError:
+            pass
+    assert not surviving  # rate=1.0: the whole drift stream is lost
+    period = sort_messages(
+        [lm.message for lm in slices[-1]] + surviving
+    )
+    canary, truth = _merged_canary(slices[-1], fresh_drift)
+    healthy, _ = refresh_candidate(
+        active, sort_messages([lm.message for lm in slices[-1]] + fresh_drift)
+    )
+    healthy_rate = replay_quality(
+        healthy, canary, truth, system_a.config
+    ).template_match_rate
+    broken, broken_report = refresh_candidate(active, period)
+    broken_rate = replay_quality(
+        broken, canary, truth, system_a.config
+    ).template_match_rate
+    assert healthy_rate > broken_rate
+    floor_gate = PromotionGate(
+        GateConfig(
+            min_template_match_rate=(healthy_rate + broken_rate) / 2
+        ),
+        digest_config=system_a.config,
+    )
+    verdict = floor_gate.evaluate(
+        active, broken, canary, truth, broken_report
+    )
+    assert not verdict.accepted
+    assert any("floor" in reason for reason in verdict.reasons)
+    store.record_rejection(verdict.reasons, version=active_info.version)
+    assert store.active_version() == active_info.version
+    assert any(e["kind"] == "reject" for e in store.log())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -23,6 +23,19 @@ from such a checkpoint plus the log tail::
         --stream --checkpoint work/digest.ckpt --quarantine work/bad.jsonl
     syslogdigest resume --checkpoint work/digest.ckpt \
         --log work/online.log --kb work/kb.json --top 20
+
+Knowledge lifecycle (DESIGN.md §9): ``learn``/``digest``/``resume``
+accept ``--store <dir>`` (a versioned model store) in place of a bare
+``--kb`` file, and the offline refresh loop runs through its own
+validation-gated subcommands — a refresh only becomes the active
+version when canary quality stays inside the promotion gate::
+
+    syslogdigest learn --log work/history.log --configs work/configs \
+        --store work/kbstore
+    syslogdigest refresh --store work/kbstore --log work/week2.log \
+        --canary work/canary.log          # exit 0 promoted, 2 rejected
+    syslogdigest rollback --store work/kbstore [--to 3]
+    syslogdigest kb-log --store work/kbstore
 """
 
 from __future__ import annotations
@@ -59,6 +72,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_learn(args: argparse.Namespace) -> int:
+    if args.kb is None and args.store is None:
+        print("learn needs --kb and/or --store", file=sys.stderr)
+        return 1
     messages = list(read_log(args.log))
     configs = [
         path.read_text(encoding="utf-8")
@@ -70,13 +86,23 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     system = SyslogDigest.learn(
         messages, configs, DigestConfig(), fit_temporal=not args.no_fit
     )
-    system.kb.save(args.kb)
+    destinations = []
+    if args.kb is not None:
+        system.kb.save(args.kb)
+        destinations.append(args.kb)
+    if args.store is not None:
+        from repro.core.modelstore import KnowledgeStore
+
+        info = KnowledgeStore(args.store).commit(
+            system.kb, note=f"learned from {args.log}", activate=True
+        )
+        destinations.append(f"{args.store} (v{info.version}, active)")
     stats = system.kb.dictionary.stats()
     print(
         f"learned {len(system.kb.templates)} templates, "
         f"{len(system.kb.rules)} rules, "
         f"alpha={system.kb.temporal.alpha} beta={system.kb.temporal.beta}, "
-        f"{stats['components']} locations -> {args.kb}"
+        f"{stats['components']} locations -> {', '.join(destinations)}"
     )
     return 0
 
@@ -100,8 +126,31 @@ def _dump_quarantine(quarantine, path: str) -> None:
     )
 
 
+def _kb_from_args(
+    args: argparse.Namespace,
+) -> tuple[KnowledgeBase, int | None]:
+    """Resolve (kb, version) from --kb or --store (active version).
+
+    The version is None for a bare --kb file; store-served knowledge
+    carries its version so streaming checkpoints can record it.
+    """
+    if getattr(args, "kb", None) is not None:
+        return KnowledgeBase.load(args.kb), None
+    if getattr(args, "store", None) is not None:
+        from repro.core.modelstore import KnowledgeStore
+
+        kb, info = KnowledgeStore(args.store).load_active()
+        print(
+            f"# serving store version v{info.version} "
+            f"({info.fingerprint[:12]})",
+            file=sys.stderr,
+        )
+        return kb, info.version
+    raise SystemExit("need --kb or --store")
+
+
 def _cmd_digest(args: argparse.Namespace) -> int:
-    kb = KnowledgeBase.load(args.kb)
+    kb, _version = _kb_from_args(args)
     system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
     if args.quarantine is not None:
         with open(args.log, "r", encoding="utf-8") as fh:
@@ -131,8 +180,21 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.core.present import present_digest
     from repro.syslog.stream import sort_messages
 
-    kb = KnowledgeBase.load(args.kb)
-    stream = restore_stream(args.checkpoint, kb)
+    if args.kb is not None:
+        stream = restore_stream(args.checkpoint, KnowledgeBase.load(args.kb))
+    elif args.store is not None:
+        from repro.core.modelstore import KnowledgeStore
+
+        stream = restore_stream(
+            args.checkpoint, store=KnowledgeStore(args.store)
+        )
+        print(
+            f"# resumed under store version v{stream.kb_version}",
+            file=sys.stderr,
+        )
+    else:
+        print("resume needs --kb or --store", file=sys.stderr)
+        return 1
     info = checkpoint_info(args.checkpoint)
     ordered = sort_messages(read_log(args.log))
     tail = ordered[info.n_admitted :]
@@ -148,6 +210,130 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     print(f"# resumed digest: {len(events)} newly finalized events")
     print(present_digest(events, top=args.top))
     _maybe_write_metrics(args.metrics)
+    return 0
+
+
+def _cmd_refresh(args: argparse.Namespace) -> int:
+    """Refresh the active knowledge over a new period, gated by canary.
+
+    Exit code 0 when the candidate was promoted (or was a zero-drift
+    no-op), 2 when the gate rejected it — the old version keeps serving
+    either way, so a cron wrapper can alert on 2 without any cleanup.
+    """
+    from repro.core.modelstore import KnowledgeStore
+    from repro.core.promotion import KnowledgeLifecycle
+
+    store = KnowledgeStore(args.store)
+    period = list(read_log(args.log))
+    canary = (
+        list(read_log(args.canary))
+        if args.canary is not None
+        else list(period)
+    )
+    configs = None
+    if args.configs is not None:
+        configs = [
+            path.read_text(encoding="utf-8")
+            for path in sorted(Path(args.configs).glob("*.cfg"))
+        ]
+    half_life = None if args.half_life == 0 else args.half_life
+    decision, _info = KnowledgeLifecycle(store).refresh_and_promote(
+        period,
+        canary,
+        configs=configs,
+        frequency_half_life_days=half_life,
+        note=args.note,
+    )
+    print(decision.summary())
+    if not decision.accepted:
+        print(
+            f"# still serving v{store.active_version()}", file=sys.stderr
+        )
+        return 2
+    print(f"# active version: v{store.active_version()}")
+    return 0
+
+
+def _cmd_promote(args: argparse.Namespace) -> int:
+    """Gate a pre-built candidate kb file against the active version."""
+    from repro.core.modelstore import KnowledgeStore
+    from repro.core.promotion import KnowledgeLifecycle
+
+    store = KnowledgeStore(args.store)
+    candidate = KnowledgeBase.load(args.candidate)
+    canary = list(read_log(args.canary))
+    decision, _info = KnowledgeLifecycle(store).promote_candidate(
+        candidate, canary, note=args.note or f"promoted {args.candidate}"
+    )
+    print(decision.summary())
+    if not decision.accepted:
+        print(
+            f"# still serving v{store.active_version()}", file=sys.stderr
+        )
+        return 2
+    print(f"# active version: v{store.active_version()}")
+    return 0
+
+
+def _cmd_rollback(args: argparse.Namespace) -> int:
+    """Atomically re-activate a previously served version."""
+    from repro.core.modelstore import KnowledgeStore
+
+    store = KnowledgeStore(args.store)
+    info = store.rollback(to=args.to)
+    print(
+        f"rolled back to v{info.version} "
+        f"({info.fingerprint[:12]}, {info.n_templates} templates, "
+        f"{info.n_rules} rules)"
+    )
+    return 0
+
+
+def _cmd_kb_log(args: argparse.Namespace) -> int:
+    """Print the store's version table and lifecycle journal."""
+    import json as _json
+    from datetime import datetime, timezone
+
+    from repro.core.modelstore import KnowledgeStore
+
+    store = KnowledgeStore(args.store)
+    if args.json:
+        print(
+            _json.dumps(
+                {
+                    "active": store.active_version(),
+                    "versions": [v.to_dict() for v in store.versions()],
+                    "log": store.log(),
+                },
+                indent=1,
+            )
+        )
+        return 0
+    active = store.active_version()
+    for info in store.versions():
+        marker = "*" if info.version == active else " "
+        when = datetime.fromtimestamp(
+            info.created_ts, tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M:%S")
+        print(
+            f"{marker} v{info.version:<4} {when}  "
+            f"{info.n_templates:>4} templates {info.n_rules:>5} rules  "
+            f"{info.fingerprint[:12]}  {info.note}"
+        )
+    for entry in store.log():
+        when = datetime.fromtimestamp(
+            entry["ts"], tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M:%S")
+        version = entry.get("version")
+        detail = ""
+        if entry["kind"] == "reject":
+            detail = "; ".join(entry.get("reasons", []))
+        elif entry["kind"] == "prune":
+            detail = f"pruned {entry.get('pruned')}"
+        elif entry.get("note"):
+            detail = entry["note"]
+        target = f"v{version}" if version is not None else "-"
+        print(f"  {when}  {entry['kind']:<9} {target:<6} {detail}")
     return 0
 
 
@@ -172,7 +358,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     registry = get_registry()
     registry.reset()
-    kb = KnowledgeBase.load(args.kb)
+    kb, kb_version = _kb_from_args(args)
     config = DigestConfig(
         n_workers=args.workers,
         checkpoint_path=args.checkpoint,
@@ -191,7 +377,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.stream:
         from repro.syslog.resilient import push_safe
 
-        stream = DigestStream(kb, config)
+        stream = DigestStream(kb, config, kb_version=kb_version)
         if quarantine is not None:
             stream.attach_quarantine(quarantine)
         with stage_timer("sort"):
@@ -297,13 +483,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("learn", help="offline domain-knowledge learning")
     p.add_argument("--log", required=True)
     p.add_argument("--configs", required=True)
-    p.add_argument("--kb", required=True)
+    p.add_argument("--kb", default=None, help="write the kb to this JSON file")
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="also commit + activate the kb in this versioned model store",
+    )
     p.add_argument("--no-fit", action="store_true", help="skip alpha/beta sweep")
     p.set_defaults(fn=_cmd_learn)
 
     p = sub.add_parser("digest", help="digest a log with a learned kb")
     p.add_argument("--log", required=True)
-    p.add_argument("--kb", required=True)
+    p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="serve the active version of this model store instead of --kb",
+    )
     p.add_argument("--top", type=int, default=20)
     p.add_argument(
         "--workers",
@@ -332,7 +530,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--checkpoint", required=True)
     p.add_argument("--log", required=True)
-    p.add_argument("--kb", required=True)
+    p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="reload the exact store version the checkpoint was taken "
+        "under instead of passing --kb",
+    )
     p.add_argument("--top", type=int, default=20)
     p.add_argument(
         "--metrics",
@@ -365,7 +570,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(stage timings, shard balance, stream health)",
     )
     p.add_argument("--log", required=True)
-    p.add_argument("--kb", required=True)
+    p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="serve the active version of this model store instead of "
+        "--kb (checkpoints then record the version for resume --store)",
+    )
     p.add_argument(
         "--workers",
         type=int,
@@ -402,6 +614,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream-clock seconds between checkpoints (default 3600)",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "refresh",
+        help="refresh the active kb over a new period, gated by canary "
+        "replay (exit 0 promoted, 2 rejected)",
+    )
+    p.add_argument("--store", required=True, metavar="DIR")
+    p.add_argument("--log", required=True, help="the new period's syslog")
+    p.add_argument(
+        "--canary",
+        default=None,
+        help="canary log replayed through both versions (default: the "
+        "period log itself)",
+    )
+    p.add_argument(
+        "--configs",
+        default=None,
+        metavar="DIR",
+        help="re-parse router configs from this directory",
+    )
+    p.add_argument(
+        "--half-life",
+        type=float,
+        default=56.0,
+        help="frequency decay half life in days (0 disables decay)",
+    )
+    p.add_argument("--note", default="", help="journal note for this refresh")
+    p.set_defaults(fn=_cmd_refresh)
+
+    p = sub.add_parser(
+        "promote",
+        help="gate a pre-built candidate kb file against the active "
+        "version (exit 0 promoted, 2 rejected)",
+    )
+    p.add_argument("--store", required=True, metavar="DIR")
+    p.add_argument("--candidate", required=True, help="candidate kb JSON")
+    p.add_argument("--canary", required=True, help="canary log to replay")
+    p.add_argument("--note", default="", help="journal note")
+    p.set_defaults(fn=_cmd_promote)
+
+    p = sub.add_parser(
+        "rollback", help="re-activate a previously served kb version"
+    )
+    p.add_argument("--store", required=True, metavar="DIR")
+    p.add_argument(
+        "--to",
+        type=int,
+        default=None,
+        help="target version (default: the previously active one)",
+    )
+    p.set_defaults(fn=_cmd_rollback)
+
+    p = sub.add_parser(
+        "kb-log", help="show a model store's versions and lifecycle journal"
+    )
+    p.add_argument("--store", required=True, metavar="DIR")
+    p.add_argument("--json", action="store_true", help="machine-readable dump")
+    p.set_defaults(fn=_cmd_kb_log)
 
     p = sub.add_parser(
         "trends", help="MERCURY-style template frequency level shifts"

@@ -23,6 +23,7 @@ from pathlib import Path
 
 from repro.core.config import DigestConfig
 from repro.core.knowledge import KnowledgeBase
+from repro.core.modelstore import KnowledgeStore
 from repro.core.stream import SNAPSHOT_VERSION, DigestStream
 from repro.obs import (
     CHECKPOINT_BYTES,
@@ -48,6 +49,9 @@ class CheckpointInfo:
     n_admitted: int
     n_open: int
     n_bytes: int
+    # Model-store version the stream served when checkpointed (None when
+    # the stream was built from a bare KnowledgeBase).
+    kb_version: int | str | None = None
 
 
 def write_checkpoint(
@@ -87,6 +91,7 @@ def write_checkpoint(
         n_admitted=snapshot["n_admitted"],
         n_open=len(snapshot["open"]),
         n_bytes=len(blob),
+        kb_version=snapshot["kb_version"],
     )
 
 
@@ -125,22 +130,44 @@ def checkpoint_info(path: str | Path) -> CheckpointInfo:
         n_admitted=snapshot["n_admitted"],
         n_open=len(snapshot["open"]),
         n_bytes=path.stat().st_size,
+        kb_version=snapshot["kb_version"],
     )
 
 
 def restore_stream(
     path: str | Path,
-    kb: KnowledgeBase,
+    kb: KnowledgeBase | None = None,
     config: DigestConfig | None = None,
+    store: KnowledgeStore | None = None,
 ) -> DigestStream:
     """Rebuild a :class:`DigestStream` from a checkpoint file.
 
-    The stream is constructed with the *checkpointed* config by default
-    (grouping state is only valid under the parameters it was built
-    with); pass ``config`` to assert a specific one — a mismatch raises
-    rather than silently regrouping differently.
+    The knowledge base comes from either ``kb`` (explicit) or ``store``
+    (a :class:`~repro.core.modelstore.KnowledgeStore`, from which the
+    snapshot's recorded ``kb_version`` is loaded — fingerprint-verified,
+    and independent of whatever the store's *active* version is now, so
+    a promotion that happened after the checkpoint cannot leak into the
+    restored state).  The stream is constructed with the *checkpointed*
+    config by default (grouping state is only valid under the parameters
+    it was built with); pass ``config`` to assert a specific one — a
+    mismatch raises rather than silently regrouping differently.
     """
     snapshot = read_checkpoint(path)
+    kb_version = snapshot["kb_version"]
+    if kb is None:
+        if store is None:
+            raise ValueError(
+                "restore_stream needs the knowledge the checkpoint was "
+                "taken under: pass kb=, or store= for a store-backed "
+                "stream"
+            )
+        if not isinstance(kb_version, int):
+            raise ValueError(
+                f"checkpoint {path} records kb_version {kb_version!r}, "
+                "not a model-store version; pass the knowledge base "
+                "explicitly via kb="
+            )
+        kb = store.load(kb_version)
     restored_config: DigestConfig = (
         config if config is not None else snapshot["config"]
     )

@@ -72,6 +72,12 @@ class DigestConfig:
     max_open_messages: int = 0
     shed_policy: str = "oldest"
 
+    # Knowledge hot-swap policy (DESIGN.md §9): "defer" adopts a newly
+    # promoted knowledge base at the next epoch boundary (no groups
+    # open — output-preserving), "drain" force-finalizes all open groups
+    # and swaps immediately (bounded staleness, changes output).
+    swap_policy: str = "defer"
+
     @property
     def flush_after(self) -> float:
         """Idle horizon after which a group can no longer grow.
@@ -98,6 +104,11 @@ class DigestConfig:
             raise ValueError(
                 f"shed_policy must be 'oldest' or 'largest', "
                 f"got {self.shed_policy!r}"
+            )
+        if self.swap_policy not in ("defer", "drain"):
+            raise ValueError(
+                f"swap_policy must be 'defer' or 'drain', "
+                f"got {self.swap_policy!r}"
             )
 
     def with_temporal(self, params: TemporalParams) -> DigestConfig:
@@ -129,6 +140,10 @@ class DigestConfig:
             max_open_messages=max_open_messages,
             shed_policy=shed_policy,
         )
+
+    def with_swap_policy(self, swap_policy: str) -> DigestConfig:
+        """Copy with a different knowledge hot-swap policy."""
+        return replace(self, swap_policy=swap_policy)
 
     def only_passes(
         self, temporal: bool = True, rules: bool = True, cross: bool = True

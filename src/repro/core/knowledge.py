@@ -9,6 +9,7 @@ a file, as an operational deployment would.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -20,6 +21,28 @@ from repro.mining.rulestore import RuleStore
 from repro.mining.temporal import TemporalParams
 from repro.templates.learner import TemplateSet
 from repro.templates.signature import Template
+
+#: Serialization format of :meth:`KnowledgeBase.to_json`.  Version 1 is
+#: the legacy payload without the ``format_version`` field; loading a
+#: payload newer than this raises :class:`KnowledgeFormatError` instead
+#: of failing on some missing key deep inside deserialization.
+KB_FORMAT_VERSION = 2
+
+
+class KnowledgeFormatError(ValueError):
+    """A knowledge-base payload has an unknown/unsupported format.
+
+    Carries the offending ``source`` (file path or ``"<string>"``) and
+    the ``found`` version so operators see *what* refused to load.
+    """
+
+    def __init__(self, source: str, found: object) -> None:
+        self.source = source
+        self.found = found
+        super().__init__(
+            f"knowledge base {source} has format_version {found!r}; "
+            f"this build supports up to {KB_FORMAT_VERSION}"
+        )
 
 
 @dataclass
@@ -49,6 +72,7 @@ class KnowledgeBase:
     def to_json(self) -> str:
         """Serialize to a JSON document."""
         payload = {
+            "format_version": KB_FORMAT_VERSION,
             "temporal": {
                 "alpha": self.temporal.alpha,
                 "beta": self.temporal.beta,
@@ -93,9 +117,19 @@ class KnowledgeBase:
         return json.dumps(payload, indent=1)
 
     @classmethod
-    def from_json(cls, text: str) -> KnowledgeBase:
-        """Reconstruct a knowledge base serialized by :meth:`to_json`."""
+    def from_json(
+        cls, text: str, source: str = "<string>"
+    ) -> KnowledgeBase:
+        """Reconstruct a knowledge base serialized by :meth:`to_json`.
+
+        Payloads without a ``format_version`` field are treated as the
+        legacy version 1; anything newer than :data:`KB_FORMAT_VERSION`
+        raises :class:`KnowledgeFormatError` naming ``source``.
+        """
         payload = json.loads(text)
+        found = payload.get("format_version", 1)
+        if not isinstance(found, int) or found > KB_FORMAT_VERSION:
+            raise KnowledgeFormatError(source, found)
         templates = TemplateSet(
             by_code={
                 code: [
@@ -137,7 +171,32 @@ class KnowledgeBase:
     @classmethod
     def load(cls, path: str | Path) -> KnowledgeBase:
         """Read a knowledge base serialized by :meth:`save`."""
-        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+        return cls.from_json(
+            Path(path).read_text(encoding="utf-8"), source=str(path)
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash of the serialized knowledge (sha256 hex).
+
+        Computed over a canonical re-dump (sorted keys, no whitespace)
+        so two bases holding the same knowledge fingerprint identically
+        regardless of dict insertion order.  The model store uses this
+        to detect no-op refreshes and verify versions on load.
+        """
+        canonical = json.dumps(
+            json.loads(self.to_json()),
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def clone(self) -> KnowledgeBase:
+        """Deep, independent copy (via the JSON round trip).
+
+        The refresh path mutates a *candidate* clone so the active base
+        keeps serving unchanged until the promotion gate accepts.
+        """
+        return KnowledgeBase.from_json(self.to_json(), source="<clone>")
 
 
 def _loc_to_list(loc: Location) -> list:

@@ -1,0 +1,458 @@
+"""Validation-gated knowledge promotion (DESIGN.md §9).
+
+The paper keeps its weekly rule updates deliberately *conservative*
+(§4.1.4) because a bad offline refresh silently degrades every
+downstream digest.  :class:`PromotionGate` generalizes that caution to
+the whole knowledge base: before a refreshed candidate may serve, a
+canary corpus (netsim ground truth or a pinned golden log) is replayed
+through **both** the active and the candidate base, and the candidate is
+promoted only when every quality delta stays inside configured bounds:
+
+* **template-match rate** — fraction of canary messages matched by a
+  learned template rather than the ``<code>/other`` fallback; an
+  absolute floor plus a max drop versus active;
+* **compression ratio** — events per message (§5.1's headline metric);
+  the candidate may not worsen it beyond a factor;
+* **event recall** — when the canary carries ground-truth labels:
+  fraction of injected conditions surfacing in the top-ranked events;
+* **rule churn** — undirected rule-pair adds/deletes versus the active
+  store, capped like the paper's weekly add/delete updates.
+
+A rejection records its reasons (and the offending
+:class:`~repro.core.refresh.RefreshReport`) in the store journal and the
+old version keeps serving; an acceptance commits and activates the
+candidate atomically.  An identical candidate (same fingerprint) is
+trivially accepted without touching the digest path — the zero-drift
+no-op the `make check` gate asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import DigestConfig
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modelstore import KnowledgeStore, VersionInfo
+from repro.core.pipeline import SyslogDigest
+from repro.core.refresh import RefreshReport, refresh_candidate
+from repro.obs import (
+    KB_PROMOTIONS,
+    KB_QUALITY,
+    KB_RULE_CHURN,
+    get_registry,
+)
+from repro.syslog.message import SyslogMessage
+from repro.templates.learner import TemplateLearner
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """Bounds a candidate must stay inside to be promoted.
+
+    Every threshold is documented in DESIGN.md §9's gate table.
+    """
+
+    # Absolute floor on the candidate's canary template-match rate.
+    min_template_match_rate: float = 0.9
+    # The candidate may match at most this much worse than active.
+    max_match_rate_drop: float = 0.02
+    # candidate compression_ratio <= active * this factor (ratio is
+    # events/messages — lower is better, so >1 allows some worsening).
+    max_compression_worsening: float = 1.25
+    # candidate recall >= active recall + this (negative = allowed drop);
+    # only enforced when the canary carries ground-truth labels.
+    min_event_recall_delta: float = -0.05
+    # An incident counts as recalled when one of its messages lands in
+    # the top this-fraction of ranked events (§6.2-style coverage).
+    recall_top_fraction: float = 0.5
+    # §4.1.4-style caps on undirected rule-pair churn per refresh.
+    max_rules_added: int = 50
+    max_rules_deleted: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_template_match_rate <= 1.0:
+            raise ValueError("min_template_match_rate must be in [0, 1]")
+        if self.max_match_rate_drop < 0:
+            raise ValueError("max_match_rate_drop must be >= 0")
+        if self.max_compression_worsening < 1.0:
+            raise ValueError("max_compression_worsening must be >= 1.0")
+        if not 0.0 < self.recall_top_fraction <= 1.0:
+            raise ValueError("recall_top_fraction must be in (0, 1]")
+        if self.max_rules_added < 0 or self.max_rules_deleted < 0:
+            raise ValueError("rule churn caps must be >= 0")
+
+
+@dataclass(frozen=True)
+class CanaryQuality:
+    """Quality of one knowledge base on the canary corpus."""
+
+    n_messages: int
+    n_events: int
+    compression_ratio: float
+    template_match_rate: float
+    event_recall: float | None  # None when the canary is unlabelled
+
+    def to_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "n_messages": self.n_messages,
+            "n_events": self.n_events,
+            "compression_ratio": self.compression_ratio,
+            "template_match_rate": self.template_match_rate,
+            "event_recall": self.event_recall,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> CanaryQuality:
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(**payload)
+
+
+def replay_quality(
+    kb: KnowledgeBase,
+    canary: Sequence[SyslogMessage],
+    truth: Sequence[str | None] | None = None,
+    config: DigestConfig | None = None,
+    recall_top_fraction: float = 0.5,
+) -> CanaryQuality:
+    """Digest the canary with ``kb`` and score the outcome.
+
+    ``truth`` (optional) is the ground-truth condition id per message in
+    **sorted** canary order (the order :func:`sort_messages` produces),
+    ``None`` marking noise — :func:`repro.netsim.canary.labeled_canary`
+    builds exactly that alignment.
+    """
+    result = SyslogDigest(kb, config).digest(canary)
+    matched = 0
+    for event in result.events:
+        for plus in event.messages:
+            if not plus.template_key.endswith("/other"):
+                matched += 1
+    match_rate = (
+        matched / result.n_messages if result.n_messages else 1.0
+    )
+    recall: float | None = None
+    if truth is not None:
+        incidents = {label for label in truth if label is not None}
+        if incidents:
+            top_k = max(
+                1, math.ceil(recall_top_fraction * result.n_events)
+            )
+            hit: set[str] = set()
+            for event in result.events[:top_k]:
+                for plus in event.messages:
+                    if plus.index < len(truth):
+                        label = truth[plus.index]
+                        if label is not None:
+                            hit.add(label)
+            recall = len(hit & incidents) / len(incidents)
+        else:
+            recall = 1.0
+    return CanaryQuality(
+        n_messages=result.n_messages,
+        n_events=result.n_events,
+        compression_ratio=result.compression_ratio,
+        template_match_rate=match_rate,
+        event_recall=recall,
+    )
+
+
+@dataclass(frozen=True)
+class PromotionDecision:
+    """Outcome of one gate evaluation — JSON round-trippable."""
+
+    accepted: bool
+    trivial: bool  # identical fingerprints: nothing to validate
+    reasons: tuple[str, ...]  # rejection reasons; empty when accepted
+    active: CanaryQuality
+    candidate: CanaryQuality
+    rules_added: tuple[tuple[str, str], ...]
+    rules_deleted: tuple[tuple[str, str], ...]
+    refresh: dict | None = None  # embedded RefreshReport.to_dict()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (journaled on rejection)."""
+        return {
+            "accepted": self.accepted,
+            "trivial": self.trivial,
+            "reasons": list(self.reasons),
+            "active": self.active.to_dict(),
+            "candidate": self.candidate.to_dict(),
+            "rules_added": [list(p) for p in self.rules_added],
+            "rules_deleted": [list(p) for p in self.rules_deleted],
+            "refresh": self.refresh,
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=1)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> PromotionDecision:
+        """Reconstruct a decision serialized by :meth:`to_dict`."""
+        return cls(
+            accepted=payload["accepted"],
+            trivial=payload["trivial"],
+            reasons=tuple(payload["reasons"]),
+            active=CanaryQuality.from_dict(payload["active"]),
+            candidate=CanaryQuality.from_dict(payload["candidate"]),
+            rules_added=tuple(
+                (p[0], p[1]) for p in payload["rules_added"]
+            ),
+            rules_deleted=tuple(
+                (p[0], p[1]) for p in payload["rules_deleted"]
+            ),
+            refresh=payload.get("refresh"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> PromotionDecision:
+        """Reconstruct a decision serialized by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def summary(self) -> str:
+        """One human line for CLI output."""
+        verdict = "ACCEPTED" if self.accepted else "REJECTED"
+        extra = " (zero drift)" if self.trivial else ""
+        lines = [
+            f"{verdict}{extra}: match "
+            f"{self.active.template_match_rate:.3f} -> "
+            f"{self.candidate.template_match_rate:.3f}, compression "
+            f"{self.active.compression_ratio:.2e} -> "
+            f"{self.candidate.compression_ratio:.2e}, churn "
+            f"+{len(self.rules_added)}/-{len(self.rules_deleted)}"
+        ]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+@dataclass
+class PromotionGate:
+    """Replays the canary through active and candidate, then decides."""
+
+    gate: GateConfig = field(default_factory=GateConfig)
+    digest_config: DigestConfig | None = None
+
+    def evaluate(
+        self,
+        active: KnowledgeBase,
+        candidate: KnowledgeBase,
+        canary: Sequence[SyslogMessage],
+        truth: Sequence[str | None] | None = None,
+        refresh_report: RefreshReport | None = None,
+    ) -> PromotionDecision:
+        """Gate ``candidate`` against ``active`` on the canary corpus."""
+        refresh = (
+            refresh_report.to_dict() if refresh_report is not None else None
+        )
+        if active.fingerprint() == candidate.fingerprint():
+            quality = replay_quality(
+                active,
+                canary,
+                truth,
+                self.digest_config,
+                self.gate.recall_top_fraction,
+            )
+            decision = PromotionDecision(
+                accepted=True,
+                trivial=True,
+                reasons=(),
+                active=quality,
+                candidate=quality,
+                rules_added=(),
+                rules_deleted=(),
+                refresh=refresh,
+            )
+            self._publish(decision)
+            return decision
+
+        active_q = replay_quality(
+            active,
+            canary,
+            truth,
+            self.digest_config,
+            self.gate.recall_top_fraction,
+        )
+        candidate_q = replay_quality(
+            candidate,
+            canary,
+            truth,
+            self.digest_config,
+            self.gate.recall_top_fraction,
+        )
+        added, deleted = active.rules.diff_pairs(candidate.rules)
+
+        gate = self.gate
+        reasons: list[str] = []
+        if candidate_q.template_match_rate < gate.min_template_match_rate:
+            reasons.append(
+                f"template-match rate {candidate_q.template_match_rate:.3f} "
+                f"below floor {gate.min_template_match_rate:.3f}"
+            )
+        if (
+            candidate_q.template_match_rate
+            < active_q.template_match_rate - gate.max_match_rate_drop
+        ):
+            reasons.append(
+                f"template-match rate dropped "
+                f"{active_q.template_match_rate:.3f} -> "
+                f"{candidate_q.template_match_rate:.3f} "
+                f"(max drop {gate.max_match_rate_drop:.3f})"
+            )
+        if (
+            candidate_q.compression_ratio
+            > active_q.compression_ratio * gate.max_compression_worsening
+        ):
+            reasons.append(
+                f"compression ratio worsened "
+                f"{active_q.compression_ratio:.2e} -> "
+                f"{candidate_q.compression_ratio:.2e} "
+                f"(max factor {gate.max_compression_worsening:g})"
+            )
+        if (
+            candidate_q.event_recall is not None
+            and active_q.event_recall is not None
+            and candidate_q.event_recall
+            < active_q.event_recall + gate.min_event_recall_delta
+        ):
+            reasons.append(
+                f"event recall dropped {active_q.event_recall:.3f} -> "
+                f"{candidate_q.event_recall:.3f} "
+                f"(min delta {gate.min_event_recall_delta:+.3f})"
+            )
+        if len(added) > gate.max_rules_added:
+            reasons.append(
+                f"{len(added)} rule pairs added "
+                f"(cap {gate.max_rules_added})"
+            )
+        if len(deleted) > gate.max_rules_deleted:
+            reasons.append(
+                f"{len(deleted)} rule pairs deleted "
+                f"(cap {gate.max_rules_deleted})"
+            )
+
+        decision = PromotionDecision(
+            accepted=not reasons,
+            trivial=False,
+            reasons=tuple(reasons),
+            active=active_q,
+            candidate=candidate_q,
+            rules_added=added,
+            rules_deleted=deleted,
+            refresh=refresh,
+        )
+        self._publish(decision)
+        return decision
+
+    @staticmethod
+    def _publish(decision: PromotionDecision) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        registry.inc(
+            KB_PROMOTIONS,
+            outcome="accepted" if decision.accepted else "rejected",
+        )
+        registry.set_gauge(
+            KB_RULE_CHURN, len(decision.rules_added), kind="added"
+        )
+        registry.set_gauge(
+            KB_RULE_CHURN, len(decision.rules_deleted), kind="deleted"
+        )
+        for side, quality in (
+            ("active", decision.active),
+            ("candidate", decision.candidate),
+        ):
+            registry.set_gauge(
+                KB_QUALITY,
+                quality.compression_ratio,
+                side=side,
+                metric="compression_ratio",
+            )
+            registry.set_gauge(
+                KB_QUALITY,
+                quality.template_match_rate,
+                side=side,
+                metric="template_match_rate",
+            )
+            if quality.event_recall is not None:
+                registry.set_gauge(
+                    KB_QUALITY,
+                    quality.event_recall,
+                    side=side,
+                    metric="event_recall",
+                )
+
+
+class KnowledgeLifecycle:
+    """Store + gate wired together: the learn→validate→promote loop."""
+
+    def __init__(
+        self,
+        store: KnowledgeStore,
+        gate: PromotionGate | None = None,
+    ) -> None:
+        self.store = store
+        self.gate = gate if gate is not None else PromotionGate()
+
+    def promote_candidate(
+        self,
+        candidate: KnowledgeBase,
+        canary: Sequence[SyslogMessage],
+        truth: Sequence[str | None] | None = None,
+        refresh_report: RefreshReport | None = None,
+        note: str = "",
+    ) -> tuple[PromotionDecision, VersionInfo | None]:
+        """Gate a pre-built candidate; commit+activate only on accept.
+
+        On rejection the candidate is *not* stored: the journal records
+        the reasons (with the refresh summary embedded) and the active
+        version keeps serving untouched.
+        """
+        active, active_info = self.store.load_active()
+        decision = self.gate.evaluate(
+            active, candidate, canary, truth, refresh_report
+        )
+        if not decision.accepted:
+            self.store.record_rejection(
+                decision.reasons,
+                version=active_info.version,
+                decision=decision.to_dict(),
+            )
+            return decision, None
+        if decision.trivial:
+            # Identical knowledge: re-activating would only churn the
+            # journal; the active version already is the candidate.
+            return decision, active_info
+        info = self.store.commit(candidate, note=note, activate=True)
+        return decision, info
+
+    def refresh_and_promote(
+        self,
+        period_messages: Sequence[SyslogMessage],
+        canary: Sequence[SyslogMessage],
+        configs: Sequence[str] | None = None,
+        truth: Sequence[str | None] | None = None,
+        learner: TemplateLearner | None = None,
+        frequency_half_life_days: float | None = 56.0,
+        note: str = "",
+    ) -> tuple[PromotionDecision, VersionInfo | None]:
+        """One full offline-loop turn: refresh a clone, gate, promote."""
+        active, _info = self.store.load_active()
+        candidate, report = refresh_candidate(
+            active,
+            period_messages,
+            configs,
+            learner=learner,
+            frequency_half_life_days=frequency_half_life_days,
+        )
+        return self.promote_candidate(
+            candidate,
+            canary,
+            truth,
+            refresh_report=report,
+            note=note or f"refresh over {report.n_messages} messages",
+        )

@@ -16,9 +16,10 @@ loop over an existing :class:`KnowledgeBase`:
 
 from __future__ import annotations
 
+import json
 import math
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.knowledge import KnowledgeBase
 from repro.core.syslogplus import Augmenter
@@ -39,6 +40,34 @@ class RefreshReport:
     rules: RuleUpdateDelta
     decay_applied: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready form; promotion rejections embed this summary."""
+        return {
+            "n_messages": self.n_messages,
+            "new_template_codes": list(self.new_template_codes),
+            "rules": self.rules.to_dict(),
+            "decay_applied": self.decay_applied,
+        }
+
+    def to_json(self) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=1)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RefreshReport:
+        """Reconstruct a report serialized by :meth:`to_dict`."""
+        return cls(
+            n_messages=payload["n_messages"],
+            new_template_codes=tuple(payload["new_template_codes"]),
+            rules=RuleUpdateDelta.from_dict(payload["rules"]),
+            decay_applied=payload["decay_applied"],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> RefreshReport:
+        """Reconstruct a report serialized by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
 
 @dataclass
 class KnowledgeRefresher:
@@ -56,8 +85,18 @@ class KnowledgeRefresher:
     """
 
     kb: KnowledgeBase
-    learner: TemplateLearner = TemplateLearner()
+    learner: TemplateLearner = field(default_factory=TemplateLearner)
     frequency_half_life_days: float | None = 56.0
+
+    def __post_init__(self) -> None:
+        half_life = self.frequency_half_life_days
+        if half_life is not None and not (
+            half_life > 0 and math.isfinite(half_life)
+        ):
+            raise ValueError(
+                "frequency_half_life_days must be > 0 and finite when "
+                f"set (got {half_life!r}); use None to disable decay"
+            )
 
     def refresh(
         self,
@@ -124,3 +163,26 @@ class KnowledgeRefresher:
             rules=delta,
             decay_applied=decay,
         )
+
+
+def refresh_candidate(
+    active: KnowledgeBase,
+    period_messages: Iterable[SyslogMessage],
+    configs: Sequence[str] | None = None,
+    learner: TemplateLearner | None = None,
+    frequency_half_life_days: float | None = 56.0,
+) -> tuple[KnowledgeBase, RefreshReport]:
+    """Refresh a *clone* of ``active``, leaving the original untouched.
+
+    The safe-lifecycle entry point (DESIGN.md §9): the returned candidate
+    carries the refreshed knowledge and can be handed to the promotion
+    gate; ``active`` keeps serving unchanged whatever the gate decides.
+    """
+    candidate = active.clone()
+    refresher = KnowledgeRefresher(
+        candidate,
+        learner=learner if learner is not None else TemplateLearner(),
+        frequency_half_life_days=frequency_half_life_days,
+    )
+    report = refresher.refresh(period_messages, configs)
+    return candidate, report

@@ -26,6 +26,15 @@ with :meth:`DigestStream.snapshot` and rebuilt with
 load shedding (whole groups force-finalized early, oldest first); and
 thread-pooled shard tasks in :meth:`DigestStream.push_many` that raise
 are retried once, then run serially in-process.
+
+Knowledge lifecycle (DESIGN.md §9): a promoted
+:class:`~repro.core.knowledge.KnowledgeBase` can be hot-swapped into a
+live stream with :meth:`DigestStream.request_swap`.  The swap is
+deferred to an *epoch boundary* — the first moment no groups are open —
+so no event ever mixes two knowledge versions; ``swap_policy="drain"``
+force-finalizes the open groups instead of waiting.  A pending swap is
+deliberately **not** checkpointed: a restored stream resumes under the
+version it was checkpointed with, and the swap must be re-requested.
 """
 
 from __future__ import annotations
@@ -54,6 +63,8 @@ from repro.obs import (
     SHARD_RETRIES,
     STREAM_EVICTED,
     STREAM_FINALIZED,
+    STREAM_KB_SWAP_PENDING,
+    STREAM_KB_SWAPS,
     STREAM_OPEN_MESSAGES,
     STREAM_PRUNED,
     STREAM_SHED_EVENTS,
@@ -71,7 +82,7 @@ from repro.utils.unionfind import UnionFind
 
 #: Snapshot format version, bumped whenever :meth:`DigestStream.snapshot`
 #: changes shape; :mod:`repro.core.checkpoint` refuses mismatches.
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
 
 #: Every key :meth:`DigestStream.health` reports, documented in one
 #: place (DESIGN.md §8 renders this table; tests pin the key set).
@@ -90,6 +101,8 @@ HEALTH_KEYS: dict[str, str] = {
     "quarantine_depth": "records held by the attached quarantine (0 if none)",
     "quarantine_total": "inputs ever quarantined (0 if none attached)",
     "checkpoint_age_seconds": "stream clock since last checkpoint (-1 if never)",
+    "kb_swaps": "completed epoch-boundary knowledge swaps (cumulative)",
+    "kb_swap_pending": "1 while a requested swap awaits its epoch boundary",
 }
 
 
@@ -240,6 +253,31 @@ class ShardState:
                 del self._rule_window[router]
         return dropped
 
+    def adopt(
+        self,
+        kb: KnowledgeBase,
+        config: DigestConfig,
+        partners: dict[str, tuple[str, ...]],
+        reset_splitters: bool,
+    ) -> None:
+        """Switch the shard to a newly promoted knowledge base.
+
+        Called only at an epoch boundary (no open groups), when the rule
+        and temporal-tail windows are already empty.  Splitters carry
+        learned per-signature rhythm that stays valid across a refresh,
+        so they are kept — unless the temporal parameters themselves
+        changed, in which case they are dropped and will be lazily
+        rebuilt.  ``_n_created`` is *never* reset: group serials must
+        stay unique across the swap or a post-swap group could union
+        with a pre-swap one.
+        """
+        self._kb = kb
+        self._config = config
+        self._partners = partners
+        if reset_splitters:
+            self._splitters = {}
+            self._serial_of = {}
+
     # ------------------------------------------------------------- snapshot
 
     def snapshot(self) -> dict:
@@ -327,6 +365,7 @@ class DigestStream:
         config: DigestConfig | None = None,
         sweep_interval: float = 300.0,
         fault_hook: Callable[[int, int], None] | None = None,
+        kb_version: int | str | None = None,
     ) -> None:
         self._kb = kb
         self._config = config or DigestConfig()
@@ -360,6 +399,14 @@ class DigestStream:
         self._emitted: dict[str, float] = {}
         self._quarantine = None  # attached via attach_quarantine()
         self._last_checkpoint_clock: float | None = None
+
+        # Knowledge lifecycle: the version id this stream serves (opaque
+        # to the stream; the model store's integer when store-backed) and
+        # the not-yet-adopted base of a deferred hot swap.
+        self._kb_version = kb_version
+        self._pending_kb: KnowledgeBase | None = None
+        self._pending_kb_version: int | str | None = None
+        self._n_swaps = 0
 
         n_shards = self._config.n_workers if self._config.shard_by_router else 1
         self._n_shards = max(1, n_shards)
@@ -411,6 +458,12 @@ class DigestStream:
 
     def push(self, message: SyslogMessage) -> list[NetworkEvent]:
         """Process one message; return any events finalized by its arrival."""
+        swapped: list[NetworkEvent] = []
+        if self._pending_kb is not None:
+            # Before admitting, see whether the gap up to this message
+            # put every open group past its idle horizon — if so this
+            # instant is an epoch boundary and the pending base adopts.
+            swapped = self._swap_boundary(message.timestamp)
         plus, now = self._admit(message)
         for a, b in self._shard_of(plus.router).step(plus, now):
             self._uf.union(a, b)
@@ -419,7 +472,8 @@ class DigestStream:
                 self._uf.union(a, b)
         events = self._maybe_sweep(now)
         shed = self._shed()
-        return events + shed if shed else events
+        out = events + shed if shed else events
+        return swapped + out if swapped else out
 
     def push_many(
         self, messages: Iterable[SyslogMessage]
@@ -431,8 +485,12 @@ class DigestStream:
         pass and the union-find merge then run once over the whole batch.
         Produces the same grouping as message-by-message :meth:`push`.
         """
+        incoming = list(messages)
+        swapped: list[NetworkEvent] = []
+        if self._pending_kb is not None and incoming:
+            swapped = self._swap_boundary(incoming[0].timestamp)
         batch: list[tuple[SyslogPlus, float]] = []
-        for message in messages:
+        for message in incoming:
             batch.append(self._admit(message))
         if not batch:
             return []
@@ -507,13 +565,115 @@ class DigestStream:
                     self._uf.union(a, b)
         events = self._maybe_sweep(batch[-1][1])
         shed = self._shed()
-        return events + shed if shed else events
+        out = events + shed if shed else events
+        return swapped + out if swapped else out
 
     def close(self) -> list[NetworkEvent]:
         """Finalize and return all remaining open groups."""
         events = self._collect_groups(lambda _last: True)
+        if self._pending_kb is not None:
+            self._adopt()  # everything finalized: trivially a boundary
         self.record_metrics()
         return events
+
+    # ------------------------------------------------------ knowledge swap
+
+    @property
+    def kb_version(self) -> int | str | None:
+        """Version id of the currently served knowledge base."""
+        return self._kb_version
+
+    @property
+    def swap_pending(self) -> bool:
+        """True while a requested swap awaits its epoch boundary."""
+        return self._pending_kb is not None
+
+    @property
+    def n_swaps(self) -> int:
+        """Completed knowledge swaps over this stream's lifetime."""
+        return self._n_swaps
+
+    def request_swap(
+        self,
+        kb: KnowledgeBase,
+        version: int | str | None = None,
+    ) -> list[NetworkEvent]:
+        """Hot-swap to a newly promoted base without mixing versions.
+
+        Under the default ``swap_policy="defer"`` the swap happens at
+        the next *epoch boundary* — the first instant no groups are open
+        (checked before each subsequent push, so a quiet gap longer than
+        the flush horizon becomes the boundary).  Until then the stream
+        keeps serving its current base; a second request simply replaces
+        the pending candidate.  Under ``swap_policy="drain"`` all open
+        groups are force-finalized immediately instead.
+
+        Returns whatever events the boundary search finalized (empty
+        when the swap stays pending).
+        """
+        self._pending_kb = kb
+        self._pending_kb_version = version
+        if self._config.swap_policy == "drain":
+            return self.swap_now()
+        if self._last_ts is None:
+            self._adopt()  # nothing admitted yet: trivially a boundary
+            return []
+        return self._swap_boundary(self._last_ts)
+
+    def swap_now(self) -> list[NetworkEvent]:
+        """Drain: force-finalize every open group, then adopt.
+
+        Changes output relative to a never-swapped run (groups close
+        before their idle horizon) — that is the price of an immediate
+        swap; :meth:`request_swap` with the default deferred policy does
+        not pay it.
+        """
+        if self._pending_kb is None:
+            raise ValueError("no swap pending; call request_swap() first")
+        events = self._collect_groups(lambda _last: True)
+        self._adopt()
+        self.record_metrics()
+        return events
+
+    def _swap_boundary(self, upcoming_ts: float) -> list[NetworkEvent]:
+        """Finalize idle groups; adopt the pending base if none remain."""
+        now = (
+            upcoming_ts
+            if self._last_ts is None
+            else max(upcoming_ts, self._last_ts)
+        )
+        events = self._finalize_idle(now)
+        if not self._open:
+            self._adopt()
+        return events
+
+    def _adopt(self) -> None:
+        """Switch every component over to the pending knowledge base.
+
+        Only called when no groups are open, which also means the rule,
+        cross-router, and temporal-tail windows are empty — no event can
+        mix messages augmented under different versions.  The augmenter
+        counter is preserved so global message indices stay unique, and
+        shard splitters keep their learned rhythm unless the temporal
+        parameters changed.
+        """
+        kb = self._pending_kb
+        assert kb is not None
+        reset_splitters = kb.temporal != self._kb.temporal
+        self._pending_kb = None
+        self._kb = kb
+        self._kb_version = self._pending_kb_version
+        self._pending_kb_version = None
+        if self._config.temporal != kb.temporal:
+            self._config = self._config.with_temporal(kb.temporal)
+        counter = self._augmenter._counter
+        self._augmenter = Augmenter(kb.templates, kb.dictionary)
+        self._augmenter._counter = counter
+        self._prioritizer = Prioritizer(kb)
+        self._partners = build_rule_partners(kb.rule_pairs())
+        for state in self._states:
+            state.adopt(kb, self._config, self._partners, reset_splitters)
+        self._n_swaps += 1
 
     # ------------------------------------------------------- snapshot/restore
 
@@ -527,6 +687,12 @@ class DigestStream:
         from this snapshot continues *byte-identically* to one that was
         never interrupted (a test pins that).
 
+        The served ``kb_version`` rides along so a store-backed resume
+        can reload exactly the base this state was grouped under.  A
+        *pending* swap does not: the knowledge lifecycle is the model
+        store's domain, so a restored stream resumes under the
+        checkpointed version and the swap must be re-requested.
+
         Only the partition over open indices is kept: once a group
         finalizes, every window/tail entry referencing it has been
         pruned, so finalized indices can never union with open ones
@@ -538,6 +704,7 @@ class DigestStream:
         return {
             "version": SNAPSHOT_VERSION,
             "config": self._config,
+            "kb_version": self._kb_version,
             "n_shards": self._n_shards,
             "last_ts": self._last_ts,
             "last_sweep": self._last_sweep,
@@ -558,6 +725,7 @@ class DigestStream:
                 "finalized": self._n_finalized_events,
                 "shed_events": self._n_shed_events,
                 "shed_messages": self._n_shed_messages,
+                "swaps": self._n_swaps,
             },
             "emitted": dict(self._emitted),
         }
@@ -613,6 +781,8 @@ class DigestStream:
         self._n_finalized_events = counters["finalized"]
         self._n_shed_events = counters["shed_events"]
         self._n_shed_messages = counters["shed_messages"]
+        self._n_swaps = counters["swaps"]
+        self._kb_version = state["kb_version"]
         self._emitted = dict(state["emitted"])
         # The restored state *is* the checkpoint: age restarts at zero.
         self._last_checkpoint_clock = self._last_ts
@@ -824,6 +994,8 @@ class DigestStream:
             "quarantine_depth": quarantine_depth,
             "quarantine_total": quarantine_total,
             "checkpoint_age_seconds": self.checkpoint_age,
+            "kb_swaps": self._n_swaps,
+            "kb_swap_pending": 1.0 if self._pending_kb is not None else 0.0,
         }
 
     def record_metrics(
@@ -845,6 +1017,10 @@ class DigestStream:
         reg.set_gauge(STREAM_WINDOW_ENTRIES, self.n_window_entries)
         reg.set_gauge(STREAM_WATERMARK_LAG, self.watermark_lag)
         reg.set_gauge(CHECKPOINT_AGE, self.checkpoint_age)
+        reg.set_gauge(
+            STREAM_KB_SWAP_PENDING,
+            1.0 if self._pending_kb is not None else 0.0,
+        )
         for name, total in (
             (STREAM_EVICTED, self._n_evicted),
             (STREAM_PRUNED, self._n_pruned),
@@ -853,6 +1029,7 @@ class DigestStream:
             (STREAM_FINALIZED, self._n_finalized_events),
             (STREAM_SHED_EVENTS, self._n_shed_events),
             (STREAM_SHED_MESSAGES, self._n_shed_messages),
+            (STREAM_KB_SWAPS, self._n_swaps),
         ):
             delta = total - self._emitted.get(name, 0)
             if delta:

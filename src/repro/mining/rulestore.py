@@ -27,6 +27,42 @@ class RuleUpdateDelta:
     deleted: tuple[AssociationRule, ...]
     total_after: int
 
+    @property
+    def churn(self) -> int:
+        """Rules touched this period — the §4.1.4 add/delete volume."""
+        return len(self.added) + len(self.deleted)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (promotion rejections embed refresh deltas)."""
+        return {
+            "added": [_rule_to_dict(r) for r in self.added],
+            "deleted": [_rule_to_dict(r) for r in self.deleted],
+            "total_after": self.total_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RuleUpdateDelta:
+        """Reconstruct a delta serialized by :meth:`to_dict`."""
+        return cls(
+            added=tuple(
+                AssociationRule(**item) for item in payload["added"]
+            ),
+            deleted=tuple(
+                AssociationRule(**item) for item in payload["deleted"]
+            ),
+            total_after=payload["total_after"],
+        )
+
+
+def _rule_to_dict(rule: AssociationRule) -> dict:
+    return {
+        "x": rule.x,
+        "y": rule.y,
+        "support_x": rule.support_x,
+        "support_pair": rule.support_pair,
+        "confidence": rule.confidence,
+    }
+
 
 @dataclass
 class RuleStore:
@@ -65,6 +101,19 @@ class RuleStore:
     def undirected_pairs(self) -> set[tuple[str, str]]:
         """Unordered template pairs covered by at least one rule."""
         return {rule.undirected_key() for rule in self._rules.values()}
+
+    def diff_pairs(
+        self, other: RuleStore
+    ) -> tuple[tuple[tuple[str, str], ...], tuple[tuple[str, str], ...]]:
+        """Undirected pairs ``other`` has that we lack, and vice versa.
+
+        Returns ``(added, deleted)`` — what moving from ``self`` to
+        ``other`` would add and delete — both deterministically sorted.
+        The promotion gate checks this churn against its §4.1.4 caps.
+        """
+        ours = self.undirected_pairs()
+        theirs = other.undirected_pairs()
+        return tuple(sorted(theirs - ours)), tuple(sorted(ours - theirs))
 
     # ------------------------------------------------------ expert hooks
 

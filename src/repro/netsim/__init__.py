@@ -7,6 +7,7 @@ exploit, plus ground-truth labels the paper could only approximate with
 human validation.  See DESIGN.md §2 for the substitution argument.
 """
 
+from repro.netsim.canary import drift_messages, labeled_canary
 from repro.netsim.catalog import CATALOG_V1, CATALOG_V2, MessageDef, catalog_for
 from repro.netsim.configgen import render_config, render_configs
 from repro.netsim.datasets import (
@@ -64,9 +65,11 @@ __all__ = [
     "dataset_a",
     "dataset_b",
     "derive_tickets",
+    "drift_messages",
     "export_trace",
     "import_trace",
     "generate_dataset",
+    "labeled_canary",
     "labeled_pairs",
     "render_config",
     "render_configs",

@@ -90,6 +90,25 @@ DIGEST_RUNS = "syslogdigest_digest_runs_total"
 DIGEST_MESSAGES = "syslogdigest_digest_messages_total"
 DIGEST_EVENTS = "syslogdigest_digest_events_total"
 
+#: Knowledge lifecycle (DESIGN.md §9): the versioned model store and the
+#: validation-gated promotion path.  ``KB_ACTIVE_VERSION`` is an info
+#: gauge holding the currently served version id; promotions are counted
+#: by outcome (``outcome="accepted"|"rejected"``); churn gauges hold the
+#: last gate evaluation's rule-pair add/delete counts
+#: (``kind="added"|"deleted"``); canary quality gauges hold the last
+#: replay's numbers per side (``side="active"|"candidate"``,
+#: ``metric="compression_ratio"|"template_match_rate"|"event_recall"``).
+KB_ACTIVE_VERSION = "syslogdigest_kb_active_version"
+KB_PROMOTIONS = "syslogdigest_kb_promotions_total"
+KB_ROLLBACKS = "syslogdigest_kb_rollbacks_total"
+KB_RULE_CHURN = "syslogdigest_kb_rule_churn"
+KB_QUALITY = "syslogdigest_kb_canary_quality"
+
+#: Live hot-swap of a promoted knowledge base into a running stream:
+#: completed epoch-boundary swaps, plus whether one is still deferred.
+STREAM_KB_SWAPS = "syslogdigest_stream_kb_swaps_total"
+STREAM_KB_SWAP_PENDING = "syslogdigest_stream_kb_swap_pending"
+
 #: Default histogram bounds, tuned for stage timings (10 us .. 5 min).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,

@@ -263,6 +263,123 @@ class TestFaultToleranceCli:
         assert "resumed digest" in captured.out
 
 
+@pytest.mark.lifecycle
+class TestKnowledgeLifecycleCli:
+    @pytest.fixture(scope="class")
+    def lifework(self, workdir, tmp_path_factory):
+        """A store + matching kb file learned from the workdir log."""
+        path = tmp_path_factory.mktemp("lifecycle")
+        rc = main(
+            [
+                "learn",
+                "--log", str(workdir / "syslog.log"),
+                "--configs", str(workdir / "configs"),
+                "--kb", str(path / "kb.json"),
+                "--store", str(path / "kbstore"),
+                "--no-fit",
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def _active(self, lifework):
+        from repro.core.modelstore import KnowledgeStore
+
+        return KnowledgeStore(lifework / "kbstore").active_version()
+
+    def test_learn_commits_and_activates_v1(
+        self, lifework, workdir, capsys
+    ):
+        rc = main(
+            ["kb-log", "--store", str(lifework / "kbstore"), "--json"]
+        )
+        assert rc == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["active"] == 1
+        assert len(payload["versions"]) == 1
+        assert [e["kind"] for e in payload["log"]] == [
+            "commit",
+            "activate",
+        ]
+
+    def test_digest_serves_store_active_version(
+        self, lifework, workdir, capsys
+    ):
+        rc = main(
+            [
+                "digest",
+                "--log", str(workdir / "syslog.log"),
+                "--store", str(lifework / "kbstore"),
+                "--top", "3",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "serving store version v1" in captured.err
+        assert "events" in captured.out
+
+    def test_promote_identical_candidate_is_zero_drift(
+        self, lifework, workdir, capsys
+    ):
+        rc = main(
+            [
+                "promote",
+                "--store", str(lifework / "kbstore"),
+                "--candidate", str(lifework / "kb.json"),
+                "--canary", str(workdir / "syslog.log"),
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "ACCEPTED (zero drift)" in captured.out
+        # Trivial accept never mints a version.
+        assert self._active(lifework) == 1
+
+    def test_refresh_exit_code_tracks_the_gate(
+        self, lifework, workdir, capsys
+    ):
+        rc = main(
+            [
+                "refresh",
+                "--store", str(lifework / "kbstore"),
+                "--log", str(workdir / "syslog.log"),
+                "--note", "cli refresh",
+            ]
+        )
+        captured = capsys.readouterr()
+        if rc == 0:
+            assert "ACCEPTED" in captured.out
+            assert self._active(lifework) == 2
+        else:
+            # The gate may reject the re-mine; the old version serves.
+            assert rc == 2
+            assert "REJECTED" in captured.out
+            assert "still serving v1" in captured.err
+            assert self._active(lifework) == 1
+
+    def test_rollback_reactivates_v1(self, lifework, capsys):
+        from repro.core.modelstore import KnowledgeStore
+
+        store = KnowledgeStore(lifework / "kbstore")
+        drifted = store.load_active()[0].clone()
+        drifted.history_days += 7.0
+        store.commit(drifted, note="drifted", activate=True)
+        assert store.active_version() > 1
+
+        rc = main(
+            [
+                "rollback",
+                "--store", str(lifework / "kbstore"),
+                "--to", "1",
+            ]
+        )
+        assert rc == 0
+        assert "rolled back to v1" in capsys.readouterr().out
+        assert self._active(lifework) == 1
+
+
 def test_missing_subcommand_exits():
     with pytest.raises(SystemExit):
         main([])

@@ -1,0 +1,349 @@
+"""Validation-gated promotion: canary replay, gate bounds, lifecycle.
+
+Pinned regressions (ISSUE acceptance):
+
+* a deliberately corrupted refresh — drift lines damaged by
+  :class:`~repro.netsim.faults.CorruptLines` before learning, dropping
+  the candidate's template-match rate below the gate floor — is
+  rejected, the active version is unchanged, and the live digest output
+  is byte-identical to a never-refreshed run;
+* a healthy refresh promotes atomically: a kill mid-promote leaves the
+  old OR the new version active, never a mix;
+* rollback restores the prior version's exact digest output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modelstore import KnowledgeStore
+from repro.core.pipeline import SyslogDigest
+from repro.core.present import present_event
+from repro.core.promotion import (
+    CanaryQuality,
+    GateConfig,
+    KnowledgeLifecycle,
+    PromotionDecision,
+    PromotionGate,
+    replay_quality,
+)
+from repro.core.refresh import refresh_candidate
+from repro.netsim.canary import drift_messages, labeled_canary
+from repro.netsim.faults import CorruptLines
+from repro.syslog.parse import SyslogParseError, format_line, parse_line
+from repro.syslog.stream import sort_messages
+from repro.utils.timeutils import DAY
+
+pytestmark = pytest.mark.lifecycle
+
+
+@pytest.fixture(scope="module")
+def canary_a(live_a):
+    """The live window as a labeled canary corpus."""
+    return labeled_canary(live_a)
+
+
+@pytest.fixture(scope="module")
+def drift_a(data_a):
+    """A novel-code stream right after the live window."""
+    routers = sorted(data_a.network.routers)[:4]
+    return drift_messages(routers, 12 * DAY + 600.0, n_messages=150)
+
+
+@pytest.fixture()
+def store_a(tmp_path, system_a):
+    store = KnowledgeStore(tmp_path / "kbstore")
+    store.commit(system_a.kb, note="initial", activate=True)
+    return store
+
+
+def _rendered(events):
+    return [present_event(e) for e in events]
+
+
+class TestGateConfig:
+    def test_defaults_are_valid(self):
+        GateConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_template_match_rate": 1.5},
+            {"max_match_rate_drop": -0.1},
+            {"max_compression_worsening": 0.9},
+            {"recall_top_fraction": 0.0},
+            {"max_rules_added": -1},
+        ],
+    )
+    def test_bad_bounds_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            GateConfig(**kwargs)
+
+
+class TestReplayQuality:
+    def test_rates_are_sane(self, system_a, canary_a):
+        messages, truth = canary_a
+        quality = replay_quality(
+            system_a.kb, messages, truth, system_a.config
+        )
+        assert quality.n_messages == len(messages)
+        assert 0.0 <= quality.template_match_rate <= 1.0
+        assert quality.compression_ratio == pytest.approx(
+            quality.n_events / quality.n_messages
+        )
+        assert quality.event_recall is not None
+        assert 0.0 <= quality.event_recall <= 1.0
+
+    def test_unlabeled_canary_has_no_recall(self, system_a, canary_a):
+        messages, _truth = canary_a
+        quality = replay_quality(
+            system_a.kb, messages[:500], config=system_a.config
+        )
+        assert quality.event_recall is None
+
+    def test_quality_roundtrips(self, system_a, canary_a):
+        messages, truth = canary_a
+        quality = replay_quality(
+            system_a.kb, messages[:500], config=system_a.config
+        )
+        assert CanaryQuality.from_dict(quality.to_dict()) == quality
+
+
+class TestZeroDrift:
+    def test_zero_drift_refresh_is_a_strict_noop(
+        self, store_a, system_a, canary_a
+    ):
+        """The `make check` gate: an empty-period refresh changes nothing."""
+        messages, truth = canary_a
+        fp_before = store_a.load_active()[0].fingerprint()
+        versions_before = store_a.version_ids()
+        life = KnowledgeLifecycle(
+            store_a, PromotionGate(digest_config=system_a.config)
+        )
+        decision, info = life.refresh_and_promote(
+            [], messages[:800], truth=truth[:800]
+        )
+        assert decision.accepted and decision.trivial
+        assert decision.reasons == ()
+        # Strict no-op: no new version, same pointer, same fingerprint.
+        assert store_a.version_ids() == versions_before
+        assert store_a.active_version() == info.version == 1
+        assert store_a.load_active()[0].fingerprint() == fp_before
+        # Trivial accept replays the canary once, not twice: both sides
+        # of the decision carry the same measurement.
+        assert decision.active == decision.candidate
+
+    def test_zero_drift_identical_candidate_is_trivial(
+        self, store_a, system_a, canary_a
+    ):
+        messages, truth = canary_a
+        life = KnowledgeLifecycle(
+            store_a, PromotionGate(digest_config=system_a.config)
+        )
+        decision, info = life.promote_candidate(
+            system_a.kb.clone(), messages[:800], truth=truth[:800]
+        )
+        assert decision.accepted and decision.trivial
+        assert store_a.active_version() == 1
+
+
+class TestGateBounds:
+    def test_healthy_drift_refresh_is_promoted(
+        self, store_a, system_a, canary_a, drift_a
+    ):
+        messages, truth = canary_a
+        period = sort_messages(messages + drift_a)
+        gate = PromotionGate(
+            GateConfig(max_rules_added=10_000, max_rules_deleted=10_000),
+            digest_config=system_a.config,
+        )
+        decision, info = KnowledgeLifecycle(
+            store_a, gate
+        ).refresh_and_promote(period, messages, truth=truth)
+        assert decision.accepted and not decision.trivial
+        assert info is not None and info.version == 2
+        assert store_a.active_version() == 2
+
+    def test_churn_cap_rejects(self, store_a, system_a, canary_a, drift_a):
+        messages, truth = canary_a
+        period = sort_messages(messages + drift_a)
+        gate = PromotionGate(
+            GateConfig(max_rules_added=0, min_template_match_rate=0.0),
+            digest_config=system_a.config,
+        )
+        decision, info = KnowledgeLifecycle(
+            store_a, gate
+        ).refresh_and_promote(period, messages[:800], truth=truth[:800])
+        assert not decision.accepted
+        assert info is None
+        assert any("added" in r for r in decision.reasons)
+        assert store_a.active_version() == 1
+        # The rejection is journaled with its reasons and the refresh
+        # summary embedded.
+        reject = [e for e in store_a.log() if e["kind"] == "reject"][-1]
+        assert reject["reasons"] == list(decision.reasons)
+        assert reject["decision"]["refresh"]["n_messages"] == len(period)
+
+    def test_recall_delta_bound_applies(self, system_a, canary_a):
+        messages, truth = canary_a
+        gate = PromotionGate(
+            GateConfig(min_event_recall_delta=0.5),
+            digest_config=system_a.config,
+        )
+        candidate = system_a.kb.clone()
+        candidate.history_days += 1.0  # different fingerprint, same behaviour
+        decision = gate.evaluate(
+            system_a.kb, candidate, messages[:800], truth[:800]
+        )
+        # recall cannot exceed active's by +0.5, so the bound trips.
+        assert not decision.accepted
+        assert any("recall" in r for r in decision.reasons)
+
+    def test_decision_json_roundtrip(self, system_a, canary_a, drift_a):
+        messages, truth = canary_a
+        period = sort_messages(messages[:800] + drift_a)
+        candidate, report = refresh_candidate(system_a.kb, period)
+        gate = PromotionGate(
+            GateConfig(max_rules_added=10_000, max_rules_deleted=10_000),
+            digest_config=system_a.config,
+        )
+        decision = gate.evaluate(
+            system_a.kb, candidate, messages[:800], truth[:800], report
+        )
+        back = PromotionDecision.from_json(decision.to_json())
+        assert back == decision
+        assert "ACCEPTED" in decision.summary() or "REJECTED" in decision.summary()
+
+
+class TestPinnedRegressions:
+    def test_corrupted_refresh_is_rejected_and_output_unchanged(
+        self, store_a, system_a, canary_a, drift_a
+    ):
+        """The ISSUE's pinned regression, end to end.
+
+        The drift lines are corrupted before the refresh sees them, so
+        the candidate never learns the novel template; on a canary where
+        that template matters its match rate sits at the active base's
+        level, below a floor between broken and healthy.  The gate must
+        reject, the active version must not move, and the live digest
+        must be byte-identical to a never-refreshed run.
+        """
+        messages, truth = canary_a
+        # What the refresh *should* have learned from:
+        clean_period = sort_messages(messages + drift_a)
+        # What it actually gets: every drift line damaged in transit.
+        damaged = CorruptLines(rate=1.0, seed=11).apply(
+            [(format_line(m), None) for m in drift_a]
+        )
+        survivors = []
+        for line, _label in damaged:
+            try:
+                survivors.append(parse_line(line))
+            except SyslogParseError:
+                pass
+        assert not survivors
+        corrupt_period = sort_messages(messages + survivors)
+
+        # Canary where the drift template matters.
+        pairs = [(m, t) for m, t in zip(messages, truth)]
+        pairs += [(m, None) for m in drift_a]
+        pairs.sort(key=lambda p: (p[0].timestamp, p[0].router, p[0].error_code))
+        canary = [p[0] for p in pairs]
+        canary_truth = [p[1] for p in pairs]
+
+        healthy, _ = refresh_candidate(system_a.kb, clean_period)
+        healthy_rate = replay_quality(
+            healthy, canary, config=system_a.config
+        ).template_match_rate
+        broken, _ = refresh_candidate(system_a.kb, corrupt_period)
+        broken_rate = replay_quality(
+            broken, canary, config=system_a.config
+        ).template_match_rate
+        assert healthy_rate > broken_rate
+
+        baseline = _rendered(
+            SyslogDigest(system_a.kb, system_a.config).digest(canary).events
+        )
+        gate = PromotionGate(
+            GateConfig(
+                min_template_match_rate=(healthy_rate + broken_rate) / 2,
+                max_rules_added=10_000,
+                max_rules_deleted=10_000,
+            ),
+            digest_config=system_a.config,
+        )
+        life = KnowledgeLifecycle(store_a, gate)
+        decision, info = life.promote_candidate(
+            broken, canary, truth=canary_truth
+        )
+        assert not decision.accepted
+        assert info is None
+        assert any("floor" in r for r in decision.reasons)
+        assert store_a.active_version() == 1
+        served = _rendered(
+            SyslogDigest(store_a.load_active()[0], system_a.config)
+            .digest(canary)
+            .events
+        )
+        assert served == baseline
+
+    def test_kill_mid_promote_is_atomic(
+        self, store_a, system_a, canary_a, drift_a, monkeypatch
+    ):
+        """A healthy refresh that dies mid-promote never mixes versions."""
+        messages, truth = canary_a
+        period = sort_messages(messages + drift_a)
+        gate = PromotionGate(
+            GateConfig(max_rules_added=10_000, max_rules_deleted=10_000),
+            digest_config=system_a.config,
+        )
+        life = KnowledgeLifecycle(store_a, gate)
+        fp_before = store_a.load_active()[0].fingerprint()
+
+        real_activate = store_a.activate
+
+        def dying_activate(version, _kind="activate"):
+            raise RuntimeError("killed mid-promote")
+
+        monkeypatch.setattr(store_a, "activate", dying_activate)
+        with pytest.raises(RuntimeError):
+            life.refresh_and_promote(period, messages, truth=truth)
+        # Old version still serves, byte-for-byte.
+        assert store_a.active_version() == 1
+        assert store_a.load_active()[0].fingerprint() == fp_before
+
+        # The retry (process restart) promotes cleanly to a *new*
+        # version; the orphan from the failed attempt stays retained.
+        monkeypatch.setattr(store_a, "activate", real_activate)
+        decision, info = life.refresh_and_promote(
+            period, messages, truth=truth
+        )
+        assert decision.accepted
+        assert store_a.active_version() == info.version
+
+    def test_rollback_restores_exact_digest_output(
+        self, store_a, system_a, canary_a, drift_a
+    ):
+        messages, truth = canary_a
+        canary = messages[:1000]
+        baseline = _rendered(
+            SyslogDigest(system_a.kb, system_a.config).digest(canary).events
+        )
+        period = sort_messages(messages + drift_a)
+        gate = PromotionGate(
+            GateConfig(max_rules_added=10_000, max_rules_deleted=10_000),
+            digest_config=system_a.config,
+        )
+        decision, info = KnowledgeLifecycle(
+            store_a, gate
+        ).refresh_and_promote(period, messages, truth=truth)
+        assert decision.accepted and store_a.active_version() == 2
+
+        store_a.rollback()
+        assert store_a.active_version() == 1
+        restored = _rendered(
+            SyslogDigest(store_a.load_active()[0], system_a.config)
+            .digest(canary)
+            .events
+        )
+        assert restored == baseline

@@ -6,7 +6,11 @@ import pytest
 
 from repro.core.config import DigestConfig
 from repro.core.pipeline import SyslogDigest
-from repro.core.refresh import KnowledgeRefresher
+from repro.core.refresh import (
+    KnowledgeRefresher,
+    RefreshReport,
+    refresh_candidate,
+)
 from repro.syslog.message import SyslogMessage
 from repro.utils.timeutils import DAY
 
@@ -84,3 +88,64 @@ class TestRefresh:
             [m.message for m in live_a.messages[:2000]]
         )
         assert result.n_events > 0
+
+
+@pytest.mark.lifecycle
+class TestHalfLifeValidation:
+    @pytest.mark.parametrize(
+        "half_life", [0.0, -1.0, float("inf"), float("nan")]
+    )
+    def test_degenerate_half_life_raises(self, fresh_system, half_life):
+        with pytest.raises(ValueError, match="half_life"):
+            KnowledgeRefresher(
+                fresh_system.kb, frequency_half_life_days=half_life
+            )
+
+    def test_none_disables_decay(self, fresh_system, data_a):
+        refresher = KnowledgeRefresher(
+            fresh_system.kb, frequency_half_life_days=None
+        )
+        router = next(iter(data_a.network.routers))
+        report = refresher.refresh(_novel_messages(router, 12 * DAY))
+        assert report.decay_applied == 1.0
+
+
+@pytest.mark.lifecycle
+class TestRefreshReportRoundTrip:
+    def test_report_roundtrips_through_json(
+        self, fresh_system, live_a, data_a
+    ):
+        refresher = KnowledgeRefresher(fresh_system.kb)
+        router = next(iter(data_a.network.routers))
+        report = refresher.refresh(
+            [m.message for m in live_a.messages]
+            + _novel_messages(router, 12 * DAY)
+        )
+        assert report.new_template_codes  # the novel code was learned
+        back = RefreshReport.from_json(report.to_json())
+        assert back == report
+
+    def test_empty_period_report_roundtrips(self, fresh_system):
+        report = KnowledgeRefresher(fresh_system.kb).refresh([])
+        assert RefreshReport.from_json(report.to_json()) == report
+
+
+@pytest.mark.lifecycle
+class TestCandidateIsolation:
+    def test_refresh_candidate_leaves_active_untouched(
+        self, system_a, live_a, data_a
+    ):
+        """The safe-lifecycle entry point never mutates the active base."""
+        active = system_a.kb
+        fp_before = active.fingerprint()
+        router = next(iter(data_a.network.routers))
+        candidate, report = refresh_candidate(
+            active,
+            [m.message for m in live_a.messages]
+            + _novel_messages(router, 12 * DAY),
+        )
+        assert report.n_messages > 0
+        assert candidate.fingerprint() != fp_before
+        assert active.fingerprint() == fp_before
+        assert "NEWFEAT-4-STATE" not in active.templates.by_code
+        assert "NEWFEAT-4-STATE" in candidate.templates.by_code
