@@ -2,16 +2,20 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults lifecycle bench bench-refresh clean
+.PHONY: check test faults lifecycle ingest bench bench-refresh bench-ingest clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
 # checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
 # plus the zero-drift canary replay, which must be a strict no-op —
-# a refresh over an empty period may never mint a new knowledge version.
+# a refresh over an empty period may never mint a new knowledge version —
+# and the ingest clean-feed no-op: a single in-order clean source pushed
+# through the resilient front-end must be byte-identical to the direct
+# path.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
 	$(PY) -m pytest -q tests/test_core_promotion.py -k zero_drift
+	$(PY) -m pytest -q tests/test_syslog_ingest.py -k byte_identical
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -26,6 +30,11 @@ faults:
 lifecycle:
 	$(PY) -m pytest -q -m lifecycle
 
+# Resilient multi-source ingest tests: watermark reordering, breakers,
+# dedup, admission control, ingest x checkpoint round-trips.
+ingest:
+	$(PY) -m pytest -q -m ingest
+
 # Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
 bench:
 	$(PY) -m pytest -q benchmarks/
@@ -34,6 +43,12 @@ bench:
 # benchmarks/results/refresh_drift.txt).
 bench-refresh:
 	$(PY) -m pytest -q benchmarks/bench_refresh.py
+
+# Ingest disorder harness: recall and buffer bounds under reorder +
+# duplication + a flapping feed (writes benchmarks/results/
+# ingest_disorder.txt).
+bench-ingest:
+	$(PY) -m pytest -q benchmarks/bench_ingest.py
 
 clean:
 	rm -rf .pytest_cache $$(find . -name __pycache__ -type d)

@@ -24,6 +24,18 @@ from such a checkpoint plus the log tail::
     syslogdigest resume --checkpoint work/digest.ckpt \
         --log work/online.log --kb work/kb.json --top 20
 
+Multi-source ingest (DESIGN.md §10): ``digest --ingest`` (or one
+``--source`` per feed) pushes through the resilient front-end —
+watermark reordering, per-source circuit breakers, optional
+``--dedup-window`` — ``sources`` prints the per-source health table,
+and ``requeue`` replays a dumped quarantine JSONL back through the
+digester::
+
+    syslogdigest digest --kb work/kb.json --source feedA.log \
+        --source feedB.log --max-reorder-delay 60
+    syslogdigest sources --kb work/kb.json --log feedA.log --log feedB.log
+    syslogdigest requeue --kb work/kb.json --quarantine work/bad.jsonl
+
 Knowledge lifecycle (DESIGN.md §9): ``learn``/``digest``/``resume``
 accept ``--store <dir>`` (a versioned model store) in place of a bare
 ``--kb`` file, and the offline refresh loop runs through its own
@@ -149,8 +161,90 @@ def _kb_from_args(
     raise SystemExit("need --kb or --store")
 
 
+def _ingest_feeds(paths: list[str]) -> list[tuple[str, str]]:
+    """Read per-source logs and interleave their lines by timestamp.
+
+    Each log is one source (named after its path); lines keep their
+    per-file order and are merged into the arrival order a collector
+    aggregating the feeds would see.  Unparseable lines ride at the last
+    readable timestamp so they reach the ingest (and its breakers)
+    in position instead of being silently skipped.
+    """
+    from repro.syslog.collector import interleave_arrivals
+
+    feeds: dict[str, list[tuple[float, str]]] = {}
+    for path in paths:
+        stamped: list[tuple[float, str]] = []
+        last_ts = 0.0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                try:
+                    last_ts = parse_ts(line[:19])
+                except ValueError:
+                    pass
+                stamped.append((last_ts, line.rstrip("\n")))
+        feeds[path] = stamped
+    arrivals = interleave_arrivals(feeds, key=lambda pair: pair[0])
+    return [(source, line) for source, (_ts, line) in arrivals]
+
+
+def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
+    """Drive a streaming digest through the ingest front-end.
+
+    Returns ``(ingest, events, quarantine)`` with the stream closed and
+    all events finalized.
+    """
+    from repro.core.config import IngestConfig
+    from repro.core.stream import DigestStream
+    from repro.syslog.ingest import MultiSourceIngest
+    from repro.syslog.resilient import Quarantine
+
+    paths = list(args.source) if args.source else [args.log]
+    if paths == [None]:
+        raise SystemExit("need --log or at least one --source")
+    config = DigestConfig(n_workers=args.workers)
+    ingest_config = IngestConfig(
+        max_reorder_delay=args.max_reorder_delay,
+        dedup_window=args.dedup_window,
+    )
+    stream = DigestStream(kb, config, kb_version=kb_version)
+    quarantine = Quarantine()
+    stream.attach_quarantine(quarantine)
+    ingest = MultiSourceIngest(
+        stream, ingest_config, quarantine=quarantine
+    )
+    events = []
+    for source, line in _ingest_feeds(paths):
+        events.extend(ingest.push_line(source, line))
+    events.extend(ingest.close())
+    return ingest, events, quarantine
+
+
 def _cmd_digest(args: argparse.Namespace) -> int:
-    kb, _version = _kb_from_args(args)
+    kb, kb_version = _kb_from_args(args)
+    if args.ingest or args.source:
+        from repro.core.present import present_digest
+
+        ingest, events, quarantine = _run_ingest(args, kb, kb_version)
+        health = ingest.health()
+        n_messages = sum(ingest.pushed_counts().values())
+        print(
+            f"# {n_messages} arrivals over {health['sources']} sources -> "
+            f"{len(events)} events (late {health['late_dropped']}, "
+            f"dedup {health['deduplicated']}, "
+            f"breaker-rejected {health['breaker_rejected']})"
+        )
+        events.sort(key=lambda e: (-e.score, e.start_ts, e.indices))
+        print(present_digest(events, top=args.top))
+        if args.quarantine is not None:
+            _dump_quarantine(quarantine, args.quarantine)
+        _maybe_write_metrics(args.metrics)
+        return 0
+    if args.log is None:
+        print("digest needs --log (or --source feeds)", file=sys.stderr)
+        return 1
     system = SyslogDigest(kb, DigestConfig(n_workers=args.workers))
     if args.quarantine is not None:
         with open(args.log, "r", encoding="utf-8") as fh:
@@ -337,6 +431,69 @@ def _cmd_kb_log(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sources(args: argparse.Namespace) -> int:
+    """Digest multi-source feeds and report per-source ingest health."""
+    from repro.utils.textable import render_table
+
+    kb, kb_version = _kb_from_args(args)
+    args.source = list(args.log)
+    args.log = None
+    ingest, events, _quarantine = _run_ingest(args, kb, kb_version)
+    rows = []
+    for src in ingest.sources():
+        summary = src.summary()
+        rows.append([summary[key] for key in summary])
+    headers = list(ingest.sources()[0].summary()) if rows else []
+    print(
+        render_table(headers, rows, title="per-source ingest health")
+    )
+    health = ingest.health()
+    print(
+        f"# {sum(ingest.pushed_counts().values())} arrivals -> "
+        f"{len(events)} events; peak buffer {health['peak_buffered']}, "
+        f"{health['breaker_transitions']} breaker transitions"
+    )
+    if args.journal:
+        for entry in ingest.journal():
+            print(
+                f"# {entry['clock']}: {entry['source']} "
+                f"{entry['from']} -> {entry['to']} ({entry['reason']})"
+            )
+    _maybe_write_metrics(args.metrics)
+    return 0
+
+
+def _cmd_requeue(args: argparse.Namespace) -> int:
+    """Replay a dumped quarantine JSONL back through the digester.
+
+    Exit 0 when every record requeued cleanly, 2 when any failed again
+    (the survivors are re-dumped over the input file unless --keep).
+    """
+    from repro.core.present import present_digest
+    from repro.core.stream import DigestStream
+    from repro.syslog.resilient import Quarantine, requeue_records
+
+    kb, kb_version = _kb_from_args(args)
+    stream = DigestStream(
+        kb, DigestConfig(n_workers=args.workers), kb_version=kb_version
+    )
+    quarantine = Quarantine()
+    stream.attach_quarantine(quarantine)
+    events, n_ok, n_failed = requeue_records(
+        args.quarantine, stream, quarantine
+    )
+    events.extend(stream.close())
+    events.sort(key=lambda e: (-e.score, e.start_ts, e.indices))
+    print(
+        f"# requeued {n_ok} of {n_ok + n_failed} quarantined inputs "
+        f"({n_failed} failed again) -> {len(events)} events"
+    )
+    print(present_digest(events, top=args.top))
+    if n_failed and not args.keep:
+        _dump_quarantine(quarantine, args.quarantine)
+    return 0 if n_failed == 0 else 2
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.apps.reportgen import daily_report
 
@@ -494,8 +651,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_learn)
 
     p = sub.add_parser("digest", help="digest a log with a learned kb")
-    p.add_argument("--log", required=True)
+    p.add_argument("--log", default=None)
     p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--ingest",
+        action="store_true",
+        help="push through the resilient ingest front-end (watermark "
+        "reordering, per-source breakers) instead of the direct path",
+    )
+    p.add_argument(
+        "--source",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="a per-source log feed (repeatable; implies --ingest, "
+        "feeds are interleaved by timestamp)",
+    )
+    p.add_argument(
+        "--max-reorder-delay",
+        type=float,
+        default=60.0,
+        help="ingest reorder window in seconds (default 60)",
+    )
+    p.add_argument(
+        "--dedup-window",
+        type=float,
+        default=0.0,
+        help="suppress content-identical arrivals within this many "
+        "seconds (default 0 = off)",
+    )
     p.add_argument(
         "--store",
         default=None,
@@ -614,6 +798,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream-clock seconds between checkpoints (default 3600)",
     )
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "sources",
+        help="digest multi-source feeds through the ingest front-end "
+        "and report per-source health (breakers, late drops, dedup)",
+    )
+    p.add_argument(
+        "--log",
+        action="append",
+        required=True,
+        metavar="PATH",
+        help="a per-source log feed (repeat once per source)",
+    )
+    p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="serve the active version of this model store instead of --kb",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard grouping by router over N threads",
+    )
+    p.add_argument(
+        "--max-reorder-delay",
+        type=float,
+        default=60.0,
+        help="ingest reorder window in seconds (default 60)",
+    )
+    p.add_argument(
+        "--dedup-window",
+        type=float,
+        default=0.0,
+        help="suppress content-identical arrivals within this many "
+        "seconds (default 0 = off)",
+    )
+    p.add_argument(
+        "--journal",
+        action="store_true",
+        help="also print every breaker transition",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="dump pipeline metrics to this path (*.json = JSON, "
+        "else Prometheus text)",
+    )
+    p.set_defaults(fn=_cmd_sources)
+
+    p = sub.add_parser(
+        "requeue",
+        help="replay a dumped quarantine JSONL through the digester "
+        "(exit 0 all requeued, 2 some failed again)",
+    )
+    p.add_argument(
+        "--quarantine",
+        required=True,
+        metavar="PATH",
+        help="quarantine JSONL previously written by "
+        "digest/stats --quarantine",
+    )
+    p.add_argument("--kb", default=None)
+    p.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="serve the active version of this model store instead of --kb",
+    )
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard grouping by router over N threads",
+    )
+    p.add_argument(
+        "--keep",
+        action="store_true",
+        help="leave the input file untouched even when records fail "
+        "again (default: re-dump the survivors over it)",
+    )
+    p.set_defaults(fn=_cmd_requeue)
 
     p = sub.add_parser(
         "refresh",

@@ -52,6 +52,11 @@ class CheckpointInfo:
     # Model-store version the stream served when checkpointed (None when
     # the stream was built from a bare KnowledgeBase).
     kb_version: int | str | None = None
+    # Ingest front-end state, when one was attached: whether the
+    # checkpoint carries it, and how many messages its reorder buffer
+    # held at capture time.
+    has_ingest: bool = False
+    n_buffered: int = 0
 
 
 def write_checkpoint(
@@ -83,6 +88,7 @@ def write_checkpoint(
     if registry.enabled:
         registry.inc(CHECKPOINT_WRITES)
         registry.set_gauge(CHECKPOINT_BYTES, len(blob))
+    ingest_state = snapshot.get("ingest")
     return CheckpointInfo(
         path=str(path),
         format=CHECKPOINT_FORMAT,
@@ -92,6 +98,8 @@ def write_checkpoint(
         n_open=len(snapshot["open"]),
         n_bytes=len(blob),
         kb_version=snapshot["kb_version"],
+        has_ingest=ingest_state is not None,
+        n_buffered=len(ingest_state["buffer"]) if ingest_state else 0,
     )
 
 
@@ -122,6 +130,7 @@ def checkpoint_info(path: str | Path) -> CheckpointInfo:
     """Header summary of a checkpoint without restoring it."""
     path = Path(path)
     snapshot = read_checkpoint(path)
+    ingest_state = snapshot.get("ingest")
     return CheckpointInfo(
         path=str(path),
         format=CHECKPOINT_FORMAT,
@@ -131,6 +140,8 @@ def checkpoint_info(path: str | Path) -> CheckpointInfo:
         n_open=len(snapshot["open"]),
         n_bytes=path.stat().st_size,
         kb_version=snapshot["kb_version"],
+        has_ingest=ingest_state is not None,
+        n_buffered=len(ingest_state["buffer"]) if ingest_state else 0,
     )
 
 
@@ -174,3 +185,31 @@ def restore_stream(
     stream = DigestStream(kb, restored_config)
     stream.restore(snapshot)
     return stream
+
+
+def restore_ingest(stream: DigestStream, quarantine=None):
+    """Rebuild the ingest front-end a restored stream was driven by.
+
+    Call after :func:`restore_stream` when the checkpointed run pushed
+    through a :class:`~repro.syslog.ingest.MultiSourceIngest`; returns a
+    front-end with its reorder buffer, source breakers, and counters
+    exactly as captured, attached to ``stream``.  Raises if the
+    checkpoint carried no ingest state (check
+    :attr:`CheckpointInfo.has_ingest` first when unsure).  Resume replay
+    then skips, per source, the :meth:`~MultiSourceIngest.pushed_counts`
+    arrivals already consumed.
+    """
+    # Imported lazily: core must stay importable without the syslog
+    # layer, and ingest.py itself imports from core.
+    from repro.syslog.ingest import MultiSourceIngest
+
+    state = stream.restored_ingest_state()
+    if state is None:
+        raise ValueError(
+            "checkpoint carries no ingest state: the checkpointed "
+            "stream was pushed to directly, not through an ingest "
+            "front-end"
+        )
+    return MultiSourceIngest.from_snapshot(
+        stream, state, quarantine=quarantine
+    )

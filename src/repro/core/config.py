@@ -155,3 +155,99 @@ class DigestConfig:
             enable_rules=rules,
             enable_cross_router=cross,
         )
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Tunables of the resilient multi-source ingest front-end (DESIGN.md §10).
+
+    :class:`~repro.syslog.ingest.MultiSourceIngest` sits between raw
+    per-source feeds and :class:`~repro.core.stream.DigestStream`; these
+    knobs bound how much disorder it absorbs and when it gives up on a
+    source.  The defaults are a strict no-op for a single in-order
+    source: dedup, stall detection, and admission control are opt-in,
+    and the reorder buffer only *delays* emission, never changes it.
+    """
+
+    # Watermark reordering: a source's low watermark trails its newest
+    # timestamp by this many seconds; buffered messages at or below the
+    # min watermark across live sources are flushed in deterministic
+    # (timestamp, router, error_code, source, arrival) order.  Arrivals
+    # behind the already-flushed frontier are dropped as *late*.
+    max_reorder_delay: float = 60.0
+
+    # Hard bound on buffered messages; overflow force-flushes the oldest
+    # entries past the watermark (0 = unbounded).
+    max_buffer_messages: int = 10_000
+
+    # Windowed duplicate suppression: a message whose full content
+    # (timestamp, router, error_code, detail) was already admitted is
+    # suppressed; entries are remembered for this many seconds past the
+    # watermark (0 = dedup off — suppression changes output, opt in).
+    dedup_window: float = 0.0
+
+    # Circuit breaker: consecutive failures (parse errors, stalls) that
+    # trip a source from closed to open.
+    breaker_failure_threshold: int = 5
+
+    # Half-open probe schedule, realized through
+    # :class:`repro.syslog.resilient.RetryPolicy` — probe i after the
+    # policy's i-th exponential delay; the final delay repeats once the
+    # schedule is exhausted.  Stall-opened breakers probe immediately on
+    # the next arrival (the arrival itself ends the stall).
+    probe_base_delay: float = 60.0
+    probe_max_retries: int = 6
+
+    # A closed source whose last arrival trails the ingest clock by more
+    # than this many seconds is opened with reason "stall" so it stops
+    # holding back the global watermark (0 = stall detection off).
+    stall_timeout: float = 0.0
+
+    # Admission control: with buffered + stream-open messages at or past
+    # the soft limit, arrivals from unhealthy sources (breaker not
+    # closed, or consecutive failures pending) are shed; past the hard
+    # limit every arrival is shed.  Both 0 = off.  Set these *below*
+    # ``DigestConfig.max_open_messages`` so ingest sheds by source
+    # health before the stream's whole-group shedding ever triggers.
+    admit_soft_limit: int = 0
+    admit_hard_limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_reorder_delay < 0:
+            raise ValueError("max_reorder_delay must be >= 0")
+        if self.max_buffer_messages < 0:
+            raise ValueError("max_buffer_messages must be >= 0 (0 = unbounded)")
+        if self.dedup_window < 0:
+            raise ValueError("dedup_window must be >= 0 (0 = off)")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.probe_base_delay < 0:
+            raise ValueError("probe_base_delay must be >= 0")
+        if self.probe_max_retries < 0:
+            raise ValueError("probe_max_retries must be >= 0")
+        if self.stall_timeout < 0:
+            raise ValueError("stall_timeout must be >= 0 (0 = off)")
+        if self.admit_soft_limit < 0 or self.admit_hard_limit < 0:
+            raise ValueError("admission limits must be >= 0 (0 = off)")
+        if (
+            self.admit_soft_limit
+            and self.admit_hard_limit
+            and self.admit_soft_limit > self.admit_hard_limit
+        ):
+            raise ValueError("admit_soft_limit must be <= admit_hard_limit")
+
+    def for_stream(self, config: DigestConfig) -> IngestConfig:
+        """Copy with admission limits derived from a stream's open bound.
+
+        Places the soft limit at 80% and the hard limit at 95% of
+        ``config.max_open_messages`` so ingest-side shedding (by source
+        health) always engages before the stream's own whole-group
+        shedding.  A stream without an open bound leaves admission off.
+        """
+        if not config.max_open_messages:
+            return self
+        return replace(
+            self,
+            admit_soft_limit=max(1, int(config.max_open_messages * 0.8)),
+            admit_hard_limit=max(1, int(config.max_open_messages * 0.95)),
+        )

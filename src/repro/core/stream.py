@@ -82,7 +82,7 @@ from repro.utils.unionfind import UnionFind
 
 #: Snapshot format version, bumped whenever :meth:`DigestStream.snapshot`
 #: changes shape; :mod:`repro.core.checkpoint` refuses mismatches.
-SNAPSHOT_VERSION = 2
+SNAPSHOT_VERSION = 3
 
 #: Every key :meth:`DigestStream.health` reports, documented in one
 #: place (DESIGN.md §8 renders this table; tests pin the key set).
@@ -398,6 +398,8 @@ class DigestStream:
         self._n_shed_messages = 0
         self._emitted: dict[str, float] = {}
         self._quarantine = None  # attached via attach_quarantine()
+        self._ingest = None  # attached via attach_ingest()
+        self._restored_ingest: dict | None = None
         self._last_checkpoint_clock: float | None = None
 
         # Knowledge lifecycle: the version id this stream serves (opaque
@@ -728,6 +730,11 @@ class DigestStream:
                 "swaps": self._n_swaps,
             },
             "emitted": dict(self._emitted),
+            # An attached ingest front-end rides along so one checkpoint
+            # captures the stream *and* its reorder buffer consistently.
+            "ingest": (
+                self._ingest.snapshot() if self._ingest is not None else None
+            ),
         }
 
     def restore(self, state: dict) -> None:
@@ -784,6 +791,10 @@ class DigestStream:
         self._n_swaps = counters["swaps"]
         self._kb_version = state["kb_version"]
         self._emitted = dict(state["emitted"])
+        # Stashed, not rebuilt: reconstructing the ingest front-end needs
+        # the syslog layer, so checkpoint.restore_ingest() does it on
+        # demand via restored_ingest_state().
+        self._restored_ingest = state.get("ingest")
         # The restored state *is* the checkpoint: age restarts at zero.
         self._last_checkpoint_clock = self._last_ts
 
@@ -795,6 +806,21 @@ class DigestStream:
     def attach_quarantine(self, quarantine) -> None:
         """Surface a :class:`~repro.syslog.resilient.Quarantine` in health."""
         self._quarantine = quarantine
+
+    def attach_ingest(self, ingest) -> None:
+        """Register a :class:`~repro.syslog.ingest.MultiSourceIngest`.
+
+        The ingest constructor calls this; from then on the front-end's
+        state (reorder buffer, source breakers, dedup table) is captured
+        inside :meth:`snapshot` so kill-and-resume stays byte-identical
+        through the full ingest → stream path.
+        """
+        self._ingest = ingest
+
+    def restored_ingest_state(self) -> dict | None:
+        """Ingest state stashed by :meth:`restore` (None if the
+        checkpointed stream had no ingest front-end attached)."""
+        return self._restored_ingest
 
     # ------------------------------------------------------------- internals
 

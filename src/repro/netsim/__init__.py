@@ -24,6 +24,9 @@ from repro.netsim.faults import (
     FeedStall,
     FlakyShardTask,
     InjectedWorkerFault,
+    LateLines,
+    ReorderLines,
+    SourceFlap,
     TruncateLines,
     WorkerFaults,
     labeled_pairs,
@@ -51,10 +54,13 @@ __all__ = [
     "FlakyShardTask",
     "InjectedWorkerFault",
     "Interface",
+    "LateLines",
     "Link",
     "MessageDef",
     "Network",
+    "ReorderLines",
     "RouterNode",
+    "SourceFlap",
     "TroubleTicket",
     "TruncateLines",
     "WorkerFaults",

@@ -190,6 +190,129 @@ class FeedStall(FaultProfile):
 
 
 @dataclass(frozen=True)
+class ReorderLines(FaultProfile):
+    """Transport disorder: a fraction of lines arrive out of order.
+
+    Selected lines get a uniform arrival delay up to ``max_skew``; the
+    trace is then stably re-sorted by arrival time, so disorder is
+    *bounded* — no line moves more than ``max_skew`` seconds from its
+    timestamp.  An ingest front-end with ``max_reorder_delay >=
+    max_skew`` must absorb this completely.  Unparseable lines ride at
+    the last readable timestamp.
+    """
+
+    name: str = "reorder"
+    rate: float = 0.1
+    max_skew: float = 30.0
+    seed: int = 3
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        rng = random.Random(self.seed)
+        stamped: list[tuple[float, int, LinePair]] = []
+        last_ts = 0.0
+        n = 0
+        for index, pair in enumerate(pairs):
+            try:
+                ts = parse_ts(pair[0][:19])
+                last_ts = ts
+            except ValueError:
+                ts = last_ts
+            arrival = ts
+            if rng.random() < self.rate:
+                arrival += rng.uniform(0.0, self.max_skew)
+                n += 1
+            stamped.append((arrival, index, pair))
+        stamped.sort(key=lambda item: (item[0], item[1]))
+        _count(self.name, n)
+        return [pair for _, _, pair in stamped]
+
+
+@dataclass(frozen=True)
+class LateLines(FaultProfile):
+    """Straggler delivery: a fraction of lines arrive far too late.
+
+    Unlike :class:`ReorderLines`, the fixed ``delay`` is meant to exceed
+    any reasonable reorder window, so these lines arrive behind the
+    flushed frontier and must be dropped as *late* (counted, not fatal).
+    """
+
+    name: str = "late"
+    rate: float = 0.02
+    delay: float = 3600.0
+    seed: int = 4
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        rng = random.Random(self.seed)
+        stamped: list[tuple[float, int, LinePair]] = []
+        last_ts = 0.0
+        n = 0
+        for index, pair in enumerate(pairs):
+            try:
+                ts = parse_ts(pair[0][:19])
+                last_ts = ts
+            except ValueError:
+                ts = last_ts
+            arrival = ts
+            if rng.random() < self.rate:
+                arrival += self.delay
+                n += 1
+            stamped.append((arrival, index, pair))
+        stamped.sort(key=lambda item: (item[0], item[1]))
+        _count(self.name, n)
+        return [pair for _, _, pair in stamped]
+
+
+@dataclass(frozen=True)
+class SourceFlap(FaultProfile):
+    """A feed that periodically degenerates and recovers.
+
+    Every ``period`` seconds the feed enters a flap: it first emits
+    ``garbage`` unparseable lines (label ``None`` — no ground truth is
+    lost), then stays silent for ``silence`` seconds (its real lines in
+    that window are dropped and counted).  Deterministic without a seed:
+    flap times come from the trace's own time span.  Feeding one flapping
+    source among healthy ones exercises the per-source circuit breaker —
+    the garbage opens it, the recovery re-closes it.
+    """
+
+    name: str = "flap"
+    period: float = 4 * 3600.0
+    garbage: int = 6
+    silence: float = 900.0
+
+    def apply(self, pairs: list[LinePair]) -> list[LinePair]:
+        stamped: list[tuple[float | None, LinePair]] = []
+        times = []
+        for pair in pairs:
+            try:
+                ts = parse_ts(pair[0][:19])
+                times.append(ts)
+            except ValueError:
+                ts = None
+            stamped.append((ts, pair))
+        if not times:
+            return list(pairs)
+        t0 = min(times)
+        out: list[LinePair] = []
+        n = 0
+        next_flap = t0 + self.period
+        flap_end: float | None = None
+        for ts, pair in stamped:
+            if ts is not None and ts >= next_flap:
+                for k in range(self.garbage):
+                    out.append((f"\x15FLAP {next_flap:.0f} {k}", None))
+                n += self.garbage
+                flap_end = next_flap + self.silence
+                next_flap += self.period
+            if ts is not None and flap_end is not None and ts < flap_end:
+                n += 1  # dropped in the silence window
+                continue
+            out.append(pair)
+        _count(self.name, n)
+        return out
+
+
+@dataclass(frozen=True)
 class DuplicateBurst(FaultProfile):
     """Retransmit storms: some lines are delivered several times in a row."""
 

@@ -76,6 +76,21 @@ INGEST_FAILURES = "syslogdigest_ingest_failed_sources_total"
 SHARD_RETRIES = "syslogdigest_shard_retries_total"
 SHARD_FALLBACKS = "syslogdigest_shard_fallbacks_total"
 
+#: Multi-source ingest front-end (DESIGN.md §10).  Per-source series
+#: carry a ``source=`` label; the breaker-state gauge encodes
+#: closed=0, half_open=1, open=2.
+INGEST_BUFFERED = "syslogdigest_ingest_buffered_messages"
+INGEST_WATERMARK_LAG = "syslogdigest_ingest_watermark_lag_seconds"
+INGEST_ADMITTED = "syslogdigest_ingest_admitted_total"
+INGEST_LATE_DROPPED = "syslogdigest_ingest_late_dropped_total"
+INGEST_DEDUPLICATED = "syslogdigest_ingest_deduplicated_total"
+INGEST_SEQ_GAPS = "syslogdigest_ingest_sequence_gaps_total"
+INGEST_FORCED_FLUSHES = "syslogdigest_ingest_forced_flushes_total"
+INGEST_ADMISSION_SHED = "syslogdigest_ingest_admission_shed_total"
+BREAKER_STATE = "syslogdigest_ingest_breaker_state"
+BREAKER_TRANSITIONS = "syslogdigest_ingest_breaker_transitions_total"
+BREAKER_REJECTED = "syslogdigest_ingest_breaker_rejected_total"
+
 #: Fault-injection harness: faults applied, labelled by kind.
 FAULTS_INJECTED = "syslogdigest_faults_injected_total"
 

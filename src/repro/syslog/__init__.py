@@ -4,6 +4,12 @@ from repro.syslog.collector import (
     CollectorProfile,
     degrade_labeled,
     degrade_stream,
+    interleave_arrivals,
+)
+from repro.syslog.ingest import (
+    INGEST_HEALTH_KEYS,
+    MultiSourceIngest,
+    SourceState,
 )
 from repro.syslog.message import LabeledMessage, SyslogMessage
 from repro.syslog.parse import SyslogParseError, format_line, parse_line
@@ -18,13 +24,17 @@ from repro.syslog.vendors import VENDOR_V1, VENDOR_V2, VendorProfile, vendor_for
 
 __all__ = [
     "CollectorProfile",
+    "INGEST_HEALTH_KEYS",
     "LabeledMessage",
+    "MultiSourceIngest",
+    "SourceState",
     "SyslogMessage",
     "SyslogParseError",
     "VENDOR_V1",
     "VENDOR_V2",
     "VendorProfile",
     "format_line",
+    "interleave_arrivals",
     "merge_streams",
     "parse_line",
     "read_log",

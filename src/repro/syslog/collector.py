@@ -142,6 +142,44 @@ def degrade_stream(
     ]
 
 
+def interleave_arrivals(
+    feeds: dict[str, Iterable],
+    key=None,
+) -> list[tuple[str, object]]:
+    """Deterministically interleave per-source feeds into one arrival order.
+
+    Models what a collector sees from several concurrent feeds: each
+    feed's internal order is preserved, and at every step the next
+    arrival is the feed head with the smallest ``key`` (default: the
+    item's ``timestamp`` attribute), ties broken by source registration
+    order.  Returns ``(source, item)`` pairs ready for
+    :meth:`~repro.syslog.ingest.MultiSourceIngest.push_all` — no RNG, so
+    the same feeds always produce the same interleaving.
+    """
+    if key is None:
+        key = lambda item: item.timestamp  # noqa: E731 - default accessor
+    heads = {source: list(feed) for source, feed in feeds.items()}
+    order = list(heads)
+    cursor = dict.fromkeys(order, 0)
+    out: list[tuple[str, object]] = []
+    remaining = sum(len(items) for items in heads.values())
+    while remaining:
+        best: str | None = None
+        best_key = None
+        for source in order:
+            i = cursor[source]
+            if i >= len(heads[source]):
+                continue
+            k = key(heads[source][i])
+            if best is None or k < best_key:
+                best, best_key = source, k
+        assert best is not None
+        out.append((best, heads[best][cursor[best]]))
+        cursor[best] += 1
+        remaining -= 1
+    return out
+
+
 def degrade_labeled(labeled, profile: CollectorProfile):
     """Degrade a labelled stream, carrying ground truth along.
 

@@ -283,3 +283,52 @@ def push_safe(stream, message: SyslogMessage, quarantine: Quarantine):
             )
         )
         return []
+
+
+def requeue_records(
+    path: str | Path, stream, quarantine: Quarantine
+) -> tuple[list, int, int]:
+    """Replay a dumped quarantine JSONL through :func:`push_safe`.
+
+    Quarantined lines are often salvageable once conditions change — a
+    skew-rejected burst replays fine after the stream clock catches up,
+    and operators fix garbled lines offline.  Each record's ``line`` is
+    re-parsed and pushed; anything that fails again (unparseable, or
+    re-rejected by the stream) lands in ``quarantine`` — the round trip
+    never raises.  Returns ``(events, n_ok, n_failed)``.
+    """
+    events: list = []
+    n_ok = 0
+    n_failed = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            if not raw.strip():
+                continue
+            try:
+                record = json.loads(raw)
+                line = record["line"]
+            except (ValueError, KeyError, TypeError):
+                n_failed += 1
+                quarantine.add(
+                    QuarantineRecord(
+                        line=raw.rstrip("\n"),
+                        error="not a quarantine JSONL record",
+                        source=str(path),
+                        line_no=line_no,
+                        kind="requeue",
+                    )
+                )
+                continue
+            try:
+                message = parse_line(line, line_no=line_no, source=str(path))
+            except SyslogParseError as exc:
+                n_failed += 1
+                quarantine.add_parse_error(line, exc)
+                continue
+            before = quarantine.total
+            events.extend(push_safe(stream, message, quarantine))
+            if quarantine.total > before:
+                n_failed += 1
+            else:
+                n_ok += 1
+    return events, n_ok, n_failed

@@ -27,6 +27,7 @@ def sort_messages(messages: Iterable[SyslogMessage]) -> list[SyslogMessage]:
 
 def merge_streams(
     streams: Sequence[Iterable[SyslogMessage]],
+    tolerance: float = 0.0,
 ) -> Iterator[SyslogMessage]:
     """Merge per-router streams (each already time-sorted) into one stream.
 
@@ -34,19 +35,52 @@ def merge_streams(
     ``heapq.merge`` silently produces out-of-order output otherwise, so a
     regression inside any stream raises a :class:`ValueError` naming the
     offending stream index instead.
+
+    A positive ``tolerance`` (seconds) relaxes the requirement to *almost
+    sorted*: disorder within that many seconds of each stream's newest
+    timestamp is locally reordered (real collector feeds jitter by a few
+    seconds), while a regression beyond tolerance still raises the same
+    loud error naming the stream index.
     """
 
     def keyed_iter(idx: int, stream: Iterable[SyslogMessage]):
-        previous = None
+        if tolerance <= 0:
+            previous = None
+            for m in stream:
+                key = (m.timestamp, m.router, m.error_code)
+                if previous is not None and key < previous:
+                    raise ValueError(
+                        f"merge_streams: stream {idx} is not time-sorted "
+                        f"({key} after {previous})"
+                    )
+                previous = key
+                yield (*key, idx), m
+            return
+        # Hold back everything within `tolerance` of the newest timestamp
+        # seen; only emit keys strictly older than that horizon, so the
+        # emitted sequence is fully (timestamp, router, error_code)
+        # sorted and heapq.merge stays correct.
+        pending: list[tuple[tuple, int, SyslogMessage]] = []
+        serial = 0  # heap tiebreak: SyslogMessage is not orderable
+        max_ts: float | None = None
         for m in stream:
-            key = (m.timestamp, m.router, m.error_code)
-            if previous is not None and key < previous:
+            if max_ts is not None and m.timestamp < max_ts - tolerance:
                 raise ValueError(
-                    f"merge_streams: stream {idx} is not time-sorted "
-                    f"({key} after {previous})"
+                    f"merge_streams: stream {idx} is out of order beyond "
+                    f"tolerance ({m.timestamp} after {max_ts}, "
+                    f"tolerance {tolerance}s)"
                 )
-            previous = key
-            yield (*key, idx), m
+            key = (m.timestamp, m.router, m.error_code)
+            heapq.heappush(pending, (key, serial, m))
+            serial += 1
+            if max_ts is None or m.timestamp > max_ts:
+                max_ts = m.timestamp
+            while pending and pending[0][0][0] < max_ts - tolerance:
+                ready_key, _, ready = heapq.heappop(pending)
+                yield (*ready_key, idx), ready
+        while pending:
+            ready_key, _, ready = heapq.heappop(pending)
+            yield (*ready_key, idx), ready
 
     merged = heapq.merge(*(keyed_iter(i, s) for i, s in enumerate(streams)))
     for _, message in merged:

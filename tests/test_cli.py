@@ -263,6 +263,137 @@ class TestFaultToleranceCli:
         assert "resumed digest" in captured.out
 
 
+class TestIngestCli:
+    @pytest.fixture(scope="class")
+    def feeds(self, workdir, tmp_path_factory):
+        """The workdir log split round-robin into two source feeds."""
+        path = tmp_path_factory.mktemp("feeds")
+        lines = (workdir / "syslog.log").read_text().splitlines()
+        a, b = path / "feedA.log", path / "feedB.log"
+        a.write_text("\n".join(lines[0::2]) + "\n")
+        b.write_text("\n".join(lines[1::2]) + "\n")
+        return a, b
+
+    def _ensure_kb(self, workdir, capsys):
+        if not (workdir / "kb.json").exists():
+            TestLearnDigestReport().test_learn(workdir, capsys)
+            capsys.readouterr()
+
+    def test_digest_ingest_flag_single_source(self, workdir, capsys):
+        self._ensure_kb(workdir, capsys)
+        rc = main(
+            [
+                "digest",
+                "--log", str(workdir / "syslog.log"),
+                "--kb", str(workdir / "kb.json"),
+                "--ingest",
+                "--top", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "arrivals over 1 sources" in out
+        assert "late 0, dedup 0, breaker-rejected 0" in out
+        assert "score=" in out
+
+    def test_digest_multi_source_feeds(self, workdir, feeds, capsys):
+        self._ensure_kb(workdir, capsys)
+        a, b = feeds
+        rc = main(
+            [
+                "digest",
+                "--kb", str(workdir / "kb.json"),
+                "--source", str(a),
+                "--source", str(b),
+                "--top", "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "arrivals over 2 sources" in out
+
+    def test_digest_without_log_or_source_errors(self, workdir, capsys):
+        self._ensure_kb(workdir, capsys)
+        rc = main(["digest", "--kb", str(workdir / "kb.json")])
+        assert rc == 1
+        assert "--source" in capsys.readouterr().err
+
+    def test_sources_reports_per_source_health(
+        self, workdir, feeds, capsys
+    ):
+        self._ensure_kb(workdir, capsys)
+        a, b = feeds
+        rc = main(
+            [
+                "sources",
+                "--log", str(a),
+                "--log", str(b),
+                "--kb", str(workdir / "kb.json"),
+                "--journal",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-source ingest health" in out
+        assert str(a) in out and str(b) in out
+        assert "peak buffer" in out
+
+    def test_requeue_salvageable_record_exits_zero(
+        self, workdir, capsys, tmp_path
+    ):
+        import json
+
+        self._ensure_kb(workdir, capsys)
+        good_line = (
+            (workdir / "syslog.log").read_text().splitlines()[0]
+        )
+        dumped = tmp_path / "quarantine.jsonl"
+        dumped.write_text(
+            json.dumps({"kind": "parse", "line": good_line}) + "\n"
+        )
+        rc = main(
+            [
+                "requeue",
+                "--quarantine", str(dumped),
+                "--kb", str(workdir / "kb.json"),
+            ]
+        )
+        assert rc == 0
+        assert "requeued 1 of 1" in capsys.readouterr().out
+
+    def test_requeue_refailing_record_exits_two_and_redumps(
+        self, workdir, capsys, tmp_path
+    ):
+        self._ensure_kb(workdir, capsys)
+        dirty = tmp_path / "dirty.log"
+        dirty.write_text(
+            (workdir / "syslog.log").read_text() + "### garbage ###\n"
+        )
+        dumped = tmp_path / "quarantine.jsonl"
+        rc = main(
+            [
+                "digest",
+                "--log", str(dirty),
+                "--kb", str(workdir / "kb.json"),
+                "--quarantine", str(dumped),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(
+            [
+                "requeue",
+                "--quarantine", str(dumped),
+                "--kb", str(workdir / "kb.json"),
+            ]
+        )
+        assert rc == 2
+        assert "1 failed again" in capsys.readouterr().out
+        # The survivor was re-dumped for the next round.
+        assert dumped.read_text().count("\n") == 1
+
+
 @pytest.mark.lifecycle
 class TestKnowledgeLifecycleCli:
     @pytest.fixture(scope="class")

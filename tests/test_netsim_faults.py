@@ -17,6 +17,9 @@ from repro.netsim.faults import (
     FeedStall,
     FlakyShardTask,
     InjectedWorkerFault,
+    LateLines,
+    ReorderLines,
+    SourceFlap,
     TruncateLines,
     WorkerFaults,
 )
@@ -54,6 +57,9 @@ class TestProfiles:
             TruncateLines(rate=0.3, seed=4),
             FeedStall(start_fraction=0.3, duration=300.0),
             DuplicateBurst(rate=0.2, copies=3, seed=5),
+            ReorderLines(rate=0.5, max_skew=90.0, seed=8),
+            LateLines(rate=0.2, delay=3600.0, seed=9),
+            SourceFlap(period=600.0, garbage=3, silence=120.0),
             Compose(
                 profiles=(
                     CorruptLines(rate=0.2, seed=6),
@@ -114,6 +120,53 @@ class TestProfiles:
         assert registry.counter_value(
             FAULTS_INJECTED, kind="corrupt"
         ) == float(len(PAIRS))
+
+
+class TestIngestProfiles:
+    """The disorder profiles feeding DESIGN.md §10's ingest layer."""
+
+    def test_reorder_is_bounded_and_lossless(self):
+        out = ReorderLines(rate=1.0, max_skew=90.0, seed=0).apply(PAIRS)
+        assert sorted(out) == sorted(PAIRS)  # nothing lost or invented
+        assert out != PAIRS  # disorder actually happened
+        assert [label for _, label in out] != list(range(len(PAIRS)))
+        # Bounded: no line falls more than max_skew behind the running
+        # maximum timestamp of everything delivered before it.
+        times = [parse_ts(line[:19]) for line, _ in out]
+        high = times[0]
+        for ts in times:
+            assert ts >= high - 90.0
+            high = max(high, ts)
+
+    def test_late_lines_fall_behind_any_reorder_window(self):
+        out = LateLines(rate=0.2, delay=3600.0, seed=4).apply(PAIRS)
+        assert sorted(out) == sorted(PAIRS)
+        times = [parse_ts(line[:19]) for line, _ in out]
+        # The 30-line trace spans ~29 minutes; a 3600 s delay pushes the
+        # stragglers past everything, so somewhere the timestamp jumps
+        # backward by far more than any bounded skew could.
+        assert any(
+            times[i] < times[i - 1] - 1000.0 for i in range(1, len(times))
+        )
+
+    def test_source_flap_injects_garbage_then_goes_silent(self):
+        profile = SourceFlap(period=600.0, garbage=3, silence=120.0)
+        out = profile.apply(PAIRS)
+        garbage = [(line, label) for line, label in out if label is None]
+        # Flaps at 00:10 and 00:20 → two bursts of 3 garbage lines, and
+        # the two real lines inside each 120 s silence window are gone.
+        assert len(garbage) == 6
+        for line, _ in garbage:
+            with pytest.raises(SyslogParseError):
+                parse_line(line)
+        kept = [label for _, label in out if label is not None]
+        assert kept == [
+            i for i in range(30) if i not in (10, 11, 20, 21)
+        ]
+
+    def test_source_flap_without_parseable_lines_is_noop(self):
+        junk = [("\x15nonsense", 0), ("\x15more", 1)]
+        assert SourceFlap().apply(junk) == junk
 
 
 class TestFlakyShardTask:
