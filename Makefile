@@ -2,20 +2,24 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults lifecycle ingest bench bench-refresh bench-ingest clean
+.PHONY: check test faults lifecycle ingest bench bench-refresh bench-ingest bench-scale clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
 # checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
 # plus the zero-drift canary replay, which must be a strict no-op —
 # a refresh over an empty period may never mint a new knowledge version —
-# and the ingest clean-feed no-op: a single in-order clean source pushed
+# the ingest clean-feed no-op: a single in-order clean source pushed
 # through the resilient front-end must be byte-identical to the direct
-# path.
+# path — and the hot-path identity gate: the compiled per-message path
+# (indexed matching, memoized augmentation, cached dictionary queries)
+# must digest byte-identically to the reference path, serial and with
+# 4 workers.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
 	$(PY) -m pytest -q tests/test_core_promotion.py -k zero_drift
 	$(PY) -m pytest -q tests/test_syslog_ingest.py -k byte_identical
+	$(PY) -m pytest -q tests/test_hotpath_identity.py
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -49,6 +53,12 @@ bench-refresh:
 # ingest_disorder.txt).
 bench-ingest:
 	$(PY) -m pytest -q benchmarks/bench_ingest.py
+
+# Million-message scale run: 1000 routers, heavy-tailed volume, chunked
+# streaming; pins the msgs/sec floor and the compiled-vs-reference
+# speedup (writes benchmarks/results/throughput_scale.txt).
+bench-scale:
+	REPRO_SCALE_MESSAGES=1000000 $(PY) -m pytest -q benchmarks/bench_throughput.py -k scale_trajectory
 
 clean:
 	rm -rf .pytest_cache $$(find . -name __pycache__ -type d)

@@ -33,7 +33,7 @@ from repro.core.syslogplus import SyslogPlus
 from repro.locations.spatial import spatially_matched
 from repro.mining.temporal import TemporalParams, TemporalSplitter
 from repro.obs import stage_timer
-from repro.utils.unionfind import UnionFind
+from repro.utils.unionfind import DenseUnionFind, UnionFind
 
 # An edge relates two messages by their global stream indices.
 Edge = tuple[int, int]
@@ -88,10 +88,12 @@ def temporal_edges(
     n_created = 0
     last_member: dict[tuple[int, int], int] = {}
     for plus in stream:
+        # Keyed by the Location object itself (its hash is precomputed);
+        # building the canonical string key per message is pure overhead.
         key = (
             plus.router,
             plus.template_key,
-            plus.primary_location.key(),
+            plus.primary_location,
         )
         splitter = splitters.get(key)
         if (
@@ -167,18 +169,36 @@ def cross_router_edges(
     message's own template can relate to it.
     """
     edges: list[Edge] = []
-    recent: dict[str, deque[tuple[float, SyslogPlus]]] = {}
+    # template_key -> deque of (timestamp, message, its local locations);
+    # local_locations() is computed once per message here, not once per
+    # compared pair.
+    recent: dict[str, deque[tuple[float, SyslogPlus, tuple]]] = {}
     for plus in stream:
         queue = recent.setdefault(plus.template_key, deque())
-        while queue and queue[0][0] < plus.timestamp - window:
+        horizon = plus.timestamp - window
+        while queue and queue[0][0] < horizon:
             queue.popleft()
-        for _ts, other in queue:
-            if other.router == plus.router:
+        router = plus.router
+        locs = plus.local_locations()
+        for _ts, other, other_locs in queue:
+            if other.router == router:
                 continue
-            if related_across_routers(dictionary, other, plus):
+            if _locations_touch(dictionary, other_locs, locs):
                 edges.append((other.index, plus.index))
-        queue.append((plus.timestamp, plus))
+        queue.append((plus.timestamp, plus, locs))
     return edges
+
+
+def _locations_touch(dictionary, locs_a, locs_b) -> bool:
+    """Pairwise core of :func:`related_across_routers`."""
+    for loc_a in locs_a:
+        for loc_b in locs_b:
+            if loc_a.router == loc_b.router:
+                if spatially_matched(dictionary, loc_a, loc_b):
+                    return True
+            elif dictionary.connected(loc_a, loc_b):
+                return True
+    return False
 
 
 def related_across_routers(dictionary, a: SyslogPlus, b: SyslogPlus) -> bool:
@@ -188,25 +208,40 @@ def related_across_routers(dictionary, a: SyslogPlus, b: SyslogPlus) -> bool:
     dictionary) and a message naming the far router's component directly
     (e.g. a BGP neighbor IP resolving to the peer's interface).
     """
-    for loc_a in a.local_locations():
-        for loc_b in b.local_locations():
-            if loc_a.router == loc_b.router:
-                if spatially_matched(dictionary, loc_a, loc_b):
-                    return True
-            elif dictionary.connected(loc_a, loc_b):
-                return True
-    return False
+    return _locations_touch(
+        dictionary, a.local_locations(), b.local_locations()
+    )
+
+
+def _union_edges(uf, edges, pos: dict[int, int] | None) -> None:
+    """Union edges into ``uf``, translating via ``pos`` when given."""
+    if pos is None:
+        for a, b in edges:
+            uf.union(a, b)
+    else:
+        for a, b in edges:
+            uf.union(pos[a], pos[b])
 
 
 def collect_outcome(
     stream: list[SyslogPlus],
-    uf: UnionFind,
+    uf: UnionFind | DenseUnionFind,
     active_rules: set[tuple[str, str]],
+    pos: dict[int, int] | None = None,
 ) -> GroupingOutcome:
-    """Materialize connected components into the canonical group order."""
+    """Materialize connected components into the canonical group order.
+
+    ``pos`` maps global stream indices to the dense ``0..n-1`` ids a
+    :class:`DenseUnionFind` was built over; omit it when ``uf`` is keyed
+    by the global indices directly.
+    """
     members: dict[int, list[SyslogPlus]] = {}
-    for plus in stream:
-        members.setdefault(uf.find(plus.index), []).append(plus)
+    if pos is None:
+        for plus in stream:
+            members.setdefault(uf.find(plus.index), []).append(plus)
+    else:
+        for plus in stream:
+            members.setdefault(uf.find(pos[plus.index]), []).append(plus)
     groups = sorted(
         members.values(), key=lambda g: (g[0].timestamp, g[0].index)
     )
@@ -224,57 +259,67 @@ class GroupingEngine:
 
     def group(self, stream: list[SyslogPlus]) -> GroupingOutcome:
         """Group the whole stream; input must be time-sorted."""
-        uf: UnionFind = UnionFind(plus.index for plus in stream)
+        # The batch knows its universe up front, so the merge runs over a
+        # dense union-find (list indexing) with one dict hop per edge
+        # endpoint to translate global indices.
+        pos = {plus.index: i for i, plus in enumerate(stream)}
+        uf = DenseUnionFind(len(stream))
         active_rules: set[tuple[str, str]] = set()
         if self._config.enable_temporal:
             with stage_timer("temporal_pass"):
-                self._temporal_pass(stream, uf)
+                self._temporal_pass(stream, uf, pos)
         if self._config.enable_rules:
             with stage_timer("rule_pass"):
-                self._rule_pass(stream, uf, active_rules)
+                self._rule_pass(stream, uf, active_rules, pos)
         if self._config.enable_cross_router:
             with stage_timer("cross_router_pass"):
-                self._cross_router_pass(stream, uf)
+                self._cross_router_pass(stream, uf, pos)
         with stage_timer("collect"):
-            return collect_outcome(stream, uf, active_rules)
+            return collect_outcome(stream, uf, active_rules, pos)
 
     # ------------------------------------------------------------- temporal
 
     def _temporal_pass(
-        self, stream: list[SyslogPlus], uf: UnionFind
+        self,
+        stream: list[SyslogPlus],
+        uf,
+        pos: dict[int, int] | None = None,
     ) -> None:
         """Same template + same location, periodic in time (Section 4.2.1)."""
-        for a, b in temporal_edges(
+        edges = temporal_edges(
             stream, self._kb.temporal, self._config.flush_after
-        ):
-            uf.union(a, b)
+        )
+        _union_edges(uf, edges, pos)
 
     # ------------------------------------------------------------- rule-based
 
     def _rule_pass(
         self,
         stream: list[SyslogPlus],
-        uf: UnionFind,
+        uf,
         active_rules: set[tuple[str, str]],
+        pos: dict[int, int] | None = None,
     ) -> None:
         """Different templates, same router, spatially matched, within W."""
         edges, active = rule_edges(
             stream, self._partners, self._config.window, self._kb.dictionary
         )
-        for a, b in edges:
-            uf.union(a, b)
+        _union_edges(uf, edges, pos)
         active_rules |= active
 
     # ------------------------------------------------------------- cross-router
 
     def _cross_router_pass(
-        self, stream: list[SyslogPlus], uf: UnionFind
+        self,
+        stream: list[SyslogPlus],
+        uf,
+        pos: dict[int, int] | None = None,
     ) -> None:
         """Same template on connected locations, almost simultaneous."""
-        for a, b in cross_router_edges(
+        edges = cross_router_edges(
             stream, self._config.cross_router_window, self._kb.dictionary
-        ):
-            uf.union(a, b)
+        )
+        _union_edges(uf, edges, pos)
 
     def _related_across_routers(
         self, a: SyslogPlus, b: SyslogPlus

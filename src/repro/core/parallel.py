@@ -59,7 +59,7 @@ from repro.obs import (
     get_registry,
     stage_timer,
 )
-from repro.utils.unionfind import UnionFind
+from repro.utils.unionfind import DenseUnionFind
 
 
 def resolve_workers(n_workers: int) -> int:
@@ -223,7 +223,10 @@ class ParallelGroupingEngine:
                 SHARD_IMBALANCE, max(sizes) * len(sizes) / sum(sizes)
             )
 
-        uf: UnionFind = UnionFind(plus.index for plus in stream)
+        # Dense merge over batch positions; shard edges come back in
+        # global indices and translate through one dict hop per endpoint.
+        pos = {plus.index: i for i, plus in enumerate(stream)}
+        uf = DenseUnionFind(len(stream))
         active_rules: set[tuple[str, str]] = set()
         with stage_timer("shard_passes", registry):
             results = self._run_shards(payloads, shard_ids)
@@ -234,7 +237,7 @@ class ParallelGroupingEngine:
                 )
                 registry.observe(SHARD_TASK_SECONDS, seconds)
             for a, b in edges:
-                uf.union(a, b)
+                uf.union(pos[a], pos[b])
             active_rules |= active
 
         if cfg.enable_cross_router:
@@ -242,9 +245,9 @@ class ParallelGroupingEngine:
                 for a, b in cross_router_edges(
                     stream, cfg.cross_router_window, self._kb.dictionary
                 ):
-                    uf.union(a, b)
+                    uf.union(pos[a], pos[b])
         with stage_timer("collect", registry):
-            return collect_outcome(stream, uf, active_rules)
+            return collect_outcome(stream, uf, active_rules, pos)
 
     def _run_shards(self, payloads, shard_ids):
         """Run shard tasks on a process pool with per-task recovery.

@@ -48,8 +48,8 @@ from repro.core.config import DigestConfig
 from repro.core.events import NetworkEvent
 from repro.core.grouping import (
     Edge,
+    _locations_touch,
     build_rule_partners,
-    related_across_routers,
 )
 from repro.core.knowledge import KnowledgeBase
 from repro.core.present import event_label
@@ -82,7 +82,9 @@ from repro.utils.unionfind import UnionFind
 
 #: Snapshot format version, bumped whenever :meth:`DigestStream.snapshot`
 #: changes shape; :mod:`repro.core.checkpoint` refuses mismatches.
-SNAPSHOT_VERSION = 3
+#: v4: temporal splitter keys hold Location objects (not strings) and
+#: cross-window entries carry each message's precomputed local locations.
+SNAPSHOT_VERSION = 4
 
 #: Every key :meth:`DigestStream.health` reports, documented in one
 #: place (DESIGN.md §8 renders this table; tests pin the key set).
@@ -154,7 +156,7 @@ class ShardState:
         return edges
 
     def _temporal_step(self, plus: SyslogPlus, now: float) -> Edge | None:
-        key = (plus.router, plus.template_key, plus.primary_location.key())
+        key = (plus.router, plus.template_key, plus.primary_location)
         splitter = self._splitters.get(key)
         if (
             splitter is not None
@@ -416,9 +418,16 @@ class DigestStream:
             ShardState(shard, kb, self._config, self._partners)
             for shard in range(self._n_shards)
         ]
-        # template_key -> deque of (arrival ts, message); global because
-        # the cross-router pass relates messages across shards.
-        self._cross_window: dict[str, deque[tuple[float, SyslogPlus]]] = {}
+        # router -> shard state, so the per-message hot path hashes the
+        # router name once instead of crc32-ing it on every push.  Router
+        # names are external input; clear-on-full bounds the table.
+        self._router_shard: dict[str, ShardState] = {}
+        # template_key -> deque of (arrival ts, message, its local
+        # locations); global because the cross-router pass relates
+        # messages across shards.
+        self._cross_window: dict[
+            str, deque[tuple[float, SyslogPlus, tuple]]
+        ] = {}
 
     @property
     def flush_after(self) -> float:
@@ -428,7 +437,15 @@ class DigestStream:
     def _shard_of(self, router: str) -> ShardState:
         if self._n_shards == 1:
             return self._states[0]
-        return self._states[zlib.crc32(router.encode()) % self._n_shards]
+        state = self._router_shard.get(router)
+        if state is None:
+            if len(self._router_shard) >= 1 << 16:
+                self._router_shard.clear()
+            state = self._states[
+                zlib.crc32(router.encode()) % self._n_shards
+            ]
+            self._router_shard[router] = state
+        return state
 
     def _admit(self, message: SyslogMessage) -> tuple[SyslogPlus, float]:
         """Validate ordering/skew, augment, register; return (plus, now)."""
@@ -830,12 +847,15 @@ class DigestStream:
         queue = self._cross_window.setdefault(plus.template_key, deque())
         while queue and queue[0][0] < now - window:
             queue.popleft()
-        for _ts, other in queue:
-            if other.router == plus.router:
+        router = plus.router
+        locs = plus.local_locations()
+        dictionary = self._kb.dictionary
+        for _ts, other, other_locs in queue:
+            if other.router == router:
                 continue
-            if related_across_routers(self._kb.dictionary, other, plus):
+            if _locations_touch(dictionary, other_locs, locs):
                 edges.append((other.index, plus.index))
-        queue.append((now, plus))
+        queue.append((now, plus, locs))
         return edges
 
     def _maybe_sweep(self, now: float) -> list[NetworkEvent]:

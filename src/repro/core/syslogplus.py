@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.hotpath import reference_enabled
 from repro.locations.dictionary import LocationDictionary
 from repro.locations.extract import ExtractedLocation, LocationExtractor
 from repro.locations.model import Location
@@ -15,6 +16,12 @@ from repro.obs import stage_timer
 from repro.syslog.message import SyslogMessage
 from repro.templates.learner import TemplateSet
 from repro.templates.signature import Template
+from repro.templates.tokenize import tokenize
+
+#: Bound on the per-augmenter memo of (router, code, detail) results.
+#: Message text is external input, so the memo clears wholesale when full
+#: rather than growing without bound.
+_MAX_AUGMENT_CACHE = 1 << 17
 
 
 @dataclass(frozen=True)
@@ -57,7 +64,17 @@ class SyslogPlus:
 
 
 class Augmenter:
-    """Signature matching + location parsing -> Syslog+ stream."""
+    """Signature matching + location parsing -> Syslog+ stream.
+
+    Syslog is extremely repetitive — a flapping interface emits the same
+    ``(router, code, detail)`` thousands of times — so the augmenter
+    memoizes the template/location result per distinct message body and
+    tokenizes each detail exactly once.  The memo is per-instance, and
+    augmenters are rebuilt whenever the knowledge base is swapped, so a
+    cached result can never outlive the templates or dictionary it was
+    computed from.  Reference mode bypasses the memo (and the compiled
+    matcher underneath) entirely.
+    """
 
     def __init__(
         self, templates: TemplateSet, dictionary: LocationDictionary
@@ -65,10 +82,18 @@ class Augmenter:
         self._templates = templates
         self._extractor = LocationExtractor(dictionary)
         self._counter = 0
+        self._memo: dict[
+            tuple[str, str, str],
+            tuple[Template, tuple[ExtractedLocation, ...], Location],
+        ] = {}
 
-    def augment(self, message: SyslogMessage) -> SyslogPlus:
-        """Augment one message, assigning the next stream index."""
-        template = self._templates.match(message)
+    def _compute(
+        self, message: SyslogMessage
+    ) -> tuple[Template, tuple[ExtractedLocation, ...], Location]:
+        """Template, locations, and primary location of one message."""
+        template = self._templates.match_words(
+            message.error_code, tokenize(message.detail)
+        )
         locations = tuple(
             self._extractor.extract(message.router, message.detail)
         )
@@ -76,6 +101,26 @@ class Augmenter:
             (i.location for i in locations if i.role == "local"),
             Location.router_level(message.router),
         )
+        return template, locations, primary
+
+    def _augmentation(
+        self, message: SyslogMessage
+    ) -> tuple[Template, tuple[ExtractedLocation, ...], Location]:
+        """Memoized :meth:`_compute` (uncached under reference mode)."""
+        if reference_enabled():
+            return self._compute(message)
+        key = (message.router, message.error_code, message.detail)
+        hit = self._memo.get(key)
+        if hit is None:
+            if len(self._memo) >= _MAX_AUGMENT_CACHE:
+                self._memo.clear()
+            hit = self._compute(message)
+            self._memo[key] = hit
+        return hit
+
+    def augment(self, message: SyslogMessage) -> SyslogPlus:
+        """Augment one message, assigning the next stream index."""
+        template, locations, primary = self._augmentation(message)
         plus = SyslogPlus(
             index=self._counter,
             message=message,
@@ -90,30 +135,32 @@ class Augmenter:
         """Augment a whole (time-sorted) sequence.
 
         Batch form of :meth:`augment` with the two augmentation stages
-        timed separately (``stage="signature_match"`` and
-        ``stage="location_parse"``); results are identical.
+        timed (``stage="signature_match"`` and ``stage="location_parse"``;
+        memo hits are attributed to the first stage); results are
+        identical.
+
+        Index assignment is exception-safe: ``self._counter`` only
+        advances once the *whole* batch has augmented, so a mid-batch
+        failure (e.g. location parsing raising on one message) leaves the
+        stream position untouched and a retry of the same batch reuses
+        the same indices instead of desynchronizing them.
         """
         messages = list(messages)
         with stage_timer("signature_match"):
-            templates = [self._templates.match(m) for m in messages]
+            parts = [self._augmentation(m) for m in messages]
         with stage_timer("location_parse"):
-            out: list[SyslogPlus] = []
-            for message, template in zip(messages, templates):
-                locations = tuple(
-                    self._extractor.extract(message.router, message.detail)
+            start = self._counter
+            out = [
+                SyslogPlus(
+                    index=start + i,
+                    message=message,
+                    template=template,
+                    locations=locations,
+                    primary_location=primary,
                 )
-                primary = next(
-                    (i.location for i in locations if i.role == "local"),
-                    Location.router_level(message.router),
+                for i, (message, (template, locations, primary)) in enumerate(
+                    zip(messages, parts)
                 )
-                out.append(
-                    SyslogPlus(
-                        index=self._counter,
-                        message=message,
-                        template=template,
-                        locations=locations,
-                        primary_location=primary,
-                    )
-                )
-                self._counter += 1
+            ]
+            self._counter = start + len(out)
         return out

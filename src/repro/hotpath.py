@@ -1,0 +1,100 @@
+"""Reference-path switch for the compiled per-message hot path.
+
+The per-message pipeline (signature match → location parse → grouping
+passes) has two implementations that must be byte-identical:
+
+* the **compiled path** (default): indexed template matching, memoized
+  augmentation with one-pass tokenization, a combined-regex prefilter in
+  location extraction, and cached hierarchy/spatial queries in the
+  location dictionary;
+* the **reference path**: the straightforward per-template /
+  per-pattern / uncached implementations the compiled path was derived
+  from.
+
+:func:`reference_mode` flips every optimized component back to the
+reference implementation at once.  ``make check`` digests a reference
+trace under both modes (serial and ``--workers 4``) and asserts the
+outputs are byte-identical, so no optimization can silently change
+behavior; the scale benchmark uses the same switch to measure the
+speedup honestly against the unoptimized path.
+
+The flag is read at *call* time by the few functions whose algorithm
+differs between modes, and at *construction* time by components that
+build per-instance caches — so enter the context manager before
+constructing the ``Augmenter``/``SyslogDigest`` under test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+
+_reference = False
+
+
+def reference_enabled() -> bool:
+    """True while the uncompiled reference path is forced on."""
+    return _reference
+
+
+@contextmanager
+def reference_mode():
+    """Force the reference (pre-optimization) per-message path.
+
+    Nestable and exception-safe; the previous state is restored on exit.
+    """
+    global _reference
+    previous = _reference
+    _reference = True
+    try:
+        yield
+    finally:
+        _reference = previous
+
+
+def digest_fingerprint(result) -> str:
+    """Canonical SHA-256 over everything a digest run computed.
+
+    Covers, per message: index, identity fields, matched template key,
+    every extracted location and the primary location; per event: member
+    indices, label and score; plus the set of rules that fired.  Two runs
+    whose fingerprints match produced byte-identical digests — this is
+    the equality the ``make check`` identity gate and the scale benchmark
+    both assert between the compiled and reference paths (and between
+    serial and multi-worker runs).
+
+    Duck-typed over :class:`repro.core.pipeline.DigestResult` so this
+    module keeps zero intra-package imports (it sits below everything).
+    """
+    h = hashlib.sha256()
+    for event in result.events:
+        h.update(b"E")
+        h.update(repr((event.label, event.score)).encode())
+        for plus in event.messages:
+            loc = plus.primary_location
+            h.update(
+                repr(
+                    (
+                        plus.index,
+                        plus.timestamp,
+                        plus.router,
+                        plus.message.error_code,
+                        plus.message.detail,
+                        plus.template_key,
+                        (loc.router, loc.kind.value, loc.name),
+                        tuple(
+                            (
+                                e.location.router,
+                                e.location.kind.value,
+                                e.location.name,
+                                e.role,
+                                e.source_text,
+                            )
+                            for e in plus.locations
+                        ),
+                    )
+                ).encode()
+            )
+    h.update(repr(sorted(result.active_rules)).encode())
+    h.update(repr((result.n_messages, result.n_events)).encode())
+    return h.hexdigest()

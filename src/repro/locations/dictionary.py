@@ -14,13 +14,30 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.hotpath import reference_enabled
 from repro.locations.hierarchy import ancestors_of_name, parse_interface_name
 from repro.locations.model import Location, LocationKind
+
+#: Bounds on the hierarchy/connectivity caches.  Keys come from message
+#: locations, which are attacker-influenced at the margins (unparsed
+#: component names), so the caches clear wholesale when full instead of
+#: growing without bound.
+_MAX_ANCESTOR_CACHE = 1 << 18
+_MAX_PAIR_CACHE = 1 << 20
 
 
 @dataclass
 class LocationDictionary:
-    """Mutable registry of locations and their relationships."""
+    """Mutable registry of locations and their relationships.
+
+    Hierarchy and connectivity queries (:meth:`ancestors`,
+    :meth:`connected`, :meth:`spatially_matched_pair`) memoize their
+    results: the grouping passes ask the same questions for every
+    message of a busy location, and name parsing plus the ancestor climb
+    dominate the per-message cost at scale.  Every mutator invalidates
+    the caches, and they are dropped from pickles so process-pool
+    payloads stay small.
+    """
 
     _routers: set[str] = field(default_factory=set)
     _components: dict[str, set[Location]] = field(default_factory=dict)
@@ -31,6 +48,42 @@ class LocationDictionary:
         default_factory=dict
     )
     _sites: dict[str, str] = field(default_factory=dict)
+    _ancestor_cache: dict[Location, tuple[Location, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _ancestor_set_cache: dict[Location, frozenset[Location]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _connected_cache: dict[tuple[Location, Location], bool] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _spatial_cache: dict[tuple[Location, Location], bool] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    # Lazily-built reverse of _multilink_members (member -> bundles, in
+    # bundle insertion order); None until first ancestor query needs it.
+    _member_bundles: dict[Location, list[Location]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _invalidate(self) -> None:
+        """Drop memoized query results after any mutation."""
+        self._ancestor_cache.clear()
+        self._ancestor_set_cache.clear()
+        self._connected_cache.clear()
+        self._spatial_cache.clear()
+        self._member_bundles = None
+
+    def __getstate__(self) -> dict:
+        # Caches are pure derived state; rebuilding them beats shipping
+        # them to process-pool workers.
+        state = self.__dict__.copy()
+        state["_ancestor_cache"] = {}
+        state["_ancestor_set_cache"] = {}
+        state["_connected_cache"] = {}
+        state["_spatial_cache"] = {}
+        state["_member_bundles"] = None
+        return state
 
     # ------------------------------------------------------------------ build
 
@@ -41,6 +94,7 @@ class LocationDictionary:
         self._components.setdefault(router, set()).add(loc)
         if site:
             self._sites[router] = site
+        self._invalidate()
         return loc
 
     def add_component(self, router: str, name: str) -> Location:
@@ -49,12 +103,14 @@ class LocationDictionary:
             self.add_router(router)
         chain = ancestors_of_name(router, name)
         self._components[router].update(chain)
+        self._invalidate()
         return chain[0]
 
     def set_ip(self, location: Location, ip: str) -> None:
         """Associate an IP address with a component."""
         self._ip_to_location[ip] = location
         self._location_to_ip[location] = ip
+        self._invalidate()
 
     def add_link(self, a: Location, b: Location) -> None:
         """Register a bidirectional adjacency (link end / session end)."""
@@ -62,12 +118,14 @@ class LocationDictionary:
             raise ValueError(f"link endpoints on the same router: {a}, {b}")
         self._peers.setdefault(a, set()).add(b)
         self._peers.setdefault(b, set()).add(a)
+        self._invalidate()
 
     def add_multilink_member(self, bundle: Location, member: Location) -> None:
         """Record that ``member`` (physical) belongs to ``bundle``."""
         if bundle.kind is not LocationKind.MULTILINK:
             raise ValueError(f"not a multilink location: {bundle}")
         self._multilink_members.setdefault(bundle, set()).add(member)
+        self._invalidate()
 
     def merge(self, other: LocationDictionary) -> None:
         """Fold another dictionary (e.g. one router's config) into this one."""
@@ -81,6 +139,7 @@ class LocationDictionary:
         for bundle, members in other._multilink_members.items():
             self._multilink_members.setdefault(bundle, set()).update(members)
         self._sites.update(other._sites)
+        self._invalidate()
 
     def resolve_descriptions(self) -> int:
         """Wire up links declared by interface descriptions.
@@ -152,6 +211,9 @@ class LocationDictionary:
         Multilink membership contributes extra ancestors: a physical member
         interface also maps up into every bundle containing it.
         """
+        return list(self._ancestors_tuple(location))
+
+    def _compute_ancestors(self, location: Location) -> list[Location]:
         chain = ancestors_of_name(location.router, location.name)
         if location.kind is LocationKind.ROUTER:
             chain = [Location.router_level(location.router)]
@@ -159,12 +221,48 @@ class LocationDictionary:
             # Component names that do not parse positionally (e.g. a bare
             # slot number) still belong to their own ancestor chain.
             chain = [location] + chain
-        extra = [
-            bundle
-            for bundle, members in self._multilink_members.items()
-            if location in members
-        ]
+        if reference_enabled():
+            extra = [
+                bundle
+                for bundle, members in self._multilink_members.items()
+                if location in members
+            ]
+        else:
+            # Reverse index: built by iterating bundles in the same order
+            # as the scan above, so per-member bundle order is identical.
+            index = self._member_bundles
+            if index is None:
+                index = {}
+                for bundle, members in self._multilink_members.items():
+                    for member in members:
+                        index.setdefault(member, []).append(bundle)
+                self._member_bundles = index
+            extra = index.get(location, [])
         return chain + extra
+
+    def _ancestors_tuple(self, location: Location) -> tuple[Location, ...]:
+        """Memoized :meth:`ancestors` (uncached under reference mode)."""
+        if reference_enabled():
+            return tuple(self._compute_ancestors(location))
+        cached = self._ancestor_cache.get(location)
+        if cached is None:
+            if len(self._ancestor_cache) >= _MAX_ANCESTOR_CACHE:
+                self._ancestor_cache.clear()
+            cached = tuple(self._compute_ancestors(location))
+            self._ancestor_cache[location] = cached
+        return cached
+
+    def _ancestor_set(self, location: Location) -> frozenset[Location]:
+        """Memoized set form of :meth:`ancestors`, for membership tests."""
+        if reference_enabled():
+            return frozenset(self._compute_ancestors(location))
+        cached = self._ancestor_set_cache.get(location)
+        if cached is None:
+            if len(self._ancestor_set_cache) >= _MAX_ANCESTOR_CACHE:
+                self._ancestor_set_cache.clear()
+            cached = frozenset(self._ancestors_tuple(location))
+            self._ancestor_set_cache[location] = cached
+        return cached
 
     def peers(self, location: Location) -> frozenset[Location]:
         """Directly connected far-end locations (link/session endpoints)."""
@@ -179,12 +277,53 @@ class LocationDictionary:
         """
         if a.router == b.router:
             return False
-        ups_a = self.ancestors(a)
-        ups_b = set(self.ancestors(b))
-        for ua in ups_a:
-            for peer in self._peers.get(ua, ()):
+        if reference_enabled():
+            return self._compute_connected(a, b)
+        key = (a, b)
+        hit = self._connected_cache.get(key)
+        if hit is None:
+            if len(self._connected_cache) >= _MAX_PAIR_CACHE:
+                self._connected_cache.clear()
+            hit = self._compute_connected(a, b)
+            self._connected_cache[key] = hit
+        return hit
+
+    def _compute_connected(self, a: Location, b: Location) -> bool:
+        ups_b = self._ancestor_set(b)
+        peers = self._peers
+        for ua in self._ancestors_tuple(a):
+            for peer in peers.get(ua, ()):
                 if peer in ups_b:
                     return True
+        return False
+
+    def spatially_matched_pair(self, a: Location, b: Location) -> bool:
+        """Memoized spatial match (see :mod:`repro.locations.spatial`).
+
+        Same-router pairs map to a common hierarchy location when one is
+        the other's ancestor or they share a sub-router ancestor.
+        """
+        if a.router != b.router:
+            return False
+        if a == b:
+            return True
+        key = (a, b)
+        hit = self._spatial_cache.get(key)
+        if hit is None:
+            if len(self._spatial_cache) >= _MAX_PAIR_CACHE:
+                self._spatial_cache.clear()
+            hit = self._compute_spatial(a, b)
+            self._spatial_cache[key] = hit
+        return hit
+
+    def _compute_spatial(self, a: Location, b: Location) -> bool:
+        ups_a = self._ancestor_set(a)
+        ups_b = self._ancestor_set(b)
+        if a in ups_b or b in ups_a:
+            return True
+        for loc in ups_a & ups_b:
+            if loc.kind is not LocationKind.ROUTER:
+                return True
         return False
 
     def multilink_members(self, bundle: Location) -> frozenset[Location]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.hotpath import reference_enabled
 from repro.locations.dictionary import LocationDictionary
 from repro.locations.hierarchy import parse_interface_name
 from repro.locations.model import Location, LocationKind
@@ -24,6 +25,19 @@ _IFACE = re.compile(
 )
 _MULTILINK = re.compile(r"\b((?:Multilink|Bundle-Ether|lag)-?\d+)\b")
 _SLOT_REF = re.compile(r"\bslot\s+(\d+)\b", re.IGNORECASE)
+
+# One combined scan as a *prefilter*: IGNORECASE over the union is a strict
+# superset of each per-category pattern, so no match here proves no
+# per-category pattern matches anywhere and the four exact scans can be
+# skipped.  (The exact scans still run on a hit — a single alternation
+# pass would drop overlapping cross-category matches like the IFACE
+# reading of "Multilink-12/3" shadowed by the MULTILINK branch.)
+_ANY = re.compile(
+    "|".join(
+        p.pattern for p in (_MULTILINK, _IFACE, _SLOT_REF, _IP)
+    ),
+    re.IGNORECASE,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +67,15 @@ class LocationExtractor:
         Always includes the router-level location last so every message has
         at least one location (Section 4.1.2's router-id fallback).
         """
+        if not reference_enabled() and _ANY.search(detail) is None:
+            # Nothing location-shaped anywhere in the text: only the
+            # router-id fallback applies.
+            return [
+                ExtractedLocation(
+                    Location.router_level(router), "router", router
+                )
+            ]
+
         found: list[ExtractedLocation] = []
         seen: set[Location] = set()
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from dataclasses import field as dataclass_field
 
 
 class LocationKind(enum.IntEnum):
@@ -55,12 +56,23 @@ class Location:
     router: str
     kind: LocationKind
     name: str
+    # Hash precomputed at construction: Locations are dict/set keys in every
+    # grouping pass, so the per-lookup tuple hash adds up at scale.
+    _hash: int = dataclass_field(
+        init=False, repr=False, compare=False, default=0
+    )
 
     def __post_init__(self) -> None:
         if not self.router:
             raise ValueError("router must be non-empty")
         if not self.name:
             raise ValueError("name must be non-empty")
+        object.__setattr__(
+            self, "_hash", hash((self.router, self.kind, self.name))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def level(self) -> int:

@@ -304,6 +304,12 @@ def build_network(
         # is what lets template learning treat the name as a variable.
         n_bundles = max(2, len(links) // 2)
         chosen = rng.sample(range(len(links)), min(n_bundles, len(links)))
+        # The id pool must comfortably exceed the bundle count or the
+        # uniqueness rejection loop below cannot terminate; 400 matches
+        # the historical pool at evaluation scale (so those networks are
+        # unchanged) and grows with demand at benchmark scale.
+        id_pool = max(400, 4 * len(chosen))
+        used_ids: set[int] = set()
         for link_idx in sorted(chosen):
             first = links[link_idx]
             a, b = first.router_a, first.router_b
@@ -318,12 +324,10 @@ def build_network(
             # numbers come from a wide operator-style pool so names are
             # learned as variables, not absorbed into templates; ids are
             # globally unique to rule out per-router name clashes.
-            used_ids = {
-                int(b.name_a.removeprefix("Multilink")) for b in bundles
-            }
-            bundle_id = rng.randrange(1, 400)
+            bundle_id = rng.randrange(1, id_pool)
             while bundle_id in used_ids:
-                bundle_id = rng.randrange(1, 400)
+                bundle_id = rng.randrange(1, id_pool)
+            used_ids.add(bundle_id)
             bname_a = f"Multilink{bundle_id}"
             bname_b = f"Multilink{bundle_id}"
             bip_a, bip_b = ips.link_pair()

@@ -1,0 +1,130 @@
+"""Compiled template index: signature matching without per-template probes.
+
+The naive matcher probes every learned template of a message's error code
+with the ordered-subsequence test — O(templates × message words) per
+message, and templates of one code routinely number in the dozens.  The
+compiled index answers the same query with three prefilters that are all
+*necessary* conditions for a match, so it can never change the winner:
+
+1. **word-count bucket** — a signature longer than the message can never
+   be an ordered subsequence of it;
+2. **discriminating literal** — every template with at least one
+   signature word is indexed under its rarest word (document frequency
+   across the code's templates); a template can only match a message
+   that contains that word, so candidate collection is a handful of dict
+   probes over the message's distinct words instead of a scan of the
+   whole template list;
+3. **word-set containment** — a frozenset inclusion check (C speed)
+   rejects near-misses before the ordered-subsequence verify runs.
+
+Candidates that survive all three run the exact
+:func:`~repro.templates.signature.matches_words` verify, and the winner
+is the matching template with the best ``(-specificity, key)`` rank —
+the same explicit, learn-order-independent tie-break the naive matcher
+applies.  A property test pins index ≡ naive over the full netsim
+catalog plus fuzzed unseen shapes.
+"""
+
+from __future__ import annotations
+
+from repro.templates.signature import Template, matches_words
+
+#: Bound on the per-instance cache of ``<code>/other`` fallback templates;
+#: unseen error codes are adversary-controlled input, so the cache must
+#: not grow without bound.  Cleared wholesale when full.
+_MAX_FALLBACK_CACHE = 4096
+
+
+class _CodeIndex:
+    """Matching index for the templates of one error code."""
+
+    __slots__ = ("entries", "by_literal", "unconditional")
+
+    def __init__(self, templates: list[Template]) -> None:
+        # Rank order is the tie-break order: most specific first, ties on
+        # key.  Entry layout: (rank, template, word_set, n_words).
+        ranked = sorted(templates, key=lambda t: (-t.specificity, t.key))
+        self.entries = [
+            (rank, t, frozenset(t.words), len(t.words))
+            for rank, t in enumerate(ranked)
+        ]
+        # Document frequency of each signature word within this code.
+        frequency: dict[str, int] = {}
+        for _, t, word_set, _ in self.entries:
+            for word in word_set:
+                frequency[word] = frequency.get(word, 0) + 1
+        self.by_literal: dict[str, list[tuple]] = {}
+        self.unconditional: list[tuple] = []
+        for entry in self.entries:
+            _, template, word_set, _ = entry
+            if not word_set:
+                # Zero-word template: matches every message of the code.
+                self.unconditional.append(entry)
+                continue
+            literal = min(word_set, key=lambda w: (frequency[w], w))
+            self.by_literal.setdefault(literal, []).append(entry)
+
+    def match_words(self, words: tuple[str, ...]) -> Template | None:
+        """Best-ranked template matching ``words`` (None when none do)."""
+        n = len(words)
+        word_set = set(words)
+        best_rank = -1
+        best: Template | None = None
+        for entry in self.unconditional:
+            rank = entry[0]
+            if best is None or rank < best_rank:
+                best_rank, best = rank, entry[1]
+            break  # unconditional entries are rank-sorted; first wins
+        by_literal = self.by_literal
+        for word in word_set:
+            for rank, template, sig_set, sig_n in by_literal.get(word, ()):
+                if best is not None and rank > best_rank:
+                    continue
+                if sig_n > n or not sig_set <= word_set:
+                    continue
+                if matches_words(template.words, words):
+                    best_rank, best = rank, template
+        return best
+
+
+class CompiledTemplateSet:
+    """All per-code indexes of one template set, plus shared fallbacks.
+
+    Built once per knowledge base (the :class:`~repro.templates.learner.
+    TemplateSet` caches the compiled form and invalidates it on
+    mutation); matching is then read-only and safe to share.
+    """
+
+    def __init__(self, by_code: dict[str, list[Template]]) -> None:
+        self._by_code = {
+            code: _CodeIndex(templates)
+            for code, templates in by_code.items()
+        }
+        # ``<code>/other`` fallbacks interned so every non-matching
+        # message of one code shares a single Template object (and its
+        # key string, whose hash the grouping passes then reuse).
+        self._fallbacks: dict[str, Template] = {}
+
+    def fallback(self, code: str) -> Template:
+        """The shared catch-all template for ``code``."""
+        template = self._fallbacks.get(code)
+        if template is None:
+            if len(self._fallbacks) >= _MAX_FALLBACK_CACHE:
+                self._fallbacks.clear()
+            template = Template(key=f"{code}/other", error_code=code, words=())
+            self._fallbacks[code] = template
+        return template
+
+    def match_words(self, code: str, words: tuple[str, ...]) -> Template:
+        """Most specific template of ``code`` matching ``words``.
+
+        Identical to the naive per-template probe with the
+        ``(-specificity, key)`` tie-break, falling back to the shared
+        ``<code>/other`` template.
+        """
+        index = self._by_code.get(code)
+        if index is not None:
+            best = index.match_words(words)
+            if best is not None:
+                return best
+        return self.fallback(code)

@@ -5,6 +5,15 @@ sub-type tree per code, and converts every root-to-leaf path into a
 :class:`~repro.templates.signature.Template`.  :class:`TemplateSet` then
 matches live messages to the most specific learned template — the online
 "signature matching" stage that turns raw syslog into Syslog+.
+
+Matching runs on a lazily compiled index (:mod:`repro.templates.compiled`)
+that prefilters candidates by word count, a discriminating literal, and
+word-set containment before the exact ordered-subsequence verify; the
+naive per-template probe is kept as :meth:`TemplateSet.match_reference`
+and the two are pinned identical by a property test and the ``make
+check`` byte-identity gate.  Ties in specificity break explicitly on
+``(specificity, key)`` in both paths, so the winner never depends on the
+order templates were learned or merged in.
 """
 
 from __future__ import annotations
@@ -13,20 +22,42 @@ import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from repro.hotpath import reference_enabled
 from repro.syslog.message import SyslogMessage
+from repro.templates.compiled import CompiledTemplateSet
 from repro.templates.signature import Template
 from repro.templates.tokenize import tokenize
 from repro.templates.tree import SubtypeNode, build_subtype_tree
 
 
+def _rank(template: Template) -> tuple[int, str]:
+    """Match preference: most specific first, ties on key."""
+    return (-template.specificity, template.key)
+
+
 @dataclass
 class TemplateSet:
-    """All templates learned for one network, indexed by error code."""
+    """All templates learned for one network, indexed by error code.
+
+    ``by_code`` must only be mutated through :meth:`merge` (or before the
+    first match): matching compiles an index over the templates and
+    caches it, and only :meth:`merge` knows to invalidate that cache.
+    """
 
     by_code: dict[str, list[Template]] = field(default_factory=dict)
+    _compiled: CompiledTemplateSet | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return sum(len(ts) for ts in self.by_code.values())
+
+    def __getstate__(self) -> dict:
+        # The compiled index is a pure cache; shipping it to process-pool
+        # workers would bloat every payload, so it is rebuilt on demand.
+        state = self.__dict__.copy()
+        state["_compiled"] = None
+        return state
 
     def all_templates(self) -> list[Template]:
         """Every learned template, across all error codes."""
@@ -40,6 +71,12 @@ class TemplateSet:
                     return template
         return None
 
+    def compiled(self) -> CompiledTemplateSet:
+        """The compiled matching index (built lazily, cached)."""
+        if self._compiled is None:
+            self._compiled = CompiledTemplateSet(self.by_code)
+        return self._compiled
+
     def match(self, message: SyslogMessage) -> Template:
         """Most specific template matching ``message``.
 
@@ -47,26 +84,60 @@ class TemplateSet:
         sub-type, fall back to a code-level catch-all template (key
         ``<code>/other``) — online processing must never drop a message
         just because offline learning had not seen its shape.
+
+        Equal-specificity ties break on the smaller template key, so the
+        winner is deterministic regardless of learn or merge order.
         """
-        words = tokenize(message.detail)
+        return self.match_words(message.error_code, tokenize(message.detail))
+
+    def match_words(self, code: str, words: tuple[str, ...]) -> Template:
+        """:meth:`match` on a pre-tokenized detail (one-pass hot path)."""
+        if reference_enabled():
+            return self.match_reference(code, words)
+        return self.compiled().match_words(code, words)
+
+    def match_reference(
+        self, code: str, words: tuple[str, ...]
+    ) -> Template:
+        """The naive per-template probe (the compiled index's oracle)."""
         best: Template | None = None
-        for template in self.by_code.get(message.error_code, ()):
+        for template in self.by_code.get(code, ()):
             if template.matches(words) and (
-                best is None or template.specificity > best.specificity
+                best is None or _rank(template) < _rank(best)
             ):
                 best = template
         if best is not None:
             return best
-        return Template(
-            key=f"{message.error_code}/other",
-            error_code=message.error_code,
-            words=(),
-        )
+        return Template(key=f"{code}/other", error_code=code, words=())
 
     def merge(self, other: TemplateSet) -> None:
-        """Add templates from ``other`` for codes this set does not know."""
+        """Union ``other``'s templates into this set, per error code.
+
+        Codes only ``other`` knows are adopted wholesale; for shared
+        codes the sub-type lists are unioned with key-level dedup, so a
+        code both sets know keeps *both* sides' sub-types instead of
+        silently dropping ``other``'s.  Two templates with the same key
+        but different contents are a corrupt merge and raise
+        ``ValueError`` rather than letting one silently win.
+        """
         for code, templates in other.by_code.items():
-            self.by_code.setdefault(code, list(templates))
+            mine = self.by_code.get(code)
+            if mine is None:
+                self.by_code[code] = sorted(templates, key=_rank)
+                continue
+            known = {t.key: t for t in mine}
+            for template in templates:
+                existing = known.get(template.key)
+                if existing is None:
+                    mine.append(template)
+                    known[template.key] = template
+                elif existing != template:
+                    raise ValueError(
+                        f"template key {template.key!r} maps to different "
+                        f"templates in the two sets being merged"
+                    )
+            mine.sort(key=_rank)
+        self._compiled = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +214,8 @@ def _templates_from_tree(
         counter += 1
     if not templates:
         templates.append(Template(key=f"{code}/0", error_code=code, words=()))
-    # Most specific first so matching can stop early if desired.
-    templates.sort(key=lambda t: -t.specificity)
+    # Stored in match-preference order: most specific first, ties on key
+    # (the matcher applies the same rank explicitly, so storage order is
+    # cosmetic — but keeping them aligned makes dumps readable).
+    templates.sort(key=_rank)
     return templates

@@ -75,3 +75,61 @@ class UnionFind:
     def n_groups(self) -> int:
         """Number of disjoint sets currently tracked."""
         return sum(1 for item, parent in self._parent.items() if item == parent)
+
+
+class DenseUnionFind:
+    """Disjoint sets over the contiguous int range ``0..n-1``.
+
+    Batch grouping knows its universe up front (message indices within
+    the batch), so list indexing replaces the dict probes of
+    :class:`UnionFind` in the hottest merge loops.  Semantics are
+    identical: path compression, union by size, and
+    root-is-first-reachable representative — so the connected components
+    (and therefore event membership) come out the same.
+    """
+
+    __slots__ = ("_parent", "_size")
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, item: int) -> int:
+        """Return the canonical representative of ``item``'s set."""
+        parent = self._parent
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        size = self._size
+        if size[ra] < size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        size[ra] += size[rb]
+        return ra
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> dict[int, list[int]]:
+        """Return a mapping of root -> members (members in index order)."""
+        out: dict[int, list[int]] = {}
+        for item in range(len(self._parent)):
+            out.setdefault(self.find(item), []).append(item)
+        return out
+
+    def n_groups(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return sum(1 for i, parent in enumerate(self._parent) if i == parent)

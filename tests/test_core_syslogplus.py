@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.syslogplus import Augmenter
 from repro.locations.model import LocationKind
 from repro.syslog.message import SyslogMessage
@@ -76,3 +78,44 @@ class TestAugmenter:
             item.role != "neighbor" or item.location.router != far.name
             for item in plus.locations
         )
+
+
+class TestExceptionSafety:
+    def test_resume_after_midbatch_failure(
+        self, system_a, live_a, monkeypatch
+    ):
+        """A mid-batch parse failure must not desynchronize indices.
+
+        ``augment_all`` assigns indices only after the whole batch has
+        augmented, so a failed batch leaves the counter untouched and a
+        retry reuses the same index range.
+        """
+        augmenter = Augmenter(system_a.kb.templates, system_a.kb.dictionary)
+        first = augmenter.augment_all(
+            m.message for m in live_a.messages[:10]
+        )
+        assert [p.index for p in first] == list(range(10))
+
+        original = augmenter._extractor.extract
+
+        def poisoned(router, detail):
+            if detail == "POISON PILL Serial0/0":
+                raise RuntimeError("mid-batch parse failure")
+            return original(router, detail)
+
+        monkeypatch.setattr(augmenter._extractor, "extract", poisoned)
+
+        batch = [m.message for m in live_a.messages[10:15]]
+        poison = SyslogMessage(
+            timestamp=batch[-1].timestamp,
+            router=batch[0].router,
+            error_code="LINK-3-UPDOWN",
+            detail="POISON PILL Serial0/0",
+        )
+        with pytest.raises(RuntimeError, match="mid-batch"):
+            augmenter.augment_all(batch[:3] + [poison] + batch[3:])
+
+        # The failed batch consumed no indices: retrying it (without the
+        # poison) continues exactly where the first batch left off.
+        retry = augmenter.augment_all(batch)
+        assert [p.index for p in retry] == list(range(10, 15))

@@ -1,0 +1,94 @@
+"""Byte-identity gate: compiled hot path ≡ reference path.
+
+This is the gate ``make check`` runs: digest the same stream under the
+compiled per-message path (indexed matching, memoized augmentation,
+cached dictionary queries, dense union-find) and under
+:func:`repro.hotpath.reference_mode`, serial and with ``n_workers=4``,
+and require the full digest fingerprints to be byte-identical.  Any
+optimization that changes behavior — a different tie-break winner, a
+stale cache, a worker-order dependency — fails here before it can ship.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DigestConfig
+from repro.core.pipeline import SyslogDigest
+from repro.hotpath import (
+    digest_fingerprint,
+    reference_enabled,
+    reference_mode,
+)
+from repro.netsim.scale import ScaleGenerator, ScaleSpec
+
+
+class TestReferenceMode:
+    def test_flag_flips_and_restores(self):
+        assert not reference_enabled()
+        with reference_mode():
+            assert reference_enabled()
+            with reference_mode():
+                assert reference_enabled()
+            assert reference_enabled()
+        assert not reference_enabled()
+
+    def test_flag_restored_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with reference_mode():
+                raise RuntimeError("boom")
+        assert not reference_enabled()
+
+
+@pytest.fixture(scope="module")
+def scale_setup():
+    """A learned digest plus a live slice from the scale generator."""
+    gen = ScaleGenerator(ScaleSpec(n_routers=150))
+    digest = SyslogDigest.learn(
+        gen.learning_messages(8_000),
+        gen.configs(),
+        DigestConfig(window=120.0),
+        fit_temporal=False,
+    )
+    return digest, list(gen.stream(6_000))
+
+
+class TestScaleIdentity:
+    def test_compiled_equals_reference_serial(self, scale_setup):
+        digest, messages = scale_setup
+        compiled = digest_fingerprint(digest.digest(messages))
+        with reference_mode():
+            reference_digest = SyslogDigest(digest.kb, digest.config)
+            reference = digest_fingerprint(
+                reference_digest.digest(messages)
+            )
+        assert compiled == reference
+
+    def test_serial_equals_workers(self, scale_setup):
+        digest, messages = scale_setup
+        serial = digest_fingerprint(digest.digest(messages))
+        parallel_digest = SyslogDigest(
+            digest.kb, DigestConfig(window=120.0, n_workers=4)
+        )
+        workers = digest_fingerprint(parallel_digest.digest(messages))
+        assert serial == workers
+
+    def test_fingerprint_detects_differences(self, scale_setup):
+        """The fingerprint is not vacuous: different inputs differ."""
+        digest, messages = scale_setup
+        full = digest_fingerprint(digest.digest(messages))
+        half = digest_fingerprint(digest.digest(messages[: len(messages) // 2]))
+        assert full != half
+
+
+class TestDatasetIdentity:
+    def test_dataset_a_compiled_equals_reference(self, system_a, live_a):
+        """The same gate over the evaluation dataset's message mix."""
+        messages = [m.message for m in live_a.messages[:4000]]
+        compiled = digest_fingerprint(system_a.digest(messages))
+        with reference_mode():
+            reference_digest = SyslogDigest(system_a.kb, system_a.config)
+            reference = digest_fingerprint(
+                reference_digest.digest(messages)
+            )
+        assert compiled == reference

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -88,6 +89,68 @@ class TestLearning:
         a.merge(b)
         assert a.by_code["X"][0].key == "X/0"
         assert "Y" in a.by_code
+
+
+class TestTieBreak:
+    def test_equal_specificity_breaks_on_key_both_paths(self):
+        """Two equally specific matches: the smaller key wins,
+        regardless of the order the templates are stored in."""
+        t_a = Template("C/a", "C", ("x", "z"))
+        t_b = Template("C/b", "C", ("x", "y"))
+        words = ("x", "y", "z")  # matches both at specificity 2
+        for order in ([t_a, t_b], [t_b, t_a]):
+            ts = TemplateSet(by_code={"C": list(order)})
+            assert ts.match_words("C", words).key == "C/a"
+            assert ts.match_reference("C", words).key == "C/a"
+
+    def test_more_specific_still_beats_smaller_key(self):
+        t_specific = Template("C/z", "C", ("x", "y", "z"))
+        t_small_key = Template("C/a", "C", ("x",))
+        ts = TemplateSet(by_code={"C": [t_small_key, t_specific]})
+        words = ("x", "y", "z")
+        assert ts.match_words("C", words).key == "C/z"
+        assert ts.match_reference("C", words).key == "C/z"
+
+
+class TestMerge:
+    def test_partial_overlap_unions_subtypes(self):
+        """A code both sets know keeps *both* sides' sub-types."""
+        a = TemplateSet(
+            by_code={"X": [Template("X/0", "X", ("a",))]}
+        )
+        b = TemplateSet(
+            by_code={
+                "X": [
+                    Template("X/0", "X", ("a",)),  # shared, identical
+                    Template("X/1", "X", ("b", "c")),  # only in b
+                ],
+                "Y": [Template("Y/0", "Y", ("d",))],
+            }
+        )
+        a.merge(b)
+        assert {t.key for t in a.by_code["X"]} == {"X/0", "X/1"}
+        assert len(a.by_code["X"]) == 2  # shared key deduplicated
+        assert {t.key for t in a.by_code["Y"]} == {"Y/0"}
+
+    def test_same_key_different_template_raises(self):
+        a = TemplateSet(by_code={"X": [Template("X/0", "X", ("a",))]})
+        b = TemplateSet(by_code={"X": [Template("X/0", "X", ("b",))]})
+        with pytest.raises(ValueError, match="X/0"):
+            a.merge(b)
+
+    def test_merge_invalidates_compiled_index(self):
+        """Templates merged in are matchable immediately, even when a
+        compiled index was already built over the pre-merge set."""
+        a = TemplateSet(by_code={"X": [Template("X/0", "X", ("a",))]})
+        words = ("a", "b", "c")
+        assert a.match_words("X", words).key == "X/0"  # compiles index
+        a.merge(
+            TemplateSet(
+                by_code={"X": [Template("X/1", "X", ("a", "b", "c"))]}
+            )
+        )
+        assert a.match_words("X", words).key == "X/1"
+        assert a.match_reference("X", words).key == "X/1"
 
 
 class TestMatchesWords:
