@@ -1,0 +1,109 @@
+"""Streaming executor lanes: retry exactness and shared-nothing workers.
+
+The headline regression here pins the shard-retry contract of
+:meth:`repro.core.stream.DigestStream.push_many`: a shard whose
+``ShardState.step`` raises *partway through* its message list must be
+retried from exactly the failed message, never by replaying the whole
+list against the partially-advanced state (which double-applies EWMA
+updates and window inserts, silently corrupting the grouping).  The
+faults injected here raise at a chosen step-call ordinal — unlike the
+task-start fault hook, which only ever fails a shard *cleanly* before
+any state is touched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stream import DigestStream, ShardState
+from repro.syslog.stream import sort_messages
+
+
+def flaky_step(original, shard_id: int, fail_at: tuple[int, ...]):
+    """Wrap ``ShardState.step`` to raise at chosen call ordinals.
+
+    Counts calls on one shard only; each ordinal in ``fail_at`` raises
+    exactly once, so one ordinal exercises the pool retry and two
+    consecutive ordinals push through to the no-hook fallback resume.
+    Returns ``(wrapper, calls)`` where ``calls["n"]`` counts step calls.
+    """
+    fail = set(fail_at)
+    calls = {"n": 0}
+
+    def wrapper(state, plus, now):
+        if state._shard_id == shard_id:
+            calls["n"] += 1
+            if calls["n"] in fail:
+                raise RuntimeError(
+                    f"injected mid-step fault at call {calls['n']}"
+                )
+        return original(state, plus, now)
+
+    return wrapper, calls
+
+
+def _run_chunks(system, messages, n_workers=4, chunk=200):
+    stream = DigestStream(system.kb, system.config.with_workers(n_workers))
+    events = []
+    for i in range(0, len(messages), chunk):
+        events.extend(stream.push_many(messages[i : i + chunk]))
+    events.extend(stream.close())
+    return events
+
+
+def _sig(events):
+    return [(e.indices, e.score, e.label) for e in events]
+
+
+@pytest.fixture(scope="module")
+def ordered_a(live_a):
+    return sort_messages(m.message for m in live_a.messages)
+
+
+class TestShardRetryExactness:
+    """Mid-step shard faults must not corrupt the grouping state."""
+
+    def test_pool_retry_resumes_at_failed_message(
+        self, system_a, ordered_a, monkeypatch
+    ):
+        """One mid-list fault: the retry must produce the no-fault digest.
+
+        On the broken path the retry replays the shard's *full* batch
+        list against state the first attempt already advanced, so the
+        EWMA rhythm and the rule windows see every pre-fault message
+        twice and the grouping diverges.
+        """
+        baseline = _run_chunks(system_a, ordered_a)
+        wrapper, calls = flaky_step(ShardState.step, shard_id=0, fail_at=(30,))
+        monkeypatch.setattr(ShardState, "step", wrapper)
+        retried = _run_chunks(system_a, ordered_a)
+        assert calls["n"] > 30  # the fault actually fired mid-list
+        assert _sig(retried) == _sig(baseline)
+
+    def test_fallback_resumes_at_failed_message(
+        self, system_a, ordered_a, monkeypatch
+    ):
+        """Two consecutive faults: the serial fallback must resume, not
+        replay — on the broken path it reran the full list a third
+        time against twice-advanced state."""
+        baseline = _run_chunks(system_a, ordered_a)
+        wrapper, calls = flaky_step(
+            ShardState.step, shard_id=0, fail_at=(30, 31)
+        )
+        monkeypatch.setattr(ShardState, "step", wrapper)
+        fallen = _run_chunks(system_a, ordered_a)
+        assert calls["n"] > 31
+        assert _sig(fallen) == _sig(baseline)
+
+    def test_single_shard_fault_resumes_at_failed_message(
+        self, system_a, ordered_a, monkeypatch
+    ):
+        """The single-shard (serial lane) path has the same contract."""
+        baseline = _run_chunks(system_a, ordered_a, n_workers=1)
+        wrapper, calls = flaky_step(
+            ShardState.step, shard_id=0, fail_at=(120,)
+        )
+        monkeypatch.setattr(ShardState, "step", wrapper)
+        retried = _run_chunks(system_a, ordered_a, n_workers=1)
+        assert calls["n"] > 120
+        assert _sig(retried) == _sig(baseline)
