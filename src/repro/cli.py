@@ -204,7 +204,10 @@ def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     paths = list(args.source) if args.source else [args.log]
     if paths == [None]:
         raise SystemExit("need --log or at least one --source")
-    config = DigestConfig(n_workers=args.workers)
+    config = DigestConfig(
+        n_workers=args.workers,
+        stream_workers=getattr(args, "stream_workers", "threads"),
+    )
     ingest_config = IngestConfig(
         max_reorder_delay=args.max_reorder_delay,
         dedup_window=args.dedup_window,
@@ -275,12 +278,18 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     from repro.syslog.stream import sort_messages
 
     if args.kb is not None:
-        stream = restore_stream(args.checkpoint, KnowledgeBase.load(args.kb))
+        stream = restore_stream(
+            args.checkpoint,
+            KnowledgeBase.load(args.kb),
+            stream_workers=args.stream_workers,
+        )
     elif args.store is not None:
         from repro.core.modelstore import KnowledgeStore
 
         stream = restore_stream(
-            args.checkpoint, store=KnowledgeStore(args.store)
+            args.checkpoint,
+            store=KnowledgeStore(args.store),
+            stream_workers=args.stream_workers,
         )
         print(
             f"# resumed under store version v{stream.kb_version}",
@@ -518,6 +527,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     kb, kb_version = _kb_from_args(args)
     config = DigestConfig(
         n_workers=args.workers,
+        stream_workers=args.stream_workers,
         checkpoint_path=args.checkpoint,
         checkpoint_interval=(
             args.checkpoint_interval if args.checkpoint else 0.0
@@ -694,6 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard grouping by router over N processes (0 = all cores)",
     )
     p.add_argument(
+        "--stream-workers",
+        choices=["serial", "threads", "processes"],
+        default="threads",
+        help="streaming executor lane for the sharded steps (with "
+        "--ingest/--source): 'processes' keeps one persistent worker "
+        "process per shard; all lanes group identically",
+    )
+    p.add_argument(
         "--metrics",
         default=None,
         help="dump pipeline metrics to this path (*.json = JSON, "
@@ -721,6 +739,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="reload the exact store version the checkpoint was taken "
         "under instead of passing --kb",
+    )
+    p.add_argument(
+        "--stream-workers",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="override the executor lane for the resumed stream "
+        "(default: the lane the checkpoint was taken under; the lane "
+        "never changes output, so any checkpoint resumes on any lane)",
     )
     p.add_argument("--top", type=int, default=20)
     p.add_argument(
@@ -767,6 +793,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="shard grouping by router over N processes (0 = all cores)",
+    )
+    p.add_argument(
+        "--stream-workers",
+        choices=["serial", "threads", "processes"],
+        default="threads",
+        help="with --stream: executor lane for the sharded steps "
+        "('processes' = one persistent worker process per shard)",
     )
     p.add_argument(
         "--stream",

@@ -11,7 +11,9 @@ Crash recovery is checkpoint + tail replay: the snapshot records how
 many messages of the (deterministically sorted) feed were admitted, so
 ``resume`` skips exactly that many and pushes the rest.  The resumed
 stream's output is byte-identical to an uninterrupted run — a test pins
-that for both the serial and the thread-sharded engine.
+that for every executor lane (serial, threads, and worker processes),
+including killing the worker processes mid-stream and resuming on a
+fresh set.
 """
 
 from __future__ import annotations
@@ -150,6 +152,7 @@ def restore_stream(
     kb: KnowledgeBase | None = None,
     config: DigestConfig | None = None,
     store: KnowledgeStore | None = None,
+    stream_workers: str | None = None,
 ) -> DigestStream:
     """Rebuild a :class:`DigestStream` from a checkpoint file.
 
@@ -162,6 +165,11 @@ def restore_stream(
     config by default (grouping state is only valid under the parameters
     it was built with); pass ``config`` to assert a specific one — a
     mismatch raises rather than silently regrouping differently.
+
+    ``stream_workers`` overrides the executor lane alone: the lane is an
+    execution detail — every lane groups byte-identically — so a stream
+    checkpointed under threads can resume on worker processes (or vice
+    versa) with no effect on output.
     """
     snapshot = read_checkpoint(path)
     kb_version = snapshot["kb_version"]
@@ -182,6 +190,10 @@ def restore_stream(
     restored_config: DigestConfig = (
         config if config is not None else snapshot["config"]
     )
+    if stream_workers is not None:
+        restored_config = restored_config.with_stream_workers(
+            stream_workers
+        )
     stream = DigestStream(kb, restored_config)
     stream.restore(snapshot)
     return stream

@@ -55,6 +55,16 @@ class DigestConfig:
     n_workers: int = 1
     shard_by_router: bool = True
 
+    # Streaming executor lane (DESIGN.md §12): how DigestStream runs its
+    # per-shard grouping steps.  "serial" steps shards inline, "threads"
+    # uses a thread pool (GIL-bound, cheap to start), "processes" spawns
+    # one persistent worker process per shard that owns its ShardState
+    # across batches — shared-nothing, knowledge broadcast once and
+    # re-broadcast only on an epoch-boundary hot swap.  All three lanes
+    # group byte-identically (gated in ``make check``); the shard count
+    # itself still comes from ``n_workers``.
+    stream_workers: str = "threads"
+
     # Fault tolerance (streaming).  ``checkpoint_path`` + a positive
     # ``checkpoint_interval`` (stream-clock seconds between snapshots)
     # make DigestStream persist its state atomically at sweep boundaries
@@ -96,6 +106,11 @@ class DigestConfig:
             raise ValueError("skew_tolerance must be >= 0")
         if self.n_workers < 0:
             raise ValueError("n_workers must be >= 0 (0 = one per core)")
+        if self.stream_workers not in ("serial", "threads", "processes"):
+            raise ValueError(
+                f"stream_workers must be 'serial', 'threads' or "
+                f"'processes', got {self.stream_workers!r}"
+            )
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
         if self.max_open_messages < 0:
@@ -118,6 +133,10 @@ class DigestConfig:
     def with_workers(self, n_workers: int) -> DigestConfig:
         """Copy with a different worker count for the sharded engine."""
         return replace(self, n_workers=n_workers)
+
+    def with_stream_workers(self, stream_workers: str) -> DigestConfig:
+        """Copy with a different streaming executor lane."""
+        return replace(self, stream_workers=stream_workers)
 
     def with_window(self, window: float) -> DigestConfig:
         """Copy with a different association-rule window."""

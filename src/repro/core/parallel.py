@@ -21,9 +21,17 @@ the pool, then falls back to in-process serial execution for that shard
 (see :meth:`ParallelGroupingEngine._run_shards`), so a dying worker
 degrades throughput, never correctness.
 
-Streaming parallelism lives in :meth:`repro.core.stream.DigestStream.push_many`,
-which shares the shard-planning axis but uses threads, since a live
-digest's state machines cannot cheaply cross process boundaries.
+Streaming parallelism lives in :meth:`repro.core.stream.DigestStream.push_many`
+and shares the same shard axis, but its state machines are *stateful*
+across batches, so shipping them per call would swamp any win.  Instead
+:class:`StreamWorkerPool` (below) runs one persistent worker process per
+shard: each worker owns its :class:`~repro.core.stream.ShardState` for
+the stream's whole lifetime, the knowledge base crosses the process
+boundary once at spawn (and again only on an epoch-boundary hot swap),
+and every batch ships only slim step items out and plain edge lists
+back.  ``DigestConfig.stream_workers`` picks between that lane, the
+thread lane, and fully serial stepping — all three group byte-identically
+(gated in ``make check``).
 """
 
 from __future__ import annotations
@@ -56,6 +64,8 @@ from repro.obs import (
     SHARD_RETRIES,
     SHARD_SECONDS,
     SHARD_TASK_SECONDS,
+    STREAM_WORKER_ROUNDTRIPS,
+    STREAM_WORKER_RTT_SECONDS,
     get_registry,
     stage_timer,
 )
@@ -318,3 +328,225 @@ class ParallelGroupingEngine:
             # and must not survive into the trusted serial path.
             results[i] = timed_shard_edge_task(payloads[i])
         return results
+
+
+# --------------------------------------------------------------------------
+# Streaming worker processes (DESIGN.md §12)
+
+
+class WorkerProcessDied(RuntimeError):
+    """A streaming shard worker process died mid-conversation.
+
+    Unlike a *task* exception (which the stream retries in place), a
+    dead worker takes its shard's grouping state with it — the live
+    stream cannot recover transparently.  Resume from the last
+    checkpoint (``repro resume``), which rebuilds every shard from the
+    snapshot.
+    """
+
+
+def _stream_worker_main(conn, shard_id: int) -> None:
+    """Command loop of one streaming shard worker process.
+
+    The worker owns its :class:`~repro.core.stream.ShardState` for the
+    whole stream lifetime; every request mutates that state and replies
+    over the pipe.  Replies are ``("ok", value)``, ``("fault", repr,
+    done, edges)`` for a step fault after ``done`` fully-applied
+    messages (so the parent can retry from exactly the next one), or
+    ``("err", repr)`` for non-step failures.  Top-level so the spawn
+    start method can import it.
+    """
+    # Imported lazily: stream.py imports this module's pool at call
+    # time, so a top-level import here would be circular.
+    from repro.core.stream import ShardState
+
+    state: ShardState | None = None
+    fault_hook = step_hook = None
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = request[0]
+        try:
+            if cmd == "stop":
+                conn.send(("ok", None))
+                break
+            elif cmd == "init":
+                _, kb, config, partners, fault_hook, step_hook = request
+                state = ShardState(shard_id, kb, config, partners)
+                conn.send(("ok", None))
+            elif cmd == "steps":
+                _, items, attempt, use_hooks, base = request
+                edges: list[Edge] = []
+                done = 0
+                try:
+                    if use_hooks and fault_hook is not None:
+                        fault_hook(shard_id, attempt)
+                    for plus, now in items:
+                        if use_hooks and step_hook is not None:
+                            step_hook(shard_id, attempt, base + done)
+                        edges.extend(state.step(plus, now))
+                        # Only a fully-applied step advances the cursor:
+                        # the retry resumes at the failed message, never
+                        # replaying one into partially-advanced state.
+                        done += 1
+                except Exception as exc:
+                    conn.send(("fault", repr(exc), done, edges))
+                else:
+                    conn.send(("ok", edges))
+            elif cmd == "adopt":
+                _, kb, config, partners, reset_splitters = request
+                state.adopt(kb, config, partners, reset_splitters)
+                conn.send(("ok", None))
+            elif cmd == "evict":
+                conn.send(("ok", state.evict_idle(request[1])))
+            elif cmd == "prune":
+                conn.send(("ok", state.prune(request[1])))
+            elif cmd == "snapshot":
+                conn.send(("ok", state.snapshot()))
+            elif cmd == "restore":
+                state.restore(request[1])
+                conn.send(("ok", None))
+            elif cmd == "counts":
+                conn.send(
+                    ("ok", (state.n_splitters, state.n_window_entries))
+                )
+            else:
+                conn.send(("err", f"unknown command {cmd!r}"))
+        except Exception as exc:  # non-step failure: report, keep serving
+            try:
+                conn.send(("err", repr(exc)))
+            except (OSError, BrokenPipeError):
+                break
+    conn.close()
+
+
+def _terminate_workers(processes, connections) -> None:
+    """Kill worker processes; module-level so weakref.finalize can hold it."""
+    for conn in connections:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=2.0)
+
+
+class StreamWorkerPool:
+    """Persistent per-shard worker processes for the streaming engine.
+
+    One daemon process per shard, spawned once and reused for every
+    batch.  Commands fan out over pipes to all addressed shards before
+    any reply is read, so shards genuinely step concurrently; replies
+    are collected in shard order, which keeps the merge deterministic.
+    Forked where the platform allows it (cheapest, and inherits the
+    parent's interpreter state); ``spawn`` otherwise.
+
+    Raises :class:`WorkerProcessDied` if a worker vanishes mid-call —
+    its shard state is gone, so the stream must be rebuilt from a
+    checkpoint rather than limp on with a silently reset shard.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        import multiprocessing as mp
+        import weakref
+
+        method = (
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
+        ctx = mp.get_context(method)
+        self._conns = []
+        self._procs = []
+        for shard_id in range(n_shards):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_stream_worker_main,
+                args=(child_conn, shard_id),
+                daemon=True,
+                name=f"stream-shard-{shard_id}",
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(process)
+        # Daemon workers die with the interpreter regardless; the
+        # finalizer reclaims them as soon as the pool itself is dropped.
+        self._finalizer = weakref.finalize(
+            self, _terminate_workers, list(self._procs), list(self._conns)
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Live worker processes."""
+        return sum(1 for p in self._procs if p.is_alive())
+
+    def call_all(self, requests: dict[int, tuple]) -> dict[int, tuple]:
+        """Fan one request per shard out, gather one reply per shard.
+
+        All requests are written before any reply is read — the
+        concurrency of the lane lives here.  Replies come back exactly
+        as the worker sent them (``("ok", ...)`` / ``("fault", ...)``);
+        protocol-level ``("err", ...)`` replies raise.
+        """
+        if not requests:
+            return {}
+        t0 = perf_counter()
+        shard_order = sorted(requests)
+        cmd = requests[shard_order[0]][0]
+        for shard_id in shard_order:
+            try:
+                self._conns[shard_id].send(requests[shard_id])
+            except (OSError, BrokenPipeError) as exc:
+                raise WorkerProcessDied(
+                    f"stream worker {shard_id} is gone "
+                    f"(send {cmd!r} failed: {exc}); resume from the "
+                    "last checkpoint"
+                ) from exc
+        replies: dict[int, tuple] = {}
+        for shard_id in shard_order:
+            try:
+                reply = self._conns[shard_id].recv()
+            except (EOFError, OSError) as exc:
+                raise WorkerProcessDied(
+                    f"stream worker {shard_id} died during {cmd!r}; "
+                    "its shard state is lost — resume from the last "
+                    "checkpoint"
+                ) from exc
+            if reply[0] == "err":
+                raise RuntimeError(
+                    f"stream worker {shard_id} failed {cmd!r}: {reply[1]}"
+                )
+            replies[shard_id] = reply
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(
+                STREAM_WORKER_ROUNDTRIPS, len(shard_order), cmd=cmd
+            )
+            registry.observe(
+                STREAM_WORKER_RTT_SECONDS, perf_counter() - t0, cmd=cmd
+            )
+        return replies
+
+    def broadcast(self, request: tuple) -> dict[int, tuple]:
+        """Send the same request to every shard; gather all replies."""
+        return self.call_all(
+            {shard_id: request for shard_id in range(len(self._conns))}
+        )
+
+    def shutdown(self) -> None:
+        """Stop every worker cleanly; idempotent."""
+        for shard_id, conn in enumerate(self._conns):
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                continue
+        for conn in self._conns:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+        self._finalizer()

@@ -11,21 +11,31 @@ Grouping state is factored into :class:`ShardState` instances holding the
 per-router machinery (temporal splitters, rule windows).  Because the
 temporal and rule passes never relate messages on different routers, the
 stream can be partitioned by router across several shard states whose
-steps are independent — :meth:`DigestStream.push_many` exploits that to
-run them on a thread pool, while the cross-router window and the
-union-find stay global.  Long-running streams stay bounded: splitters
-idle past the flush horizon are evicted (and lazily reset on next touch,
-mirroring the batch engine exactly), and window entries of finalized
-messages are dropped at every finalize sweep.
+steps are independent — :meth:`DigestStream.push_many` exploits that
+through one of three executor lanes behind ``DigestConfig.stream_workers``
+(DESIGN.md §12): ``serial`` steps shards inline, ``threads`` runs them on
+a thread pool, and ``processes`` keeps one persistent worker process per
+shard which owns its :class:`ShardState` across batches, receiving the
+knowledge base once at spawn and again only on a hot swap.  The
+cross-router window and the union-find stay global in every lane, and
+all three lanes group byte-identically (``make check`` gates it).
+Long-running streams stay bounded: splitters idle past the flush horizon
+are evicted (and lazily reset on next touch, mirroring the batch engine
+exactly), and window entries of finalized messages are dropped at every
+finalize sweep.
 
 Fault tolerance (DESIGN.md §8): the full grouping state can be captured
 with :meth:`DigestStream.snapshot` and rebuilt with
 :meth:`DigestStream.restore` (periodic atomic checkpoints via
 ``DigestConfig.checkpoint_path``/``checkpoint_interval``, see
-:mod:`repro.core.checkpoint`); ``max_open_messages`` turns on
-load shedding (whole groups force-finalized early, oldest first); and
-thread-pooled shard tasks in :meth:`DigestStream.push_many` that raise
-are retried once, then run serially in-process.
+:mod:`repro.core.checkpoint`) — the process lane's worker states ride
+through the same snapshot, so checkpoints restore across lanes.  A shard
+whose step raises mid-batch is retried once and then resumed hook-free,
+always from *exactly* the first unapplied message: every lane tracks a
+per-shard progress cursor plus the edges already produced, so a retry
+can never replay messages into partially-advanced splitter or window
+state.  ``max_open_messages`` turns on load shedding (whole groups
+force-finalized early, oldest first).
 
 Knowledge lifecycle (DESIGN.md §9): a promoted
 :class:`~repro.core.knowledge.KnowledgeBase` can be hot-swapped into a
@@ -39,10 +49,12 @@ version it was checkpointed with, and the swap must be re-requested.
 
 from __future__ import annotations
 
+import pickle
 import zlib
 from collections import deque
 from collections.abc import Callable, Iterable
 from concurrent.futures import ThreadPoolExecutor
+from typing import NamedTuple
 
 from repro.core.config import DigestConfig
 from repro.core.events import NetworkEvent
@@ -74,6 +86,7 @@ from repro.obs import (
     STREAM_SPLITTERS,
     STREAM_WATERMARK_LAG,
     STREAM_WINDOW_ENTRIES,
+    STREAM_WORKER_PROCS,
     MetricsRegistry,
     get_registry,
 )
@@ -84,7 +97,39 @@ from repro.utils.unionfind import UnionFind
 #: changes shape; :mod:`repro.core.checkpoint` refuses mismatches.
 #: v4: temporal splitter keys hold Location objects (not strings) and
 #: cross-window entries carry each message's precomputed local locations.
-SNAPSHOT_VERSION = 4
+#: v5: rule-window entries hold slim :class:`StepItem` tuples instead of
+#: full Syslog+ objects (every executor lane steps on StepItems, so a
+#: checkpoint written under one ``stream_workers`` lane restores
+#: byte-identically under any other).
+SNAPSHOT_VERSION = 5
+
+
+class StepItem(NamedTuple):
+    """The shard-step view of one admitted message.
+
+    Exactly the fields :meth:`ShardState.step` reads, and nothing else.
+    The process lane ships one of these over a pipe per message, so the
+    payload stays five plain fields instead of a full Syslog+ (whose
+    template and location baggage the shard passes never touch).  All
+    lanes step on StepItems, so shard state — including what a
+    checkpoint captures — is identical whichever lane produced it.
+    """
+
+    index: int
+    timestamp: float
+    router: str
+    template_key: str
+    primary_location: object
+
+
+def _step_item(plus: SyslogPlus) -> StepItem:
+    return StepItem(
+        plus.index,
+        plus.timestamp,
+        plus.router,
+        plus.template_key,
+        plus.primary_location,
+    )
 
 #: Every key :meth:`DigestStream.health` reports, documented in one
 #: place (DESIGN.md §8 renders this table; tests pin the key set).
@@ -137,14 +182,14 @@ class ShardState:
         self._serial_of: dict[tuple, int] = {}
         self._n_created = 0
         self._temporal_tail: dict[tuple, int] = {}
-        # router -> template_key -> deque of (arrival ts, message)
+        # router -> template_key -> deque of (arrival ts, step item)
         self._rule_window: dict[
-            str, dict[str, deque[tuple[float, SyslogPlus]]]
+            str, dict[str, deque[tuple[float, StepItem]]]
         ] = {}
 
     # ----------------------------------------------------------------- steps
 
-    def step(self, plus: SyslogPlus, now: float) -> list[Edge]:
+    def step(self, plus: StepItem, now: float) -> list[Edge]:
         """Run the shard-local passes for one message; return new edges."""
         edges: list[Edge] = []
         if self._config.enable_temporal:
@@ -155,7 +200,7 @@ class ShardState:
             edges.extend(self._rule_step(plus, now))
         return edges
 
-    def _temporal_step(self, plus: SyslogPlus, now: float) -> Edge | None:
+    def _temporal_step(self, plus: StepItem, now: float) -> Edge | None:
         key = (plus.router, plus.template_key, plus.primary_location)
         splitter = self._splitters.get(key)
         if (
@@ -182,7 +227,7 @@ class ShardState:
             return (tail, plus.index)
         return None
 
-    def _rule_step(self, plus: SyslogPlus, now: float) -> list[Edge]:
+    def _rule_step(self, plus: StepItem, now: float) -> list[Edge]:
         edges: list[Edge] = []
         window = self._config.window
         by_template = self._rule_window.setdefault(plus.router, {})
@@ -351,14 +396,281 @@ class ShardState:
         )
 
 
+class _LocalShards:
+    """Serial and thread executor lanes: shard states live in-process.
+
+    Both in-process lanes share one retry ladder with the process lane:
+    attempt 0 runs with the fault hooks armed, a failed shard gets one
+    retry (attempt 1, hooks still armed, counted as a shard retry), and
+    a shard that fails its retry is resumed hook-free (counted as a
+    fallback).  Every attempt resumes at the shard's progress cursor —
+    the first message whose step did not fully apply — with the edges of
+    the already-applied prefix kept, so a retry never replays a message
+    into partially-advanced splitter or window state (the shard-retry
+    corruption this ladder replaced).
+    """
+
+    #: In-process lanes have no worker processes (metrics gauge).
+    n_worker_processes = 0
+
+    def __init__(
+        self,
+        lane: str,
+        states: list[ShardState],
+        fault_hook: Callable[[int, int], None] | None,
+        step_hook: Callable[[int, int, int], None] | None,
+    ) -> None:
+        self._lane = lane
+        self._states = states
+        self._fault_hook = fault_hook
+        self._step_hook = step_hook
+
+    def step_one(
+        self, shard_id: int, item: StepItem, now: float
+    ) -> list[Edge]:
+        return self._states[shard_id].step(item, now)
+
+    def step_many(
+        self, per_shard: dict[int, list[tuple[StepItem, float]]]
+    ) -> dict[int, list[Edge]]:
+        shard_order = sorted(per_shard)
+        progress = dict.fromkeys(shard_order, 0)
+        edges: dict[int, list[Edge]] = {sid: [] for sid in shard_order}
+        registry = get_registry()
+
+        def run(shard_id: int, attempt: int, use_hooks: bool = True):
+            state = self._states[shard_id]
+            items = per_shard[shard_id]
+            out = edges[shard_id]
+            if use_hooks and self._fault_hook is not None:
+                self._fault_hook(shard_id, attempt)
+            i = progress[shard_id]
+            while i < len(items):
+                if use_hooks and self._step_hook is not None:
+                    self._step_hook(shard_id, attempt, i)
+                item, now = items[i]
+                stepped = state.step(item, now)
+                if stepped:
+                    out.extend(stepped)
+                # Only a fully-applied step advances the cursor, so the
+                # next attempt resumes at the failed message.
+                i += 1
+                progress[shard_id] = i
+
+        retry_failed: list[int] = []
+        if self._lane == "threads" and len(shard_order) > 1:
+            with ThreadPoolExecutor(max_workers=len(shard_order)) as pool:
+                futures = {
+                    shard_id: pool.submit(run, shard_id, 0)
+                    for shard_id in shard_order
+                }
+                failed: list[int] = []
+                for shard_id, future in futures.items():
+                    try:
+                        future.result()
+                    except Exception:
+                        failed.append(shard_id)
+                for shard_id in failed:
+                    if registry.enabled:
+                        registry.inc(SHARD_RETRIES, engine="stream")
+                    try:
+                        pool.submit(run, shard_id, 1).result()
+                    except Exception:
+                        retry_failed.append(shard_id)
+        else:
+            for shard_id in shard_order:
+                try:
+                    run(shard_id, 0)
+                except Exception:
+                    if registry.enabled:
+                        registry.inc(SHARD_RETRIES, engine="stream")
+                    try:
+                        run(shard_id, 1)
+                    except Exception:
+                        retry_failed.append(shard_id)
+        for shard_id in retry_failed:
+            # The final resume bypasses the fault hooks — injected
+            # worker faults must never kill the digest — but a genuine
+            # repeated step failure propagates.
+            if registry.enabled:
+                registry.inc(SHARD_FALLBACKS, engine="stream")
+            run(shard_id, 2, use_hooks=False)
+        return edges
+
+    def evict_idle(self, horizon: float) -> int:
+        return sum(state.evict_idle(horizon) for state in self._states)
+
+    def prune(self, open_indices: set[int]) -> int:
+        return sum(state.prune(open_indices) for state in self._states)
+
+    def adopt(self, kb, config, partners, reset_splitters: bool) -> None:
+        for state in self._states:
+            state.adopt(kb, config, partners, reset_splitters)
+
+    def snapshots(self) -> list[dict]:
+        return [state.snapshot() for state in self._states]
+
+    def restore_shards(self, shards: list[dict]) -> None:
+        for state, captured in zip(self._states, shards):
+            state.restore(captured)
+
+    def counts(self) -> tuple[int, int]:
+        return (
+            sum(state.n_splitters for state in self._states),
+            sum(state.n_window_entries for state in self._states),
+        )
+
+    def shutdown(self) -> None:
+        pass
+
+
+class _ProcessShards:
+    """Process executor lane: persistent workers own the shard states.
+
+    One :class:`~repro.core.parallel.StreamWorkerPool` worker per shard,
+    spawned once when the stream is constructed.  The knowledge base and
+    the (picklable) fault hooks cross the process boundary exactly once
+    here — and again only when an epoch-boundary hot swap broadcasts the
+    newly adopted base — so steady-state batches ship nothing but slim
+    step items out and plain edge lists back.  The retry ladder matches
+    :class:`_LocalShards`; the worker reports how many messages of an
+    attempt fully applied, and the parent re-sends only the unapplied
+    suffix.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        kb: KnowledgeBase,
+        config: DigestConfig,
+        partners: dict[str, tuple[str, ...]],
+        fault_hook,
+        step_hook,
+    ) -> None:
+        from repro.core.parallel import StreamWorkerPool
+
+        self._n_shards = n_shards
+        self._pool = StreamWorkerPool(n_shards)
+        self._pool.broadcast(
+            ("init", kb, config, partners, fault_hook, step_hook)
+        )
+
+    @property
+    def n_worker_processes(self) -> int:
+        return self._pool.n_workers
+
+    def step_one(
+        self, shard_id: int, item: StepItem, now: float
+    ) -> list[Edge]:
+        reply = self._pool.call_all(
+            {shard_id: ("steps", [(item, now)], 0, False, 0)}
+        )[shard_id]
+        if reply[0] == "fault":
+            raise RuntimeError(
+                f"stream worker {shard_id} step failed: {reply[1]}"
+            )
+        return reply[1]
+
+    def step_many(
+        self, per_shard: dict[int, list[tuple[StepItem, float]]]
+    ) -> dict[int, list[Edge]]:
+        registry = get_registry()
+        shard_order = sorted(per_shard)
+        progress = dict.fromkeys(shard_order, 0)
+        edges: dict[int, list[Edge]] = {sid: [] for sid in shard_order}
+        errors: dict[int, str] = {}
+        pending = list(shard_order)
+        for attempt, use_hooks in ((0, True), (1, True), (2, False)):
+            if not pending:
+                break
+            if registry.enabled and attempt == 1:
+                registry.inc(
+                    SHARD_RETRIES, len(pending), engine="stream"
+                )
+            if registry.enabled and attempt == 2:
+                registry.inc(
+                    SHARD_FALLBACKS, len(pending), engine="stream"
+                )
+            replies = self._pool.call_all(
+                {
+                    shard_id: (
+                        "steps",
+                        per_shard[shard_id][progress[shard_id]:],
+                        attempt,
+                        use_hooks,
+                        progress[shard_id],
+                    )
+                    for shard_id in pending
+                }
+            )
+            still_failed: list[int] = []
+            for shard_id in pending:
+                reply = replies[shard_id]
+                if reply[0] == "ok":
+                    edges[shard_id].extend(reply[1])
+                else:  # ("fault", repr, done, edges-so-far)
+                    _, err, done, partial = reply
+                    progress[shard_id] += done
+                    edges[shard_id].extend(partial)
+                    errors[shard_id] = err
+                    still_failed.append(shard_id)
+            pending = still_failed
+        if pending:
+            raise RuntimeError(
+                "stream shard steps failed even after the hook-free "
+                "resume: "
+                + "; ".join(
+                    f"shard {sid}: {errors[sid]}" for sid in pending
+                )
+            )
+        return edges
+
+    def evict_idle(self, horizon: float) -> int:
+        replies = self._pool.broadcast(("evict", horizon))
+        return sum(reply[1] for reply in replies.values())
+
+    def prune(self, open_indices: set[int]) -> int:
+        replies = self._pool.broadcast(("prune", open_indices))
+        return sum(reply[1] for reply in replies.values())
+
+    def adopt(self, kb, config, partners, reset_splitters: bool) -> None:
+        self._pool.broadcast(
+            ("adopt", kb, config, partners, reset_splitters)
+        )
+
+    def snapshots(self) -> list[dict]:
+        replies = self._pool.broadcast(("snapshot",))
+        return [replies[shard_id][1] for shard_id in range(self._n_shards)]
+
+    def restore_shards(self, shards: list[dict]) -> None:
+        self._pool.call_all(
+            {
+                shard_id: ("restore", captured)
+                for shard_id, captured in enumerate(shards)
+            }
+        )
+
+    def counts(self) -> tuple[int, int]:
+        replies = self._pool.broadcast(("counts",))
+        return (
+            sum(reply[1][0] for reply in replies.values()),
+            sum(reply[1][1] for reply in replies.values()),
+        )
+
+    def shutdown(self) -> None:
+        self._pool.shutdown()
+
+
 class DigestStream:
     """Online digester: ``push`` messages in time order, collect events.
 
     With ``config.n_workers > 1`` the per-router grouping state is
     partitioned across that many :class:`ShardState` instances and
-    :meth:`push_many` runs their steps on a thread pool; :meth:`push`
-    stays strictly sequential either way, and the grouping is identical
-    for any worker count.
+    :meth:`push_many` runs their steps on the executor lane selected by
+    ``config.stream_workers`` — inline, on a thread pool, or on
+    persistent per-shard worker processes; :meth:`push` stays strictly
+    sequential either way, and the grouping is identical for any worker
+    count and any lane.
     """
 
     def __init__(
@@ -368,6 +680,7 @@ class DigestStream:
         sweep_interval: float = 300.0,
         fault_hook: Callable[[int, int], None] | None = None,
         kb_version: int | str | None = None,
+        step_fault_hook: Callable[[int, int, int], None] | None = None,
     ) -> None:
         self._kb = kb
         self._config = config or DigestConfig()
@@ -382,12 +695,18 @@ class DigestStream:
         self._last_ts: float | None = None
         self._last_sweep: float | None = None
         self._sweep_interval = sweep_interval
-        # Fault-injection seam for the thread-pooled shard tasks: called
-        # as hook(shard_id, attempt) at the *start* of each task, before
-        # any shard state is touched, so a raising hook leaves the shard
-        # clean for the retry.  Attempt 0 is the first run, 1 the retry;
-        # the serial fallback bypasses the hook entirely.
+        # Fault-injection seams for the shard step lanes.  fault_hook is
+        # called as hook(shard_id, attempt) at the *start* of each shard
+        # attempt, before any state is touched; step_fault_hook as
+        # hook(shard_id, attempt, message_position) before *each*
+        # message's step, so an injected mid-list failure lands at a
+        # chosen message with the prefix cleanly applied.  Attempt 0 is
+        # the first run, 1 the retry; the final hook-free resume
+        # bypasses both.  The process lane ships the hooks to its
+        # workers at spawn, so they must be picklable there (see
+        # repro.netsim.faults.StreamWorkerFault / MidStepFault).
         self._fault_hook = fault_hook
+        self._step_fault_hook = step_fault_hook
 
         # Health accounting: plain ints on the hot path, flushed to the
         # metrics registry only at sweep granularity.
@@ -414,14 +733,11 @@ class DigestStream:
 
         n_shards = self._config.n_workers if self._config.shard_by_router else 1
         self._n_shards = max(1, n_shards)
-        self._states = [
-            ShardState(shard, kb, self._config, self._partners)
-            for shard in range(self._n_shards)
-        ]
-        # router -> shard state, so the per-message hot path hashes the
+        self._exec = self._make_executor(kb)
+        # router -> shard index, so the per-message hot path hashes the
         # router name once instead of crc32-ing it on every push.  Router
         # names are external input; clear-on-full bounds the table.
-        self._router_shard: dict[str, ShardState] = {}
+        self._router_shard: dict[str, int] = {}
         # template_key -> deque of (arrival ts, message, its local
         # locations); global because the cross-router pass relates
         # messages across shards.
@@ -434,18 +750,70 @@ class DigestStream:
         """Idle horizon after which a group can no longer grow."""
         return self._config.flush_after
 
-    def _shard_of(self, router: str) -> ShardState:
+    @property
+    def stream_lane(self) -> str:
+        """The executor lane actually running (may differ from the
+        configured one: the process lane degrades to ``threads`` where
+        worker processes cannot be spawned, and to ``serial`` with a
+        single shard — the grouping is identical either way)."""
+        return self._stream_lane
+
+    def _make_executor(self, kb: KnowledgeBase):
+        lane = self._config.stream_workers
+        if lane == "processes" and self._n_shards > 1:
+            try:
+                executor = _ProcessShards(
+                    self._n_shards,
+                    kb,
+                    self._config,
+                    self._partners,
+                    self._fault_hook,
+                    self._step_fault_hook,
+                )
+                self._stream_lane = "processes"
+                return executor
+            except (
+                OSError,
+                ValueError,
+                RuntimeError,
+                TypeError,
+                AttributeError,
+                pickle.PicklingError,
+            ):
+                # No process support (sandboxed platform) or unpicklable
+                # knowledge/hooks: degrade to the thread lane — same
+                # grouping, just without the extra cores.
+                lane = "threads"
+        elif lane == "processes":
+            lane = "serial"  # one shard: nothing to fan out
+        self._stream_lane = lane
+        states = [
+            ShardState(shard, kb, self._config, self._partners)
+            for shard in range(self._n_shards)
+        ]
+        return _LocalShards(
+            lane, states, self._fault_hook, self._step_fault_hook
+        )
+
+    def shutdown_workers(self) -> None:
+        """Stop the process lane's workers (no-op for in-process lanes).
+
+        Daemon workers die with the interpreter anyway; this reclaims
+        them promptly.  The stream must not be pushed to, swept, or
+        snapshotted afterwards.
+        """
+        self._exec.shutdown()
+
+    def _shard_index(self, router: str) -> int:
         if self._n_shards == 1:
-            return self._states[0]
-        state = self._router_shard.get(router)
-        if state is None:
+            return 0
+        shard_id = self._router_shard.get(router)
+        if shard_id is None:
             if len(self._router_shard) >= 1 << 16:
                 self._router_shard.clear()
-            state = self._states[
-                zlib.crc32(router.encode()) % self._n_shards
-            ]
-            self._router_shard[router] = state
-        return state
+            shard_id = zlib.crc32(router.encode()) % self._n_shards
+            self._router_shard[router] = shard_id
+        return shard_id
 
     def _admit(self, message: SyslogMessage) -> tuple[SyslogPlus, float]:
         """Validate ordering/skew, augment, register; return (plus, now)."""
@@ -484,7 +852,8 @@ class DigestStream:
             # instant is an epoch boundary and the pending base adopts.
             swapped = self._swap_boundary(message.timestamp)
         plus, now = self._admit(message)
-        for a, b in self._shard_of(plus.router).step(plus, now):
+        shard_id = self._shard_index(plus.router)
+        for a, b in self._exec.step_one(shard_id, _step_item(plus), now):
             self._uf.union(a, b)
         if self._config.enable_cross_router:
             for a, b in self._cross_step(plus, now):
@@ -499,82 +868,40 @@ class DigestStream:
     ) -> list[NetworkEvent]:
         """Push a time-ordered batch, sharding the per-router passes.
 
-        Shard steps run concurrently on a thread pool (one task per shard,
-        each processing its messages in arrival order); the cross-router
-        pass and the union-find merge then run once over the whole batch.
-        Produces the same grouping as message-by-message :meth:`push`.
+        Shard steps run concurrently on the configured executor lane
+        (one unit of work per shard, each processing its messages in
+        arrival order); the cross-router pass and the union-find merge
+        then run once over the whole batch.  Produces the same grouping
+        as message-by-message :meth:`push`.
+
+        While a knowledge hot swap is pending, messages are processed
+        one at a time through :meth:`push` until the swap adopts:
+        :meth:`push` re-checks the epoch boundary before every message,
+        so adoption lands at the same intra-batch instant it would under
+        per-message pushing.  (Checking only at the batch head deferred
+        a mid-batch boundary to the next batch — a divergence between
+        ``push`` and ``push_many`` that a hot-swap test now pins.)
+        Pending swaps are transient, so the per-message prefix ends at
+        the adoption boundary and the batch lane resumes.
         """
         incoming = list(messages)
-        swapped: list[NetworkEvent] = []
-        if self._pending_kb is not None and incoming:
-            swapped = self._swap_boundary(incoming[0].timestamp)
-        batch: list[tuple[SyslogPlus, float]] = []
-        for message in incoming:
-            batch.append(self._admit(message))
-        if not batch:
-            return []
+        out: list[NetworkEvent] = []
+        start = 0
+        while start < len(incoming) and self._pending_kb is not None:
+            out.extend(self.push(incoming[start]))
+            start += 1
+        if start == len(incoming):
+            return out
 
-        per_shard: dict[int, list[tuple[SyslogPlus, float]]] = {}
+        batch = [self._admit(message) for message in incoming[start:]]
+        per_shard: dict[int, list[tuple[StepItem, float]]] = {}
         for plus, now in batch:
-            state = self._shard_of(plus.router)
-            per_shard.setdefault(state._shard_id, []).append((plus, now))
+            per_shard.setdefault(
+                self._shard_index(plus.router), []
+            ).append((_step_item(plus), now))
 
-        def run_serial(shard_id: int) -> list[Edge]:
-            state = self._states[shard_id]
-            edges: list[Edge] = []
-            for plus, now in per_shard[shard_id]:
-                edges.extend(state.step(plus, now))
-            return edges
-
-        def run_shard(shard_id: int, attempt: int = 0) -> list[Edge]:
-            # The fault hook fires before any shard state is touched, so
-            # a raising hook leaves the shard clean for the retry.
-            if self._fault_hook is not None:
-                self._fault_hook(shard_id, attempt)
-            return run_serial(shard_id)
-
-        shard_order = sorted(per_shard)
-        edge_lists: dict[int, list[Edge]] = {}
-        registry = get_registry()
-        if self._n_shards > 1 and len(per_shard) > 1:
-            failed: list[int] = []
-            with ThreadPoolExecutor(max_workers=self._n_shards) as pool:
-                futures = {
-                    shard_id: pool.submit(run_shard, shard_id)
-                    for shard_id in shard_order
-                }
-                for shard_id, future in futures.items():
-                    try:
-                        edge_lists[shard_id] = future.result()
-                    except Exception:
-                        failed.append(shard_id)
-                # A failed shard task is retried once on the pool...
-                fallback: list[int] = []
-                for shard_id in failed:
-                    if registry.enabled:
-                        registry.inc(SHARD_RETRIES, engine="stream")
-                    try:
-                        edge_lists[shard_id] = pool.submit(
-                            run_shard, shard_id, 1
-                        ).result()
-                    except Exception:
-                        fallback.append(shard_id)
-            # ...then falls back to in-process serial grouping, which
-            # bypasses the fault hook — one flaky worker must never kill
-            # the digest.
-            for shard_id in fallback:
-                if registry.enabled:
-                    registry.inc(SHARD_FALLBACKS, engine="stream")
-                edge_lists[shard_id] = run_serial(shard_id)
-        else:
-            for shard_id in shard_order:
-                try:
-                    edge_lists[shard_id] = run_shard(shard_id)
-                except Exception:
-                    if registry.enabled:
-                        registry.inc(SHARD_FALLBACKS, engine="stream")
-                    edge_lists[shard_id] = run_serial(shard_id)
-        for shard_id in shard_order:
+        edge_lists = self._exec.step_many(per_shard)
+        for shard_id in sorted(edge_lists):
             for a, b in edge_lists[shard_id]:
                 self._uf.union(a, b)
 
@@ -584,8 +911,9 @@ class DigestStream:
                     self._uf.union(a, b)
         events = self._maybe_sweep(batch[-1][1])
         shed = self._shed()
-        out = events + shed if shed else events
-        return swapped + out if swapped else out
+        out.extend(events)
+        out.extend(shed)
+        return out
 
     def close(self) -> list[NetworkEvent]:
         """Finalize and return all remaining open groups."""
@@ -690,8 +1018,10 @@ class DigestStream:
         self._augmenter._counter = counter
         self._prioritizer = Prioritizer(kb)
         self._partners = build_rule_partners(kb.rule_pairs())
-        for state in self._states:
-            state.adopt(kb, self._config, self._partners, reset_splitters)
+        # The one re-broadcast of the stream's lifetime: the process
+        # lane ships the adopted base to every worker here; in-process
+        # lanes just re-point their shard states.
+        self._exec.adopt(kb, self._config, self._partners, reset_splitters)
         self._n_swaps += 1
 
     # ------------------------------------------------------- snapshot/restore
@@ -731,7 +1061,7 @@ class DigestStream:
             "n_admitted": self._augmenter._counter,
             "open": dict(self._open),
             "components": components,
-            "shards": [state.snapshot() for state in self._states],
+            "shards": self._exec.snapshots(),
             "cross_window": {
                 template: list(queue)
                 for template, queue in self._cross_window.items()
@@ -770,7 +1100,13 @@ class DigestStream:
             raise ValueError(
                 "restore() requires a freshly constructed stream"
             )
-        if state["config"] != self._config:
+        # The executor lane is an execution detail — all lanes group
+        # byte-identically — so a checkpoint restores across lanes;
+        # every other knob must match.
+        snap_config = state["config"]
+        if snap_config.with_stream_workers(
+            self._config.stream_workers
+        ) != self._config:
             raise ValueError(
                 "snapshot config does not match this stream's config; "
                 "construct the stream with the checkpointed config"
@@ -791,8 +1127,7 @@ class DigestStream:
             self._uf.add(first)
             for index in component[1:]:
                 self._uf.union(first, index)
-        for shard_state, captured in zip(self._states, state["shards"]):
-            shard_state.restore(captured)
+        self._exec.restore_shards(state["shards"])
         self._cross_window = {
             template: deque(entries)
             for template, entries in state["cross_window"].items()
@@ -889,8 +1224,7 @@ class DigestStream:
 
     def _finalize_idle(self, now: float) -> list[NetworkEvent]:
         horizon = now - self.flush_after
-        for state in self._states:
-            self._n_evicted += state.evict_idle(horizon)
+        self._n_evicted += self._exec.evict_idle(horizon)
         return self._collect_groups(lambda last: last < horizon)
 
     def _open_groups(self) -> dict[int, list[SyslogPlus]]:
@@ -957,8 +1291,7 @@ class DigestStream:
         # streams stay bounded: temporal tails, rule windows (per shard)
         # and the cross-router window.
         open_indices = set(self._open)
-        for state in self._states:
-            self._n_pruned += state.prune(open_indices)
+        self._n_pruned += self._exec.prune(open_indices)
         for template in list(self._cross_window):
             kept = deque(
                 item
@@ -984,12 +1317,12 @@ class DigestStream:
     @property
     def n_splitters(self) -> int:
         """Live temporal splitters across all shards (leak diagnostics)."""
-        return sum(state.n_splitters for state in self._states)
+        return self._exec.counts()[0]
 
     @property
     def n_window_entries(self) -> int:
         """Live rule + cross window entries (leak diagnostics)."""
-        rule = sum(state.n_window_entries for state in self._states)
+        rule = self._exec.counts()[1]
         cross = sum(len(q) for q in self._cross_window.values())
         return rule + cross
 
@@ -1063,6 +1396,7 @@ class DigestStream:
         reg.set_gauge(STREAM_WINDOW_ENTRIES, self.n_window_entries)
         reg.set_gauge(STREAM_WATERMARK_LAG, self.watermark_lag)
         reg.set_gauge(CHECKPOINT_AGE, self.checkpoint_age)
+        reg.set_gauge(STREAM_WORKER_PROCS, self._exec.n_worker_processes)
         reg.set_gauge(
             STREAM_KB_SWAP_PENDING,
             1.0 if self._pending_kb is not None else 0.0,

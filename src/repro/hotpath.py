@@ -67,7 +67,30 @@ def digest_fingerprint(result) -> str:
     module keeps zero intra-package imports (it sits below everything).
     """
     h = hashlib.sha256()
-    for event in result.events:
+    _hash_events(h, result.events)
+    h.update(repr(sorted(result.active_rules)).encode())
+    h.update(repr((result.n_messages, result.n_events)).encode())
+    return h.hexdigest()
+
+
+def stream_fingerprint(events) -> str:
+    """Canonical SHA-256 over a streaming run's finalized events.
+
+    Same per-event and per-message coverage as :func:`digest_fingerprint`
+    (member indices, identity fields, template, locations, label, score),
+    minus the batch-only active-rule set, which a stream does not track.
+    Two streaming runs whose fingerprints match emitted byte-identical
+    events in the same order — the equality the serial ≡ threads ≡
+    processes executor-lane gate asserts in ``make check``.
+    """
+    h = hashlib.sha256()
+    _hash_events(h, events)
+    h.update(repr(len(events)).encode())
+    return h.hexdigest()
+
+
+def _hash_events(h, events) -> None:
+    for event in events:
         h.update(b"E")
         h.update(repr((event.label, event.score)).encode())
         for plus in event.messages:
@@ -95,6 +118,3 @@ def digest_fingerprint(result) -> str:
                     )
                 ).encode()
             )
-    h.update(repr(sorted(result.active_rules)).encode())
-    h.update(repr((result.n_messages, result.n_events)).encode())
-    return h.hexdigest()

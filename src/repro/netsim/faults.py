@@ -72,6 +72,63 @@ class FlakyShardTask:
         return timed_shard_edge_task(payload)
 
 
+class StreamWorkerFault:
+    """Streaming fault hook: chosen shards fail cleanly at task start.
+
+    The ``DigestStream(fault_hook=...)`` seam — raises before any shard
+    state is touched, for the first ``fail_attempts`` attempts of every
+    batch.  Picklable (top-level class, plain attributes) so the process
+    lane can ship it to its workers at spawn.
+    """
+
+    def __init__(
+        self, fail_shards: tuple[int, ...], fail_attempts: int = 1
+    ) -> None:
+        self.fail_shards = tuple(fail_shards)
+        self.fail_attempts = fail_attempts
+
+    def __call__(self, shard_id: int, attempt: int) -> None:
+        if shard_id in self.fail_shards and attempt < self.fail_attempts:
+            raise InjectedWorkerFault(
+                f"injected fault: shard {shard_id}, attempt {attempt}"
+            )
+
+
+class MidStepFault:
+    """Streaming step hook: chosen shards fail *mid-list*, after ``after``
+    messages of a batch have been fully applied.
+
+    The ``DigestStream(step_fault_hook=...)`` seam — called before each
+    message's step with that message's position in the shard's batch
+    list, so the raise lands with a cleanly-applied prefix behind it.
+    Exactly the shape of the shard-retry corruption bug: a recovery that
+    replays the prefix diverges (or trips the splitters' non-decreasing
+    invariant); one that resumes at the failed message is byte-identical
+    to a no-fault run.  Picklable for the process lane.
+    """
+
+    def __init__(
+        self,
+        fail_shards: tuple[int, ...],
+        after: int,
+        fail_attempts: int = 1,
+    ) -> None:
+        self.fail_shards = tuple(fail_shards)
+        self.after = after
+        self.fail_attempts = fail_attempts
+
+    def __call__(self, shard_id: int, attempt: int, position: int) -> None:
+        if (
+            shard_id in self.fail_shards
+            and attempt < self.fail_attempts
+            and position >= self.after
+        ):
+            raise InjectedWorkerFault(
+                f"injected mid-step fault: shard {shard_id}, "
+                f"attempt {attempt}, message {position}"
+            )
+
+
 @dataclass(frozen=True)
 class FaultProfile:
     """Base profile: the clean feed.  Applying it is a strict no-op."""
@@ -88,6 +145,11 @@ class FaultProfile:
 
     def stream_fault_hook(self):
         """Fault hook for ``DigestStream(fault_hook=...)`` (None = none)."""
+        return None
+
+    def stream_step_hook(self):
+        """Step hook for ``DigestStream(step_fault_hook=...)`` (None =
+        none)."""
         return None
 
 
@@ -337,28 +399,33 @@ class DuplicateBurst(FaultProfile):
 @dataclass(frozen=True)
 class WorkerFaults(FaultProfile):
     """Compute-path faults: chosen pool workers raise on their first
-    ``fail_attempts`` attempts.  Leaves the trace itself untouched."""
+    ``fail_attempts`` attempts.  Leaves the trace itself untouched.
+
+    With ``after`` set, the streaming fault moves from task start to
+    *mid-list*: the shard fails before stepping message ``after`` of a
+    batch, leaving a partially-advanced shard for the recovery path to
+    resume exactly (the shard-retry exactness contract).
+    """
 
     name: str = "worker"
     fail_shards: tuple[int, ...] = (0,)
     fail_attempts: int = 1
+    after: int | None = None
 
     def shard_task(self):
         return FlakyShardTask(self.fail_shards, self.fail_attempts)
 
     def stream_fault_hook(self):
-        task = FlakyShardTask(self.fail_shards, self.fail_attempts)
+        if self.after is not None:
+            return None  # mid-step profile: the step hook carries it
+        return StreamWorkerFault(self.fail_shards, self.fail_attempts)
 
-        def hook(shard_id: int, attempt: int) -> None:
-            if (
-                shard_id in task.fail_shards
-                and attempt < task.fail_attempts
-            ):
-                raise InjectedWorkerFault(
-                    f"injected fault: shard {shard_id}, attempt {attempt}"
-                )
-
-        return hook
+    def stream_step_hook(self):
+        if self.after is None:
+            return None
+        return MidStepFault(
+            self.fail_shards, self.after, self.fail_attempts
+        )
 
 
 @dataclass(frozen=True)
@@ -385,6 +452,13 @@ class Compose(FaultProfile):
     def stream_fault_hook(self):
         for profile in self.profiles:
             hook = profile.stream_fault_hook()
+            if hook is not None:
+                return hook
+        return None
+
+    def stream_step_hook(self):
+        for profile in self.profiles:
+            hook = profile.stream_step_hook()
             if hook is not None:
                 return hook
         return None

@@ -76,6 +76,13 @@ INGEST_FAILURES = "syslogdigest_ingest_failed_sources_total"
 SHARD_RETRIES = "syslogdigest_shard_retries_total"
 SHARD_FALLBACKS = "syslogdigest_shard_fallbacks_total"
 
+#: Streaming worker processes (DESIGN.md §12): parent <-> worker
+#: command round-trips (labelled ``cmd=``), their fan-out wall time,
+#: and how many worker processes are currently alive.
+STREAM_WORKER_ROUNDTRIPS = "syslogdigest_stream_worker_roundtrips_total"
+STREAM_WORKER_RTT_SECONDS = "syslogdigest_stream_worker_roundtrip_seconds"
+STREAM_WORKER_PROCS = "syslogdigest_stream_worker_processes"
+
 #: Multi-source ingest front-end (DESIGN.md §10).  Per-source series
 #: carry a ``source=`` label; the breaker-state gauge encodes
 #: closed=0, half_open=1, open=2.

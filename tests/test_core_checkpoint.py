@@ -20,6 +20,7 @@ from repro.core.checkpoint import (
     restore_stream,
     write_checkpoint,
 )
+from repro.core.parallel import WorkerProcessDied
 from repro.core.present import present_event
 from repro.core.stream import SNAPSHOT_VERSION, DigestStream
 from repro.obs import (
@@ -101,6 +102,96 @@ class TestKillAndResume:
         events.extend(resumed.close())
         assert _rendered(events) == _rendered(full)
 
+    def test_process_lane_kill_and_resume_is_byte_identical(
+        self, system_a, ordered_a, tmp_path
+    ):
+        """Worker processes hard-killed mid-stream; resume on a fresh set.
+
+        The snapshot gathers every worker's shard state over the wire,
+        so a checkpoint taken from the process lane restores into brand
+        new workers with nothing lost — and the killed stream itself
+        fails loudly rather than grouping on half-dead shards.
+        """
+        config = system_a.config.with_workers(4).with_stream_workers(
+            "processes"
+        )
+        chunk = 250
+        chunks = [
+            ordered_a[i : i + chunk]
+            for i in range(0, len(ordered_a), chunk)
+        ]
+        full_stream = DigestStream(system_a.kb, config)
+        assert full_stream.stream_lane == "processes"
+        full = []
+        for part in chunks:
+            full.extend(full_stream.push_many(part))
+        full.extend(full_stream.close())
+        full_stream.shutdown_workers()
+
+        cut = len(chunks) // 2
+        first = DigestStream(system_a.kb, config)
+        events = []
+        for part in chunks[:cut]:
+            events.extend(first.push_many(part))
+        path = tmp_path / "digest.ckpt"
+        info = write_checkpoint(path, first)
+
+        # SIGTERM every live worker: the stream must refuse to continue.
+        for proc in first._exec._pool._procs:
+            proc.terminate()
+            proc.join()
+        with pytest.raises(WorkerProcessDied, match="checkpoint"):
+            first.push_many(chunks[cut])
+
+        resumed = restore_stream(path, system_a.kb)
+        assert resumed.stream_lane == "processes"  # a fresh worker set
+        tail = ordered_a[info.n_admitted :]
+        for i in range(0, len(tail), chunk):
+            events.extend(resumed.push_many(tail[i : i + chunk]))
+        events.extend(resumed.close())
+        resumed.shutdown_workers()
+        assert _rendered(events) == _rendered(full)
+
+    def test_cross_lane_resume_is_byte_identical(
+        self, system_a, ordered_a, tmp_path
+    ):
+        """A checkpoint taken under threads resumes on worker processes.
+
+        The lane is an execution detail: ``restore_stream``'s
+        ``stream_workers`` override swaps it without touching grouping
+        state, and the output matches an uninterrupted threaded run.
+        """
+        config = system_a.config.with_workers(4)  # threads lane
+        chunk = 250
+        chunks = [
+            ordered_a[i : i + chunk]
+            for i in range(0, len(ordered_a), chunk)
+        ]
+        full_stream = DigestStream(system_a.kb, config)
+        full = []
+        for part in chunks:
+            full.extend(full_stream.push_many(part))
+        full.extend(full_stream.close())
+
+        cut = len(chunks) // 2
+        first = DigestStream(system_a.kb, config)
+        events = []
+        for part in chunks[:cut]:
+            events.extend(first.push_many(part))
+        path = tmp_path / "digest.ckpt"
+        info = write_checkpoint(path, first)
+
+        resumed = restore_stream(
+            path, system_a.kb, stream_workers="processes"
+        )
+        assert resumed.stream_lane == "processes"
+        tail = ordered_a[info.n_admitted :]
+        for i in range(0, len(tail), chunk):
+            events.extend(resumed.push_many(tail[i : i + chunk]))
+        events.extend(resumed.close())
+        resumed.shutdown_workers()
+        assert _rendered(events) == _rendered(full)
+
     def test_snapshot_restore_roundtrip_without_file(
         self, system_a, ordered_a
     ):
@@ -141,7 +232,7 @@ class TestRestoreAfterMaintenance:
         twin.restore(first.snapshot())
         assert twin.n_splitters == first.n_splitters
         assert twin.n_window_entries == first.n_window_entries
-        for ours, theirs in zip(twin._states, first._states):
+        for ours, theirs in zip(twin._exec._states, first._exec._states):
             assert set(ours._splitters) == set(theirs._splitters)
             for key, splitter in ours._splitters.items():
                 original = theirs._splitters[key]

@@ -44,9 +44,10 @@ def gapped_a(ordered_a):
     only adopts at close(); the gap guarantees a mid-stream epoch
     boundary (every open group sails past its idle horizon).
     """
-    # Aligned to the 250-message chunks the sharded tests push, so the
-    # first post-gap batch *starts* past the boundary (push_many checks
-    # for a boundary once per batch, at its first message).
+    # Aligned to the 250-message chunks the sharded resume tests push —
+    # a convenience, not a requirement: push_many adopts at an
+    # intra-batch boundary too (TestMidBatchSwapBoundary pins the
+    # deliberately misaligned case).
     cut = max(250, (len(ordered_a) // 3) // 250 * 250)
     head = list(ordered_a[:cut])
     tail = [
@@ -353,3 +354,85 @@ class TestCheckpointInteraction:
         write_checkpoint(path, stream)
         with pytest.raises(ValueError, match="kb|store"):
             restore_stream(path)
+
+
+def _gap_index(messages):
+    """Index of the first message past the fixture's 6 h quiet gap."""
+    for i in range(1, len(messages)):
+        if messages[i].timestamp - messages[i - 1].timestamp > 4 * HOUR:
+            return i
+    raise AssertionError("no quiet gap found in the gapped feed")
+
+
+class TestMidBatchSwapBoundary:
+    """A pending swap whose epoch boundary lands *inside* a batch.
+
+    ``push_many`` must adopt promoted knowledge at the intra-batch
+    boundary exactly as message-by-message ``push`` does: the batch that
+    straddles the quiet gap adopts itself, not the next one, and the
+    thread and process executor lanes agree byte-for-byte.  (The old
+    code checked for a boundary only at each batch's first message, so
+    a misaligned batch silently deferred adoption by one batch.)
+    """
+
+    CHUNK = 313  # deliberately misaligned with the gap's position
+
+    def _run_batched(self, system, kb2, gapped, lane, gap_chunk):
+        config = system.config.with_workers(4).with_stream_workers(lane)
+        stream = DigestStream(system.kb, config, kb_version=1)
+        try:
+            events = []
+            for i in range(0, len(gapped), self.CHUNK):
+                chunk_no = i // self.CHUNK
+                if chunk_no == 1:
+                    events.extend(stream.request_swap(kb2, version=2))
+                    assert stream.swap_pending  # open groups defer it
+                events.extend(
+                    stream.push_many(gapped[i : i + self.CHUNK])
+                )
+                if 1 <= chunk_no < gap_chunk:
+                    assert stream.kb_version == 1
+                elif chunk_no >= gap_chunk:
+                    # The straddling batch itself adopted, mid-batch.
+                    assert stream.kb_version == 2
+                    assert not stream.swap_pending
+            events.extend(stream.close())
+            assert stream.n_swaps == 1
+        finally:
+            stream.shutdown_workers()
+        return events
+
+    def test_push_equals_push_many_equals_process_lane(
+        self, system_a, kb2, gapped_a
+    ):
+        gap = _gap_index(gapped_a)
+        gap_chunk, offset = divmod(gap, self.CHUNK)
+        assert offset != 0  # the boundary is strictly inside a batch
+        assert gap_chunk >= 2  # the pending window spans whole batches
+
+        reference = DigestStream(
+            system_a.kb, system_a.config.with_workers(4), kb_version=1
+        )
+        per_message = []
+        for i, message in enumerate(gapped_a):
+            if i == self.CHUNK:  # same request point as the batched runs
+                per_message.extend(
+                    reference.request_swap(kb2, version=2)
+                )
+            per_message.extend(reference.push(message))
+        per_message.extend(reference.close())
+        assert reference.kb_version == 2
+        assert reference.n_swaps == 1
+
+        threads = self._run_batched(
+            system_a, kb2, gapped_a, "threads", gap_chunk
+        )
+        procs = self._run_batched(
+            system_a, kb2, gapped_a, "processes", gap_chunk
+        )
+        # Lanes are interchangeable executors: identical, in order.
+        assert _rendered(threads) == _rendered(procs)
+        # Batch sweeps run at batch end rather than per message, which
+        # can shift *when* an idle group is emitted but never its
+        # content: same events, byte for byte.
+        assert sorted(_rendered(per_message)) == sorted(_rendered(threads))

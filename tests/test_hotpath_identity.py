@@ -15,12 +15,15 @@ import pytest
 
 from repro.core.config import DigestConfig
 from repro.core.pipeline import SyslogDigest
+from repro.core.stream import DigestStream
 from repro.hotpath import (
     digest_fingerprint,
     reference_enabled,
     reference_mode,
+    stream_fingerprint,
 )
 from repro.netsim.scale import ScaleGenerator, ScaleSpec
+from repro.syslog.stream import sort_messages
 
 
 class TestReferenceMode:
@@ -78,6 +81,74 @@ class TestScaleIdentity:
         digest, messages = scale_setup
         full = digest_fingerprint(digest.digest(messages))
         half = digest_fingerprint(digest.digest(messages[: len(messages) // 2]))
+        assert full != half
+
+
+def _stream_lane_fingerprint(kb, config, messages, lane, chunk=500):
+    """Fingerprint one full streaming run under the given executor lane."""
+    stream = DigestStream(kb, config.with_stream_workers(lane))
+    try:
+        actual_lane = stream.stream_lane
+        events = []
+        for i in range(0, len(messages), chunk):
+            events.extend(stream.push_many(messages[i : i + chunk]))
+        events.extend(stream.close())
+    finally:
+        stream.shutdown_workers()
+    return stream_fingerprint(events), actual_lane
+
+
+class TestStreamLaneIdentity:
+    """The executor-lane gate: serial ≡ threads ≡ processes.
+
+    ``DigestStream.push_many`` must emit byte-identical events whichever
+    lane runs the shard steps — same grouping, same scores, same order.
+    The process-lane run also asserts it actually ran on worker
+    processes (no silent degradation to threads), so the gate cannot
+    pass vacuously.
+    """
+
+    def test_three_lanes_byte_identical_on_scale_mix(self, scale_setup):
+        digest, messages = scale_setup
+        ordered = sort_messages(messages)
+        config = digest.config.with_workers(4)
+        serial, _ = _stream_lane_fingerprint(
+            digest.kb, config, ordered, "serial"
+        )
+        threads, _ = _stream_lane_fingerprint(
+            digest.kb, config, ordered, "threads"
+        )
+        procs, lane = _stream_lane_fingerprint(
+            digest.kb, config, ordered, "processes"
+        )
+        assert lane == "processes"
+        assert serial == threads == procs
+
+    def test_three_lanes_byte_identical_on_dataset(self, system_a, live_a):
+        ordered = sort_messages(m.message for m in live_a.messages)
+        config = system_a.config.with_workers(4)
+        serial, _ = _stream_lane_fingerprint(
+            system_a.kb, config, ordered, "serial"
+        )
+        threads, _ = _stream_lane_fingerprint(
+            system_a.kb, config, ordered, "threads"
+        )
+        procs, lane = _stream_lane_fingerprint(
+            system_a.kb, config, ordered, "processes"
+        )
+        assert lane == "processes"
+        assert serial == threads == procs
+
+    def test_stream_fingerprint_detects_differences(self, scale_setup):
+        digest, messages = scale_setup
+        ordered = sort_messages(messages)
+        config = digest.config.with_workers(4)
+        full, _ = _stream_lane_fingerprint(
+            digest.kb, config, ordered, "serial"
+        )
+        half, _ = _stream_lane_fingerprint(
+            digest.kb, config, ordered[: len(ordered) // 2], "serial"
+        )
         assert full != half
 
 

@@ -16,6 +16,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.stream import DigestStream, ShardState
+from repro.netsim.faults import WorkerFaults
+from repro.obs import (
+    SHARD_FALLBACKS,
+    SHARD_RETRIES,
+    MetricsRegistry,
+    scoped_registry,
+)
 from repro.syslog.stream import sort_messages
 
 
@@ -107,3 +114,73 @@ class TestShardRetryExactness:
         retried = _run_chunks(system_a, ordered_a, n_workers=1)
         assert calls["n"] > 120
         assert _sig(retried) == _sig(baseline)
+
+
+def _run_lane(system, messages, lane, profile=None, chunk=200):
+    """One full streaming run on the given lane, optional fault profile."""
+    hooks = {}
+    if profile is not None:
+        hooks = {
+            "fault_hook": profile.stream_fault_hook(),
+            "step_fault_hook": profile.stream_step_hook(),
+        }
+    stream = DigestStream(
+        system.kb,
+        system.config.with_workers(4).with_stream_workers(lane),
+        **hooks,
+    )
+    try:
+        if lane == "processes":
+            assert stream.stream_lane == "processes"
+        events = []
+        for i in range(0, len(messages), chunk):
+            events.extend(stream.push_many(messages[i : i + chunk]))
+        events.extend(stream.close())
+    finally:
+        stream.shutdown_workers()
+    return events
+
+
+@pytest.fixture(scope="module")
+def lane_baseline(system_a, ordered_a):
+    """The no-fault reference digest (lane-independent by the identity
+    gate, so one serial run serves all three lanes)."""
+    return _sig(_run_lane(system_a, ordered_a, "serial"))
+
+
+class TestMidStepFaultAcrossLanes:
+    """The retry-exactness contract holds identically in every lane.
+
+    :class:`~repro.netsim.faults.MidStepFault` (via the ``WorkerFaults``
+    profile's ``after`` knob) raises *inside* a shard's message list —
+    for the process lane, inside the worker process itself, shipped at
+    spawn.  Whatever recovery rung handles it (pool retry or hook-free
+    fallback), the digest must equal the no-fault run byte for byte.
+    """
+
+    @pytest.mark.parametrize("lane", ["serial", "threads", "processes"])
+    def test_retry_is_deterministic(
+        self, system_a, ordered_a, lane, lane_baseline
+    ):
+        profile = WorkerFaults(fail_shards=(0,), after=25)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            faulted = _run_lane(system_a, ordered_a, lane, profile)
+        # The fault actually fired and was retried, not absorbed.
+        assert registry.counter_value(SHARD_RETRIES, engine="stream") >= 1.0
+        assert _sig(faulted) == lane_baseline
+
+    @pytest.mark.parametrize("lane", ["serial", "threads", "processes"])
+    def test_fallback_is_deterministic(
+        self, system_a, ordered_a, lane, lane_baseline
+    ):
+        """Exhausting every hooked attempt lands in the hook-free
+        fallback resume, which must also match the no-fault digest."""
+        profile = WorkerFaults(fail_shards=(0,), after=25, fail_attempts=2)
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            faulted = _run_lane(system_a, ordered_a, lane, profile)
+        assert (
+            registry.counter_value(SHARD_FALLBACKS, engine="stream") >= 1.0
+        )
+        assert _sig(faulted) == lane_baseline
