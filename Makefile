@@ -10,16 +10,20 @@ PY = PYTHONPATH=src python
 # a refresh over an empty period may never mint a new knowledge version —
 # the ingest clean-feed no-op: a single in-order clean source pushed
 # through the resilient front-end must be byte-identical to the direct
-# path — and the hot-path identity gate: the compiled per-message path
+# path — the hot-path identity gate: the compiled per-message path
 # (indexed matching, memoized augmentation, cached dictionary queries)
 # must digest byte-identically to the reference path, serial and with
-# 4 workers.
+# 4 workers, and the streaming executor lanes (serial | threads |
+# worker processes) must be byte-identical to each other — and the
+# shard-retry determinism gate: a mid-list shard fault must recover by
+# resuming at the failed message, never by replaying applied state.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
 	$(PY) -m pytest -q tests/test_core_promotion.py -k zero_drift
 	$(PY) -m pytest -q tests/test_syslog_ingest.py -k byte_identical
 	$(PY) -m pytest -q tests/test_hotpath_identity.py
+	$(PY) -m pytest -q tests/test_stream_workers.py
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -56,9 +60,11 @@ bench-ingest:
 
 # Million-message scale run: 1000 routers, heavy-tailed volume, chunked
 # streaming; pins the msgs/sec floor and the compiled-vs-reference
-# speedup (writes benchmarks/results/throughput_scale.txt).
+# speedup, plus the per-executor-lane streaming rates with the pinned
+# process-lane floor (writes benchmarks/results/throughput_scale.txt
+# and benchmarks/results/throughput_streaming_lanes.txt).
 bench-scale:
-	REPRO_SCALE_MESSAGES=1000000 $(PY) -m pytest -q benchmarks/bench_throughput.py -k scale_trajectory
+	REPRO_SCALE_MESSAGES=1000000 $(PY) -m pytest -q benchmarks/bench_throughput.py -k "scale_trajectory or streaming_lanes"
 
 clean:
 	rm -rf .pytest_cache $$(find . -name __pycache__ -type d)
