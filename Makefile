@@ -2,7 +2,7 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults lifecycle ingest bench bench-refresh bench-ingest bench-scale clean
+.PHONY: check test faults lifecycle ingest serve serve-smoke bench bench-refresh bench-ingest bench-scale clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
 # checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
@@ -16,7 +16,11 @@ PY = PYTHONPATH=src python
 # 4 workers, and the streaming executor lanes (serial | threads |
 # worker processes) must be byte-identical to each other — and the
 # shard-retry determinism gate: a mid-list shard fault must recover by
-# resuming at the failed message, never by replaying applied state.
+# resuming at the failed message, never by replaying applied state —
+# and the serve-smoke crash gate: a real `repro serve` daemon SIGKILLed
+# mid-stream must, on restart under a different PYTHONHASHSEED, finish
+# byte-identical to an uninterrupted run (serial + process lanes), and
+# SIGTERM must drain to exit 0 with a final checkpoint.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
@@ -24,6 +28,7 @@ check:
 	$(PY) -m pytest -q tests/test_syslog_ingest.py -k byte_identical
 	$(PY) -m pytest -q tests/test_hotpath_identity.py
 	$(PY) -m pytest -q tests/test_stream_workers.py
+	$(PY) -m pytest -q tests/test_serve_smoke.py
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -42,6 +47,17 @@ lifecycle:
 # dedup, admission control, ingest x checkpoint round-trips.
 ingest:
 	$(PY) -m pytest -q -m ingest
+
+# All serve-daemon tests: journal, supervisor state machine, tenant
+# runtime, HTTP API, and the cross-process smoke gate.
+serve:
+	$(PY) -m pytest -q -m serve
+
+# Just the end-to-end crash-recovery smoke gate (also part of `check`):
+# kill -9 a live two-tenant daemon mid-stream, restart it, and require
+# a byte-identical digest; SIGTERM must drain to exit 0.
+serve-smoke:
+	$(PY) -m pytest -q tests/test_serve_smoke.py
 
 # Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
 bench:

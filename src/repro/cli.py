@@ -193,11 +193,15 @@ def _ingest_feeds(paths: list[str]) -> list[tuple[str, str]]:
 def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     """Drive a streaming digest through the ingest front-end.
 
-    Returns ``(ingest, events, quarantine)`` with the stream closed and
-    all events finalized.
+    Returns ``(ingest, events, quarantine, interrupted)``.  Normally the
+    stream is closed with all events finalized; under SIGTERM/SIGINT the
+    run instead checkpoints (when ``--checkpoint`` was given) and stops
+    cleanly mid-feed — open groups stay open inside the checkpoint, and
+    ``interrupted`` is True.
     """
     from repro.core.config import IngestConfig
     from repro.core.stream import DigestStream
+    from repro.serve.drain import GracefulShutdown
     from repro.syslog.ingest import MultiSourceIngest
     from repro.syslog.resilient import Quarantine
 
@@ -218,11 +222,56 @@ def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     ingest = MultiSourceIngest(
         stream, ingest_config, quarantine=quarantine
     )
+    checkpoint_path = getattr(args, "checkpoint", None)
     events = []
-    for source, line in _ingest_feeds(paths):
-        events.extend(ingest.push_line(source, line))
+    with GracefulShutdown() as stop:
+        for source, line in _ingest_feeds(paths):
+            if stop:
+                _checkpoint_on_signal(stream, checkpoint_path, stop)
+                return ingest, events, quarantine, True
+            events.extend(ingest.push_line(source, line))
     events.extend(ingest.close())
-    return ingest, events, quarantine
+    return ingest, events, quarantine, False
+
+
+def _checkpoint_on_signal(stream, checkpoint_path, stop) -> None:
+    """Checkpoint-then-exit on SIGTERM/SIGINT (long-running CLI paths)."""
+    if checkpoint_path is not None:
+        from repro.core.checkpoint import write_checkpoint
+
+        info = write_checkpoint(checkpoint_path, stream)
+        print(
+            f"# {stop.signal_name}: checkpointed {info.n_admitted} "
+            f"admitted / {info.n_open} open messages to "
+            f"{checkpoint_path}; resume with `syslogdigest resume`",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"# {stop.signal_name}: stopping cleanly (no --checkpoint, "
+            "state discarded)",
+            file=sys.stderr,
+        )
+
+
+def _push_interruptible(
+    stream, messages, checkpoint_path, chunk: int = 2048
+) -> tuple[list, bool]:
+    """Push ``messages`` in chunks, honoring SIGTERM/SIGINT between them.
+
+    Returns ``(events, interrupted)``; on interrupt the stream is
+    checkpointed (when a path is configured) instead of dying mid-batch.
+    """
+    from repro.serve.drain import GracefulShutdown
+
+    events: list = []
+    with GracefulShutdown() as stop:
+        for i in range(0, len(messages), chunk):
+            if stop:
+                _checkpoint_on_signal(stream, checkpoint_path, stop)
+                return events, True
+            events.extend(stream.push_many(messages[i : i + chunk]))
+    return events, False
 
 
 def _cmd_digest(args: argparse.Namespace) -> int:
@@ -230,12 +279,15 @@ def _cmd_digest(args: argparse.Namespace) -> int:
     if args.ingest or args.source:
         from repro.core.present import present_digest
 
-        ingest, events, quarantine = _run_ingest(args, kb, kb_version)
+        ingest, events, quarantine, interrupted = _run_ingest(
+            args, kb, kb_version
+        )
         health = ingest.health()
         n_messages = sum(ingest.pushed_counts().values())
+        partial = " (interrupted)" if interrupted else ""
         print(
             f"# {n_messages} arrivals over {health['sources']} sources -> "
-            f"{len(events)} events (late {health['late_dropped']}, "
+            f"{len(events)} events{partial} (late {health['late_dropped']}, "
             f"dedup {health['deduplicated']}, "
             f"breaker-rejected {health['breaker_rejected']})"
         )
@@ -307,7 +359,16 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         f"{len(tail)} of {len(ordered)}",
         file=sys.stderr,
     )
-    events = stream.push_many(tail) if tail else []
+    events, interrupted = _push_interruptible(
+        stream, tail, args.checkpoint
+    )
+    if interrupted:
+        print(
+            f"# resumed digest interrupted: {len(events)} events so far"
+        )
+        print(present_digest(events, top=args.top))
+        _maybe_write_metrics(args.metrics)
+        return 0
     events.extend(stream.close())
     events.sort(key=lambda e: (-e.score, e.start_ts, e.indices))
     print(f"# resumed digest: {len(events)} newly finalized events")
@@ -447,7 +508,9 @@ def _cmd_sources(args: argparse.Namespace) -> int:
     kb, kb_version = _kb_from_args(args)
     args.source = list(args.log)
     args.log = None
-    ingest, events, _quarantine = _run_ingest(args, kb, kb_version)
+    ingest, events, _quarantine, _interrupted = _run_ingest(
+        args, kb, kb_version
+    )
     rows = []
     for src in ingest.sources():
         summary = src.summary()
@@ -480,7 +543,11 @@ def _cmd_requeue(args: argparse.Namespace) -> int:
     """
     from repro.core.present import present_digest
     from repro.core.stream import DigestStream
-    from repro.syslog.resilient import Quarantine, requeue_records
+    from repro.syslog.resilient import (
+        Quarantine,
+        requeue_records,
+        rotated_quarantine_paths,
+    )
 
     kb, kb_version = _kb_from_args(args)
     stream = DigestStream(
@@ -498,9 +565,34 @@ def _cmd_requeue(args: argparse.Namespace) -> int:
         f"({n_failed} failed again) -> {len(events)} events"
     )
     print(present_digest(events, top=args.top))
-    if n_failed and not args.keep:
-        _dump_quarantine(quarantine, args.quarantine)
+    if not args.keep:
+        # Rotated dumps were fully consumed by the replay; survivors
+        # (if any) are re-dumped into the base file alone.  Leaving the
+        # rotations behind would double-replay them on the next requeue.
+        for part in rotated_quarantine_paths(args.quarantine):
+            part.unlink()
+        if n_failed:
+            _dump_quarantine(quarantine, args.quarantine)
     return 0 if n_failed == 0 else 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the supervised multi-tenant serve daemon (DESIGN.md §13).
+
+    Blocks until drained (SIGTERM/SIGINT, ``POST /drain``, or — with
+    ``--once`` — all sources exhausted); exits 0 after every tenant got
+    its final checkpoint and quarantine dump.
+    """
+    from dataclasses import replace
+
+    from repro.serve import ServeConfig, run_daemon
+
+    config = ServeConfig.from_file(args.config)
+    if args.once:
+        config = replace(config, once=True)
+    if args.port is not None:
+        config = replace(config, port=args.port)
+    return run_daemon(config)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -547,17 +639,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         stream = DigestStream(kb, config, kb_version=kb_version)
         if quarantine is not None:
             stream.attach_quarantine(quarantine)
+        from repro.serve.drain import GracefulShutdown
+
         with stage_timer("sort"):
             ordered = sort_messages(messages)
+        interrupted = False
         with stage_timer("stream_push"):
             if quarantine is not None:
                 events = []
-                for message in ordered:
-                    events.extend(push_safe(stream, message, quarantine))
+                with GracefulShutdown() as stop:
+                    for message in ordered:
+                        if stop:
+                            _checkpoint_on_signal(
+                                stream, args.checkpoint, stop
+                            )
+                            interrupted = True
+                            break
+                        events.extend(
+                            push_safe(stream, message, quarantine)
+                        )
             else:
-                events = stream.push_many(ordered)
-        with stage_timer("stream_close"):
-            events.extend(stream.close())
+                events, interrupted = _push_interruptible(
+                    stream, ordered, args.checkpoint
+                )
+        if not interrupted:
+            with stage_timer("stream_close"):
+                events.extend(stream.close())
         n_events = len(events)
     else:
         result = SyslogDigest(kb, config).digest(messages)
@@ -724,7 +831,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine unparseable lines to this JSONL file instead "
         "of aborting on the first bad line",
     )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="with --ingest/--source: on SIGTERM/SIGINT, write the "
+        "stream state here and exit cleanly instead of dying mid-batch",
+    )
     p.set_defaults(fn=_cmd_digest)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised multi-tenant serve daemon "
+        "(HTTP health/events/admin API; SIGTERM drains gracefully)",
+    )
+    p.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="JSON daemon config (see repro.serve.ServeConfig)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="drain automatically when every tenant's sources are "
+        "exhausted (batch mode)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="override the config's HTTP port (0 = ephemeral; the "
+        "bound port is written to <workdir>/http.port)",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "resume",

@@ -362,8 +362,17 @@ def _stream_worker_main(conn, shard_id: int) -> None:
 
     state: ShardState | None = None
     fault_hook = step_hook = None
+    ppid = os.getppid()
     while True:
         try:
+            # Orphan watchdog: under the fork start method every worker
+            # inherits the parent ends of all the lane's pipes (its own
+            # included), so a SIGKILLed parent never produces EOF here —
+            # the workers would outlive the daemon forever, pinning its
+            # stdio pipes.  Re-parenting is the signal EOF can't give.
+            while not conn.poll(2.0):
+                if os.getppid() != ppid:
+                    return
             request = conn.recv()
         except (EOFError, OSError):
             break

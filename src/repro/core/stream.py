@@ -50,6 +50,7 @@ version it was checkpointed with, and the swap must be re-requested.
 from __future__ import annotations
 
 import pickle
+import time
 import zlib
 from collections import deque
 from collections.abc import Callable, Iterable
@@ -147,7 +148,9 @@ HEALTH_KEYS: dict[str, str] = {
     "shed_messages": "messages inside shed groups (cumulative)",
     "quarantine_depth": "records held by the attached quarantine (0 if none)",
     "quarantine_total": "inputs ever quarantined (0 if none attached)",
-    "checkpoint_age_seconds": "stream clock since last checkpoint (-1 if never)",
+    "checkpoint_age_seconds": (
+        "monotonic seconds since last checkpoint (-1 if never)"
+    ),
     "kb_swaps": "completed epoch-boundary knowledge swaps (cumulative)",
     "kb_swap_pending": "1 while a requested swap awaits its epoch boundary",
 }
@@ -681,6 +684,7 @@ class DigestStream:
         fault_hook: Callable[[int, int], None] | None = None,
         kb_version: int | str | None = None,
         step_fault_hook: Callable[[int, int, int], None] | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self._kb = kb
         self._config = config or DigestConfig()
@@ -721,7 +725,16 @@ class DigestStream:
         self._quarantine = None  # attached via attach_quarantine()
         self._ingest = None  # attached via attach_ingest()
         self._restored_ingest: dict | None = None
-        self._last_checkpoint_clock: float | None = None
+        # Checkpoint bookkeeping runs on two clocks.  The *interval*
+        # decision uses the stream clock (message time), so checkpoint
+        # cadence is deterministic and replayable.  The *age* health key
+        # uses an injected monotonic clock: message timestamps jump
+        # backwards across supervisor restarts and NTP steps, so wiring
+        # the age to them reported negative or absurd values.  The clock
+        # is injectable so supervisors and tests can pin it.
+        self._clock = clock if clock is not None else time.monotonic
+        self._last_checkpoint_stream_ts: float | None = None
+        self._last_checkpoint_mono: float | None = None
 
         # Knowledge lifecycle: the version id this stream serves (opaque
         # to the stream; the model store's integer when store-backed) and
@@ -803,6 +816,31 @@ class DigestStream:
         snapshotted afterwards.
         """
         self._exec.shutdown()
+
+    def set_shedding(
+        self, max_open_messages: int, shed_policy: str = "oldest"
+    ) -> list[NetworkEvent]:
+        """Re-bound load shedding on a live stream (degraded mode).
+
+        Shedding knobs are runtime memory bounds, not grouping
+        parameters — tightening them mid-flight never invalidates open
+        state, it only force-finalizes groups sooner from here on.  The
+        serve supervisor uses this to restart a crash-looping tenant in
+        shed mode from its unmodified checkpoint (a checkpoint restores
+        only under a *matching* grouping config).  The new bound rides
+        into subsequent snapshots, so a degraded tenant's checkpoints
+        restore degraded.
+
+        Sheds immediately when the restored state already exceeds the
+        new bound, returning the force-finalized events — a degraded
+        restart cannot wait for the next push, because the matching
+        admission control refuses pushes until open count falls below
+        the bound.
+        """
+        self._config = self._config.with_shedding(
+            max_open_messages, shed_policy
+        )
+        return self._shed()
 
     def _shard_index(self, router: str) -> int:
         if self._n_shards == 1:
@@ -1147,8 +1185,11 @@ class DigestStream:
         # the syslog layer, so checkpoint.restore_ingest() does it on
         # demand via restored_ingest_state().
         self._restored_ingest = state.get("ingest")
-        # The restored state *is* the checkpoint: age restarts at zero.
-        self._last_checkpoint_clock = self._last_ts
+        # The restored state *is* the checkpoint: age restarts at zero,
+        # on the restoring process's own monotonic clock — the writing
+        # process's clock (and its wall time) are meaningless here.
+        self._last_checkpoint_stream_ts = self._last_ts
+        self._last_checkpoint_mono = self._clock()
 
     @property
     def n_admitted(self) -> int:
@@ -1210,8 +1251,9 @@ class DigestStream:
         if not cfg.checkpoint_path or cfg.checkpoint_interval <= 0:
             return
         if (
-            self._last_checkpoint_clock is not None
-            and now - self._last_checkpoint_clock < cfg.checkpoint_interval
+            self._last_checkpoint_stream_ts is not None
+            and now - self._last_checkpoint_stream_ts
+            < cfg.checkpoint_interval
         ):
             return
         from repro.core.checkpoint import write_checkpoint
@@ -1220,7 +1262,8 @@ class DigestStream:
 
     def note_checkpoint(self) -> None:
         """Record that the current state was just checkpointed."""
-        self._last_checkpoint_clock = self._last_ts
+        self._last_checkpoint_stream_ts = self._last_ts
+        self._last_checkpoint_mono = self._clock()
 
     def _finalize_idle(self, now: float) -> list[NetworkEvent]:
         horizon = now - self.flush_after
@@ -1340,13 +1383,17 @@ class DigestStream:
 
     @property
     def checkpoint_age(self) -> float:
-        """Stream-clock seconds since the last checkpoint (-1 if never)."""
-        if (
-            self._last_checkpoint_clock is None
-            or self._last_ts is None
-        ):
+        """Monotonic seconds since the last checkpoint (-1 if never).
+
+        Measured on the clock injected at construction (default
+        :func:`time.monotonic`), *not* on message timestamps or wall
+        time: a supervisor restart or an NTP step moves those, but can
+        never make this age negative or absurd.  Clamped at zero in
+        case a test injects a non-monotonic fake clock.
+        """
+        if self._last_checkpoint_mono is None:
             return -1.0
-        return self._last_ts - self._last_checkpoint_clock
+        return max(0.0, self._clock() - self._last_checkpoint_mono)
 
     def health(self) -> dict[str, float]:
         """One-call health snapshot of the live stream state.

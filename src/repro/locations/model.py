@@ -74,6 +74,20 @@ class Location:
     def __hash__(self) -> int:
         return self._hash
 
+    def __getstate__(self) -> tuple[str, LocationKind, str]:
+        # _hash is salted by PYTHONHASHSEED, so it must never cross a
+        # process boundary: a checkpoint restored in another process
+        # (or a payload shipped to a spawn-lane worker) would carry the
+        # writer's salt and miss every dict/set bucket here.
+        return (self.router, self.kind, self.name)
+
+    def __setstate__(self, state: tuple[str, LocationKind, str]) -> None:
+        router, kind, name = state
+        object.__setattr__(self, "router", router)
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash((router, kind, name)))
+
     @property
     def level(self) -> int:
         """Hierarchy level of this location's kind."""

@@ -94,6 +94,31 @@ class StreamWorkerFault:
             )
 
 
+class DaemonCrash:
+    """Process fault hook: SIGKILL the *whole process* after N arrivals.
+
+    The serve smoke gate's crash lever (`ServeConfig.crash_after`): the
+    daemon calls the hook with its cumulative arrival count; at
+    ``after`` the hook delivers ``SIGKILL`` to the daemon's own pid —
+    no atexit, no finally blocks, no flush, exactly the power-loss
+    shape the checkpoint + event-journal protocol must survive.
+    Picklable (plain attributes) like every other fault hook.
+    """
+
+    def __init__(self, after: int) -> None:
+        if after < 1:
+            raise ValueError("after must be >= 1")
+        self.after = after
+
+    def __call__(self, n_processed: int) -> None:
+        if n_processed >= self.after:
+            import os
+            import signal as _signal
+
+            _count("daemon_crash", 1)
+            os.kill(os.getpid(), _signal.SIGKILL)
+
+
 class MidStepFault:
     """Streaming step hook: chosen shards fail *mid-list*, after ``after``
     messages of a batch have been fully applied.

@@ -131,6 +131,17 @@ KB_QUALITY = "syslogdigest_kb_canary_quality"
 STREAM_KB_SWAPS = "syslogdigest_stream_kb_swaps_total"
 STREAM_KB_SWAP_PENDING = "syslogdigest_stream_kb_swap_pending"
 
+#: Serve daemon (DESIGN.md §13): per-tenant supervision and HTTP API.
+#: ``SERVE_TENANT_STATE`` is a gauge holding the supervisor state as an
+#: index into ``repro.serve.supervisor.STATES`` (same idiom as
+#: ``BREAKER_STATE``); transitions are counted per target state.
+SERVE_TENANT_STATE = "syslogdigest_serve_tenant_state"
+SERVE_TRANSITIONS = "syslogdigest_serve_transitions_total"
+SERVE_RESTARTS = "syslogdigest_serve_restarts_total"
+SERVE_ARRIVALS = "syslogdigest_serve_arrivals_total"
+SERVE_EVENTS = "syslogdigest_serve_events_total"
+SERVE_HTTP_REQUESTS = "syslogdigest_serve_http_requests_total"
+
 #: Default histogram bounds, tuned for stage timings (10 us .. 5 min).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,

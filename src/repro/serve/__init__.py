@@ -1,0 +1,33 @@
+"""Supervised service mode: the crash-safe multi-tenant daemon (DESIGN.md §13).
+
+`repro serve` turns the one-shot streaming pipeline into an always-on
+process: per-tenant :class:`~repro.core.stream.DigestStream` pipelines
+behind :class:`~repro.syslog.ingest.MultiSourceIngest`, each wrapped in
+a restart-from-checkpoint :class:`~repro.serve.supervisor.Supervisor`,
+queried over a stdlib-only HTTP API, drained gracefully on
+SIGTERM/SIGINT, and pinned byte-identical across kill -9 by the
+checkpoint + event-journal protocol in :mod:`repro.serve.journal`.
+"""
+
+from repro.serve.daemon import ServeConfig, ServeDaemon, run_daemon
+from repro.serve.drain import GracefulShutdown
+from repro.serve.http import HttpApi, event_payload
+from repro.serve.journal import EventJournal, TransitionJournal
+from repro.serve.supervisor import STATES, Decision, Supervisor
+from repro.serve.tenant import TenantRuntime, TenantSpec
+
+__all__ = [
+    "STATES",
+    "Decision",
+    "EventJournal",
+    "GracefulShutdown",
+    "HttpApi",
+    "ServeConfig",
+    "ServeDaemon",
+    "Supervisor",
+    "TenantRuntime",
+    "TenantSpec",
+    "TransitionJournal",
+    "event_payload",
+    "run_daemon",
+]

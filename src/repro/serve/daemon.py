@@ -1,0 +1,231 @@
+"""The `repro serve` daemon: supervised multi-tenant digesting (DESIGN.md §13).
+
+One asyncio process serves many tenants.  Each tenant gets a *pump*
+task (read arrivals → push through ingest → journal events →
+checkpoint on cadence) wrapped by a *supervise* task that implements
+the :class:`~repro.serve.supervisor.Supervisor` state machine: a pump
+that dies or stalls past its progress deadline is halted and restarted
+from the tenant's latest checkpoint after a bounded exponential
+backoff; after ``max_restarts`` consecutive failures the tenant is
+restarted once more in degraded (shed) mode and left running.
+
+SIGTERM/SIGINT request a graceful drain: every pump stops intake at
+its next batch boundary, reorder buffers are flushed, open groups
+finalized, a final checkpoint written, the quarantine dumped under its
+rotation budget — then the HTTP server stops and the process exits 0.
+kill -9 is the other ending, and the one the smoke gate pins: on the
+next boot each tenant restores from its checkpoint + event journal and
+produces a digest byte-identical to an uninterrupted run.
+
+Configuration is one JSON document (see :class:`ServeConfig`)::
+
+    {
+      "host": "127.0.0.1", "port": 0, "workdir": "serve-state",
+      "once": true,
+      "supervisor": {"max_restarts": 3, "base_delay": 0.1,
+                     "progress_deadline": 30.0},
+      "tenants": [
+        {"name": "net-a", "sources": ["a1.log", "a2.log"],
+         "workdir": "serve-state/net-a", "kb_path": "a.kb",
+         "stream_workers": "serial"}
+      ]
+    }
+
+``port: 0`` binds an ephemeral port; the bound port is written to
+``<workdir>/http.port`` so callers (and the smoke harness) can find it.
+``once: true`` drains automatically when every tenant's sources are
+exhausted — the batch-mode ending used by tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .http import HttpApi
+from .journal import TransitionJournal
+from .supervisor import Supervisor
+from .tenant import TenantRuntime, TenantSpec
+
+PORT_FILE = "http.port"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Whole-daemon configuration (JSON round-trippable)."""
+
+    tenants: tuple[TenantSpec, ...]
+    host: str = "127.0.0.1"
+    port: int = 0
+    workdir: str = "."
+    poll_interval: float = 0.2
+    once: bool = False
+    max_restarts: int = 3
+    base_delay: float = 0.1
+    progress_deadline: float = 30.0
+    # Test hook (smoke gate): SIGKILL this process after N arrivals
+    # across all tenants, via netsim.faults.DaemonCrash.  0 = off.
+    crash_after: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("serve config needs >= 1 tenant")
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        data = dict(data)
+        data["tenants"] = tuple(
+            TenantSpec.from_dict(item) for item in data.get("tenants", [])
+        )
+        supervisor = data.pop("supervisor", {})
+        for key in ("max_restarts", "base_delay", "progress_deadline"):
+            if key in supervisor:
+                data[key] = supervisor[key]
+        return cls(**data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ServeConfig":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class _PipelineStuck(RuntimeError):
+    """Raised by the watchdog when a pump misses its progress deadline."""
+
+
+class ServeDaemon:
+    """Supervised, drainable, queryable multi-tenant serve loop."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.tenants: dict[str, TenantRuntime] = {
+            spec.name: TenantRuntime(spec) for spec in config.tenants
+        }
+        self.supervisors: dict[str, Supervisor] = {}
+        self.api = HttpApi(self)
+        self.draining = False
+        self._crash_hook = None
+        self._n_arrivals = 0
+        if config.crash_after > 0:
+            from repro.netsim.faults import DaemonCrash
+
+            self._crash_hook = DaemonCrash(after=config.crash_after)
+
+    # --------------------------------------------------------- lifecycle
+
+    def request_drain(self) -> None:
+        """Begin graceful shutdown (idempotent; SIGTERM/SIGINT/POST)."""
+        self.draining = True
+
+    async def run(self) -> int:
+        """Serve until drained; returns the process exit code (0)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, self.request_drain)
+        workdir = Path(self.config.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        for runtime in self.tenants.values():
+            runtime.workdir.mkdir(parents=True, exist_ok=True)
+        for spec in self.config.tenants:
+            self.supervisors[spec.name] = Supervisor(
+                spec.name,
+                max_restarts=self.config.max_restarts,
+                base_delay=self.config.base_delay,
+                progress_deadline=self.config.progress_deadline,
+                journal=TransitionJournal(
+                    self.tenants[spec.name].supervisor_path
+                ),
+            )
+        await self.api.start(self.config.host, self.config.port)
+        (workdir / PORT_FILE).write_text(str(self.api.port))
+        try:
+            await asyncio.gather(
+                *(
+                    self._supervise(name)
+                    for name in self.tenants
+                )
+            )
+        finally:
+            await self.api.stop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+        return 0
+
+    # -------------------------------------------------------- supervision
+
+    async def _supervise(self, name: str) -> None:
+        """One tenant's supervision loop: pump, watch, restart, drain."""
+        runtime = self.tenants[name]
+        supervisor = self.supervisors[name]
+        watch = max(0.02, min(1.0, supervisor.progress_deadline / 5))
+        degraded = False
+        while True:
+            pump = asyncio.ensure_future(self._pump(name, degraded))
+            try:
+                while not pump.done():
+                    await asyncio.wait({pump}, timeout=watch)
+                    if pump.done():
+                        break
+                    if supervisor.stuck(pending=runtime.pending > 0):
+                        pump.cancel()
+                        try:
+                            await pump
+                        except BaseException:
+                            pass
+                        raise _PipelineStuck(
+                            f"no batch progress in "
+                            f"{supervisor.progress_deadline}s"
+                        )
+                pump.result()  # re-raises the pipeline's exception
+                break  # clean exit: drain requested or sources exhausted
+            except asyncio.CancelledError:
+                pump.cancel()
+                raise
+            except Exception as exc:
+                runtime.halt()
+                decision = supervisor.on_failure(
+                    f"{type(exc).__name__}: {exc}"
+                )
+                if decision.action == "fail":
+                    return
+                if decision.action == "degrade":
+                    degraded = True
+                await asyncio.sleep(decision.delay)
+        runtime.drain()
+        supervisor.note_drained()
+
+    async def _pump(self, name: str, degraded: bool) -> None:
+        """One life of a tenant pipeline: boot, then batch until done."""
+        runtime = self.tenants[name]
+        supervisor = self.supervisors[name]
+        runtime.start(degraded=degraded)
+        if degraded:
+            supervisor.note_degraded_started()
+        else:
+            supervisor.note_started()
+        while not self.draining:
+            n = runtime.process_batch()
+            if n:
+                supervisor.note_progress()
+                self._count_arrivals(n)
+                await asyncio.sleep(0)  # yield to HTTP handlers
+            elif runtime.refill() == 0:
+                if self.config.once:
+                    return
+                await asyncio.sleep(self.config.poll_interval)
+
+    def _count_arrivals(self, n: int) -> None:
+        self._n_arrivals += n
+        if self._crash_hook is not None:
+            self._crash_hook(self._n_arrivals)
+
+
+def run_daemon(config: ServeConfig) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    return asyncio.run(ServeDaemon(config).run())

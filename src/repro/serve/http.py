@@ -1,0 +1,231 @@
+"""Stdlib-only HTTP API for the serve daemon (DESIGN.md §13).
+
+A deliberately small HTTP/1.0 server on raw asyncio streams — no
+framework, no threads, one read per request, connection closed after
+the response.  Handlers run on the event loop between tenant batches,
+so every admin mutation (promote/rollback/requeue) is serialized with
+pipeline work by construction; nothing here needs a lock.
+
+Endpoints (all JSON unless noted):
+
+    GET  /healthz                       liveness + per-tenant states
+    GET  /metrics                       Prometheus text format
+    GET  /tenants                       tenant list with state summary
+    GET  /tenants/{t}/health            stream + ingest health dicts
+    GET  /tenants/{t}/events            cursor-paginated finalized events
+    GET  /tenants/{t}/sources           per-source breaker/watermark rows
+    GET  /tenants/{t}/journal           supervisor + breaker transitions
+    POST /tenants/{t}/promote           hot-swap to store's active version
+    POST /tenants/{t}/rollback[?to=N]   store rollback + hot-swap
+    POST /tenants/{t}/requeue           replay quarantine into the stream
+    POST /drain                         graceful shutdown (same as SIGTERM)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs import SERVE_HTTP_REQUESTS, get_registry, to_prom_text
+
+MAX_EVENTS_PAGE = 500
+
+
+def event_payload(event, index: int) -> dict:
+    """One finalized event as a JSON-safe dict (cursor = journal index)."""
+    return {
+        "cursor": index,
+        "label": event.label,
+        "score": event.score,
+        "start_ts": event.start_ts,
+        "end_ts": event.end_ts,
+        "n_messages": event.n_messages,
+        "routers": sorted(event.routers),
+        "error_codes": sorted(event.error_codes),
+        "template_keys": sorted(event.template_keys),
+        "locations": [loc.key() for loc in event.location_summary()],
+    }
+
+
+class HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class HttpApi:
+    """Routes requests onto a running :class:`~repro.serve.daemon.ServeDaemon`."""
+
+    def __init__(self, daemon) -> None:
+        self._daemon = daemon
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # ------------------------------------------------------------ server
+
+    async def start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            writer.close()
+            return
+        status, body, content_type = self._dispatch(request)
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.0 {status} {_STATUS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}; charset=utf-8\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("ascii") + payload)
+        try:
+            await writer.drain()
+        finally:
+            writer.close()
+
+    # ---------------------------------------------------------- dispatch
+
+    def _dispatch(self, raw: bytes) -> tuple[int, str, str]:
+        """Full request -> (status, body, content-type), never raises."""
+        try:
+            line = raw.split(b"\r\n", 1)[0].decode("latin-1")
+            parts = line.split(" ")
+            if len(parts) < 2:
+                raise HttpError(400, "malformed request line")
+            method, target = parts[0], parts[1]
+            split = urlsplit(target)
+            path = [p for p in split.path.split("/") if p]
+            query = {
+                key: values[-1]
+                for key, values in parse_qs(split.query).items()
+            }
+            get_registry().inc(SERVE_HTTP_REQUESTS, path=split.path)
+            if method not in ("GET", "POST"):
+                raise HttpError(405, f"method {method} not allowed")
+            body = self._route(method, path, query)
+        except HttpError as exc:
+            return (
+                exc.status,
+                json.dumps({"error": exc.message}) + "\n",
+                "application/json",
+            )
+        except Exception as exc:  # surface, never kill the daemon
+            return (
+                500,
+                json.dumps({"error": str(exc)}) + "\n",
+                "application/json",
+            )
+        if path == ["metrics"]:
+            return 200, body, "text/plain; version=0.0.4"
+        return 200, json.dumps(body, sort_keys=True) + "\n", "application/json"
+
+    def _route(self, method: str, path: list[str], query: dict):
+        daemon = self._daemon
+        if method == "GET":
+            if path == ["healthz"]:
+                return {
+                    "status": "ok",
+                    "draining": daemon.draining,
+                    "tenants": {
+                        name: daemon.supervisors[name].state
+                        for name in daemon.tenants
+                    },
+                }
+            if path == ["metrics"]:
+                return to_prom_text(get_registry())
+            if path == ["tenants"]:
+                return [
+                    {
+                        "name": name,
+                        "state": daemon.supervisors[name].state,
+                        "restarts": daemon.supervisors[name].total_restarts,
+                        "pending_arrivals": runtime.pending,
+                        "events": len(runtime.events),
+                    }
+                    for name, runtime in daemon.tenants.items()
+                ]
+            if len(path) == 3 and path[0] == "tenants":
+                runtime = self._tenant(path[1])
+                if path[2] == "health":
+                    health = runtime.health()
+                    supervisor = daemon.supervisors[path[1]]
+                    health["state"] = supervisor.state
+                    health["restarts"] = supervisor.total_restarts
+                    return health
+                if path[2] == "events":
+                    return self._events(runtime, query)
+                if path[2] == "sources":
+                    return [src.summary() for src in runtime.ingest.sources()]
+                if path[2] == "journal":
+                    return {
+                        "supervisor": runtime.transitions.read(),
+                        "breaker": runtime.ingest.journal(),
+                    }
+        if method == "POST":
+            if path == ["drain"]:
+                daemon.request_drain()
+                return {"draining": True}
+            if len(path) == 3 and path[0] == "tenants":
+                runtime = self._tenant(path[1])
+                if path[2] == "promote":
+                    return runtime.promote()
+                if path[2] == "rollback":
+                    to = query.get("to")
+                    return runtime.rollback(
+                        to=int(to) if to is not None else None
+                    )
+                if path[2] == "requeue":
+                    return runtime.requeue()
+        raise HttpError(404, f"no route for {method} /{'/'.join(path)}")
+
+    def _tenant(self, name: str):
+        runtime = self._daemon.tenants.get(name)
+        if runtime is None:
+            raise HttpError(404, f"unknown tenant {name!r}")
+        return runtime
+
+    def _events(self, runtime, query: dict) -> dict:
+        try:
+            cursor = int(query.get("cursor", 0))
+            limit = int(query.get("limit", 50))
+        except ValueError:
+            raise HttpError(400, "cursor and limit must be integers")
+        if cursor < 0 or limit < 1:
+            raise HttpError(400, "cursor must be >= 0 and limit >= 1")
+        limit = min(limit, MAX_EVENTS_PAGE)
+        events = runtime.events.read(cursor, limit)
+        total = len(runtime.events)
+        next_cursor = cursor + len(events)
+        return {
+            "events": [
+                event_payload(event, cursor + i)
+                for i, event in enumerate(events)
+            ],
+            "next_cursor": next_cursor if next_cursor < total else None,
+            "total": total,
+        }

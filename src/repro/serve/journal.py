@@ -1,0 +1,170 @@
+"""Durable per-tenant journals for the serve daemon (DESIGN.md §13).
+
+Two append-only files back every tenant a daemon serves:
+
+* :class:`EventJournal` — the finalized-event log.  Checkpoints capture
+  grouping *state*; the events already emitted before a crash live only
+  here.  Records are length-prefixed pickle frames, so the journal
+  round-trips full :class:`~repro.core.events.NetworkEvent` objects and
+  the smoke gate can recompute :func:`repro.hotpath.stream_fingerprint`
+  over exactly what the daemon served.
+
+  Crash consistency is a two-invariant protocol with the checkpoint:
+
+  1. the journal is fsynced *before* every checkpoint write, so it
+     always holds at least the ``finalized`` count the checkpoint
+     records;
+  2. on restore, :meth:`truncate` cuts the journal back to exactly that
+     count — events finalized after the checkpoint will be re-emitted
+     by the tail replay, and keeping the journaled copies would
+     duplicate them.
+
+  Together: journal ∪ replay = the uninterrupted event sequence, with
+  no event lost and none doubled.  A torn final frame (the crash landed
+  mid-append) is detected by the length prefix and dropped at open.
+
+* :class:`TransitionJournal` — the supervisor's JSONL log of state
+  transitions (healthy → restarting → degraded → drained), one object
+  per line, append-only, human-greppable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+from pathlib import Path
+
+_LEN = struct.Struct("<I")
+
+
+class EventJournal:
+    """Append-only, truncatable log of pickled finalized events.
+
+    The file is a sequence of ``<u32 little-endian length><pickle>``
+    frames.  Frame offsets are kept in memory (rebuilt by one scan at
+    open) so cursor-paginated reads seek straight to a record.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offsets: list[int] = []
+        self._fh = None
+        self._scan()
+        self._fh = open(self.path, "ab")
+
+    def _scan(self) -> None:
+        """Index the existing frames; drop a torn final frame."""
+        self._offsets = []
+        if not self.path.exists():
+            self.path.touch()
+            return
+        size = self.path.stat().st_size
+        good_end = 0
+        with open(self.path, "rb") as fh:
+            pos = 0
+            while pos + _LEN.size <= size:
+                head = fh.read(_LEN.size)
+                (length,) = _LEN.unpack(head)
+                if pos + _LEN.size + length > size:
+                    break  # torn frame: the crash landed mid-append
+                self._offsets.append(pos)
+                pos += _LEN.size + length
+                fh.seek(pos)
+                good_end = pos
+        if good_end < size:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def append(self, events) -> int:
+        """Append events (buffered); returns the new record count.
+
+        Durability is deferred to :meth:`sync` — call it before every
+        checkpoint write so invariant (1) in the module docstring holds.
+        """
+        for event in events:
+            blob = pickle.dumps(event, protocol=pickle.HIGHEST_PROTOCOL)
+            self._offsets.append(self._fh.tell())
+            self._fh.write(_LEN.pack(len(blob)))
+            self._fh.write(blob)
+        return len(self._offsets)
+
+    def sync(self) -> None:
+        """Flush and fsync everything appended so far."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def truncate(self, count: int) -> int:
+        """Cut the journal back to its first ``count`` records.
+
+        The resume-consistency step: called with the checkpoint's
+        ``finalized`` counter before replay, so re-finalized events are
+        never doubled.  Returns how many records were dropped.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        if count >= len(self._offsets):
+            return 0
+        dropped = len(self._offsets) - count
+        self._fh.close()
+        end = self._offsets[count]
+        with open(self.path, "r+b") as fh:
+            fh.truncate(end)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._offsets = self._offsets[:count]
+        self._fh = open(self.path, "ab")
+        return dropped
+
+    def read(self, cursor: int = 0, limit: int | None = None) -> list:
+        """Unpickle records ``[cursor, cursor + limit)``, oldest first."""
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        stop = (
+            len(self._offsets)
+            if limit is None
+            else min(len(self._offsets), cursor + limit)
+        )
+        if cursor >= stop:
+            return []
+        self._fh.flush()
+        out = []
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offsets[cursor])
+            for _ in range(stop - cursor):
+                (length,) = _LEN.unpack(fh.read(_LEN.size))
+                out.append(pickle.loads(fh.read(length)))
+        return out
+
+    def read_all(self) -> list:
+        """Every journaled event, oldest first."""
+        return self.read(0, None)
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class TransitionJournal:
+    """Append-only JSONL log of supervisor state transitions."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.touch(exist_ok=True)
+
+    def append(self, entry: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def read(self) -> list[dict]:
+        out = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if line.strip():
+                    out.append(json.loads(line))
+        return out

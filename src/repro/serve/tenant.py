@@ -1,0 +1,444 @@
+"""Per-tenant pipeline runtime for the serve daemon (DESIGN.md §13).
+
+A *tenant* is one independent network digested by one
+:class:`~repro.core.stream.DigestStream` behind one
+:class:`~repro.syslog.ingest.MultiSourceIngest`, with its own
+checkpoint, quarantine, event journal, and (optionally) its own
+:class:`~repro.core.modelstore.KnowledgeStore`.  Many tenants share one
+daemon process; nothing is shared between them but the event loop.
+
+:class:`TenantSpec` is the declarative half — plain data, JSON
+round-trippable, what `repro serve --config` reads.  :class:`TenantRuntime`
+is the operational half: it owns the start/restore, batch, checkpoint,
+drain, and admin (promote/rollback/requeue) operations, all synchronous
+— the daemon schedules them; the supervisor decides when.
+
+Crash safety is the checkpoint + event-journal protocol spelled out in
+:mod:`repro.serve.journal`: journal fsync *before* checkpoint write;
+journal truncate to the checkpoint's ``finalized`` counter on restore;
+tail replay skips each source's already-consumed arrivals via
+:meth:`~MultiSourceIngest.pushed_counts`.  Because
+:func:`~repro.syslog.collector.interleave_arrivals` is a deterministic
+greedy merge, re-interleaving the per-source suffixes reproduces the
+exact suffix of the uninterrupted arrival order — which is what makes
+the kill -9 fingerprint gate hold.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.core.checkpoint import (
+    restore_ingest,
+    restore_stream,
+    write_checkpoint,
+)
+from repro.core.config import DigestConfig, IngestConfig
+from repro.core.knowledge import KnowledgeBase
+from repro.core.modelstore import KnowledgeStore
+from repro.core.stream import DigestStream
+from repro.obs import SERVE_ARRIVALS, SERVE_EVENTS, get_registry
+from repro.syslog.collector import interleave_arrivals
+from repro.syslog.ingest import MultiSourceIngest
+from repro.syslog.resilient import (
+    Quarantine,
+    quarantine_files,
+    requeue_records,
+)
+from repro.utils.timeutils import parse_ts
+
+from .journal import EventJournal, TransitionJournal
+
+CHECKPOINT_FILE = "checkpoint.ckpt"
+EVENTS_FILE = "events.bin"
+QUARANTINE_FILE = "quarantine.jsonl"
+SUPERVISOR_FILE = "supervisor.jsonl"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant (JSON round-trippable).
+
+    Exactly one of ``kb_path`` (a saved
+    :meth:`~repro.mining.knowledge.KnowledgeBase.save` file) or
+    ``store_dir`` (a :class:`KnowledgeStore` directory, whose *active*
+    version is served and whose versions back promote/rollback) must be
+    set.  ``checkpoint_every`` counts *arrivals* between checkpoints —
+    a deterministic cadence, unlike wall time.
+    """
+
+    name: str
+    sources: tuple[str, ...]
+    workdir: str
+    kb_path: str | None = None
+    store_dir: str | None = None
+    n_workers: int = 1
+    stream_workers: str = "serial"
+    checkpoint_every: int = 200
+    max_reorder_delay: float = 0.0
+    dedup_window: float = 0.0
+    degraded_max_open: int = 500
+    quarantine_max_bytes: int = 1 << 20
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ValueError(f"invalid tenant name {self.name!r}")
+        if not self.sources:
+            raise ValueError(f"tenant {self.name}: needs >= 1 source")
+        if (self.kb_path is None) == (self.store_dir is None):
+            raise ValueError(
+                f"tenant {self.name}: set exactly one of kb_path / "
+                "store_dir"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSpec":
+        data = dict(data)
+        data["sources"] = tuple(data["sources"])
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["sources"] = list(self.sources)
+        return data
+
+
+def stamp_lines(path: str | Path) -> list[tuple[float, str]]:
+    """Read one source log into ``(timestamp, line)`` pairs.
+
+    Same contract as the CLI's feed reader: blank lines are skipped
+    (they would not count as arrivals downstream either), unparseable
+    lines ride at the last readable timestamp so they reach the ingest
+    — and its breakers — in position instead of vanishing.
+    """
+    stamped: list[tuple[float, str]] = []
+    last_ts = 0.0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            try:
+                last_ts = parse_ts(line[:19])
+            except ValueError:
+                pass
+            stamped.append((last_ts, line.rstrip("\n")))
+    return stamped
+
+
+@dataclass
+class TenantRuntime:
+    """The live pipeline for one tenant, restartable from checkpoint."""
+
+    spec: TenantSpec
+    stream: DigestStream | None = None
+    ingest: MultiSourceIngest | None = None
+    quarantine: Quarantine | None = None
+    events: EventJournal | None = None
+    transitions: TransitionJournal | None = None
+    store: KnowledgeStore | None = None
+    degraded: bool = False
+    resumed: bool = False
+    n_batches: int = 0
+    _arrivals: deque = field(default_factory=deque)
+    _since_checkpoint: int = 0
+
+    # ------------------------------------------------------------ paths
+
+    @property
+    def workdir(self) -> Path:
+        return Path(self.spec.workdir)
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.workdir / CHECKPOINT_FILE
+
+    @property
+    def events_path(self) -> Path:
+        return self.workdir / EVENTS_FILE
+
+    @property
+    def quarantine_path(self) -> Path:
+        return self.workdir / QUARANTINE_FILE
+
+    @property
+    def supervisor_path(self) -> Path:
+        return self.workdir / SUPERVISOR_FILE
+
+    # ------------------------------------------------------------ start
+
+    def start(self, *, degraded: bool = False) -> None:
+        """Boot the pipeline: restore from checkpoint if one exists.
+
+        ``degraded`` restarts in shed mode: the stream restores from its
+        unmodified checkpoint, then gets a tight open-message bound
+        (:meth:`DigestStream.set_shedding`) plus the matching ingest
+        admission limits — deterministic load shedding instead of the
+        crash loop.
+        """
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self.degraded = degraded
+        self.quarantine = Quarantine()
+        self.transitions = TransitionJournal(self.supervisor_path)
+        if self.events is not None:
+            self.events.close()
+        self.events = EventJournal(self.events_path)
+
+        if self.checkpoint_path.exists():
+            self._restore()
+        else:
+            self._fresh()
+        if degraded:
+            # Shedding is applied post-construction/restore: it is a
+            # runtime bound, not a grouping parameter, so the unmodified
+            # checkpoint still restores (see DigestStream.set_shedding).
+            # Restored state over the bound is shed right here — those
+            # events are real output and belong in the journal.
+            shed_cfg = self._config().with_shedding(
+                self.spec.degraded_max_open
+            )
+            shed_events = self.stream.set_shedding(
+                self.spec.degraded_max_open
+            )
+            if shed_events:
+                self.events.append(shed_events)
+            self.ingest.set_admission(
+                self._ingest_config().for_stream(shed_cfg)
+            )
+        self.refill()
+
+    def _config(self) -> DigestConfig:
+        return DigestConfig(
+            n_workers=self.spec.n_workers,
+            stream_workers=self.spec.stream_workers,
+        )
+
+    def _ingest_config(self) -> IngestConfig:
+        return IngestConfig(
+            max_reorder_delay=self.spec.max_reorder_delay,
+            dedup_window=self.spec.dedup_window,
+        )
+
+    def _load_kb(self) -> tuple[KnowledgeBase, int | str | None]:
+        if self.spec.store_dir is not None:
+            self.store = KnowledgeStore(self.spec.store_dir)
+            kb, info = self.store.load_active()
+            return kb, info.version
+        kb = KnowledgeBase.load(self.spec.kb_path)
+        return kb, None
+
+    def _fresh(self) -> None:
+        kb, version = self._load_kb()
+        self.stream = DigestStream(kb, self._config(), kb_version=version)
+        self.stream.attach_quarantine(self.quarantine)
+        self.ingest = MultiSourceIngest(
+            self.stream, self._ingest_config(), quarantine=self.quarantine
+        )
+        for source in self.spec.sources:
+            self.ingest.register(source)
+        self.events.truncate(0)
+        self.resumed = False
+
+    def _restore(self) -> None:
+        if self.spec.store_dir is not None:
+            self.store = KnowledgeStore(self.spec.store_dir)
+            self.stream = restore_stream(
+                self.checkpoint_path, store=self.store
+            )
+        else:
+            self.stream = restore_stream(
+                self.checkpoint_path, kb=KnowledgeBase.load(self.spec.kb_path)
+            )
+        self.stream.attach_quarantine(self.quarantine)
+        self.ingest = restore_ingest(self.stream, self.quarantine)
+        # Resume consistency: cut the journal back to exactly what the
+        # checkpoint accounts for — everything past it re-emerges from
+        # the tail replay (see repro.serve.journal).
+        finalized = int(self.stream.health()["finalized_events"])
+        self.events.truncate(finalized)
+        self.resumed = True
+
+    # ------------------------------------------------------------- input
+
+    def refill(self) -> int:
+        """(Re)build the pending-arrival queue from the source files.
+
+        Reads every source, drops each one's already-consumed prefix
+        (``pushed_counts``), and re-interleaves the suffixes — by the
+        greedy-merge determinism of :func:`interleave_arrivals`, exactly
+        the uninterrupted arrival order's suffix.  Called at start and
+        whenever the daemon finds the queue empty (file-growth tailing).
+        Returns the number of pending arrivals.
+        """
+        consumed = self.ingest.pushed_counts()
+        feeds: dict[str, list[tuple[float, str]]] = {}
+        for source in self.spec.sources:
+            stamped = stamp_lines(source)
+            feeds[source] = stamped[consumed.get(source, 0):]
+        arrivals = interleave_arrivals(feeds, key=lambda pair: pair[0])
+        self._arrivals = deque(
+            (source, line) for source, (_ts, line) in arrivals
+        )
+        return len(self._arrivals)
+
+    @property
+    def pending(self) -> int:
+        return len(self._arrivals)
+
+    # ------------------------------------------------------------- batch
+
+    def process_batch(self, limit: int | None = None) -> int:
+        """Push up to ``limit`` pending arrivals; returns how many.
+
+        Finalized events are appended to the event journal as they
+        emerge; a checkpoint is cut every ``checkpoint_every`` arrivals
+        (journal fsync first — the crash-safety ordering invariant).
+        """
+        limit = self.spec.batch_size if limit is None else limit
+        registry = get_registry()
+        n = 0
+        while self._arrivals and n < limit:
+            source, line = self._arrivals.popleft()
+            events = self.ingest.push_line(source, line)
+            if events:
+                self.events.append(events)
+                registry.inc(
+                    SERVE_EVENTS, len(events), tenant=self.spec.name
+                )
+            n += 1
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.spec.checkpoint_every:
+                self.checkpoint()
+        if n:
+            registry.inc(SERVE_ARRIVALS, n, tenant=self.spec.name)
+            self.n_batches += 1
+        return n
+
+    def checkpoint(self) -> None:
+        """Journal-then-checkpoint, in that order (crash-safety)."""
+        self.events.sync()
+        write_checkpoint(self.checkpoint_path, self.stream)
+        self._since_checkpoint = 0
+
+    # ------------------------------------------------------------- drain
+
+    def drain(self) -> int:
+        """Graceful shutdown: flush, finalize, checkpoint, dump, stop.
+
+        Stops intake (pending arrivals stay in the files for the next
+        boot), flushes the reorder buffer and finalizes every open group
+        (:meth:`MultiSourceIngest.close`), journals the tail, writes a
+        final checkpoint, dumps the quarantine under the rotation byte
+        budget, and shuts the executor lane down.  Returns the number of
+        events finalized by the flush.
+        """
+        self._arrivals.clear()
+        tail = self.ingest.close()
+        if tail:
+            self.events.append(tail)
+            get_registry().inc(
+                SERVE_EVENTS, len(tail), tenant=self.spec.name
+            )
+        self.checkpoint()
+        if len(self.quarantine):
+            self.quarantine.dump(
+                self.quarantine_path,
+                max_bytes=self.spec.quarantine_max_bytes,
+            )
+        self.stream.shutdown_workers()
+        return len(tail)
+
+    def halt(self) -> None:
+        """Tear the pipeline down *without* draining (supervisor restart).
+
+        Un-checkpointed progress is deliberately discarded — the next
+        :meth:`start` restores from the last checkpoint exactly as a
+        post-crash boot would, so a supervisor restart exercises the
+        same recovery path the kill -9 gate pins.
+        """
+        self._arrivals.clear()
+        if self.stream is not None:
+            self.stream.shutdown_workers()
+
+    # ------------------------------------------------------------- admin
+
+    def promote(self) -> dict:
+        """Hot-swap to the store's *current* active version."""
+        if self.store is None:
+            raise ValueError(
+                f"tenant {self.spec.name} is not store-backed; "
+                "promote/rollback need store_dir"
+            )
+        version = self.store.active_version()
+        if version == self.stream.kb_version:
+            return {"swapped": False, "version": version}
+        kb = self.store.load(version)
+        events = self.stream.request_swap(kb, version)
+        if events:
+            self.events.append(events)
+        return {
+            "swapped": True,
+            "version": version,
+            "pending": self.stream.swap_pending,
+        }
+
+    def rollback(self, to: int | None = None) -> dict:
+        """Roll the store back, then hot-swap to the restored version."""
+        if self.store is None:
+            raise ValueError(
+                f"tenant {self.spec.name} is not store-backed; "
+                "promote/rollback need store_dir"
+            )
+        info = self.store.rollback(to=to)
+        result = self.promote()
+        result["rolled_back_to"] = info.version
+        return result
+
+    def requeue(self) -> dict:
+        """Replay the quarantine (in-memory + rotated dumps) into the stream.
+
+        In-memory records are dumped first (under the rotation budget)
+        so the replay covers both; files consumed by a fully successful
+        replay are deleted so a later requeue cannot double-push them.
+        """
+        if len(self.quarantine):
+            self.quarantine.dump(
+                self.quarantine_path,
+                max_bytes=self.spec.quarantine_max_bytes,
+            )
+            self.quarantine.drain()
+        if not self.quarantine_path.exists():
+            return {"events": 0, "requeued": 0, "failed": 0}
+        parts = [p for p in quarantine_files(self.quarantine_path) if p.exists()]
+        events, n_ok, n_failed = requeue_records(
+            self.quarantine_path, self.stream, self.quarantine
+        )
+        if events:
+            self.events.append(events)
+        for part in parts:
+            part.unlink(missing_ok=True)
+        return {"events": len(events), "requeued": n_ok, "failed": n_failed}
+
+    # ------------------------------------------------------------- health
+
+    def health(self) -> dict:
+        """Everything an operator asks a tenant, JSON-serializable."""
+        return {
+            "tenant": self.spec.name,
+            "degraded": self.degraded,
+            "resumed": self.resumed,
+            "pending_arrivals": len(self._arrivals),
+            "events_journaled": len(self.events),
+            "n_batches": self.n_batches,
+            "kb_version": self.stream.kb_version,
+            "stream_lane": self.stream.stream_lane,
+            "stream": self.stream.health(),
+            "ingest": self.ingest.health(),
+            "sources": [src.summary() for src in self.ingest.sources()],
+        }

@@ -255,6 +255,18 @@ class MultiSourceIngest:
         """Every breaker transition so far, oldest first."""
         return list(self._journal)
 
+    def set_admission(self, config: IngestConfig) -> None:
+        """Swap the ingest tunables on a live front-end (degraded mode).
+
+        Admission limits (and the other knobs) are backpressure policy,
+        not reorder state — changing them mid-flight only alters which
+        *future* arrivals are shed.  The serve supervisor pairs this
+        with :meth:`DigestStream.set_shedding` when escalating a tenant
+        to degraded mode.  The new config rides into subsequent
+        snapshots.
+        """
+        self._config = config
+
     # ----------------------------------------------------------------- push
 
     def push_line(

@@ -124,13 +124,53 @@ class Quarantine:
         """Snapshot of the retained records, oldest first."""
         return list(self._records)
 
-    def dump(self, path: str | Path) -> int:
-        """Write the retained records as JSONL; returns how many."""
+    def dump(self, path: str | Path, max_bytes: int = 0) -> int:
+        """Write the retained records as JSONL; returns how many.
+
+        With ``max_bytes`` set, an existing dump is *rotated* instead of
+        overwritten — ``path`` shifts to ``path.1``, ``path.1`` to
+        ``path.2``, and so on — and the oldest rotations are then
+        deleted until the whole family fits inside the byte budget
+        (the freshly written base file always survives, even alone over
+        budget).  A crash-looping source that dumps on every restart can
+        therefore never grow the quarantine spill without bound.
+        ``max_bytes=0`` keeps the legacy overwrite-in-place behavior.
+        """
+        path = Path(path)
+        if max_bytes > 0 and path.exists():
+            rotated = rotated_quarantine_paths(path)
+            for old in reversed(rotated):  # highest index first
+                index = int(old.suffix[1:])
+                old.rename(path.with_name(f"{path.name}.{index + 1}"))
+            path.rename(path.with_name(f"{path.name}.1"))
         records = self.records()
         with open(path, "w", encoding="utf-8") as fh:
             for record in records:
                 fh.write(record.to_json() + "\n")
+        if max_bytes > 0:
+            total = path.stat().st_size
+            for old in rotated_quarantine_paths(path):
+                total += old.stat().st_size
+            # Oldest first (highest rotation index) until inside budget.
+            for old in reversed(rotated_quarantine_paths(path)):
+                if total <= max_bytes:
+                    break
+                total -= old.stat().st_size
+                old.unlink()
         return len(records)
+
+    def drain(self) -> list[QuarantineRecord]:
+        """Remove and return the retained records, oldest first.
+
+        Totals keep counting — draining hands the records to a replayer
+        (dump + requeue), it does not erase the damage record.
+        """
+        records = list(self._records)
+        self._records.clear()
+        registry = get_registry()
+        if registry.enabled:
+            registry.set_gauge(QUARANTINE_DEPTH, 0)
+        return records
 
     def summary(self) -> dict[str, int]:
         """Depth/total/overflow in one dict (mirrors the health keys)."""
@@ -139,6 +179,37 @@ class Quarantine:
             "total": self._total,
             "overflow": self._overflow,
         }
+
+
+def rotated_quarantine_paths(path: str | Path) -> list[Path]:
+    """Existing rotations of a quarantine dump, newest (``.1``) first.
+
+    Only contiguous numeric suffixes produced by :meth:`Quarantine.dump`
+    count; an unrelated ``foo.jsonl.bak`` next door is never touched.
+    """
+    path = Path(path)
+    out: list[Path] = []
+    index = 1
+    while True:
+        candidate = path.with_name(f"{path.name}.{index}")
+        if not candidate.exists():
+            break
+        out.append(candidate)
+        index += 1
+    return out
+
+
+def quarantine_files(path: str | Path) -> list[Path]:
+    """Every file of a (possibly rotated) quarantine dump, oldest first.
+
+    The replay order :func:`requeue_records` wants: highest rotation
+    index down to ``.1``, then the base file — so requeued messages
+    reach the stream in roughly the order they were quarantined.
+    Includes the base path even when it does not exist (the caller gets
+    its open() error instead of a silent no-op).
+    """
+    path = Path(path)
+    return list(reversed(rotated_quarantine_paths(path))) + [path]
 
 
 @dataclass(frozen=True)
@@ -295,40 +366,45 @@ def requeue_records(
     and operators fix garbled lines offline.  Each record's ``line`` is
     re-parsed and pushed; anything that fails again (unparseable, or
     re-rejected by the stream) lands in ``quarantine`` — the round trip
-    never raises.  Returns ``(events, n_ok, n_failed)``.
+    never raises.  Rotated dumps (``path.2``, ``path.1``, …, written by
+    :meth:`Quarantine.dump` under a byte budget) are replayed too,
+    oldest file first.  Returns ``(events, n_ok, n_failed)``.
     """
     events: list = []
     n_ok = 0
     n_failed = 0
-    with open(path, "r", encoding="utf-8") as fh:
-        for line_no, raw in enumerate(fh, start=1):
-            if not raw.strip():
-                continue
-            try:
-                record = json.loads(raw)
-                line = record["line"]
-            except (ValueError, KeyError, TypeError):
-                n_failed += 1
-                quarantine.add(
-                    QuarantineRecord(
-                        line=raw.rstrip("\n"),
-                        error="not a quarantine JSONL record",
-                        source=str(path),
-                        line_no=line_no,
-                        kind="requeue",
+    for part in quarantine_files(path):
+        with open(part, "r", encoding="utf-8") as fh:
+            for line_no, raw in enumerate(fh, start=1):
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw)
+                    line = record["line"]
+                except (ValueError, KeyError, TypeError):
+                    n_failed += 1
+                    quarantine.add(
+                        QuarantineRecord(
+                            line=raw.rstrip("\n"),
+                            error="not a quarantine JSONL record",
+                            source=str(part),
+                            line_no=line_no,
+                            kind="requeue",
+                        )
                     )
-                )
-                continue
-            try:
-                message = parse_line(line, line_no=line_no, source=str(path))
-            except SyslogParseError as exc:
-                n_failed += 1
-                quarantine.add_parse_error(line, exc)
-                continue
-            before = quarantine.total
-            events.extend(push_safe(stream, message, quarantine))
-            if quarantine.total > before:
-                n_failed += 1
-            else:
-                n_ok += 1
+                    continue
+                try:
+                    message = parse_line(
+                        line, line_no=line_no, source=str(part)
+                    )
+                except SyslogParseError as exc:
+                    n_failed += 1
+                    quarantine.add_parse_error(line, exc)
+                    continue
+                before = quarantine.total
+                events.extend(push_safe(stream, message, quarantine))
+                if quarantine.total > before:
+                    n_failed += 1
+                else:
+                    n_ok += 1
     return events, n_ok, n_failed

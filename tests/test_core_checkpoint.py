@@ -383,3 +383,63 @@ class TestAutomaticCheckpoints:
         resumed_events.extend(resumed.close())
         full = _run(DigestStream(system_a.kb, config), list(ordered_a))
         assert len(resumed_events) <= len(full)
+
+
+class TestCheckpointAgeClock:
+    """checkpoint_age runs on the injected monotonic clock, not message time."""
+
+    def _stream(self, system_a, clock):
+        return DigestStream(system_a.kb, system_a.config, clock=clock)
+
+    def test_age_is_minus_one_before_any_checkpoint(self, system_a):
+        stream = self._stream(system_a, clock=lambda: 50.0)
+        assert stream.checkpoint_age == -1.0
+        assert stream.health()["checkpoint_age_seconds"] == -1.0
+
+    def test_age_follows_the_injected_clock(
+        self, system_a, ordered_a, tmp_path
+    ):
+        now = [100.0]
+        stream = self._stream(system_a, clock=lambda: now[0])
+        for message in ordered_a[:20]:
+            stream.push(message)
+        write_checkpoint(tmp_path / "age.ckpt", stream)
+        assert stream.checkpoint_age == 0.0
+        now[0] += 12.5
+        assert stream.checkpoint_age == 12.5
+        # Message timestamps advancing (or jumping back) never move the
+        # age: only the monotonic clock does.
+        for message in ordered_a[20:40]:
+            stream.push(message)
+        assert stream.checkpoint_age == 12.5
+
+    def test_age_restarts_at_zero_on_restore(
+        self, system_a, ordered_a, tmp_path
+    ):
+        writer_now = [1000.0]
+        writer = self._stream(system_a, clock=lambda: writer_now[0])
+        for message in ordered_a[:20]:
+            writer.push(message)
+        path = tmp_path / "restore-age.ckpt"
+        write_checkpoint(path, writer)
+        writer_now[0] += 500.0
+        # The restoring process has a completely unrelated clock; the
+        # writer's age must not leak through the checkpoint.
+        restorer_now = [3.0]
+        restored = restore_stream(path, system_a.kb)
+        restored._clock = lambda: restorer_now[0]
+        restored.note_checkpoint()
+        assert restored.checkpoint_age == 0.0
+        restorer_now[0] += 2.0
+        assert restored.checkpoint_age == 2.0
+
+    def test_non_monotonic_fake_clock_clamps_at_zero(
+        self, system_a, ordered_a, tmp_path
+    ):
+        now = [100.0]
+        stream = self._stream(system_a, clock=lambda: now[0])
+        for message in ordered_a[:5]:
+            stream.push(message)
+        write_checkpoint(tmp_path / "clamp.ckpt", stream)
+        now[0] -= 50.0
+        assert stream.checkpoint_age == 0.0

@@ -52,3 +52,64 @@ class TestLocation:
 
     def test_str_router_level(self):
         assert str(Location.router_level("r1")) == "r1"
+
+
+class TestCrossProcessPickle:
+    """Location's cached hash must never cross a process boundary.
+
+    ``hash(str)`` is salted by PYTHONHASHSEED, so a pickled Location
+    carrying its writer's cached ``_hash`` would miss every dict/set
+    bucket in a process with a different seed — checkpoints restored
+    by the serve daemon and payloads shipped to spawn-lane workers
+    both cross that boundary.
+    """
+
+    def test_getstate_excludes_the_cached_hash(self):
+        loc = Location("r1", LocationKind.PORT, "1/0")
+        assert loc.__getstate__() == ("r1", LocationKind.PORT, "1/0")
+
+    def test_local_round_trip_preserves_identity(self):
+        import copy
+        import pickle
+
+        loc = Location("r9", LocationKind.SLOT, "3")
+        for clone in (pickle.loads(pickle.dumps(loc)), copy.deepcopy(loc)):
+            assert clone == loc
+            assert hash(clone) == hash(loc)
+            assert clone in {loc}
+
+    def test_unpickling_under_a_different_hash_seed(self):
+        import base64
+        import pickle
+        import subprocess
+        import sys
+
+        script = (
+            "import base64, pickle, sys\n"
+            "from repro.locations.model import Location, LocationKind\n"
+            "loc = Location('edge-7', LocationKind.PHYS_IF, 'Serial2/0')\n"
+            "sys.stdout.write(base64.b64encode(pickle.dumps(loc)).decode())\n"
+        )
+        blobs = {}
+        for seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={
+                    "PYTHONPATH": "src",
+                    "PYTHONHASHSEED": seed,
+                },
+                cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+                check=True,
+            )
+            blobs[seed] = base64.b64decode(proc.stdout)
+        local = Location("edge-7", LocationKind.PHYS_IF, "Serial2/0")
+        for seed, blob in blobs.items():
+            restored = pickle.loads(blob)
+            assert restored == local
+            # The decisive check: the restored hash was recomputed with
+            # THIS process's salt, so bucket lookups work.
+            assert hash(restored) == hash(local)
+            assert restored in {local}
+            assert {restored: "x"}[local] == "x"

@@ -1,0 +1,205 @@
+"""HTTP API: routing, payload shapes, pagination, error handling.
+
+Routing logic is exercised synchronously through ``HttpApi._dispatch``
+(handlers run on the event loop between batches, so dispatch *is* the
+whole request path minus socket I/O), plus one real-socket round trip
+to cover the asyncio server itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.daemon import ServeConfig, ServeDaemon
+from repro.serve.http import MAX_EVENTS_PAGE, HttpApi
+from repro.syslog.stream import write_log
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def daemon(system_a, live_a, tmp_path_factory):
+    """A daemon with one tenant, pumped to completion synchronously."""
+    root = tmp_path_factory.mktemp("http")
+    kb_path = root / "kb.json"
+    system_a.kb.save(kb_path)
+    messages = [m.message for m in live_a.messages][:400]
+    write_log(root / "s1.log", messages)
+    config = ServeConfig.from_dict(
+        {
+            "workdir": str(root),
+            "once": True,
+            "tenants": [
+                {
+                    "name": "net-a",
+                    "sources": [str(root / "s1.log")],
+                    "workdir": str(root / "net-a"),
+                    "kb_path": str(kb_path),
+                }
+            ],
+        }
+    )
+    daemon = ServeDaemon(config)
+    from repro.serve.journal import TransitionJournal
+    from repro.serve.supervisor import Supervisor
+
+    runtime = daemon.tenants["net-a"]
+    runtime.workdir.mkdir(parents=True, exist_ok=True)
+    daemon.supervisors["net-a"] = Supervisor(
+        "net-a", journal=TransitionJournal(runtime.supervisor_path)
+    )
+    runtime.start()
+    daemon.supervisors["net-a"].note_started()
+    while runtime.pending:
+        runtime.process_batch()
+    runtime.drain()
+    daemon.supervisors["net-a"].note_drained()
+    return daemon
+
+
+def _get(daemon, target: str):
+    request = f"GET {target} HTTP/1.0\r\n\r\n".encode()
+    return daemon.api._dispatch(request)
+
+
+def _post(daemon, target: str):
+    request = f"POST {target} HTTP/1.0\r\n\r\n".encode()
+    return daemon.api._dispatch(request)
+
+
+class TestRoutes:
+    def test_healthz(self, daemon):
+        status, body, _ = _get(daemon, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["tenants"] == {"net-a": "drained"}
+
+    def test_tenants_listing(self, daemon):
+        status, body, _ = _get(daemon, "/tenants")
+        (row,) = json.loads(body)
+        assert row["name"] == "net-a"
+        assert row["state"] == "drained"
+        assert row["events"] > 0
+
+    def test_tenant_health_carries_supervisor_state(self, daemon):
+        status, body, _ = _get(daemon, "/tenants/net-a/health")
+        payload = json.loads(body)
+        assert payload["state"] == "drained"
+        assert payload["restarts"] == 0
+        assert "stream" in payload and "ingest" in payload
+
+    def test_metrics_is_prometheus_text(self, daemon):
+        status, body, content_type = _get(daemon, "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "syslogdigest_" in body
+
+    def test_sources_and_journal(self, daemon):
+        _, body, _ = _get(daemon, "/tenants/net-a/sources")
+        (row,) = json.loads(body)
+        assert row["state"] == "closed"
+        _, body, _ = _get(daemon, "/tenants/net-a/journal")
+        payload = json.loads(body)
+        assert [t["to"] for t in payload["supervisor"]] == [
+            "healthy",
+            "drained",
+        ]
+
+    def test_drain_endpoint_sets_the_flag(self, daemon):
+        assert not daemon.draining
+        status, body, _ = _post(daemon, "/drain")
+        assert status == 200 and json.loads(body) == {"draining": True}
+        assert daemon.draining
+        daemon.draining = False
+
+
+class TestEventsPagination:
+    def test_cursor_walk_covers_everything_once(self, daemon):
+        total = len(daemon.tenants["net-a"].events)
+        assert total > 0
+        seen = []
+        cursor = 0
+        while cursor is not None:
+            _, body, _ = _get(
+                daemon, f"/tenants/net-a/events?cursor={cursor}&limit=7"
+            )
+            page = json.loads(body)
+            assert page["total"] == total
+            seen.extend(e["cursor"] for e in page["events"])
+            cursor = page["next_cursor"]
+        assert seen == list(range(total))
+
+    def test_event_payload_shape(self, daemon):
+        _, body, _ = _get(daemon, "/tenants/net-a/events?limit=1")
+        (event,) = json.loads(body)["events"]
+        assert set(event) == {
+            "cursor",
+            "label",
+            "score",
+            "start_ts",
+            "end_ts",
+            "n_messages",
+            "routers",
+            "error_codes",
+            "template_keys",
+            "locations",
+        }
+
+    def test_limit_is_capped(self, daemon):
+        _, body, _ = _get(
+            daemon, f"/tenants/net-a/events?limit={MAX_EVENTS_PAGE * 10}"
+        )
+        assert len(json.loads(body)["events"]) <= MAX_EVENTS_PAGE
+
+    def test_bad_cursor_is_400(self, daemon):
+        status, body, _ = _get(daemon, "/tenants/net-a/events?cursor=x")
+        assert status == 400
+        status, _, _ = _get(daemon, "/tenants/net-a/events?cursor=-1")
+        assert status == 400
+
+
+class TestErrors:
+    def test_unknown_tenant_404(self, daemon):
+        status, body, _ = _get(daemon, "/tenants/nope/health")
+        assert status == 404
+        assert "nope" in json.loads(body)["error"]
+
+    def test_unknown_route_404(self, daemon):
+        status, _, _ = _get(daemon, "/does/not/exist")
+        assert status == 404
+
+    def test_method_not_allowed(self, daemon):
+        status, _, _ = daemon.api._dispatch(b"PUT /healthz HTTP/1.0\r\n\r\n")
+        assert status == 405
+
+    def test_promote_without_store_is_an_error(self, daemon):
+        status, body, _ = _post(daemon, "/tenants/net-a/promote")
+        assert status == 500
+        assert "store_dir" in json.loads(body)["error"]
+
+
+class TestRealSocket:
+    def test_round_trip_over_a_real_connection(self, daemon):
+        async def scenario():
+            api = HttpApi(daemon)
+            await api.start("127.0.0.1", 0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", api.port
+                )
+                writer.write(b"GET /healthz HTTP/1.0\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+            finally:
+                await api.stop()
+            return raw
+
+        raw = asyncio.run(scenario())
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert json.loads(body)["status"] == "ok"

@@ -1,0 +1,173 @@
+"""Supervisor state machine: every transition the daemon relies on.
+
+The supervisor is pure decision logic (no asyncio, no pipeline), so
+each arc of the state diagram in repro/serve/supervisor.py is pinned
+here directly: healthy -> restarting -> healthy (recovered),
+restarting -> degraded (restarts exhausted), degraded -> failed,
+healthy -> drained, plus the stuck-detector deadline and the
+RetryPolicy-backed backoff schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    SERVE_TENANT_STATE,
+    SERVE_TRANSITIONS,
+    MetricsRegistry,
+    scoped_registry,
+)
+from repro.serve.journal import TransitionJournal
+from repro.serve.supervisor import STATE_INDEX, STATES, Supervisor
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _supervisor(tmp_path=None, **kwargs):
+    journal = (
+        TransitionJournal(tmp_path / "sup.jsonl") if tmp_path else None
+    )
+    kwargs.setdefault("max_restarts", 2)
+    kwargs.setdefault("base_delay", 0.5)
+    kwargs.setdefault("progress_deadline", 10.0)
+    return Supervisor("t1", journal=journal, **kwargs)
+
+
+class TestTransitions:
+    def test_starting_to_healthy(self):
+        sup = _supervisor()
+        assert sup.state == "starting"
+        sup.note_started()
+        assert sup.state == "healthy"
+
+    def test_failure_restarts_with_exponential_backoff(self):
+        sup = _supervisor(clock=FakeClock())
+        sup.note_started()
+        first = sup.on_failure("boom")
+        assert (first.action, first.delay, first.restarts) == (
+            "restart", 0.5, 1,
+        )
+        assert sup.state == "restarting"
+        second = sup.on_failure("boom again")
+        assert (second.action, second.delay) == ("restart", 1.0)
+
+    def test_progress_recovers_and_resets_the_failure_run(self):
+        sup = _supervisor()
+        sup.note_started()
+        sup.on_failure("boom")
+        assert sup.state == "restarting"
+        sup.note_progress()
+        assert sup.state == "healthy"
+        assert sup.restarts == 0
+        # The next failure starts a fresh run at the first delay.
+        assert sup.on_failure("later").delay == 0.5
+
+    def test_exhausted_restarts_escalate_to_degraded(self):
+        sup = _supervisor()
+        sup.note_started()
+        sup.on_failure("1")
+        sup.on_failure("2")
+        decision = sup.on_failure("3")
+        assert decision.action == "degrade"
+        assert sup.state == "degraded"
+        # The schedule's last delay repeats once it is exhausted.
+        assert decision.delay == 1.0
+
+    def test_degraded_failure_is_terminal(self):
+        sup = _supervisor()
+        sup.note_started()
+        for _ in range(3):
+            sup.on_failure("x")
+        assert sup.state == "degraded"
+        sup.note_degraded_started()
+        assert sup.restarts == 0
+        decision = sup.on_failure("even shed mode died")
+        assert decision.action == "fail"
+        assert sup.state == "failed"
+
+    def test_drained_is_terminal(self):
+        sup = _supervisor()
+        sup.note_started()
+        sup.note_drained()
+        assert sup.state == "drained"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Supervisor("t", max_restarts=0)
+        with pytest.raises(ValueError):
+            Supervisor("t", progress_deadline=0.0)
+
+
+class TestStuckDetector:
+    def test_fires_only_past_deadline_with_pending_input(self):
+        clock = FakeClock()
+        sup = _supervisor(clock=clock)
+        sup.note_started()
+        assert not sup.stuck(pending=True)
+        clock.now += 10.5
+        assert sup.stuck(pending=True)
+        # An idle tenant at EOF is never stuck.
+        assert not sup.stuck(pending=False)
+
+    def test_progress_resets_the_deadline(self):
+        clock = FakeClock()
+        sup = _supervisor(clock=clock)
+        sup.note_started()
+        clock.now += 9.0
+        sup.note_progress()
+        clock.now += 9.0
+        assert not sup.stuck(pending=True)
+        clock.now += 2.0
+        assert sup.stuck(pending=True)
+
+    def test_not_stuck_before_start_or_after_drain(self):
+        sup = _supervisor(clock=FakeClock())
+        assert not sup.stuck(pending=True)  # still "starting"
+        sup.note_started()
+        sup.note_drained()
+        assert not sup.stuck(pending=True)
+
+
+class TestJournalAndMetrics:
+    def test_every_transition_is_journaled(self, tmp_path):
+        sup = _supervisor(tmp_path)
+        sup.note_started()
+        sup.on_failure("crash-1")
+        sup.note_progress()
+        sup.note_drained()
+        entries = TransitionJournal(tmp_path / "sup.jsonl").read()
+        assert [(e["from"], e["to"]) for e in entries] == [
+            ("starting", "healthy"),
+            ("healthy", "restarting"),
+            ("restarting", "healthy"),
+            ("healthy", "drained"),
+        ]
+        assert entries[1]["reason"] == "crash-1"
+        assert entries[1]["restarts"] == 1
+        assert all(e["tenant"] == "t1" for e in entries)
+
+    def test_state_gauge_and_transition_counter(self):
+        registry = MetricsRegistry()
+        with scoped_registry(registry):
+            sup = _supervisor()
+            sup.note_started()
+            sup.on_failure("x")
+        assert registry.gauge_value(
+            SERVE_TENANT_STATE, tenant="t1"
+        ) == STATE_INDEX["restarting"]
+        assert registry.counter_value(
+            SERVE_TRANSITIONS, tenant="t1", to="healthy"
+        ) == 1.0
+
+    def test_state_index_covers_every_state(self):
+        assert set(STATE_INDEX) == set(STATES)
+        assert sorted(STATE_INDEX.values()) == list(range(len(STATES)))

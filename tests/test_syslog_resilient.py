@@ -21,9 +21,12 @@ from repro.syslog.resilient import (
     RetryPolicy,
     SourceFailed,
     push_safe,
+    quarantine_files,
     read_source,
+    requeue_records,
     resilient_parse,
     resilient_read_log,
+    rotated_quarantine_paths,
 )
 
 GOOD = "2010-01-10 00:00:15 r1 LINK-3-UPDOWN: Interface up"
@@ -214,3 +217,108 @@ class TestPushSafe:
         assert health["quarantine_depth"] == 1
         assert health["quarantine_total"] == 1
         assert health["skew_rejected"] == 1
+
+
+class TestDumpRotation:
+    def _dump(self, quarantine_dir, lines, max_bytes):
+        quarantine = Quarantine()
+        for line in lines:
+            quarantine.add(QuarantineRecord(line=line, error="e"))
+        return quarantine.dump(
+            quarantine_dir / "dead.jsonl", max_bytes=max_bytes
+        )
+
+    def test_existing_dump_rotates_instead_of_overwriting(self, tmp_path):
+        self._dump(tmp_path, ["first"], max_bytes=1 << 20)
+        self._dump(tmp_path, ["second"], max_bytes=1 << 20)
+        self._dump(tmp_path, ["third"], max_bytes=1 << 20)
+        base = tmp_path / "dead.jsonl"
+        assert "third" in base.read_text()
+        assert "second" in (tmp_path / "dead.jsonl.1").read_text()
+        assert "first" in (tmp_path / "dead.jsonl.2").read_text()
+        assert rotated_quarantine_paths(base) == [
+            tmp_path / "dead.jsonl.1",
+            tmp_path / "dead.jsonl.2",
+        ]
+
+    def test_byte_budget_deletes_oldest_rotations(self, tmp_path):
+        # Each dump is ~60 bytes; a 150-byte budget keeps at most the
+        # fresh base file plus one rotation.
+        for i in range(5):
+            self._dump(tmp_path, [f"gen-{i}"], max_bytes=150)
+        base = tmp_path / "dead.jsonl"
+        family = [base] + rotated_quarantine_paths(base)
+        assert sum(p.stat().st_size for p in family) <= 150
+        assert "gen-4" in base.read_text()
+        assert not (tmp_path / "dead.jsonl.4").exists()
+
+    def test_fresh_base_survives_even_alone_over_budget(self, tmp_path):
+        self._dump(tmp_path, ["x" * 500], max_bytes=10)
+        assert (tmp_path / "dead.jsonl").exists()
+        assert rotated_quarantine_paths(tmp_path / "dead.jsonl") == []
+
+    def test_max_bytes_zero_keeps_overwrite_in_place(self, tmp_path):
+        self._dump(tmp_path, ["first"], max_bytes=0)
+        self._dump(tmp_path, ["second"], max_bytes=0)
+        assert "second" in (tmp_path / "dead.jsonl").read_text()
+        assert rotated_quarantine_paths(tmp_path / "dead.jsonl") == []
+
+    def test_quarantine_files_orders_oldest_first(self, tmp_path):
+        for i in range(3):
+            self._dump(tmp_path, [f"gen-{i}"], max_bytes=1 << 20)
+        base = tmp_path / "dead.jsonl"
+        texts = [p.read_text() for p in quarantine_files(base)]
+        assert "gen-0" in texts[0]
+        assert "gen-1" in texts[1]
+        assert "gen-2" in texts[2]
+
+
+class TestDrain:
+    def test_drain_removes_records_but_keeps_totals(self):
+        quarantine = Quarantine()
+        quarantine.add(QuarantineRecord(line="a", error="e"))
+        quarantine.add(QuarantineRecord(line="b", error="e"))
+        drained = quarantine.drain()
+        assert [r.line for r in drained] == ["a", "b"]
+        assert len(quarantine) == 0
+        assert quarantine.total == 2
+
+
+class TestRequeueRotated:
+    def test_requeue_replays_rotated_dumps_oldest_first(
+        self, system_a, tmp_path
+    ):
+        base = tmp_path / "dead.jsonl"
+        # Three dump generations of salvageable lines, oldest in .2.
+        for i, ts in enumerate(("00:00:10", "00:00:20", "00:00:30")):
+            quarantine = Quarantine()
+            quarantine.add(
+                QuarantineRecord(
+                    line=f"2010-01-10 {ts} r1 LINK-3-UPDOWN: retry {i}",
+                    error="was rejected",
+                )
+            )
+            quarantine.dump(base, max_bytes=1 << 20)
+        stream = DigestStream(system_a.kb, system_a.config)
+        survivors = Quarantine()
+        events, n_ok, n_failed = requeue_records(base, stream, survivors)
+        # Oldest-first replay means timestamps arrive in order, so every
+        # line re-admits cleanly.
+        assert (n_ok, n_failed) == (3, 0)
+        assert len(survivors) == 0
+        stream.close()
+
+    def test_refailing_lines_land_back_in_quarantine(
+        self, system_a, tmp_path
+    ):
+        base = tmp_path / "dead.jsonl"
+        quarantine = Quarantine()
+        quarantine.add(QuarantineRecord(line="### garbage ###", error="e"))
+        quarantine.dump(base)
+        stream = DigestStream(system_a.kb, system_a.config)
+        survivors = Quarantine()
+        events, n_ok, n_failed = requeue_records(base, stream, survivors)
+        assert (n_ok, n_failed) == (0, 1)
+        (record,) = survivors.records()
+        assert record.line == "### garbage ###"
+        stream.close()
