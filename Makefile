@@ -2,7 +2,7 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults lifecycle ingest serve serve-smoke bench bench-refresh bench-ingest bench-scale clean
+.PHONY: check test faults lifecycle ingest serve serve-smoke chaos chaos-smoke bench bench-refresh bench-ingest bench-scale clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
 # checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
@@ -20,7 +20,11 @@ PY = PYTHONPATH=src python
 # and the serve-smoke crash gate: a real `repro serve` daemon SIGKILLed
 # mid-stream must, on restart under a different PYTHONHASHSEED, finish
 # byte-identical to an uninterrupted run (serial + process lanes), and
-# SIGTERM must drain to exit 0 with a final checkpoint.
+# SIGTERM must drain to exit 0 with a final checkpoint — and the
+# chaos-smoke gate: a live two-tenant daemon tailing its logs through
+# scripted rotation, in-place truncation, disk-full-during-checkpoint,
+# and SIGKILL-mid-tail must finish byte-identical to an unfaulted run,
+# and the clean no-fault run must be a strict operational no-op.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
@@ -29,6 +33,7 @@ check:
 	$(PY) -m pytest -q tests/test_hotpath_identity.py
 	$(PY) -m pytest -q tests/test_stream_workers.py
 	$(PY) -m pytest -q tests/test_serve_smoke.py
+	$(PY) -m pytest -q tests/test_chaos_smoke.py
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -58,6 +63,20 @@ serve:
 # a byte-identical digest; SIGTERM must drain to exit 0.
 serve-smoke:
 	$(PY) -m pytest -q tests/test_serve_smoke.py
+
+# Every chaos-marked test: live-daemon disaster scenarios plus any
+# future chaos tiers.
+chaos:
+	$(PY) -m pytest -q -m chaos
+
+# The deterministic chaos gate (also part of `check`): drive a live
+# two-tenant daemon through scripted rotate-while-reading, truncate,
+# disk-full-during-checkpoint, and SIGKILL-mid-tail, requiring a
+# byte-identical digest against an unfaulted run each time; the clean
+# run must produce zero quarantined lines and zero degraded
+# transitions.
+chaos-smoke:
+	$(PY) -m pytest -q tests/test_chaos_smoke.py
 
 # Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
 bench:

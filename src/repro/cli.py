@@ -161,35 +161,6 @@ def _kb_from_args(
     raise SystemExit("need --kb or --store")
 
 
-def _ingest_feeds(paths: list[str]) -> list[tuple[str, str]]:
-    """Read per-source logs and interleave their lines by timestamp.
-
-    Each log is one source (named after its path); lines keep their
-    per-file order and are merged into the arrival order a collector
-    aggregating the feeds would see.  Unparseable lines ride at the last
-    readable timestamp so they reach the ingest (and its breakers)
-    in position instead of being silently skipped.
-    """
-    from repro.syslog.collector import interleave_arrivals
-
-    feeds: dict[str, list[tuple[float, str]]] = {}
-    for path in paths:
-        stamped: list[tuple[float, str]] = []
-        last_ts = 0.0
-        with open(path, "r", encoding="utf-8") as fh:
-            for line in fh:
-                if not line.strip():
-                    continue
-                try:
-                    last_ts = parse_ts(line[:19])
-                except ValueError:
-                    pass
-                stamped.append((last_ts, line.rstrip("\n")))
-        feeds[path] = stamped
-    arrivals = interleave_arrivals(feeds, key=lambda pair: pair[0])
-    return [(source, line) for source, (_ts, line) in arrivals]
-
-
 def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     """Drive a streaming digest through the ingest front-end.
 
@@ -202,8 +173,10 @@ def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     from repro.core.config import IngestConfig
     from repro.core.stream import DigestStream
     from repro.serve.drain import GracefulShutdown
+    from repro.syslog.collector import interleave_arrivals
     from repro.syslog.ingest import MultiSourceIngest
     from repro.syslog.resilient import Quarantine
+    from repro.syslog.tail import TailSet
 
     paths = list(args.source) if args.source else [args.log]
     if paths == [None]:
@@ -222,14 +195,24 @@ def _run_ingest(args: argparse.Namespace, kb, kb_version=None):
     ingest = MultiSourceIngest(
         stream, ingest_config, quarantine=quarantine
     )
+    # The one-shot CLI reads through the same byte-offset tailers the
+    # serve daemon follows live files with (one poll of a static file
+    # reads it whole), so `syslogdigest sources` reports tail cursors.
+    tails = TailSet(paths)
+    ingest.attach_tails(tails)
     checkpoint_path = getattr(args, "checkpoint", None)
     events = []
+    tails.poll()
+    arrivals = interleave_arrivals(
+        tails.take_new(), key=lambda pair: pair[0]
+    )
     with GracefulShutdown() as stop:
-        for source, line in _ingest_feeds(paths):
+        for source, (_ts, line) in arrivals:
             if stop:
                 _checkpoint_on_signal(stream, checkpoint_path, stop)
                 return ingest, events, quarantine, True
             events.extend(ingest.push_line(source, line))
+            tails.note_pushed(source)
     events.extend(ingest.close())
     return ingest, events, quarantine, False
 
@@ -511,11 +494,9 @@ def _cmd_sources(args: argparse.Namespace) -> int:
     ingest, events, _quarantine, _interrupted = _run_ingest(
         args, kb, kb_version
     )
-    rows = []
-    for src in ingest.sources():
-        summary = src.summary()
-        rows.append([summary[key] for key in summary])
-    headers = list(ingest.sources()[0].summary()) if rows else []
+    summaries = ingest.source_summaries()
+    rows = [list(summary.values()) for summary in summaries]
+    headers = list(summaries[0]) if summaries else []
     print(
         render_table(headers, rows, title="per-source ingest health")
     )

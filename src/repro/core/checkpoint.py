@@ -32,12 +32,19 @@ from repro.obs import (
     CHECKPOINT_WRITES,
     get_registry,
 )
+from repro.utils.fsio import atomic_write_bytes, fsync_dir
 
 #: File-format version of the checkpoint container (the embedded
 #: snapshot carries its own :data:`~repro.core.stream.SNAPSHOT_VERSION`).
 CHECKPOINT_FORMAT = 1
 
 _MAGIC = "syslogdigest-checkpoint"
+
+
+def previous_checkpoint_path(path: str | Path) -> Path:
+    """The ``.prev`` sibling holding the last superseded checkpoint."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
 
 
 @dataclass(frozen=True)
@@ -68,8 +75,16 @@ def write_checkpoint(
 
     Write-temp-then-rename in the target directory: a crash mid-write
     leaves the previous checkpoint untouched, and the rename is atomic
-    on POSIX filesystems.  Also marks the stream as freshly
-    checkpointed (its ``checkpoint_age_seconds`` health key resets).
+    on POSIX filesystems.  The write is power-cut durable (the parent
+    directory is fsynced after the rename), and the superseded
+    checkpoint is retained as ``<name>.prev`` so a corrupt newest file
+    can fall back one generation (:func:`load_resume_state`).  Also
+    marks the stream as freshly checkpointed (its
+    ``checkpoint_age_seconds`` health key resets).
+
+    Raises ``OSError`` (real or injected ENOSPC/EIO) with the previous
+    checkpoint — and its ``.prev`` — untouched; callers degrade rather
+    than crash (DESIGN.md §14).
     """
     path = Path(path)
     snapshot = stream.snapshot()
@@ -79,12 +94,17 @@ def write_checkpoint(
         "snapshot": snapshot,
     }
     blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
+    # Demote the current checkpoint only after the temp file for its
+    # successor is safely on disk — atomic_write_bytes raises before
+    # renaming on failure, so a failed write leaves both generations
+    # exactly as they were.
+    prev = previous_checkpoint_path(path)
+    tmp = path.with_name(path.name + ".new")
+    atomic_write_bytes(tmp, blob)
+    if path.exists():
+        os.replace(path, prev)
     os.replace(tmp, path)
+    fsync_dir(path.parent)
     stream.note_checkpoint()
     registry = get_registry()
     if registry.enabled:
@@ -126,6 +146,41 @@ def read_checkpoint(path: str | Path) -> dict:
             f"supported {SNAPSHOT_VERSION}"
         )
     return snapshot
+
+
+def load_resume_state(
+    path: str | Path,
+) -> tuple[dict, Path, Exception | None]:
+    """Load the newest readable checkpoint generation for ``path``.
+
+    Returns ``(snapshot, used_path, error)``.  Normally ``used_path``
+    is ``path`` itself and ``error`` is None.  When the newest file is
+    corrupt (torn write on a dying disk, bad sector) but its ``.prev``
+    sibling restores cleanly, falls back one generation: ``used_path``
+    is the ``.prev`` path and ``error`` is the exception the newest
+    file raised — callers must surface that loudly (the serve tenant
+    journals a ``checkpoint-fallback`` entry).  When the newest file is
+    missing entirely, restores directly from ``.prev`` with no error.
+    Re-raises the newest file's failure when no generation is readable.
+    """
+    path = Path(path)
+    prev = previous_checkpoint_path(path)
+    primary_error: Exception | None = None
+    if path.exists():
+        try:
+            return read_checkpoint(path), path, None
+        except Exception as exc:  # corrupt: fall back a generation
+            primary_error = exc
+    if prev.exists():
+        try:
+            return read_checkpoint(prev), prev, primary_error
+        except Exception:
+            if primary_error is not None:
+                raise primary_error
+            raise
+    if primary_error is not None:
+        raise primary_error
+    raise FileNotFoundError(f"no checkpoint at {path} (or {prev})")
 
 
 def checkpoint_info(path: str | Path) -> CheckpointInfo:
@@ -172,6 +227,28 @@ def restore_stream(
     versa) with no effect on output.
     """
     snapshot = read_checkpoint(path)
+    return restore_stream_snapshot(
+        snapshot,
+        kb=kb,
+        config=config,
+        store=store,
+        stream_workers=stream_workers,
+    )
+
+
+def restore_stream_snapshot(
+    snapshot: dict,
+    kb: KnowledgeBase | None = None,
+    config: DigestConfig | None = None,
+    store: KnowledgeStore | None = None,
+    stream_workers: str | None = None,
+) -> DigestStream:
+    """:func:`restore_stream` for an already-loaded snapshot dict.
+
+    Used by callers that resolve the snapshot themselves — e.g. the
+    serve tenant, which loads via :func:`load_resume_state` so a
+    corrupt newest checkpoint falls back to the ``.prev`` generation.
+    """
     kb_version = snapshot["kb_version"]
     if kb is None:
         if store is None:
@@ -182,7 +259,7 @@ def restore_stream(
             )
         if not isinstance(kb_version, int):
             raise ValueError(
-                f"checkpoint {path} records kb_version {kb_version!r}, "
+                f"checkpoint records kb_version {kb_version!r}, "
                 "not a model-store version; pass the knowledge base "
                 "explicitly via kb="
             )

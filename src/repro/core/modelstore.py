@@ -28,13 +28,13 @@ versions instead of failing deep inside deserialization.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.knowledge import KnowledgeBase
 from repro.obs import KB_ACTIVE_VERSION, KB_ROLLBACKS, get_registry
+from repro.utils.fsio import atomic_write_text, fsync_dir
 
 #: On-disk format of the store's meta/pointer files (the knowledge
 #: payloads carry their own ``format_version``).
@@ -74,13 +74,13 @@ class VersionInfo:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """write-temp → fsync → rename, the §8 checkpoint discipline."""
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    """write-temp → fsync → rename → fsync dir (fsio discipline, §14).
+
+    Delegates to :func:`repro.utils.fsio.atomic_write_text` so store
+    writes share the crash-durable rename and the chaos fault seam with
+    checkpoints and journals.
+    """
+    atomic_write_text(path, text)
 
 
 class KnowledgeStore:
@@ -297,5 +297,6 @@ class KnowledgeStore:
             self._kb_path(version).unlink(missing_ok=True)
             self._meta_path(version).unlink(missing_ok=True)
         if victims:
+            fsync_dir(self.root)
             self._journal("prune", None, pruned=victims)
         return victims

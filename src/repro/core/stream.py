@@ -102,7 +102,9 @@ from repro.utils.unionfind import UnionFind
 #: full Syslog+ objects (every executor lane steps on StepItems, so a
 #: checkpoint written under one ``stream_workers`` lane restores
 #: byte-identically under any other).
-SNAPSHOT_VERSION = 5
+#: v6: an attached ingest snapshot carries live-tail committed cursors
+#: (ingest snapshot v2), so checkpoints resume byte-offset tailing.
+SNAPSHOT_VERSION = 6
 
 
 class StepItem(NamedTuple):

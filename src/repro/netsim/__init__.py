@@ -19,16 +19,22 @@ from repro.netsim.datasets import (
 from repro.netsim.faults import (
     Compose,
     CorruptLines,
+    DiskFull,
+    DiskIOError,
     DuplicateBurst,
+    DurableWriteFault,
     FaultProfile,
     FeedStall,
     FlakyShardTask,
     InjectedWorkerFault,
     LateLines,
     ReorderLines,
+    RotateLog,
     SourceFlap,
     TruncateLines,
+    TruncateLog,
     WorkerFaults,
+    durable_fault_from_dict,
     labeled_pairs,
 )
 from repro.netsim.generator import WorkloadEngine, WorkloadMix
@@ -48,7 +54,10 @@ __all__ = [
     "Compose",
     "CorruptLines",
     "DatasetSpec",
+    "DiskFull",
+    "DiskIOError",
     "DuplicateBurst",
+    "DurableWriteFault",
     "FaultProfile",
     "FeedStall",
     "FlakyShardTask",
@@ -59,10 +68,12 @@ __all__ = [
     "MessageDef",
     "Network",
     "ReorderLines",
+    "RotateLog",
     "RouterNode",
     "SourceFlap",
     "TroubleTicket",
     "TruncateLines",
+    "TruncateLog",
     "WorkerFaults",
     "WorkloadEngine",
     "WorkloadMix",
@@ -72,6 +83,7 @@ __all__ = [
     "dataset_b",
     "derive_tickets",
     "drift_messages",
+    "durable_fault_from_dict",
     "export_trace",
     "import_trace",
     "generate_dataset",

@@ -453,6 +453,179 @@ class WorkerFaults(FaultProfile):
         )
 
 
+class DurableWriteFault:
+    """Disk-fault hook for :func:`repro.utils.fsio.install_fault_hook`.
+
+    Deterministic: raises ``OSError(err)`` for durable ops whose path
+    contains ``match``, starting at matching attempt number ``after``
+    (1-based), for ``times`` consecutive matching attempts — after
+    which the "disk" recovers and writes land again.  Counts every
+    injected fault through the metrics registry.  Picklable (top-level
+    class, plain attributes) like every other fault hook.
+    """
+
+    def __init__(
+        self,
+        match: str,
+        err: int,
+        op: str = "write",
+        after: int = 1,
+        times: int = 1,
+    ) -> None:
+        if after < 1:
+            raise ValueError("after must be >= 1 (1-based attempt)")
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        self.match = match
+        self.err = err
+        self.op = op
+        self.after = after
+        self.times = times
+        self._seen = 0
+
+    def __call__(self, op: str, path: str) -> None:
+        if op != self.op or self.match not in path:
+            return
+        self._seen += 1
+        if self.after <= self._seen < self.after + self.times:
+            _count("disk", 1)
+            import os as _os
+
+            raise OSError(
+                self.err, "injected: " + _os.strerror(self.err), path
+            )
+
+
+@dataclass(frozen=True)
+class DiskFull(FaultProfile):
+    """Injected ENOSPC on durable writes whose path contains ``match``.
+
+    The trace is untouched; the damage lands at the fsio seam
+    (:func:`repro.utils.fsio.check_fault`) where every checkpoint,
+    journal, model-store, and quarantine write funnels through.  The
+    fault fires for attempts ``[after, after + times)`` of matching
+    writes, then the disk "recovers" — exactly the disk-full-then-freed
+    shape the degrade-don't-crash contract covers.
+    """
+
+    name: str = "disk_full"
+    match: str = ""
+    after: int = 1
+    times: int = 1
+
+    def fsio_hook(self) -> DurableWriteFault:
+        import errno as _errno
+
+        return DurableWriteFault(
+            self.match, _errno.ENOSPC, "write", self.after, self.times
+        )
+
+
+@dataclass(frozen=True)
+class DiskIOError(FaultProfile):
+    """Injected EIO — a failing disk rather than a full one.
+
+    Same seam and counting as :class:`DiskFull`; ``op`` may be "read"
+    to fail tail reads instead of durable writes (the tailer counts
+    those per source and retries at the next poll).
+    """
+
+    name: str = "io_error"
+    match: str = ""
+    op: str = "write"
+    after: int = 1
+    times: int = 1
+
+    def fsio_hook(self) -> DurableWriteFault:
+        import errno as _errno
+
+        return DurableWriteFault(
+            self.match, _errno.EIO, self.op, self.after, self.times
+        )
+
+
+@dataclass(frozen=True)
+class RotateLog(FaultProfile):
+    """Scripted logrotate: rename the live file to ``<name>.1`` (shifting
+    older rotations up) so the next write to ``path`` starts a new file.
+
+    Not a trace transform — :meth:`fire` is called by the chaos harness
+    at a chosen moment while a daemon is mid-read, which is the race
+    the tailer's inode-tracking rotation protocol must win.
+    """
+
+    name: str = "rotate_log"
+    path: str = ""
+
+    def fire(self) -> None:
+        import os as _os
+        from pathlib import Path as _Path
+
+        base = _Path(self.path)
+        if not base.exists():
+            return
+        index = 1
+        while base.with_name(f"{base.name}.{index}").exists():
+            index += 1
+        while index > 1:
+            _os.replace(
+                base.with_name(f"{base.name}.{index - 1}"),
+                base.with_name(f"{base.name}.{index}"),
+            )
+            index -= 1
+        _os.replace(base, base.with_name(f"{base.name}.1"))
+        _count(self.name, 1)
+
+
+@dataclass(frozen=True)
+class TruncateLog(FaultProfile):
+    """Scripted truncation: cut the live file down to ``keep_lines``
+    lines in place (same inode — the copytruncate logrotate mode).
+
+    The tailer detects the size regression and restarts the cursor at
+    offset 0; with ``keep_lines=0`` the restart is unambiguous (any
+    regrowth is new data, never a re-read).
+    """
+
+    name: str = "truncate_log"
+    path: str = ""
+    keep_lines: int = 0
+
+    def fire(self) -> None:
+        from pathlib import Path as _Path
+
+        target = _Path(self.path)
+        if not target.exists():
+            return
+        if self.keep_lines <= 0:
+            kept = b""
+        else:
+            lines = target.read_bytes().splitlines(keepends=True)
+            kept = b"".join(lines[: self.keep_lines])
+        with open(target, "r+b") as fh:
+            if kept:
+                fh.write(kept)
+            fh.truncate(len(kept))
+        _count(self.name, 1)
+
+
+def durable_fault_from_dict(data: dict) -> DurableWriteFault:
+    """Build the fsio hook a serve config's ``fault`` block describes.
+
+    Shape: ``{"kind": "disk_full" | "io_error", "match": <substring>,
+    "after": N, "times": M, "op": "write" | "read"}`` — the JSON the
+    chaos harness plants in a daemon config to arm deterministic disk
+    faults inside the daemon process.
+    """
+    data = dict(data)
+    kind = data.pop("kind")
+    if kind == "disk_full":
+        return DiskFull(**data).fsio_hook()
+    if kind == "io_error":
+        return DiskIOError(**data).fsio_hook()
+    raise ValueError(f"unknown durable fault kind {kind!r}")
+
+
 @dataclass(frozen=True)
 class Compose(FaultProfile):
     """Apply several profiles in order; compute hooks come from the

@@ -142,6 +142,15 @@ SERVE_ARRIVALS = "syslogdigest_serve_arrivals_total"
 SERVE_EVENTS = "syslogdigest_serve_events_total"
 SERVE_HTTP_REQUESTS = "syslogdigest_serve_http_requests_total"
 
+#: Live tailing (byte-offset cursors over rotating source logs) and
+#: disk-fault degradation.  Rotations/truncations count per source;
+#: lag is a gauge of unread bytes behind the cursor; durable-write
+#: failures count degrade-don't-crash events per tenant and site.
+TAIL_ROTATIONS = "syslogdigest_tail_rotations_total"
+TAIL_TRUNCATIONS = "syslogdigest_tail_truncations_total"
+TAIL_LAG_BYTES = "syslogdigest_tail_lag_bytes"
+DURABLE_WRITE_FAILURES = "syslogdigest_durable_write_failures_total"
+
 #: Default histogram bounds, tuned for stage timings (10 us .. 5 min).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,

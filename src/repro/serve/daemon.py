@@ -69,6 +69,9 @@ class ServeConfig:
     # Test hook (smoke gate): SIGKILL this process after N arrivals
     # across all tenants, via netsim.faults.DaemonCrash.  0 = off.
     crash_after: int = 0
+    # Chaos hook: arm a deterministic disk fault inside this process
+    # (netsim.faults.durable_fault_from_dict shape).  None = off.
+    fault: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -116,6 +119,11 @@ class ServeDaemon:
             from repro.netsim.faults import DaemonCrash
 
             self._crash_hook = DaemonCrash(after=config.crash_after)
+        if config.fault is not None:
+            from repro.netsim.faults import durable_fault_from_dict
+            from repro.utils.fsio import install_fault_hook
+
+            install_fault_hook(durable_fault_from_dict(config.fault))
 
     # --------------------------------------------------------- lifecycle
 

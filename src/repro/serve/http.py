@@ -13,7 +13,7 @@ Endpoints (all JSON unless noted):
     GET  /tenants                       tenant list with state summary
     GET  /tenants/{t}/health            stream + ingest health dicts
     GET  /tenants/{t}/events            cursor-paginated finalized events
-    GET  /tenants/{t}/sources           per-source breaker/watermark rows
+    GET  /tenants/{t}/sources           per-source breaker/watermark/tail rows
     GET  /tenants/{t}/journal           supervisor + breaker transitions
     POST /tenants/{t}/promote           hot-swap to store's active version
     POST /tenants/{t}/rollback[?to=N]   store rollback + hot-swap
@@ -180,7 +180,7 @@ class HttpApi:
                 if path[2] == "events":
                     return self._events(runtime, query)
                 if path[2] == "sources":
-                    return [src.summary() for src in runtime.ingest.sources()]
+                    return runtime.ingest.source_summaries()
                 if path[2] == "journal":
                     return {
                         "supervisor": runtime.transitions.read(),

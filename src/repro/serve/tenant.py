@@ -31,15 +31,22 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.checkpoint import (
+    load_resume_state,
+    previous_checkpoint_path,
     restore_ingest,
-    restore_stream,
+    restore_stream_snapshot,
     write_checkpoint,
 )
 from repro.core.config import DigestConfig, IngestConfig
 from repro.core.knowledge import KnowledgeBase
 from repro.core.modelstore import KnowledgeStore
 from repro.core.stream import DigestStream
-from repro.obs import SERVE_ARRIVALS, SERVE_EVENTS, get_registry
+from repro.obs import (
+    DURABLE_WRITE_FAILURES,
+    SERVE_ARRIVALS,
+    SERVE_EVENTS,
+    get_registry,
+)
 from repro.syslog.collector import interleave_arrivals
 from repro.syslog.ingest import MultiSourceIngest
 from repro.syslog.resilient import (
@@ -47,6 +54,7 @@ from repro.syslog.resilient import (
     quarantine_files,
     requeue_records,
 )
+from repro.syslog.tail import TailSet
 from repro.utils.timeutils import parse_ts
 
 from .journal import EventJournal, TransitionJournal
@@ -82,6 +90,10 @@ class TenantSpec:
     degraded_max_open: int = 500
     quarantine_max_bytes: int = 1 << 20
     batch_size: int = 64
+    #: Follow sources with byte-offset tail cursors (rotation/truncation
+    #: aware, checkpointed).  ``False`` falls back to whole-file re-read
+    #: refills — the pre-tailing behavior.
+    tail: bool = True
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
@@ -143,7 +155,11 @@ class TenantRuntime:
     events: EventJournal | None = None
     transitions: TransitionJournal | None = None
     store: KnowledgeStore | None = None
+    tails: TailSet | None = None
     degraded: bool = False
+    #: A durable write (checkpoint / journal sync / quarantine dump)
+    #: failed and is being retried; cleared when one lands again.
+    durable_degraded: bool = False
     resumed: bool = False
     n_batches: int = 0
     _arrivals: deque = field(default_factory=deque)
@@ -190,7 +206,11 @@ class TenantRuntime:
             self.events.close()
         self.events = EventJournal(self.events_path)
 
-        if self.checkpoint_path.exists():
+        has_checkpoint = (
+            self.checkpoint_path.exists()
+            or previous_checkpoint_path(self.checkpoint_path).exists()
+        )
+        if has_checkpoint:
             self._restore()
         else:
             self._fresh()
@@ -242,21 +262,36 @@ class TenantRuntime:
         )
         for source in self.spec.sources:
             self.ingest.register(source)
+        if self.spec.tail:
+            self.tails = TailSet(self.spec.sources)
+            self.ingest.attach_tails(self.tails)
         self.events.truncate(0)
         self.resumed = False
 
     def _restore(self) -> None:
+        snapshot, used_path, fallback_error = load_resume_state(
+            self.checkpoint_path
+        )
         if self.spec.store_dir is not None:
             self.store = KnowledgeStore(self.spec.store_dir)
-            self.stream = restore_stream(
-                self.checkpoint_path, store=self.store
+            self.stream = restore_stream_snapshot(
+                snapshot, store=self.store
             )
         else:
-            self.stream = restore_stream(
-                self.checkpoint_path, kb=KnowledgeBase.load(self.spec.kb_path)
+            self.stream = restore_stream_snapshot(
+                snapshot, kb=KnowledgeBase.load(self.spec.kb_path)
+            )
+        if fallback_error is not None:
+            # Corrupt newest generation; restored from .prev.  Loud by
+            # contract: the operator must learn the disk tore a write.
+            self._journal_entry(
+                kind="checkpoint-fallback",
+                used=str(used_path),
+                error=str(fallback_error),
             )
         self.stream.attach_quarantine(self.quarantine)
         self.ingest = restore_ingest(self.stream, self.quarantine)
+        self._restore_tails()
         # Resume consistency: cut the journal back to exactly what the
         # checkpoint accounts for — everything past it re-emerges from
         # the tail replay (see repro.serve.journal).
@@ -264,20 +299,61 @@ class TenantRuntime:
         self.events.truncate(finalized)
         self.resumed = True
 
+    def _restore_tails(self) -> None:
+        """Rebuild tail cursors from the checkpoint's ingest payload.
+
+        A checkpoint written by a pre-tailing run (no cursor state, yet
+        sources already partially consumed) cannot be tailed safely —
+        byte offsets for the consumed prefixes were never recorded — so
+        the runtime falls back to whole-file refills for its lifetime.
+        """
+        if not self.spec.tail:
+            self.tails = None
+            return
+        state = self.ingest.restored_tail_state()
+        if state is None:
+            consumed = self.ingest.pushed_counts()
+            if any(consumed.get(s, 0) for s in self.spec.sources):
+                self.tails = None  # legacy checkpoint: refill re-reads
+                return
+            self.tails = TailSet(self.spec.sources)
+        else:
+            self.tails = TailSet.from_snapshot(
+                state, sources=self.spec.sources
+            )
+        self.ingest.attach_tails(self.tails)
+
     # ------------------------------------------------------------- input
 
     def refill(self) -> int:
         """(Re)build the pending-arrival queue from the source files.
 
-        Reads every source, drops each one's already-consumed prefix
-        (``pushed_counts``), and re-interleaves the suffixes — by the
-        greedy-merge determinism of :func:`interleave_arrivals`, exactly
-        the uninterrupted arrival order's suffix.  Called at start and
-        whenever the daemon finds the queue empty (file-growth tailing).
+        Tailing mode (the default): polls every source's byte-offset
+        cursor — rotation- and truncation-aware, no re-read of consumed
+        bytes — takes the newly stamped lines, interleaves them, and
+        *extends* the queue.  By the greedy-merge determinism of
+        :func:`interleave_arrivals` (and, for live feeds, a positive
+        ``max_reorder_delay``), the pushed sequence digests identically
+        to an uninterrupted run.
+
+        Legacy mode (``tail=False``, or a checkpoint with no cursors):
+        re-reads every source whole, drops each one's already-consumed
+        prefix (``pushed_counts``), and re-interleaves the suffixes.
+        Called at start and whenever the daemon finds the queue empty.
         Returns the number of pending arrivals.
         """
+        if self.tails is not None:
+            self.tails.poll()
+            feeds = self.tails.take_new()
+            arrivals = interleave_arrivals(
+                feeds, key=lambda pair: pair[0]
+            )
+            self._arrivals.extend(
+                (source, line) for source, (_ts, line) in arrivals
+            )
+            return len(self._arrivals)
         consumed = self.ingest.pushed_counts()
-        feeds: dict[str, list[tuple[float, str]]] = {}
+        feeds = {}
         for source in self.spec.sources:
             stamped = stamp_lines(source)
             feeds[source] = stamped[consumed.get(source, 0):]
@@ -306,6 +382,10 @@ class TenantRuntime:
         while self._arrivals and n < limit:
             source, line = self._arrivals.popleft()
             events = self.ingest.push_line(source, line)
+            if self.tails is not None:
+                # Commit the tail cursor past this line: offsets in the
+                # next checkpoint cover exactly the pushed arrivals.
+                self.tails.note_pushed(source)
             if events:
                 self.events.append(events)
                 registry.inc(
@@ -321,10 +401,48 @@ class TenantRuntime:
         return n
 
     def checkpoint(self) -> None:
-        """Journal-then-checkpoint, in that order (crash-safety)."""
-        self.events.sync()
-        write_checkpoint(self.checkpoint_path, self.stream)
+        """Journal-then-checkpoint, in that order (crash-safety).
+
+        Disk faults degrade instead of crashing: a failed journal fsync
+        *skips* the checkpoint (a checkpoint must never record events
+        the journal does not durably hold), a failed checkpoint write
+        keeps the previous generation; either way the failure is
+        journaled, :attr:`durable_degraded` raises the health flag, and
+        the next cadence retries.  Progress is never lost — unflushed
+        events wait in the journal's retry buffer and unreflected
+        arrivals simply replay from the older checkpoint.
+        """
+        try:
+            self.events.sync()
+            write_checkpoint(self.checkpoint_path, self.stream)
+        except OSError as exc:
+            self._note_durable_failure("checkpoint", exc)
+            self._since_checkpoint = 0  # retry at the next cadence
+            return
         self._since_checkpoint = 0
+        if self.durable_degraded:
+            self.durable_degraded = False
+            self._journal_entry(kind="durable-write-recovered")
+
+    def _note_durable_failure(self, what: str, exc: OSError) -> None:
+        """Degrade on a failed durable write: flag, journal, count."""
+        self.durable_degraded = True
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc(
+                DURABLE_WRITE_FAILURES, tenant=self.spec.name, what=what
+            )
+        self._journal_entry(
+            kind="durable-write-failed", what=what, error=str(exc)
+        )
+
+    def _journal_entry(self, **entry) -> None:
+        """Best-effort transition-journal append (the disk may be full)."""
+        entry.setdefault("tenant", self.spec.name)
+        try:
+            self.transitions.append(entry)
+        except OSError:
+            pass
 
     # ------------------------------------------------------------- drain
 
@@ -347,10 +465,15 @@ class TenantRuntime:
             )
         self.checkpoint()
         if len(self.quarantine):
-            self.quarantine.dump(
-                self.quarantine_path,
-                max_bytes=self.spec.quarantine_max_bytes,
-            )
+            try:
+                self.quarantine.dump(
+                    self.quarantine_path,
+                    max_bytes=self.spec.quarantine_max_bytes,
+                )
+            except OSError as exc:
+                # Queue survives in memory (dump never drops it on
+                # failure); the next drain or requeue retries.
+                self._note_durable_failure("quarantine-dump", exc)
         self.stream.shutdown_workers()
         return len(tail)
 
@@ -432,7 +555,9 @@ class TenantRuntime:
         return {
             "tenant": self.spec.name,
             "degraded": self.degraded,
+            "durable_degraded": self.durable_degraded,
             "resumed": self.resumed,
+            "tailing": self.tails is not None,
             "pending_arrivals": len(self._arrivals),
             "events_journaled": len(self.events),
             "n_batches": self.n_batches,
@@ -440,5 +565,5 @@ class TenantRuntime:
             "stream_lane": self.stream.stream_lane,
             "stream": self.stream.health(),
             "ingest": self.ingest.health(),
-            "sources": [src.summary() for src in self.ingest.sources()],
+            "sources": self.ingest.source_summaries(),
         }

@@ -13,6 +13,7 @@ from repro.syslog.ingest import (
 )
 from repro.syslog.message import LabeledMessage, SyslogMessage
 from repro.syslog.parse import SyslogParseError, format_line, parse_line
+from repro.syslog.tail import SourceTailer, TailSet
 from repro.syslog.stream import (
     merge_streams,
     read_log,
@@ -28,8 +29,10 @@ __all__ = [
     "LabeledMessage",
     "MultiSourceIngest",
     "SourceState",
+    "SourceTailer",
     "SyslogMessage",
     "SyslogParseError",
+    "TailSet",
     "VENDOR_V1",
     "VENDOR_V2",
     "VendorProfile",

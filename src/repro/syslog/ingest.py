@@ -76,8 +76,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Snapshot format version of the ingest state captured inside
 #: :meth:`DigestStream.snapshot`; :meth:`MultiSourceIngest.from_snapshot`
-#: refuses mismatches.
-INGEST_SNAPSHOT_VERSION = 1
+#: refuses mismatches.  v2 added the live-tail committed cursors
+#: (``"tails"``) so byte-offset resume rides inside checkpoints.
+INGEST_SNAPSHOT_VERSION = 2
 
 #: Breaker states, in escalation order; the state gauge encodes them as
 #: their index (closed=0, half_open=1, open=2).
@@ -100,6 +101,10 @@ INGEST_HEALTH_KEYS: dict[str, str] = {
     "breaker_open": "sources currently open",
     "breaker_half_open": "sources currently probing",
     "breaker_transitions": "breaker state changes across all sources (cumulative)",
+    "tailed_sources": "sources followed live by an attached tail set",
+    "tail_rotations": "log rotations detected across all tailed sources (cumulative)",
+    "tail_truncations": "in-place truncations detected across all tailed sources (cumulative)",
+    "tail_lag_bytes": "bytes on disk not yet consumed, summed over tailed sources",
 }
 
 
@@ -224,6 +229,8 @@ class MultiSourceIngest:
             ).delays()
         )
         self._last_metrics_clock: float | None = None
+        self._tails = None
+        self._restored_tails: dict | None = None
         self.last_outcome = ""
         stream.attach_ingest(self)
 
@@ -250,6 +257,34 @@ class MultiSourceIngest:
     def pushed_counts(self) -> dict[str, int]:
         """Arrivals consumed per source (= inputs to skip on resume)."""
         return {name: self._sources[name].n_pushed for name in self._order}
+
+    def attach_tails(self, tails) -> None:
+        """Register a :class:`~repro.syslog.tail.TailSet` following the
+        sources live.  From then on the committed tail cursors ride
+        inside :meth:`snapshot` (so byte-offset resume is part of every
+        checkpoint) and tail aggregates appear in :meth:`health` and
+        :meth:`source_summaries`."""
+        self._tails = tails
+
+    def restored_tail_state(self) -> dict | None:
+        """Tail cursors stashed by :meth:`from_snapshot` (None when the
+        checkpointed run was not tailing)."""
+        return self._restored_tails
+
+    def source_summaries(self) -> list[dict]:
+        """Per-source health rows, merged with live-tail status columns
+        (offset, inode, rotation/truncation counts, lag) when a tail
+        set is attached — the ``sources`` CLI table and the
+        ``/tenants/<id>/sources`` endpoint render exactly these."""
+        tail_status = (
+            self._tails.status() if self._tails is not None else {}
+        )
+        rows = []
+        for src in self.sources():
+            row = src.summary()
+            row.update(tail_status.get(src.name, {}))
+            rows.append(row)
+        return rows
 
     def journal(self) -> list[dict]:
         """Every breaker transition so far, oldest first."""
@@ -588,6 +623,12 @@ class MultiSourceIngest:
             "sources": {
                 name: self._sources[name].snapshot() for name in self._order
             },
+            # Live-tail committed cursors (inode + byte offset + stamp
+            # clock per source) — what lets a kill -9 mid-tail resume
+            # with no re-read and no duplicate push.
+            "tails": (
+                self._tails.snapshot() if self._tails is not None else None
+            ),
         }
 
     @classmethod
@@ -619,6 +660,10 @@ class MultiSourceIngest:
             src = SourceState(name, 0)
             src.restore(state["sources"][name])
             ingest._sources[name] = src
+        # Stashed, not rebuilt: the owner (TenantRuntime, CLI) turns the
+        # cursors back into a TailSet via restored_tail_state() and
+        # re-attaches it.
+        ingest._restored_tails = state.get("tails")
         return ingest
 
     # ---------------------------------------------------------- diagnostics
@@ -643,6 +688,12 @@ class MultiSourceIngest:
         total = lambda field: sum(  # noqa: E731 - tiny local reducer
             getattr(src, field) for src in self._sources.values()
         )
+        tail_status = (
+            self._tails.status() if self._tails is not None else {}
+        )
+        tail_total = lambda key: sum(  # noqa: E731 - tiny local reducer
+            row[key] for row in tail_status.values()
+        )
         return {
             "sources": len(self._sources),
             "buffered_messages": len(self._buffer),
@@ -658,6 +709,10 @@ class MultiSourceIngest:
             "breaker_open": states.count("open"),
             "breaker_half_open": states.count("half_open"),
             "breaker_transitions": total("transitions"),
+            "tailed_sources": len(tail_status),
+            "tail_rotations": tail_total("rotations"),
+            "tail_truncations": tail_total("truncations"),
+            "tail_lag_bytes": tail_total("lag_bytes"),
         }
 
     def _maybe_record_metrics(self) -> None:

@@ -38,6 +38,7 @@ from repro.obs import (
 )
 from repro.syslog.message import SyslogMessage
 from repro.syslog.parse import SyslogParseError, parse_line
+from repro.utils.fsio import atomic_write_text
 
 
 @dataclass(frozen=True)
@@ -135,18 +136,33 @@ class Quarantine:
         budget).  A crash-looping source that dumps on every restart can
         therefore never grow the quarantine spill without bound.
         ``max_bytes=0`` keeps the legacy overwrite-in-place behavior.
+
+        Disk-fault safe: the base file is written atomically, and a
+        failed write (ENOSPC mid-rotation) unwinds the renames so the
+        rotation family is exactly as before; the in-memory queue is
+        never touched, so the next dump interval retries with nothing
+        lost.  The ``OSError`` propagates for the caller to note.
         """
         path = Path(path)
+        renames: list[tuple[Path, Path]] = []
         if max_bytes > 0 and path.exists():
             rotated = rotated_quarantine_paths(path)
             for old in reversed(rotated):  # highest index first
                 index = int(old.suffix[1:])
-                old.rename(path.with_name(f"{path.name}.{index + 1}"))
-            path.rename(path.with_name(f"{path.name}.1"))
+                target = path.with_name(f"{path.name}.{index + 1}")
+                old.rename(target)
+                renames.append((old, target))
+            target = path.with_name(f"{path.name}.1")
+            path.rename(target)
+            renames.append((path, target))
         records = self.records()
-        with open(path, "w", encoding="utf-8") as fh:
-            for record in records:
-                fh.write(record.to_json() + "\n")
+        text = "".join(record.to_json() + "\n" for record in records)
+        try:
+            atomic_write_text(path, text)
+        except OSError:
+            for original, target in reversed(renames):
+                target.rename(original)
+            raise
         if max_bytes > 0:
             total = path.stat().st_size
             for old in rotated_quarantine_paths(path):

@@ -16,6 +16,8 @@ import pytest
 from repro.core.checkpoint import (
     CHECKPOINT_FORMAT,
     checkpoint_info,
+    load_resume_state,
+    previous_checkpoint_path,
     read_checkpoint,
     restore_stream,
     write_checkpoint,
@@ -328,7 +330,7 @@ class TestAtomicity:
     ):
         import os as real_os
 
-        import repro.core.checkpoint as ckpt
+        import repro.utils.fsio as fsio
 
         first = DigestStream(system_a.kb, system_a.config)
         for message in ordered_a[:50]:
@@ -343,16 +345,96 @@ class TestAtomicity:
         def explode(_fd):
             raise OSError("disk died mid-checkpoint")
 
+        # Durable writes all flow through fsio; failing its fsync is
+        # the narrowest way to crash the file write itself.
         monkeypatch.setattr(
-            ckpt,
+            fsio,
             "os",
-            SimpleNamespace(fsync=explode, replace=real_os.replace),
+            SimpleNamespace(
+                fsync=explode,
+                replace=real_os.replace,
+                open=real_os.open,
+                close=real_os.close,
+                O_RDONLY=real_os.O_RDONLY,
+            ),
         )
         with pytest.raises(OSError):
             write_checkpoint(path, first)
         # The half-written temp never replaced the real checkpoint.
         assert path.read_bytes() == good
         assert checkpoint_info(path).n_admitted == 50
+
+
+class TestPreviousGeneration:
+    """Every rewrite demotes the old checkpoint to ``.prev``; restore
+    falls back to it when the newest file is corrupt (DESIGN.md §14)."""
+
+    def _two_generations(self, system_a, ordered_a, tmp_path):
+        stream = DigestStream(system_a.kb, system_a.config)
+        for message in ordered_a[:50]:
+            stream.push(message)
+        path = tmp_path / "digest.ckpt"
+        write_checkpoint(path, stream)
+        for message in ordered_a[50:100]:
+            stream.push(message)
+        write_checkpoint(path, stream)
+        return path
+
+    def test_rewrite_demotes_old_file_to_prev(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = self._two_generations(system_a, ordered_a, tmp_path)
+        prev = previous_checkpoint_path(path)
+        assert prev.exists()
+        assert checkpoint_info(path).n_admitted == 100
+        assert checkpoint_info(prev).n_admitted == 50
+
+    def test_load_prefers_the_newest_when_healthy(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = self._two_generations(system_a, ordered_a, tmp_path)
+        snapshot, used, error = load_resume_state(path)
+        assert used == path
+        assert error is None
+        assert snapshot["n_admitted"] == 100
+
+    def test_corrupt_newest_falls_back_to_prev(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = self._two_generations(system_a, ordered_a, tmp_path)
+        path.write_bytes(b"\x00garbage: torn mid-write")
+        snapshot, used, error = load_resume_state(path)
+        assert used == previous_checkpoint_path(path)
+        assert error is not None  # surfaced so the caller can journal it
+        assert snapshot["n_admitted"] == 50
+        # The fallback snapshot restores like any other.
+        resumed = DigestStream(system_a.kb, system_a.config)
+        resumed.restore(snapshot)
+        assert resumed.n_admitted == 50
+
+    def test_both_generations_corrupt_raises_the_primary(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = self._two_generations(system_a, ordered_a, tmp_path)
+        path.write_bytes(b"\x00garbage")
+        previous_checkpoint_path(path).write_bytes(b"\x00worse")
+        with pytest.raises(Exception):
+            load_resume_state(path)
+
+    def test_missing_both_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_resume_state(tmp_path / "never-written.ckpt")
+
+    def test_prev_alone_restores_after_newest_vanishes(
+        self, system_a, ordered_a, tmp_path
+    ):
+        path = self._two_generations(system_a, ordered_a, tmp_path)
+        path.unlink()
+        snapshot, used, error = load_resume_state(path)
+        assert used == previous_checkpoint_path(path)
+        assert snapshot["n_admitted"] == 50
+        # A vanished newest file is not corruption: nothing to journal.
+        assert error is None
 
 
 class TestAutomaticCheckpoints:

@@ -70,6 +70,76 @@ class TestEventJournal:
         assert reopened.read_all() == ["keep-1", "keep-2", "keep-3"]
         reopened.close()
 
+    def test_torn_multi_record_tail_drops_every_cut_frame(self, tmp_path):
+        import struct
+
+        path = tmp_path / "events.bin"
+        journal = EventJournal(path)
+        journal.append([f"rec-{i}" for i in range(5)])
+        journal.sync()
+        # Frame boundaries, straight from the length prefixes.
+        offsets = []
+        data = path.read_bytes()
+        pos = 0
+        while pos < len(data):
+            offsets.append(pos)
+            (length,) = struct.unpack_from("<I", data, pos)
+            pos += 4 + length
+        journal.close()
+        # The crash tears *inside record N-1's length prefix* — two
+        # bytes into frame 3's header — so both frame 3 and the intact
+        # frame 4 bytes after it must be dropped: a scan cannot trust
+        # anything past a torn header.
+        with open(path, "r+b") as fh:
+            fh.truncate(offsets[3] + 2)
+        reopened = EventJournal(path)
+        assert reopened.read_all() == ["rec-0", "rec-1", "rec-2"]
+        assert path.stat().st_size == offsets[3]
+        reopened.append(["rec-3b"])
+        assert reopened.read_all() == ["rec-0", "rec-1", "rec-2", "rec-3b"]
+        reopened.close()
+
+    def test_disk_fault_parks_frames_in_the_retry_buffer(self, tmp_path):
+        import errno
+
+        from repro.utils import fsio
+
+        path = tmp_path / "events.bin"
+        journal = EventJournal(path)
+        journal.append(["before"])
+        journal.sync()
+        on_disk = path.stat().st_size
+
+        class Always:
+            def __call__(self, op, p):
+                if op == "write" and "events.bin" in p:
+                    raise OSError(errno.ENOSPC, "injected", p)
+
+        fsio.install_fault_hook(Always())
+        try:
+            # append never raises; the frames wait in memory and every
+            # read serves them transparently.
+            assert journal.append(["during-1", "during-2"]) == 3
+            assert journal.last_error is not None
+            assert journal.buffered_bytes > 0
+            assert path.stat().st_size == on_disk  # rolled back cleanly
+            assert journal.read_all() == ["before", "during-1", "during-2"]
+            assert journal.read(1, 1) == ["during-1"]
+            # sync is the raising call — the checkpoint-skip signal.
+            with pytest.raises(OSError):
+                journal.sync()
+            # truncate into the buffered region never touches the disk.
+            assert journal.truncate(2) == 1
+            assert journal.read_all() == ["before", "during-1"]
+        finally:
+            fsio.clear_fault_hook()
+        # Disk recovered: the next sync flushes the parked frames.
+        journal.sync()
+        assert journal.last_error is None
+        assert journal.buffered_bytes == 0
+        journal.close()
+        assert EventJournal(path).read_all() == ["before", "during-1"]
+
     def test_truncate_to_finalized_count(self, tmp_path):
         path = tmp_path / "events.bin"
         journal = EventJournal(path)

@@ -190,6 +190,99 @@ class TestResumeIdentity:
         runtime.drain()
 
 
+class TestCheckpointFallback:
+    def test_corrupt_newest_restores_prev_and_journals_it(
+        self, source_logs, kb_file, tmp_path
+    ):
+        spec_ref = _spec(source_logs, tmp_path / "ref", kb_file)
+        ref = TenantRuntime(spec_ref)
+        ref.start()
+        while ref.pending:
+            ref.process_batch()
+        ref.drain()
+        ref_events = EventJournal(tmp_path / "ref" / "events.bin").read_all()
+
+        spec = _spec(source_logs, tmp_path / "t1", kb_file)
+        first = TenantRuntime(spec)
+        first.start()
+        pushed = 0
+        while pushed < 170:  # far enough for >= 2 checkpoint rewrites
+            pushed += first.process_batch(limit=min(64, 170 - pushed))
+        first.halt()
+        prev = first.checkpoint_path.with_name(
+            first.checkpoint_path.name + ".prev"
+        )
+        assert prev.exists()
+        # The newest generation dies on disk while the tenant is down.
+        first.checkpoint_path.write_bytes(b"\x00bad sector")
+
+        second = TenantRuntime(spec)
+        second.start()
+        assert second.resumed  # one generation back, not from scratch
+        entries = [
+            json.loads(line)
+            for line in second.supervisor_path.read_text().splitlines()
+            if line.strip()
+        ]
+        fallbacks = [
+            e for e in entries if e.get("kind") == "checkpoint-fallback"
+        ]
+        assert fallbacks and fallbacks[-1]["error"]  # loud, with a cause
+        assert fallbacks[-1]["used"] == str(prev)
+        while second.pending:
+            second.process_batch()
+        second.drain()
+        got = EventJournal(tmp_path / "t1" / "events.bin").read_all()
+        assert hotpath.stream_fingerprint(got) == hotpath.stream_fingerprint(
+            ref_events
+        )
+
+
+class TestDurableDegrade:
+    def test_failed_checkpoint_degrades_then_recovers(
+        self, source_logs, kb_file, tmp_path
+    ):
+        import errno
+
+        from repro.utils import fsio
+
+        # Cadence high enough that no automatic checkpoint fires: the
+        # explicit calls below are the only writes.
+        spec = _spec(
+            source_logs, tmp_path, kb_file, checkpoint_every=10_000
+        )
+        runtime = TenantRuntime(spec)
+        runtime.start()
+        runtime.process_batch(limit=60)
+
+        class Full:
+            def __call__(self, op, p):
+                if op == "write" and "checkpoint.ckpt" in p:
+                    raise OSError(errno.ENOSPC, "injected", p)
+
+        fsio.install_fault_hook(Full())
+        try:
+            runtime.checkpoint()  # degrades instead of raising
+        finally:
+            fsio.clear_fault_hook()
+        assert runtime.durable_degraded
+        assert runtime.health()["durable_degraded"]
+        assert not runtime.checkpoint_path.exists()
+        # Disk back: the next checkpoint succeeds and journals recovery.
+        runtime.process_batch(limit=10)
+        runtime.checkpoint()
+        assert not runtime.durable_degraded
+        assert runtime.checkpoint_path.exists()
+        kinds = [
+            json.loads(line).get("kind")
+            for line in runtime.supervisor_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert "durable-write-failed" in kinds
+        assert "durable-write-recovered" in kinds
+        runtime.halt()
+
+
 class TestDegradedMode:
     def test_degraded_start_bounds_open_messages(
         self, source_logs, kb_file, tmp_path

@@ -263,6 +263,40 @@ class TestDumpRotation:
         assert "second" in (tmp_path / "dead.jsonl").read_text()
         assert rotated_quarantine_paths(tmp_path / "dead.jsonl") == []
 
+    def test_enospc_unwinds_rotation_and_keeps_the_queue(self, tmp_path):
+        import errno
+
+        from repro.utils import fsio
+
+        base = tmp_path / "dead.jsonl"
+        self._dump(tmp_path, ["gen-0"], max_bytes=1 << 20)
+        self._dump(tmp_path, ["gen-1"], max_bytes=1 << 20)
+        quarantine = Quarantine()
+        quarantine.add(QuarantineRecord(line="held", error="e"))
+
+        class Full:
+            def __call__(self, op, p):
+                if op == "write" and "dead.jsonl" in p:
+                    raise OSError(errno.ENOSPC, "injected", p)
+
+        fsio.install_fault_hook(Full())
+        try:
+            with pytest.raises(OSError):
+                quarantine.dump(base, max_bytes=1 << 20)
+        finally:
+            fsio.clear_fault_hook()
+        # The rotation family is exactly as before the failed dump...
+        assert "gen-1" in base.read_text()
+        assert "gen-0" in (tmp_path / "dead.jsonl.1").read_text()
+        assert not (tmp_path / "dead.jsonl.2").exists()
+        # ...and the in-memory queue still holds the record, so the
+        # next dump interval retries with nothing lost.
+        assert [r.line for r in quarantine.records()] == ["held"]
+        quarantine.dump(base, max_bytes=1 << 20)
+        assert "held" in base.read_text()
+        assert "gen-1" in (tmp_path / "dead.jsonl.1").read_text()
+        assert "gen-0" in (tmp_path / "dead.jsonl.2").read_text()
+
     def test_quarantine_files_orders_oldest_first(self, tmp_path):
         for i in range(3):
             self._dump(tmp_path, [f"gen-{i}"], max_bytes=1 << 20)

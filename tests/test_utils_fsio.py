@@ -1,0 +1,120 @@
+"""fsio: durable atomic writes and the disk-fault injection seam.
+
+Every durable-write path (checkpoints, model store, journals,
+quarantine dumps) funnels through :mod:`repro.utils.fsio`; these tests
+pin the seam itself — atomicity under injected faults, temp-file
+hygiene, fault-hook scoping — so the call sites can lean on it.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.netsim.faults import (
+    DiskFull,
+    DiskIOError,
+    durable_fault_from_dict,
+)
+from repro.utils import fsio
+from repro.utils.fsio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    check_fault,
+    clear_fault_hook,
+    fsync_dir,
+    install_fault_hook,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hook():
+    yield
+    clear_fault_hook()
+
+
+class TestAtomicWrite:
+    def test_write_lands_with_no_temp_debris(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "one")
+        atomic_write_text(path, "two")
+        assert path.read_text() == "two"
+
+    def test_injected_fault_leaves_previous_contents(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"good")
+
+        def hook(op, p):
+            raise OSError(errno.ENOSPC, "injected", p)
+
+        install_fault_hook(hook)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"never lands")
+        clear_fault_hook()
+        assert path.read_bytes() == b"good"
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_fsync_dir_tolerates_odd_filesystems(self, tmp_path):
+        fsync_dir(tmp_path)  # plain directory: fine
+        fsync_dir(tmp_path / "does-not-exist")  # best-effort: no raise
+
+
+class TestFaultHook:
+    def test_no_hook_is_a_no_op(self, tmp_path):
+        check_fault("write", tmp_path / "x")
+
+    def test_hook_sees_op_and_path(self, tmp_path):
+        seen = []
+        install_fault_hook(lambda op, p: seen.append((op, p)))
+        check_fault("read", tmp_path / "y")
+        assert seen == [("read", str(tmp_path / "y"))]
+
+    def test_clear_restores_the_no_op(self, tmp_path):
+        def hook(op, p):
+            raise OSError(errno.EIO, "injected", p)
+
+        install_fault_hook(hook)
+        clear_fault_hook()
+        atomic_write_bytes(tmp_path / "z", b"fine")
+
+
+class TestDurableFaultProfiles:
+    def test_disk_full_fires_in_its_attempt_window(self, tmp_path):
+        hook = DiskFull(match="target.ckpt", after=2, times=1).fsio_hook()
+        hook("write", "/w/target.ckpt")  # attempt 1: before the window
+        with pytest.raises(OSError) as caught:
+            hook("write", "/w/target.ckpt")  # attempt 2: inside
+        assert caught.value.errno == errno.ENOSPC
+        hook("write", "/w/target.ckpt")  # attempt 3: window exhausted
+
+    def test_non_matching_paths_never_count(self):
+        hook = DiskFull(match="checkpoint.ckpt", after=1, times=1).fsio_hook()
+        hook("write", "/w/events.bin")
+        hook("write", "/w/quarantine.jsonl")
+        with pytest.raises(OSError):
+            hook("write", "/w/checkpoint.ckpt.new")  # temp names match too
+
+    def test_io_error_profile_raises_eio_for_its_op(self):
+        hook = DiskIOError(match="s.log", op="read").fsio_hook()
+        hook("write", "/w/s.log")  # wrong op: ignored
+        with pytest.raises(OSError) as caught:
+            hook("read", "/w/s.log")
+        assert caught.value.errno == errno.EIO
+
+    def test_from_dict_dispatches_and_rejects_unknown(self):
+        hook = durable_fault_from_dict(
+            {"kind": "disk_full", "match": "x", "after": 1, "times": 1}
+        )
+        with pytest.raises(OSError):
+            hook("write", "/w/x")
+        with pytest.raises(ValueError, match="kind"):
+            durable_fault_from_dict({"kind": "meteor-strike"})
