@@ -2,7 +2,7 @@
 
 PY = PYTHONPATH=src python
 
-.PHONY: check test faults lifecycle ingest serve serve-smoke chaos chaos-smoke bench bench-refresh bench-ingest bench-scale clean
+.PHONY: check test faults lifecycle ingest serve serve-smoke chaos chaos-smoke placement placement-smoke bench bench-refresh bench-ingest bench-scale clean
 
 # The pre-merge gate: the full tier-1 suite (which includes the
 # checkpoint kill-and-resume round-trip in tests/test_core_checkpoint.py)
@@ -24,7 +24,13 @@ PY = PYTHONPATH=src python
 # chaos-smoke gate: a live two-tenant daemon tailing its logs through
 # scripted rotation, in-place truncation, disk-full-during-checkpoint,
 # and SIGKILL-mid-tail must finish byte-identical to an unfaulted run,
-# and the clean no-fault run must be a strict operational no-op.
+# and the clean no-fault run must be a strict operational no-op — and
+# the placement-smoke partial-failure gate: with both tenants in
+# worker processes, SIGKILLing one tenant's worker mid-stream must
+# leave the survivor a strict no-op (zero quarantine, zero degraded or
+# restart transitions, byte-identical fingerprint) while the killed
+# tenant resumes byte-identical from its checkpoint, on the serial and
+# process stream-executor lanes alike.
 check:
 	$(PY) -m pytest -x -q
 	$(PY) -m pytest -q tests/test_core_checkpoint.py
@@ -34,6 +40,7 @@ check:
 	$(PY) -m pytest -q tests/test_stream_workers.py
 	$(PY) -m pytest -q tests/test_serve_smoke.py
 	$(PY) -m pytest -q tests/test_chaos_smoke.py
+	$(PY) -m pytest -q tests/test_placement_smoke.py
 
 # Tier-1 without the heavier fault-injection tests.
 test:
@@ -77,6 +84,21 @@ chaos:
 # transitions.
 chaos-smoke:
 	$(PY) -m pytest -q tests/test_chaos_smoke.py
+
+# Every placement-marked test: the bulkhead tier — framed-pipe RPC
+# protocol suite, worker-process supervision (SIGKILL / poison batch /
+# RPC-deadline hang), budget shed, long-poll, HTTP hardening, and the
+# cross-process partial-failure gate.
+placement:
+	$(PY) -m pytest -q -m placement tests/test_serve_rpc.py tests/test_serve_placement.py tests/test_placement_smoke.py
+
+# The partial-failure chaos gate (also part of `check`): a live
+# two-tenant daemon with per-tenant worker processes has one tenant's
+# worker SIGKILLed mid-stream; the survivor must be a strict no-op and
+# the victim must resume byte-identical, with the budget metric series
+# present in /metrics.
+placement-smoke:
+	$(PY) -m pytest -q tests/test_placement_smoke.py
 
 # Full paper-reproduction benchmark sweep (slow; writes benchmarks/results/).
 bench:

@@ -573,6 +573,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         config = replace(config, once=True)
     if args.port is not None:
         config = replace(config, port=args.port)
+    if args.placement is not None:
+        # Override every tenant's placement (bulkhead on/off from the
+        # command line; clean runs are fingerprint-identical either way).
+        config = replace(
+            config,
+            tenants=tuple(
+                replace(spec, placement=args.placement)
+                for spec in config.tenants
+            ),
+        )
     return run_daemon(config)
 
 
@@ -844,6 +854,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the config's HTTP port (0 = ephemeral; the "
         "bound port is written to <workdir>/http.port)",
+    )
+    p.add_argument(
+        "--placement",
+        choices=("inline", "process"),
+        default=None,
+        help="override every tenant's placement: inline (daemon's own "
+        "loop) or process (one supervised worker process per tenant)",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -149,9 +149,30 @@ class ChaosDaemon:
         with urllib.request.urlopen(request, timeout=30.0) as response:
             return json.loads(response.read())
 
+    def metrics_text(self) -> str:
+        """The raw ``/metrics`` Prometheus text (not JSON)."""
+        port = self.wait_port()
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=30.0
+        ) as response:
+            return response.read().decode("utf-8")
+
     def sources(self, tenant: str) -> list[dict]:
         """The per-source breaker/watermark/tail rows for one tenant."""
         return self.get(f"/tenants/{tenant}/sources")
+
+    def health(self, tenant: str) -> dict:
+        """One tenant's full health dict (stream/ingest/budgets/state)."""
+        return self.get(f"/tenants/{tenant}/health")
+
+    def state(self, tenant: str) -> str:
+        """One tenant's supervisor state, via ``/healthz``."""
+        return self.get("/healthz")["tenants"][tenant]
+
+    def worker_pid(self, tenant: str) -> int | None:
+        """The pid of the tenant's worker process (None when inline,
+        dead, or between lives)."""
+        return self.health(tenant).get("worker_pid")
 
     def drain(self) -> None:
         """Request the graceful ending (same as SIGTERM)."""
@@ -229,6 +250,63 @@ class ChaosDaemon:
             f"{tenant}:{source} {key} >= {minimum}",
             timeout=timeout,
         )
+
+    def wait_state(
+        self,
+        tenant: str,
+        states: str | tuple[str, ...],
+        timeout: float = WAIT_TIMEOUT,
+    ) -> None:
+        """Block until the tenant's supervisor reaches one of ``states``."""
+        want = (states,) if isinstance(states, str) else tuple(states)
+        self.wait_for(
+            lambda: self.state(tenant) in want,
+            f"{tenant} state in {want}",
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------- partial failure
+
+    def kill_worker(self, tenant: str) -> int:
+        """SIGKILL one tenant's worker process mid-stream; returns its pid.
+
+        The bulkhead lever: only that tenant's bulkhead takes the hit —
+        the harness asserts the neighbor's run stays a strict no-op.
+        """
+        import signal as _signal
+
+        pid = self.worker_pid(tenant)
+        if not pid:
+            raise ChaosTimeout(f"{tenant} has no live worker to kill")
+        os.kill(pid, _signal.SIGKILL)
+        return pid
+
+    def wait_new_worker(
+        self,
+        tenant: str,
+        old_pid: int,
+        timeout: float = WAIT_TIMEOUT,
+    ) -> int:
+        """Block until the tenant runs a *different* worker process.
+
+        The HTTP-observed restart gate: the supervisor noticed the
+        death (pipe EOF + waitpid) and respawned from checkpoint.
+        """
+        seen: list[int] = []
+
+        def respawned() -> bool:
+            pid = self.worker_pid(tenant)
+            if pid and pid != old_pid:
+                seen.append(pid)
+                return True
+            return False
+
+        self.wait_for(
+            respawned,
+            f"{tenant} worker respawn after pid {old_pid}",
+            timeout=timeout,
+        )
+        return seen[-1]
 
 
 def tenant_fingerprint(tenant_workdir: str | Path) -> str:

@@ -626,6 +626,64 @@ def durable_fault_from_dict(data: dict) -> DurableWriteFault:
     raise ValueError(f"unknown durable fault kind {kind!r}")
 
 
+class PumpPoison:
+    """Tenant-pump fault hook: a poison pill at one arrival position.
+
+    The ``TenantRuntime.fault_hook`` seam calls this before every
+    arrival push as ``hook(n_arrivals_this_life, degraded)``.  At
+    position ``at`` (0-based within the current pipeline life) the hook
+    either raises (``mode="raise"`` — the poison-batch shape: the
+    pipeline dies, the supervisor restarts it from checkpoint, the
+    replay deterministically re-poisons at the same position, and the
+    crash loop escalates to degraded) or hangs (``mode="hang"`` — the
+    stuck/RPC-deadline shape: the pipeline stops answering and must be
+    killed from outside).
+
+    In degraded (shed) mode the poison is inert — which is exactly what
+    makes the escalation terminate: the degraded restart digests past
+    the poison position and the tenant keeps serving.  Deterministic:
+    keep ``at`` below ``checkpoint_every`` so every replay of the life
+    starts from the same arrival.  Picklable, like every fault hook.
+    """
+
+    def __init__(self, at: int, mode: str = "raise") -> None:
+        if at < 0:
+            raise ValueError("at must be >= 0 (0-based arrival position)")
+        if mode not in ("raise", "hang"):
+            raise ValueError(f"mode must be 'raise' or 'hang', not {mode!r}")
+        self.at = at
+        self.mode = mode
+
+    def __call__(self, position: int, degraded: bool) -> None:
+        if degraded or position != self.at:
+            return
+        _count("pump_poison", 1)
+        if self.mode == "hang":
+            import time as _time
+
+            while True:  # killed from outside (SIGKILL / daemon exit)
+                _time.sleep(0.05)
+        raise InjectedWorkerFault(
+            f"injected poison arrival at position {position}"
+        )
+
+
+def pump_fault_from_dict(data: dict) -> PumpPoison:
+    """Build the pump hook a serve config's ``pump_fault`` block describes.
+
+    Shape: ``{"kind": "pump_poison", "tenant": <name or null>,
+    "at": N, "mode": "raise" | "hang"}``.  The ``tenant`` key is
+    consumed by the daemon/worker when deciding *which* runtime gets
+    the hook; it is not part of the hook itself.
+    """
+    data = dict(data)
+    data.pop("tenant", None)
+    kind = data.pop("kind", "pump_poison")
+    if kind != "pump_poison":
+        raise ValueError(f"unknown pump fault kind {kind!r}")
+    return PumpPoison(**data)
+
+
 @dataclass(frozen=True)
 class Compose(FaultProfile):
     """Apply several profiles in order; compute hooks come from the

@@ -151,6 +151,25 @@ TAIL_TRUNCATIONS = "syslogdigest_tail_truncations_total"
 TAIL_LAG_BYTES = "syslogdigest_tail_lag_bytes"
 DURABLE_WRITE_FAILURES = "syslogdigest_durable_write_failures_total"
 
+#: Bulkhead tenant placement (DESIGN.md §15): per-tenant worker
+#: processes and resource budgets.  ``BUDGET_LIMIT``/``BUDGET_USED``
+#: are gauge pairs per ``{tenant, budget}`` (0 limit = unbounded);
+#: breaches count deterministic budget violations that degraded — not
+#: killed — the tenant.  Worker deaths count per ``{tenant, reason}``
+#: (``exit`` | ``stuck`` | ``rpc-deadline`` | ``spawn``); the workers
+#: gauge holds live per-tenant worker processes.  HTTP rejections
+#: count hardening refusals per ``{reason}`` (``deadline`` | ``headers``
+#: | ``body`` | ``waiters``); the long-poll gauge holds blocked event
+#: subscribers per tenant.
+BUDGET_LIMIT = "syslogdigest_tenant_budget_limit"
+BUDGET_USED = "syslogdigest_tenant_budget_used"
+BUDGET_BREACHES = "syslogdigest_tenant_budget_breaches_total"
+OVER_BUDGET = "syslogdigest_tenant_over_budget"
+PLACEMENT_WORKERS = "syslogdigest_placement_workers"
+PLACEMENT_WORKER_DEATHS = "syslogdigest_placement_worker_deaths_total"
+SERVE_HTTP_REJECTED = "syslogdigest_http_rejected_total"
+SERVE_LONGPOLL_WAITERS = "syslogdigest_longpoll_waiters"
+
 #: Default histogram bounds, tuned for stage timings (10 us .. 5 min).
 DEFAULT_BUCKETS: tuple[float, ...] = (
     1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,

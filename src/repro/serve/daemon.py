@@ -45,12 +45,35 @@ import signal
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs import (
+    BUDGET_BREACHES,
+    BUDGET_LIMIT,
+    BUDGET_USED,
+    OVER_BUDGET,
+    PLACEMENT_WORKER_DEATHS,
+    PLACEMENT_WORKERS,
+    SERVE_LONGPOLL_WAITERS,
+    get_registry,
+)
+
 from .http import HttpApi
 from .journal import TransitionJournal
+from .placement import InlineHandle, ProcessHandle, WorkerClient
+from .rpc import RpcClosed, RpcError, RpcTimeout
 from .supervisor import Supervisor
 from .tenant import TenantRuntime, TenantSpec
 
 PORT_FILE = "http.port"
+
+#: ``{gauge label: (limit key, usage key)}`` into a tenant's
+#: ``budget_health()`` dict — what :meth:`ServeDaemon.publish_budgets`
+#: mirrors into the BUDGET_LIMIT / BUDGET_USED gauge pairs.
+BUDGET_GAUGES = {
+    "open_messages": ("max_open_messages", "open_messages"),
+    "journal_bytes": ("journal_max_bytes", "journal_bytes"),
+    "quarantine_bytes": ("quarantine_max_bytes", "quarantine_records"),
+    "stream_procs": ("max_stream_procs", "stream_procs"),
+}
 
 
 @dataclass(frozen=True)
@@ -66,12 +89,28 @@ class ServeConfig:
     max_restarts: int = 3
     base_delay: float = 0.1
     progress_deadline: float = 30.0
+    # Graceful drain: per-tenant deadline for a worker to finish its
+    # final checkpoint before the parent escalates to SIGKILL.
+    drain_deadline: float = 10.0
+    # HTTP hardening (the "http" config block): how long one connection
+    # may take to deliver its request head, and how big head/body may be.
+    http_read_deadline: float = 10.0
+    http_max_header_bytes: int = 16384
+    http_max_body_bytes: int = 1 << 20
+    # Long-poll event subscriptions: total blocked waiters across all
+    # tenants, and the per-request cap on ?wait= seconds.
+    max_longpoll_waiters: int = 32
+    longpoll_max_wait: float = 30.0
     # Test hook (smoke gate): SIGKILL this process after N arrivals
     # across all tenants, via netsim.faults.DaemonCrash.  0 = off.
     crash_after: int = 0
     # Chaos hook: arm a deterministic disk fault inside this process
     # (netsim.faults.durable_fault_from_dict shape).  None = off.
+    # Forwarded to every process-placement worker's init frame.
     fault: dict | None = None
+    # Chaos hook: deterministic per-arrival pipeline fault
+    # (netsim.faults.pump_fault_from_dict shape, with a "tenant" key).
+    pump_fault: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -90,6 +129,16 @@ class ServeConfig:
         for key in ("max_restarts", "base_delay", "progress_deadline"):
             if key in supervisor:
                 data[key] = supervisor[key]
+        http = data.pop("http", {})
+        for key, attr in (
+            ("read_deadline", "http_read_deadline"),
+            ("max_header_bytes", "http_max_header_bytes"),
+            ("max_body_bytes", "http_max_body_bytes"),
+            ("max_longpoll_waiters", "max_longpoll_waiters"),
+            ("longpoll_max_wait", "longpoll_max_wait"),
+        ):
+            if key in http:
+                data[attr] = http[key]
         return cls(**data)
 
     @classmethod
@@ -110,11 +159,21 @@ class ServeDaemon:
         self.tenants: dict[str, TenantRuntime] = {
             spec.name: TenantRuntime(spec) for spec in config.tenants
         }
+        self.handles: dict[str, InlineHandle | ProcessHandle] = {}
+        for spec in config.tenants:
+            if spec.placement == "process":
+                self.handles[spec.name] = ProcessHandle(spec)
+            else:
+                self.handles[spec.name] = InlineHandle(
+                    self.tenants[spec.name]
+                )
         self.supervisors: dict[str, Supervisor] = {}
         self.api = HttpApi(self)
         self.draining = False
         self._crash_hook = None
         self._n_arrivals = 0
+        self._event_waiters: dict[str, list[asyncio.Future]] = {}
+        self._breach_counts: dict[str, int] = {}
         if config.crash_after > 0:
             from repro.netsim.faults import DaemonCrash
 
@@ -124,12 +183,94 @@ class ServeDaemon:
             from repro.utils.fsio import install_fault_hook
 
             install_fault_hook(durable_fault_from_dict(config.fault))
+        if config.pump_fault is not None:
+            from repro.netsim.faults import pump_fault_from_dict
+
+            target = config.pump_fault.get("tenant")
+            for spec in config.tenants:
+                if spec.placement == "inline" and target in (None, spec.name):
+                    self.tenants[spec.name].fault_hook = (
+                        pump_fault_from_dict(config.pump_fault)
+                    )
 
     # --------------------------------------------------------- lifecycle
 
     def request_drain(self) -> None:
         """Begin graceful shutdown (idempotent; SIGTERM/SIGINT/POST)."""
         self.draining = True
+        # Long-pollers must not ride out the drain: wake them all so
+        # they return their current page and the server can stop.
+        for name in list(self._event_waiters):
+            self.notify_events(name)
+
+    # ---------------------------------------------------- event long-poll
+
+    def register_event_waiter(self, name: str) -> asyncio.Future | None:
+        """A future resolved at the tenant's next journal append.
+
+        Returns ``None`` when the daemon-wide waiter budget is spent —
+        the caller answers 429 instead of parking one more connection.
+        """
+        total = sum(len(w) for w in self._event_waiters.values())
+        if total >= self.config.max_longpoll_waiters:
+            return None
+        future = asyncio.get_running_loop().create_future()
+        self._event_waiters.setdefault(name, []).append(future)
+        self._set_waiter_gauge(name)
+        return future
+
+    def unregister_event_waiter(self, name: str, future) -> None:
+        waiters = self._event_waiters.get(name, [])
+        if future in waiters:
+            waiters.remove(future)
+        self._set_waiter_gauge(name)
+
+    def notify_events(self, name: str) -> None:
+        """Wake every long-poller blocked on this tenant's journal."""
+        for future in self._event_waiters.pop(name, []):
+            if not future.done():
+                future.set_result(True)
+        self._set_waiter_gauge(name)
+
+    def _set_waiter_gauge(self, name: str) -> None:
+        get_registry().set_gauge(
+            SERVE_LONGPOLL_WAITERS,
+            len(self._event_waiters.get(name, [])),
+            tenant=name,
+        )
+
+    # ------------------------------------------------------ budget mirror
+
+    def publish_budgets(self, name: str, budgets: dict) -> None:
+        """Mirror one tenant's ``budget_health()`` into the registry.
+
+        Runs parent-side for *both* placements (a worker's own registry
+        is invisible here), so ``/metrics`` always carries the budget
+        series.  Breaches arrive as the tenant's cumulative breach
+        list; the counter is bumped by the delta since last publish.
+        """
+        registry = get_registry()
+        for label, (limit_key, used_key) in BUDGET_GAUGES.items():
+            registry.set_gauge(
+                BUDGET_LIMIT, budgets[limit_key], tenant=name, budget=label
+            )
+            registry.set_gauge(
+                BUDGET_USED, budgets[used_key], tenant=name, budget=label
+            )
+        registry.set_gauge(
+            OVER_BUDGET, budgets["over_budget"], tenant=name
+        )
+        breached = budgets.get("breached", [])
+        seen = self._breach_counts.get(name, 0)
+        if len(breached) > seen:
+            registry.inc(
+                BUDGET_BREACHES, len(breached) - seen, tenant=name
+            )
+            self._breach_counts[name] = len(breached)
+        elif len(breached) < seen:
+            # A restart reset the tenant's per-life breach list; track
+            # the new life so its re-breaches count again.
+            self._breach_counts[name] = len(breached)
 
     async def run(self) -> int:
         """Serve until drained; returns the process exit code (0)."""
@@ -170,6 +311,9 @@ class ServeDaemon:
     async def _supervise(self, name: str) -> None:
         """One tenant's supervision loop: pump, watch, restart, drain."""
         runtime = self.tenants[name]
+        if runtime.spec.placement == "process":
+            await self._supervise_process(name)
+            return
         supervisor = self.supervisors[name]
         watch = max(0.02, min(1.0, supervisor.progress_deadline / 5))
         degraded = False
@@ -217,11 +361,21 @@ class ServeDaemon:
             supervisor.note_degraded_started()
         else:
             supervisor.note_started()
+        events_seen = len(runtime.events)
+        breaches_seen = len(runtime.budget_breached)
         while not self.draining:
             n = runtime.process_batch()
             if n:
                 supervisor.note_progress()
                 self._count_arrivals(n)
+                if len(runtime.events) != events_seen:
+                    events_seen = len(runtime.events)
+                    self.notify_events(name)
+                self.publish_budgets(name, runtime.budget_health())
+                if len(runtime.budget_breached) > breaches_seen:
+                    fresh = runtime.budget_breached[breaches_seen:]
+                    breaches_seen = len(runtime.budget_breached)
+                    supervisor.note_budget_degraded(fresh)
                 await asyncio.sleep(0)  # yield to HTTP handlers
             elif runtime.refill() == 0:
                 if self.config.once:
@@ -232,6 +386,163 @@ class ServeDaemon:
         self._n_arrivals += n
         if self._crash_hook is not None:
             self._crash_hook(self._n_arrivals)
+
+    # ------------------------------------------------- process placement
+
+    def _worker_init(self, spec: TenantSpec, degraded: bool) -> dict:
+        """The ``init`` frame a freshly spawned worker boots from."""
+        return {
+            "spec": spec.to_dict(),
+            "degraded": degraded,
+            "once": self.config.once,
+            "poll_interval": self.config.poll_interval,
+            "fault": self.config.fault,
+            "pump_fault": self.config.pump_fault,
+        }
+
+    async def _supervise_process(self, name: str) -> None:
+        """Supervision loop for a ``placement = "process"`` tenant.
+
+        Same state machine as the inline path — the Supervisor cannot
+        tell the placements apart — but failure evidence is worker
+        death (pipe EOF + ``waitpid``), a ``fatal`` notification, the
+        stuck detector over ``batch`` notifications, or a latched RPC
+        deadline timeout.  Every spawned child is reaped on every path.
+        """
+        spec = self.tenants[name].spec
+        handle = self.handles[name]
+        supervisor = self.supervisors[name]
+        registry = get_registry()
+        degraded = False
+        while True:
+            try:
+                client = await WorkerClient.spawn(
+                    self._worker_init(spec, degraded)
+                )
+            except OSError as exc:
+                outcome, reason = "spawn", f"spawn failed: {exc}"
+            else:
+                handle.attach(client)
+                registry.set_gauge(PLACEMENT_WORKERS, 1, tenant=name)
+                outcome, reason = await self._watch_worker(
+                    name, handle, client, degraded
+                )
+                handle.detach()
+                registry.set_gauge(PLACEMENT_WORKERS, 0, tenant=name)
+            if outcome == "drained":
+                supervisor.note_drained()
+                self.notify_events(name)
+                return
+            registry.inc(
+                PLACEMENT_WORKER_DEATHS, tenant=name, reason=outcome
+            )
+            decision = supervisor.on_failure(reason)
+            if decision.action == "fail":
+                return
+            if decision.action == "degrade":
+                degraded = True
+            await asyncio.sleep(decision.delay)
+
+    async def _watch_worker(
+        self, name: str, handle: ProcessHandle, client: WorkerClient,
+        degraded: bool,
+    ) -> tuple[str, str]:
+        """Follow one worker life; returns ``(outcome, reason)``.
+
+        Outcomes: ``drained`` (graceful end), or a death reason fed to
+        :meth:`Supervisor.on_failure` — ``exit`` (process died),
+        ``stuck`` (pending input, no batch progress past the deadline),
+        ``rpc-deadline`` (an RPC to the worker timed out — it is hung).
+        """
+        spec = self.tenants[name].spec
+        supervisor = self.supervisors[name]
+        watch = max(0.02, min(1.0, supervisor.progress_deadline / 5))
+        exhausted = False
+        while True:
+            if self.draining or (exhausted and self.config.once):
+                return await self._drain_worker(name, client)
+            if handle.rpc_timed_out:
+                client.kill()
+                await client.reap()
+                return (
+                    "rpc-deadline",
+                    f"no RPC reply in {spec.budget.rpc_deadline}s",
+                )
+            note = await client.channel.next_note(timeout=watch)
+            if note is None:
+                if supervisor.stuck(pending=handle.pending > 0):
+                    client.kill()
+                    await client.reap()
+                    return (
+                        "stuck",
+                        "no batch progress in "
+                        f"{supervisor.progress_deadline}s",
+                    )
+                continue
+            kind = note.get("kind")
+            if kind == "closed":
+                code = await client.reap()
+                return ("exit", f"worker exited {code}")
+            if kind == "fatal":
+                await client.reap()
+                return ("exit", note.get("error", "worker fatal"))
+            if kind == "started":
+                if degraded:
+                    supervisor.note_degraded_started()
+                else:
+                    supervisor.note_started()
+            elif kind == "batch":
+                supervisor.note_progress()
+                self._count_arrivals(int(note.get("n", 0)))
+                handle.pending = int(note.get("pending", 0))
+                total = int(note.get("events_total", 0))
+                if total != handle.events_total:
+                    handle.events_total = total
+                    self.notify_events(name)
+                if "budgets" in note:
+                    self.publish_budgets(name, note["budgets"])
+            elif kind == "budget":
+                supervisor.note_budget_degraded(
+                    list(note.get("breached", []))
+                )
+            elif kind == "exhausted":
+                exhausted = True
+                handle.events_total = int(
+                    note.get("events_total", handle.events_total)
+                )
+
+    async def _drain_worker(
+        self, name: str, client: WorkerClient
+    ) -> tuple[str, str]:
+        """Graceful worker shutdown with SIGKILL escalation; exits 0 either way.
+
+        The drain RPC makes the worker flush, final-checkpoint, dump
+        its quarantine, reply, and exit.  A worker that cannot finish
+        inside ``drain_deadline`` is SIGKILLed *after* its last cadence
+        checkpoint is already durable — the cost is un-checkpointed
+        progress, i.e. exactly a crash resume, never a failed drain.
+        """
+        deadline = self.config.drain_deadline
+        try:
+            await client.request("drain", timeout=deadline)
+            await asyncio.wait_for(client.proc.wait(), timeout=deadline)
+            await client.channel.close()
+        except (RpcError, RpcClosed, RpcTimeout, asyncio.TimeoutError) as exc:
+            client.kill()
+            await client.reap()
+            try:
+                TransitionJournal(
+                    self.tenants[name].supervisor_path
+                ).append(
+                    {
+                        "tenant": name,
+                        "kind": "drain-escalated",
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            except OSError:
+                pass
+        return ("drained", "")
 
 
 def run_daemon(config: ServeConfig) -> int:

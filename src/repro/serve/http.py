@@ -1,18 +1,26 @@
-"""Stdlib-only HTTP API for the serve daemon (DESIGN.md §13).
+"""Stdlib-only HTTP API for the serve daemon (DESIGN.md §13, §15).
 
 A deliberately small HTTP/1.0 server on raw asyncio streams — no
 framework, no threads, one read per request, connection closed after
-the response.  Handlers run on the event loop between tenant batches,
-so every admin mutation (promote/rollback/requeue) is serialized with
-pipeline work by construction; nothing here needs a lock.
+the response.  Routes talk to tenants through their placement handle
+(:mod:`repro.serve.placement`), so a tenant living in its own worker
+process and one living on the daemon's loop answer identically.
+
+Hardening (DESIGN.md §15): a connection gets one read deadline to
+deliver its request head (``408`` past it), the head is size-bounded
+(``431``), a declared body over budget is refused (``413``), and
+long-poll waiters are counted against a daemon-wide bound (``429``).
+Every refusal increments ``syslogdigest_http_rejected_total{reason=}``
+— a stalled or slowloris client can never wedge the control plane.
 
 Endpoints (all JSON unless noted):
 
     GET  /healthz                       liveness + per-tenant states
     GET  /metrics                       Prometheus text format
     GET  /tenants                       tenant list with state summary
-    GET  /tenants/{t}/health            stream + ingest health dicts
-    GET  /tenants/{t}/events            cursor-paginated finalized events
+    GET  /tenants/{t}/health            stream + ingest + budget health
+    GET  /tenants/{t}/events            cursor-paginated finalized events;
+                                        ?wait=SEC long-polls for new ones
     GET  /tenants/{t}/sources           per-source breaker/watermark/tail rows
     GET  /tenants/{t}/journal           supervisor + breaker transitions
     POST /tenants/{t}/promote           hot-swap to store's active version
@@ -27,9 +35,36 @@ import asyncio
 import json
 from urllib.parse import parse_qs, urlsplit
 
-from repro.obs import SERVE_HTTP_REQUESTS, get_registry, to_prom_text
+from repro.obs import (
+    SERVE_HTTP_REJECTED,
+    SERVE_HTTP_REQUESTS,
+    get_registry,
+    to_prom_text,
+)
+
+from .rpc import RpcClosed, RpcTimeout
 
 MAX_EVENTS_PAGE = 500
+
+
+def events_page(journal, cursor: int, limit: int) -> dict:
+    """One cursor page of a tenant's event journal, JSON-safe.
+
+    Shared by the inline route and the worker's ``events`` RPC command
+    (DESIGN.md §15), so both placements paginate byte-identically.
+    """
+    limit = min(limit, MAX_EVENTS_PAGE)
+    events = journal.read(cursor, limit)
+    total = len(journal)
+    next_cursor = cursor + len(events)
+    return {
+        "events": [
+            event_payload(event, cursor + i)
+            for i, event in enumerate(events)
+        ],
+        "next_cursor": next_cursor if next_cursor < total else None,
+        "total": total,
+    }
 
 
 def event_payload(event, index: int) -> dict:
@@ -60,7 +95,13 @@ _STATUS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Content Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -75,8 +116,13 @@ class HttpApi:
     # ------------------------------------------------------------ server
 
     async def start(self, host: str, port: int) -> None:
+        # The stream limit *is* the header-size bound: readuntil raises
+        # LimitOverrunError before buffering a byte past it.
         self._server = await asyncio.start_server(
-            self._handle, host=host, port=port
+            self._handle,
+            host=host,
+            port=port,
+            limit=self._daemon.config.http_max_header_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -87,14 +133,59 @@ class HttpApi:
             self._server = None
 
     async def _handle(self, reader, writer) -> None:
+        config = self._daemon.config
         try:
             request = await asyncio.wait_for(
-                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+                reader.readuntil(b"\r\n\r\n"),
+                timeout=config.http_read_deadline,
             )
-        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
-            writer.close()
+        except asyncio.TimeoutError:
+            # Slowloris guard: the head did not arrive in time.
+            await self._respond(
+                writer, *self._reject(408, "request read deadline",
+                                      "deadline")
+            )
             return
-        status, body, content_type = self._dispatch(request)
+        except asyncio.LimitOverrunError:
+            await self._respond(
+                writer, *self._reject(431, "request head too large",
+                                      "headers")
+            )
+            return
+        except asyncio.IncompleteReadError:
+            writer.close()  # client hung up mid-request
+            return
+        if self._body_length(request) > config.http_max_body_bytes:
+            await self._respond(
+                writer, *self._reject(413, "request body too large",
+                                      "body")
+            )
+            return
+        status, body, content_type = await self._dispatch(request)
+        await self._respond(writer, status, body, content_type)
+
+    @staticmethod
+    def _body_length(raw: bytes) -> int:
+        """The declared Content-Length (0 when absent or malformed)."""
+        for line in raw.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    return int(value.strip())
+                except ValueError:
+                    return 0
+        return 0
+
+    @staticmethod
+    def _reject(status: int, message: str, reason: str):
+        """A hardening refusal: counted, typed, JSON like any error."""
+        get_registry().inc(SERVE_HTTP_REJECTED, reason=reason)
+        body = json.dumps({"error": message}) + "\n"
+        return status, body, "application/json"
+
+    @staticmethod
+    async def _respond(writer, status: int, body: str,
+                       content_type: str) -> None:
         payload = body.encode("utf-8")
         head = (
             f"HTTP/1.0 {status} {_STATUS.get(status, 'Unknown')}\r\n"
@@ -110,7 +201,7 @@ class HttpApi:
 
     # ---------------------------------------------------------- dispatch
 
-    def _dispatch(self, raw: bytes) -> tuple[int, str, str]:
+    async def _dispatch(self, raw: bytes) -> tuple[int, str, str]:
         """Full request -> (status, body, content-type), never raises."""
         try:
             line = raw.split(b"\r\n", 1)[0].decode("latin-1")
@@ -127,7 +218,21 @@ class HttpApi:
             get_registry().inc(SERVE_HTTP_REQUESTS, path=split.path)
             if method not in ("GET", "POST"):
                 raise HttpError(405, f"method {method} not allowed")
-            body = self._route(method, path, query)
+            body = await self._route(method, path, query)
+        except RpcClosed as exc:
+            return (
+                503,
+                json.dumps({"error": f"tenant worker unavailable: {exc}"})
+                + "\n",
+                "application/json",
+            )
+        except RpcTimeout as exc:
+            return (
+                504,
+                json.dumps({"error": f"tenant worker timed out: {exc}"})
+                + "\n",
+                "application/json",
+            )
         except HttpError as exc:
             return (
                 exc.status,
@@ -144,7 +249,7 @@ class HttpApi:
             return 200, body, "text/plain; version=0.0.4"
         return 200, json.dumps(body, sort_keys=True) + "\n", "application/json"
 
-    def _route(self, method: str, path: list[str], query: dict):
+    async def _route(self, method: str, path: list[str], query: dict):
         daemon = self._daemon
         if method == "GET":
             if path == ["healthz"]:
@@ -159,73 +264,95 @@ class HttpApi:
             if path == ["metrics"]:
                 return to_prom_text(get_registry())
             if path == ["tenants"]:
-                return [
-                    {
-                        "name": name,
-                        "state": daemon.supervisors[name].state,
-                        "restarts": daemon.supervisors[name].total_restarts,
-                        "pending_arrivals": runtime.pending,
-                        "events": len(runtime.events),
-                    }
-                    for name, runtime in daemon.tenants.items()
-                ]
+                rows = []
+                for name, handle in daemon.handles.items():
+                    summary = await handle.summary()
+                    rows.append(
+                        {
+                            "name": name,
+                            "placement": handle.placement,
+                            "state": daemon.supervisors[name].state,
+                            "restarts": (
+                                daemon.supervisors[name].total_restarts
+                            ),
+                            "pending_arrivals": (
+                                summary["pending_arrivals"]
+                            ),
+                            "events": summary["events"],
+                        }
+                    )
+                return rows
             if len(path) == 3 and path[0] == "tenants":
-                runtime = self._tenant(path[1])
+                handle = self._handle_for(path[1])
                 if path[2] == "health":
-                    health = runtime.health()
+                    health = await handle.health()
                     supervisor = daemon.supervisors[path[1]]
                     health["state"] = supervisor.state
                     health["restarts"] = supervisor.total_restarts
                     return health
                 if path[2] == "events":
-                    return self._events(runtime, query)
+                    return await self._events(path[1], handle, query)
                 if path[2] == "sources":
-                    return runtime.ingest.source_summaries()
+                    return await handle.sources()
                 if path[2] == "journal":
-                    return {
-                        "supervisor": runtime.transitions.read(),
-                        "breaker": runtime.ingest.journal(),
-                    }
+                    return await handle.journal()
         if method == "POST":
             if path == ["drain"]:
                 daemon.request_drain()
                 return {"draining": True}
             if len(path) == 3 and path[0] == "tenants":
-                runtime = self._tenant(path[1])
+                handle = self._handle_for(path[1])
                 if path[2] == "promote":
-                    return runtime.promote()
+                    return await handle.promote()
                 if path[2] == "rollback":
                     to = query.get("to")
-                    return runtime.rollback(
+                    return await handle.rollback(
                         to=int(to) if to is not None else None
                     )
                 if path[2] == "requeue":
-                    return runtime.requeue()
+                    return await handle.requeue()
         raise HttpError(404, f"no route for {method} /{'/'.join(path)}")
 
-    def _tenant(self, name: str):
-        runtime = self._daemon.tenants.get(name)
-        if runtime is None:
+    def _handle_for(self, name: str):
+        handle = self._daemon.handles.get(name)
+        if handle is None:
             raise HttpError(404, f"unknown tenant {name!r}")
-        return runtime
+        return handle
 
-    def _events(self, runtime, query: dict) -> dict:
+    async def _events(self, name: str, handle, query: dict) -> dict:
+        """One events page; ``?wait=SEC`` long-polls for fresh ones.
+
+        A request that finds its cursor at the journal's end parks on a
+        wake-on-append future (bounded daemon-wide — past the bound the
+        request is refused with 429, counted ``reason="waiters"``) and
+        re-reads its page when woken or timed out.  Works identically
+        for both placements: the parent owns the waiters, journal
+        growth is observed from batch bookkeeping either way.
+        """
+        daemon = self._daemon
         try:
             cursor = int(query.get("cursor", 0))
             limit = int(query.get("limit", 50))
+            wait = float(query.get("wait", 0.0))
         except ValueError:
-            raise HttpError(400, "cursor and limit must be integers")
-        if cursor < 0 or limit < 1:
+            raise HttpError(400, "cursor, limit and wait must be numeric")
+        if cursor < 0 or limit < 1 or wait < 0:
             raise HttpError(400, "cursor must be >= 0 and limit >= 1")
         limit = min(limit, MAX_EVENTS_PAGE)
-        events = runtime.events.read(cursor, limit)
-        total = len(runtime.events)
-        next_cursor = cursor + len(events)
-        return {
-            "events": [
-                event_payload(event, cursor + i)
-                for i, event in enumerate(events)
-            ],
-            "next_cursor": next_cursor if next_cursor < total else None,
-            "total": total,
-        }
+        page = await handle.events_page(cursor, limit)
+        if wait > 0 and not page["events"] and not daemon.draining:
+            future = daemon.register_event_waiter(name)
+            if future is None:
+                get_registry().inc(SERVE_HTTP_REJECTED, reason="waiters")
+                raise HttpError(429, "long-poll waiter budget exhausted")
+            try:
+                await asyncio.wait_for(
+                    future,
+                    timeout=min(wait, daemon.config.longpoll_max_wait),
+                )
+            except asyncio.TimeoutError:
+                pass
+            finally:
+                daemon.unregister_event_waiter(name, future)
+            page = await handle.events_page(cursor, limit)
+        return page

@@ -110,6 +110,16 @@ class EventJournal:
         """Bytes parked in the in-memory retry buffer (0 when healthy)."""
         return len(self._buffer)
 
+    @property
+    def size_bytes(self) -> int:
+        """Total journal footprint: flushed frames + the retry buffer.
+
+        The counter the ``journal_max_bytes`` tenant budget compares
+        against — exact and deterministic for a given event sequence,
+        never a wall-clock sample of the file system.
+        """
+        return self._file_end + len(self._buffer)
+
     def append(self, events) -> int:
         """Append events; returns the new record count.  Never raises.
 

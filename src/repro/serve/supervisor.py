@@ -146,6 +146,20 @@ class Supervisor:
         self.restarts = 0
         self._last_progress = self._now()
 
+    def note_budget_degraded(self, budgets: list[str]) -> None:
+        """The tenant breached a resource budget and shed in place.
+
+        A budget breach is *not* a failure: the pipeline stays up (shed
+        mode was applied live, no restart happened), so the consecutive-
+        failure counter is untouched — but the supervisor state moves to
+        ``degraded`` so the arc, journal, and state gauge tell the truth.
+        """
+        if self.state in ("degraded", "drained", "failed"):
+            return
+        self._transition(
+            "degraded", reason="budget: " + ", ".join(budgets)
+        )
+
     def note_drained(self) -> None:
         """Graceful shutdown completed: terminal state."""
         self._transition("drained", reason="graceful shutdown")

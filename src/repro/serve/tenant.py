@@ -64,6 +64,56 @@ EVENTS_FILE = "events.bin"
 QUARANTINE_FILE = "quarantine.jsonl"
 SUPERVISOR_FILE = "supervisor.jsonl"
 
+PLACEMENTS = ("inline", "process")
+
+#: Every key of :meth:`TenantRuntime.budget_health`, documented — the
+#: budget half of the health contract (DESIGN.md §15), same idiom as
+#: ``repro.core.stream.HEALTH_KEYS``.  Limits of 0 mean *unbounded*.
+BUDGET_HEALTH_KEYS: dict[str, str] = {
+    "max_open_messages": "open-message budget (0 = unbounded)",
+    "open_messages": "messages admitted but not yet finalized",
+    "journal_max_bytes": "event-journal byte budget (0 = unbounded)",
+    "journal_bytes": "event-journal bytes on disk + retry buffer",
+    "quarantine_max_bytes": "quarantine dump rotation byte budget",
+    "quarantine_records": "records currently held in the quarantine",
+    "max_stream_procs": "stream-lane worker-process budget (0 = unbounded)",
+    "stream_procs": "worker processes the stream lane is running",
+    "rpc_deadline_seconds": "parent-side reply deadline for worker RPCs",
+    "breached": "budget names breached so far, in breach order",
+    "over_budget": "1.0 while any budget stands breached",
+}
+
+
+@dataclass(frozen=True)
+class TenantBudget:
+    """Per-tenant resource budgets (JSON round-trippable; 0 = unbounded).
+
+    Budgets are checked *deterministically* — after every batch, against
+    exact counters, never against wall-clock sampling — so the same
+    input always breaches at the same arrival.  A breached tenant is
+    degraded into shed mode, not killed: the bulkhead contract is that
+    an over-budget tenant loses throughput, never its neighbors'.
+
+    ``max_stream_procs`` is enforced at pipeline start by clamping the
+    process stream lane's worker count (output is unchanged — lane
+    byte-identity is pinned by ``make check``).  ``rpc_deadline``
+    bounds how long the daemon waits for a worker's RPC reply before
+    declaring it hung (``placement = "process"`` only).
+    """
+
+    max_open_messages: int = 0
+    journal_max_bytes: int = 0
+    max_stream_procs: int = 0
+    rpc_deadline: float = 10.0
+
+    def __post_init__(self) -> None:
+        for key in ("max_open_messages", "journal_max_bytes",
+                    "max_stream_procs"):
+            if getattr(self, key) < 0:
+                raise ValueError(f"{key} must be >= 0 (0 = unbounded)")
+        if self.rpc_deadline <= 0:
+            raise ValueError("rpc_deadline must be > 0")
+
 
 @dataclass(frozen=True)
 class TenantSpec:
@@ -94,6 +144,15 @@ class TenantSpec:
     #: aware, checkpointed).  ``False`` falls back to whole-file re-read
     #: refills — the pre-tailing behavior.
     tail: bool = True
+    #: Where this tenant's pipeline runs: ``"inline"`` on the daemon's
+    #: own event loop (the pre-placement behavior), or ``"process"`` in
+    #: a supervised worker process of its own behind framed-pipe RPC —
+    #: the bulkhead that keeps one tenant's crash, hang, or poison
+    #: batch away from its neighbors (DESIGN.md §15).  Clean runs are
+    #: fingerprint-byte-identical between the two.
+    placement: str = "inline"
+    #: Per-tenant resource budgets; breaches degrade, never kill.
+    budget: TenantBudget = field(default_factory=TenantBudget)
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
@@ -109,11 +168,18 @@ class TenantSpec:
             raise ValueError("checkpoint_every must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"tenant {self.name}: placement must be one of "
+                f"{PLACEMENTS}, not {self.placement!r}"
+            )
 
     @classmethod
     def from_dict(cls, data: dict) -> "TenantSpec":
         data = dict(data)
         data["sources"] = tuple(data["sources"])
+        if isinstance(data.get("budget"), dict):
+            data["budget"] = TenantBudget(**data["budget"])
         return cls(**data)
 
     def to_dict(self) -> dict:
@@ -162,8 +228,15 @@ class TenantRuntime:
     durable_degraded: bool = False
     resumed: bool = False
     n_batches: int = 0
+    #: Budget names breached this life, in breach order (deduplicated).
+    budget_breached: list = field(default_factory=list)
+    #: Test seam: called as ``hook(n_arrivals_this_life, degraded)``
+    #: before each arrival is pushed (``netsim.faults.PumpPoison``).
+    fault_hook: object = None
     _arrivals: deque = field(default_factory=deque)
     _since_checkpoint: int = 0
+    _arrivals_life: int = 0
+    _effective_workers: int = 0
 
     # ------------------------------------------------------------ paths
 
@@ -200,6 +273,8 @@ class TenantRuntime:
         """
         self.workdir.mkdir(parents=True, exist_ok=True)
         self.degraded = degraded
+        self.budget_breached = []
+        self._arrivals_life = 0
         self.quarantine = Quarantine()
         self.transitions = TransitionJournal(self.supervisor_path)
         if self.events is not None:
@@ -214,28 +289,57 @@ class TenantRuntime:
             self._restore()
         else:
             self._fresh()
+        self._config()  # records _effective_workers on the restore path too
+        if self._effective_workers < self.spec.n_workers:
+            self._journal_entry(
+                kind="budget-clamped",
+                budget="max_stream_procs",
+                requested=self.spec.n_workers,
+                effective=self._effective_workers,
+            )
         if degraded:
             # Shedding is applied post-construction/restore: it is a
             # runtime bound, not a grouping parameter, so the unmodified
             # checkpoint still restores (see DigestStream.set_shedding).
             # Restored state over the bound is shed right here — those
             # events are real output and belong in the journal.
-            shed_cfg = self._config().with_shedding(
-                self.spec.degraded_max_open
-            )
-            shed_events = self.stream.set_shedding(
-                self.spec.degraded_max_open
-            )
-            if shed_events:
-                self.events.append(shed_events)
-            self.ingest.set_admission(
-                self._ingest_config().for_stream(shed_cfg)
-            )
+            self._apply_shedding(self.shed_bound())
         self.refill()
 
+    def _apply_shedding(self, bound: int) -> None:
+        """Put the live pipeline into shed mode at ``bound`` open messages."""
+        shed_cfg = self._config().with_shedding(bound)
+        shed_events = self.stream.set_shedding(bound)
+        if shed_events:
+            self.events.append(shed_events)
+        self.ingest.set_admission(
+            self._ingest_config().for_stream(shed_cfg)
+        )
+
+    def shed_bound(self) -> int:
+        """The open-message bound shed mode enforces for this tenant.
+
+        The spec's ``degraded_max_open``, tightened to the open-message
+        budget when one is set — so a budget-degraded tenant can never
+        shed *to* a level that still breaches the budget that degraded it.
+        """
+        bound = self.spec.degraded_max_open
+        if self.spec.budget.max_open_messages:
+            bound = min(bound, self.spec.budget.max_open_messages)
+        return bound
+
     def _config(self) -> DigestConfig:
+        n_workers = self.spec.n_workers
+        limit = self.spec.budget.max_stream_procs
+        if (limit and self.spec.stream_workers == "processes"
+                and n_workers > limit):
+            # Budget clamp, enforced at construction: the process lane
+            # never spawns more workers than the budget allows.  Output
+            # is unchanged — lane byte-identity is pinned by make check.
+            n_workers = limit
+        self._effective_workers = n_workers
         return DigestConfig(
-            n_workers=self.spec.n_workers,
+            n_workers=n_workers,
             stream_workers=self.spec.stream_workers,
         )
 
@@ -380,7 +484,10 @@ class TenantRuntime:
         registry = get_registry()
         n = 0
         while self._arrivals and n < limit:
+            if self.fault_hook is not None:
+                self.fault_hook(self._arrivals_life, self.degraded)
             source, line = self._arrivals.popleft()
+            self._arrivals_life += 1
             events = self.ingest.push_line(source, line)
             if self.tails is not None:
                 # Commit the tail cursor past this line: offsets in the
@@ -398,7 +505,39 @@ class TenantRuntime:
         if n:
             registry.inc(SERVE_ARRIVALS, n, tenant=self.spec.name)
             self.n_batches += 1
+            self.check_budgets()
         return n
+
+    def check_budgets(self) -> list[str]:
+        """Deterministic post-batch budget check; returns *new* breaches.
+
+        Budgets compare exact counters — open messages in the stream,
+        journal bytes on disk plus the retry buffer — never wall-clock
+        samples, so the same input always breaches at the same arrival.
+        A breach degrades the tenant into shed mode (bulkhead contract:
+        an over-budget tenant loses throughput, never its life); each
+        budget name is journaled once, in breach order.
+        """
+        budget = self.spec.budget
+        usage = (
+            ("max_open_messages", budget.max_open_messages,
+             self.stream.n_open_messages),
+            ("journal_max_bytes", budget.journal_max_bytes,
+             self.events.size_bytes),
+        )
+        fresh = [
+            name for name, limit, used in usage
+            if limit and used > limit and name not in self.budget_breached
+        ]
+        if not fresh:
+            return []
+        for name in fresh:
+            self.budget_breached.append(name)
+            self._journal_entry(kind="budget-breach", budget=name)
+        if not self.degraded:
+            self.degraded = True
+            self._apply_shedding(self.shed_bound())
+        return fresh
 
     def checkpoint(self) -> None:
         """Journal-then-checkpoint, in that order (crash-safety).
@@ -550,10 +689,32 @@ class TenantRuntime:
 
     # ------------------------------------------------------------- health
 
+    def budget_health(self) -> dict:
+        """Budget usage vs. limits — exactly :data:`BUDGET_HEALTH_KEYS`."""
+        budget = self.spec.budget
+        procs = (
+            self._effective_workers
+            if self.stream.stream_lane == "processes" else 0
+        )
+        return {
+            "max_open_messages": budget.max_open_messages,
+            "open_messages": self.stream.n_open_messages,
+            "journal_max_bytes": budget.journal_max_bytes,
+            "journal_bytes": self.events.size_bytes,
+            "quarantine_max_bytes": self.spec.quarantine_max_bytes,
+            "quarantine_records": len(self.quarantine),
+            "max_stream_procs": budget.max_stream_procs,
+            "stream_procs": procs,
+            "rpc_deadline_seconds": budget.rpc_deadline,
+            "breached": list(self.budget_breached),
+            "over_budget": 1.0 if self.budget_breached else 0.0,
+        }
+
     def health(self) -> dict:
         """Everything an operator asks a tenant, JSON-serializable."""
         return {
             "tenant": self.spec.name,
+            "placement": self.spec.placement,
             "degraded": self.degraded,
             "durable_degraded": self.durable_degraded,
             "resumed": self.resumed,
@@ -566,4 +727,5 @@ class TenantRuntime:
             "stream": self.stream.health(),
             "ingest": self.ingest.health(),
             "sources": self.ingest.source_summaries(),
+            "budgets": self.budget_health(),
         }

@@ -1,0 +1,12 @@
+"""``python -m repro.serve.worker`` — the tenant worker entry point.
+
+A separate module from :mod:`repro.serve.placement` (which the serve
+package imports eagerly) so ``runpy`` executes a module that is *not*
+already in ``sys.modules`` — no double execution, no RuntimeWarning.
+The whole worker lives in :func:`repro.serve.placement.main`.
+"""
+
+from repro.serve.placement import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

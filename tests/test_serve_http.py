@@ -62,12 +62,12 @@ def daemon(system_a, live_a, tmp_path_factory):
 
 def _get(daemon, target: str):
     request = f"GET {target} HTTP/1.0\r\n\r\n".encode()
-    return daemon.api._dispatch(request)
+    return asyncio.run(daemon.api._dispatch(request))
 
 
 def _post(daemon, target: str):
     request = f"POST {target} HTTP/1.0\r\n\r\n".encode()
-    return daemon.api._dispatch(request)
+    return asyncio.run(daemon.api._dispatch(request))
 
 
 class TestRoutes:
@@ -173,7 +173,9 @@ class TestErrors:
         assert status == 404
 
     def test_method_not_allowed(self, daemon):
-        status, _, _ = daemon.api._dispatch(b"PUT /healthz HTTP/1.0\r\n\r\n")
+        status, _, _ = asyncio.run(
+            daemon.api._dispatch(b"PUT /healthz HTTP/1.0\r\n\r\n")
+        )
         assert status == 405
 
     def test_promote_without_store_is_an_error(self, daemon):

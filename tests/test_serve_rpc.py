@@ -1,0 +1,250 @@
+"""Framed-pipe RPC protocol unit suite (DESIGN.md §15).
+
+The frame codec and both of its consumers — the worker's blocking
+reader and the parent's :class:`~repro.serve.rpc.RpcChannel`
+multiplexer — against the failure surfaces the protocol promises to
+type: torn frames, oversized frames (refused by writer *and* reader),
+out-of-order replies, request deadlines, and pipe closure mid-flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import os
+import struct
+
+import pytest
+
+from repro.serve.rpc import (
+    MAX_FRAME_BYTES,
+    FrameTooLarge,
+    RpcChannel,
+    RpcClosed,
+    RpcError,
+    RpcTimeout,
+    TornFrame,
+    encode_frame,
+    poll_frame,
+    read_frame,
+    read_frame_async,
+    write_frame,
+)
+
+pytestmark = [pytest.mark.serve, pytest.mark.placement]
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        fh = io.BytesIO()
+        write_frame(fh, {"id": 7, "cmd": "ping", "args": {"x": [1, 2]}})
+        fh.seek(0)
+        assert read_frame(fh) == {"id": 7, "cmd": "ping", "args": {"x": [1, 2]}}
+
+    def test_many_frames_back_to_back(self):
+        fh = io.BytesIO()
+        for i in range(5):
+            write_frame(fh, {"id": i})
+        fh.seek(0)
+        assert [read_frame(fh)["id"] for _ in range(5)] == list(range(5))
+
+    def test_eof_at_boundary_is_eoferror(self):
+        with pytest.raises(EOFError):
+            read_frame(io.BytesIO(b""))
+
+    def test_eof_inside_header_is_torn(self):
+        with pytest.raises(TornFrame):
+            read_frame(io.BytesIO(b"\x01\x02"))
+
+    def test_eof_inside_payload_is_torn(self):
+        frame = encode_frame({"id": 1, "cmd": "health"})
+        with pytest.raises(TornFrame):
+            read_frame(io.BytesIO(frame[:-3]))
+
+    def test_writer_refuses_oversized_frame(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_reader_refuses_oversized_header(self):
+        # A desynced/hostile peer declares a giant frame: the reader
+        # must refuse before buffering a single payload byte.
+        head = struct.pack("<I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLarge):
+            read_frame(io.BytesIO(head + b"x" * 16))
+
+
+class TestPollFrame:
+    def test_timeout_returns_none(self):
+        read_fd, write_fd = os.pipe()
+        try:
+            with os.fdopen(read_fd, "rb", buffering=0) as fh:
+                read_fd = None
+                assert poll_frame(fh, 0.01) is None
+        finally:
+            os.close(write_fd)
+
+    def test_ready_bytes_complete_a_frame(self):
+        read_fd, write_fd = os.pipe()
+        os.write(write_fd, encode_frame({"cmd": "drain", "id": 3}))
+        os.close(write_fd)
+        with os.fdopen(read_fd, "rb", buffering=0) as fh:
+            assert poll_frame(fh, 0.0) == {"cmd": "drain", "id": 3}
+            # Pipe now at EOF: readable, and the read reports it loudly.
+            with pytest.raises(EOFError):
+                poll_frame(fh, 0.0)
+
+
+async def _pair():
+    """An RpcChannel talking to a scripted peer over a loopback socket."""
+    peer_ready: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    async def on_connect(reader, writer):
+        if not peer_ready.done():
+            peer_ready.set_result((reader, writer))
+
+    server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    channel = RpcChannel(reader, writer)
+    peer_reader, peer_writer = await peer_ready
+    return server, channel, peer_reader, peer_writer
+
+
+async def _teardown(server, channel, peer_writer):
+    await channel.close()
+    peer_writer.close()
+    server.close()
+    await server.wait_closed()
+
+
+class TestRpcChannel:
+    def test_out_of_order_replies_resolve_the_right_futures(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                first = asyncio.ensure_future(
+                    channel.request("alpha", timeout=5.0)
+                )
+                second = asyncio.ensure_future(
+                    channel.request("beta", timeout=5.0)
+                )
+                req_a = await read_frame_async(peer_reader)
+                req_b = await read_frame_async(peer_reader)
+                assert {req_a["cmd"], req_b["cmd"]} == {"alpha", "beta"}
+                by_cmd = {req["cmd"]: req["id"] for req in (req_a, req_b)}
+                # Reply to beta first — ids must still route correctly.
+                for cmd in ("beta", "alpha"):
+                    peer_writer.write(
+                        encode_frame(
+                            {"id": by_cmd[cmd], "ok": True, "result": cmd}
+                        )
+                    )
+                await peer_writer.drain()
+                assert await first == "alpha"
+                assert await second == "beta"
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
+
+    def test_notifications_route_to_notes_not_requests(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                peer_writer.write(
+                    encode_frame({"id": 0, "kind": "batch", "n": 3})
+                )
+                await peer_writer.drain()
+                note = await channel.next_note(timeout=5.0)
+                assert note == {"id": 0, "kind": "batch", "n": 3}
+                assert await channel.next_note(timeout=0.01) is None
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
+
+    def test_error_reply_raises_rpc_error(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                pending = asyncio.ensure_future(
+                    channel.request("promote", timeout=5.0)
+                )
+                req = await read_frame_async(peer_reader)
+                peer_writer.write(
+                    encode_frame(
+                        {"id": req["id"], "ok": False, "error": "boom"}
+                    )
+                )
+                await peer_writer.drain()
+                with pytest.raises(RpcError, match="boom"):
+                    await pending
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
+
+    def test_silent_peer_times_out_and_late_reply_is_dropped(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                with pytest.raises(RpcTimeout):
+                    await channel.request("health", timeout=0.05)
+                # The stale reply must be swallowed, not crash the
+                # read loop; a following note still comes through.
+                req = await read_frame_async(peer_reader)
+                peer_writer.write(
+                    encode_frame({"id": req["id"], "ok": True, "result": 1})
+                )
+                peer_writer.write(encode_frame({"id": 0, "kind": "late"}))
+                await peer_writer.drain()
+                note = await channel.next_note(timeout=5.0)
+                assert note["kind"] == "late"
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
+
+    def test_peer_closure_fails_in_flight_and_queues_sentinel(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                pending = asyncio.ensure_future(
+                    channel.request("health", timeout=5.0)
+                )
+                await read_frame_async(peer_reader)  # request delivered
+                peer_writer.close()  # worker dies mid-flight
+                with pytest.raises(RpcClosed):
+                    await pending
+                note = await channel.next_note(timeout=5.0)
+                assert note["kind"] == "closed"
+                assert channel.closed
+                with pytest.raises(RpcClosed):
+                    await channel.request("health", timeout=1.0)
+                with pytest.raises(RpcClosed):
+                    channel.send({"id": 0})
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
+
+    def test_oversized_peer_frame_closes_the_channel(self):
+        async def scenario():
+            server, channel, peer_reader, peer_writer = await _pair()
+            try:
+                pending = asyncio.ensure_future(
+                    channel.request("health", timeout=5.0)
+                )
+                await read_frame_async(peer_reader)
+                # Desync attack: a header declaring an absurd frame.
+                peer_writer.write(struct.pack("<I", MAX_FRAME_BYTES + 99))
+                await peer_writer.drain()
+                with pytest.raises(RpcClosed):
+                    await pending
+                note = await channel.next_note(timeout=5.0)
+                assert note["kind"] == "closed"
+                assert "FrameTooLarge" in note["reason"]
+            finally:
+                await _teardown(server, channel, peer_writer)
+
+        asyncio.run(scenario())
